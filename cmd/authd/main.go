@@ -1,0 +1,145 @@
+// Command authd is an authoritative DNS server: it loads a zone file and
+// answers queries over UDP and TCP (including AXFR and IXFR). Pointing a
+// resolver at an authd instance loaded with the root zone is the RFC 7706
+// "local root on loopback" arrangement from §3 of the paper.
+//
+// With -primary, authd instead runs as a replicating secondary: it
+// bootstraps the zone with AXFR from the primary, listens for NOTIFY
+// pushes, and rides serial changes with IXFR — a self-maintaining local
+// root instance.
+//
+// Usage:
+//
+//	authd -zone root.zone -origin . -udp 127.0.0.1:5300 -tcp 127.0.0.1:5300
+//	authd -primary 127.0.0.1:5300 -origin . -udp 127.0.0.1:5310 -notify 127.0.0.1:5311
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rootless/internal/authserver"
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+func main() {
+	zonePath := flag.String("zone", "root.zone", "zone file to serve")
+	originStr := flag.String("origin", ".", "zone origin")
+	udpAddr := flag.String("udp", "127.0.0.1:5300", "UDP listen address (empty to disable)")
+	tcpAddr := flag.String("tcp", "127.0.0.1:5300", "TCP listen address (empty to disable)")
+	ixfr := flag.Int("ixfr", 8, "IXFR journal window in zone versions (0 to disable)")
+	primaryAddr := flag.String("primary", "", "run as a secondary: AXFR/IXFR from this primary (host:port, TCP)")
+	notifyAddr := flag.String("notify", "", "secondary mode: UDP address to receive NOTIFY pushes on")
+	flag.Parse()
+
+	origin, err := dnswire.ParseName(*originStr)
+	if err != nil {
+		fatal("bad -origin: %v", err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var z *zone.Zone
+	var secondary *authserver.Secondary
+	if *primaryAddr != "" {
+		bctx, bcancel := context.WithTimeout(ctx, 60*time.Second)
+		sec, err := authserver.NewSecondary(bctx, origin, *primaryAddr)
+		bcancel()
+		if err != nil {
+			fatal("%v", err)
+		}
+		secondary = sec
+		z = sec.Zone()
+		fmt.Fprintf(os.Stderr, "authd: secondary of %s, bootstrapped serial %d\n",
+			*primaryAddr, z.Serial())
+	} else {
+		z = loadZoneFile(*zonePath, origin)
+	}
+
+	srv := authserver.New(z)
+	if *ixfr > 0 {
+		srv.EnableIXFR(*ixfr)
+	}
+	fmt.Fprintf(os.Stderr, "authd: serving %s (%d records, serial %d)\n",
+		origin, z.Len(), z.Serial())
+
+	errs := make(chan error, 3)
+	if secondary != nil {
+		secondary.OnUpdate(func(nz *zone.Zone) {
+			srv.SetZone(nz)
+			fmt.Fprintf(os.Stderr, "authd: replicated serial %d\n", nz.Serial())
+		})
+		if *notifyAddr != "" {
+			nconn, err := net.ListenPacket("udp", *notifyAddr)
+			if err != nil {
+				fatal("notify listen: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "authd: NOTIFY listener on %s\n", nconn.LocalAddr())
+			go func() { errs <- secondary.ServeNotify(ctx, nconn) }()
+		}
+	}
+
+	if *udpAddr != "" {
+		conn, err := net.ListenPacket("udp", *udpAddr)
+		if err != nil {
+			fatal("udp listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "authd: udp on %s\n", conn.LocalAddr())
+		go func() { errs <- srv.ServeUDP(ctx, conn) }()
+	}
+	if *tcpAddr != "" {
+		l, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fatal("tcp listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "authd: tcp on %s (AXFR enabled)\n", l.Addr())
+		go func() { errs <- srv.ServeTCP(ctx, l) }()
+	}
+	if *udpAddr == "" && *tcpAddr == "" {
+		fatal("nothing to serve: both -udp and -tcp empty")
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-errs:
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "authd: served %d queries (%d referrals, %d answers, %d nxdomain, %d axfr, %d ixfr)\n",
+		st.Queries, st.Referrals, st.Answers, st.NXDomain, st.AXFRs, st.IXFRs)
+}
+
+func loadZoneFile(path string, origin dnswire.Name) *zone.Zone {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if strings.HasSuffix(path, ".gz") {
+		z, err := zone.Decompress(data, origin)
+		if err != nil {
+			fatal("parsing %s: %v", path, err)
+		}
+		return z
+	}
+	z, err := zone.Parse(strings.NewReader(string(data)), origin)
+	if err != nil {
+		fatal("parsing %s: %v", path, err)
+	}
+	return z
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "authd: "+format+"\n", args...)
+	os.Exit(1)
+}

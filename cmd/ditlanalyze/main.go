@@ -1,0 +1,59 @@
+// Command ditlanalyze classifies a DITL-style trace exactly as §2.2 of
+// the paper does: bogus-TLD share, ideal-cache and 15-minute-cache
+// redundancy, valid remainder, per-instance rates, and the new-TLD
+// trickle.
+//
+// Usage:
+//
+//	ditlanalyze -trace ditl.trace
+//	ditlanalyze -trace ditl.trace -window 15m -newtld llc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rootless/internal/ditl"
+	"rootless/internal/dnswire"
+	"rootless/internal/rootzone"
+)
+
+func main() {
+	tracePath := flag.String("trace", "ditl.trace", "trace file from ditlgen")
+	window := flag.Duration("window", 15*time.Minute, "relaxed cache window")
+	newTLD := flag.String("newtld", "llc.", "TLD whose uptake to report (§5.3)")
+	dateStr := flag.String("date", "2018-04-11", "date fixing the valid-TLD universe")
+	flag.Parse()
+
+	at, err := time.Parse("2006-01-02", *dateStr)
+	if err != nil {
+		fatal("bad -date: %v", err)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	trace, err := ditl.ReadTrace(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var tlds []dnswire.Name
+	for _, t := range rootzone.TLDsAt(at) {
+		tlds = append(tlds, t.Name)
+	}
+	nt, err := dnswire.ParseName(*newTLD)
+	if err != nil {
+		fatal("bad -newtld: %v", err)
+	}
+	a := ditl.Analyze(trace, tlds, nt, *window)
+	fmt.Print(a.Table())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ditlanalyze: "+format+"\n", args...)
+	os.Exit(1)
+}

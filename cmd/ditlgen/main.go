@@ -1,0 +1,88 @@
+// Command ditlgen synthesizes a DITL-style root-traffic trace with the
+// composition the paper measured (§2.2), writing the flat text format
+// cmd/ditlanalyze consumes.
+//
+// Usage:
+//
+//	ditlgen -queries 5700000 -o ditl2018.trace
+//	ditlgen -queries 100000 -seed 7 -o - | head
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rootless/internal/ditl"
+	"rootless/internal/dnswire"
+	"rootless/internal/rootzone"
+)
+
+func main() {
+	queries := flag.Int("queries", 5_700_000, "trace size (the default is 1/1000 of DITL-2018)")
+	resolvers := flag.Int("resolvers", 0, "resolver population (0 = scale with -queries)")
+	seed := flag.Int64("seed", 2018, "generator seed")
+	dateStr := flag.String("date", "2018-04-11", "capture date (fixes the TLD universe)")
+	out := flag.String("o", "ditl.trace", "output file (- for stdout)")
+	flag.Parse()
+
+	at, err := time.Parse("2006-01-02", *dateStr)
+	if err != nil {
+		fatal("bad -date: %v", err)
+	}
+	var tlds []dnswire.Name
+	for _, t := range rootzone.TLDsAt(at) {
+		tlds = append(tlds, t.Name)
+	}
+	cfg := ditl.DefaultGenConfig(tlds)
+	cfg.Seed = *seed
+	cfg.TotalQueries = *queries
+	cfg.Start = at
+	if *resolvers > 0 {
+		cfg.Resolvers = *resolvers
+		cfg.BogusOnlyResolvers = int(float64(*resolvers) * 723.0 / 4100.0)
+	} else {
+		scale := float64(*queries) / 5_700_000.0
+		cfg.Resolvers = max(int(4100*scale), 100)
+		cfg.BogusOnlyResolvers = max(int(float64(cfg.Resolvers)*723.0/4100.0), 10)
+	}
+
+	trace, err := ditl.Generate(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	var w *bufio.Writer
+	if *out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := ditl.WriteTrace(w, trace); err != nil {
+		fatal("%v", err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ditlgen: wrote %d queries from %d resolvers across %d instances\n",
+		len(trace.Queries), cfg.Resolvers, trace.Instances)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ditlgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command experiments runs the paper-reproduction harness: every figure
+// and table from "On Eliminating Root Nameservers from the DNS"
+// (HotNets'19), printing paper-vs-measured rows and exiting non-zero if
+// any experiment fails to preserve the paper's finding.
+//
+// Usage:
+//
+//	experiments                 run everything
+//	experiments -id t_traffic   run one experiment
+//	experiments -list           list experiment IDs
+//	experiments -markdown       emit EXPERIMENTS.md-style output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rootless/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run only the experiment with this ID (comma-separated for several)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	markdown := flag.Bool("markdown", false, "emit markdown tables instead of text")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-12s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *id != "" {
+		for _, s := range strings.Split(*id, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+
+	failed := 0
+	ran := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		ran++
+		if *markdown {
+			printMarkdown(r)
+		} else {
+			fmt.Print(r.Render())
+			fmt.Println()
+		}
+		if !r.Matches() {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -id=%s (try -list)\n", *id)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) did not preserve the paper's findings\n", failed)
+		os.Exit(1)
+	}
+}
+
+func printMarkdown(r experiments.Result) {
+	fmt.Printf("### %s — %s\n\n", r.ID, r.Title)
+	fmt.Println("| Metric | Paper | Measured | Match |")
+	fmt.Println("|---|---|---|---|")
+	for _, row := range r.Rows {
+		mark := "yes"
+		if !row.Match {
+			mark = "**NO**"
+		}
+		fmt.Printf("| %s | %s | %s | %s |\n", row.Metric, row.Paper, row.Measured, mark)
+	}
+	if r.Notes != "" {
+		fmt.Printf("\n*%s*\n", r.Notes)
+	}
+	fmt.Println()
+}

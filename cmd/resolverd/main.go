@@ -1,0 +1,145 @@
+// Command resolverd is a recursive DNS resolver daemon with selectable
+// root mode — the component the paper proposes to change.
+//
+// Modes:
+//
+//	hints      classic: bootstrap from the root hints, query root servers
+//	preload    load a local root zone file into the cache (§3 option 1)
+//	lookaside  consult the local root zone per transaction (§3 option 2)
+//	localauth  send root queries to a local authoritative server (RFC 7706)
+//
+// Usage:
+//
+//	resolverd -listen 127.0.0.1:5301 -mode lookaside -rootzone root.zone
+//	resolverd -listen 127.0.0.1:5301 -mode localauth -localauth 127.0.0.1 -localauth-port 5300
+//	resolverd -listen 127.0.0.1:5301 -mode hints -hints root.hints
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/resolver"
+	"rootless/internal/rootzone"
+	"rootless/internal/zone"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5301", "UDP listen address for stub queries")
+	modeStr := flag.String("mode", "hints", "root mode: hints | preload | lookaside | localauth")
+	rootZonePath := flag.String("rootzone", "", "local root zone file (preload/lookaside)")
+	hintsPath := flag.String("hints", "", "root hints file (defaults to built-in hints)")
+	localAuth := flag.String("localauth", "127.0.0.1", "local root server address (localauth mode)")
+	localAuthPort := flag.Uint("localauth-port", 53, "local root server port (localauth mode)")
+	qmin := flag.Bool("qmin", false, "enable QNAME minimisation")
+	stale := flag.Bool("serve-stale", false, "serve expired cache entries when upstreams fail (RFC 8767)")
+	cacheCap := flag.Int("cache", 0, "cache capacity in RRsets (0 = unlimited)")
+	timeout := flag.Duration("timeout", 3*time.Second, "upstream query timeout")
+	flag.Parse()
+
+	var mode resolver.RootMode
+	switch *modeStr {
+	case "hints":
+		mode = resolver.RootModeHints
+	case "preload":
+		mode = resolver.RootModePreload
+	case "lookaside":
+		mode = resolver.RootModeLookaside
+	case "localauth":
+		mode = resolver.RootModeLocalAuth
+	default:
+		fatal("unknown -mode %q", *modeStr)
+	}
+
+	transport := &resolver.UDPTransport{Timeout: *timeout}
+	cfg := resolver.Config{
+		Mode:              mode,
+		Transport:         transport,
+		QNameMinimisation: *qmin,
+		ServeStale:        *stale,
+		CacheCapacity:     *cacheCap,
+	}
+
+	// Hints: from file, or the built-in 13-letter set.
+	if *hintsPath != "" {
+		f, err := os.Open(*hintsPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		hz, err := zone.Parse(f, dnswire.Root)
+		f.Close()
+		if err != nil {
+			fatal("parsing hints: %v", err)
+		}
+		cfg.Hints = hz.Records()
+	} else {
+		cfg.Hints = rootzone.Hints()
+	}
+
+	switch mode {
+	case resolver.RootModePreload, resolver.RootModeLookaside:
+		if *rootZonePath == "" {
+			fatal("-mode %s requires -rootzone", mode)
+		}
+		z, err := loadZone(*rootZonePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg.LocalZone = z
+		fmt.Fprintf(os.Stderr, "resolverd: local root zone serial %d (%d records)\n",
+			z.Serial(), z.Len())
+	case resolver.RootModeLocalAuth:
+		addr, err := netip.ParseAddr(*localAuth)
+		if err != nil {
+			fatal("bad -localauth: %v", err)
+		}
+		cfg.LocalAuthAddr = addr
+		if *localAuthPort != 53 {
+			transport.PortOverrides = map[netip.Addr]uint16{addr: uint16(*localAuthPort)}
+		}
+	}
+
+	r := resolver.New(cfg)
+	srv := resolver.NewServer(r)
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "resolverd: %s mode, listening on %s\n", mode, conn.LocalAddr())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := srv.ServeUDP(ctx, conn); err != nil {
+		fatal("%v", err)
+	}
+	st := r.Stats()
+	fmt.Fprintf(os.Stderr,
+		"resolverd: %d resolutions (%d from cache), %d upstream queries (%d to roots, %d local root consults)\n",
+		st.Resolutions, st.CacheAnswers, st.TotalQueries, st.RootQueries, st.LocalRootConsults)
+}
+
+func loadZone(path string) (*zone.Zone, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		return zone.Decompress(data, dnswire.Root)
+	}
+	return zone.Parse(strings.NewReader(string(data)), dnswire.Root)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "resolverd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command rootlessdig is a minimal dig-alike for exercising authd and
+// resolverd.
+//
+// Usage:
+//
+//	rootlessdig -server 127.0.0.1:5301 www.example.com A
+//	rootlessdig -server 127.0.0.1:5300 -norec com NS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:53", "server address (host:port)")
+	norec := flag.Bool("norec", false, "clear the RD bit (iterative query)")
+	timeout := flag.Duration("timeout", 3*time.Second, "query timeout")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fatal("usage: rootlessdig [-server host:port] name [type]")
+	}
+	name, err := dnswire.ParseName(flag.Arg(0))
+	if err != nil {
+		fatal("bad name: %v", err)
+	}
+	qtype := dnswire.TypeA
+	if flag.NArg() > 1 {
+		qtype, err = dnswire.ParseType(strings.ToUpper(flag.Arg(1)))
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	q := dnswire.NewQuery(uint16(rand.New(rand.NewSource(time.Now().UnixNano())).Intn(1<<16)), name, qtype)
+	q.RecursionDesired = !*norec
+	q.SetEDNS(dnswire.DefaultEDNSSize, false)
+	wire, err := q.Pack()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	conn, err := net.Dial("udp", *server)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_ = conn.SetDeadline(start.Add(*timeout))
+	if _, err := conn.Write(wire); err != nil {
+		fatal("%v", err)
+	}
+	buf := make([]byte, 64*1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		fatal("no response: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	var resp dnswire.Message
+	if err := resp.Unpack(buf[:n]); err != nil {
+		fatal("bad response: %v", err)
+	}
+	fmt.Print(resp.String())
+	fmt.Printf(";; Query time: %v\n;; SERVER: %s\n;; MSG SIZE: %d bytes\n",
+		elapsed.Round(time.Microsecond), *server, n)
+	if resp.Rcode != dnswire.RcodeSuccess {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rootlessdig: "+format+"\n", args...)
+	os.Exit(1)
+}

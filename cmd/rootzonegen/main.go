@@ -1,0 +1,119 @@
+// Command rootzonegen emits a synthetic root zone (and supporting
+// artifacts) for a date, as the zone-publisher side of the system.
+//
+// Usage:
+//
+//	rootzonegen -date 2019-06-07 -o root.zone
+//	rootzonegen -date 2019-06-07 -sign -seed 42 -o root.zone \
+//	    -key-out root.ksk -pub-out root.dnskey -hints-out root.hints
+//	rootzonegen -compress -o root.zone.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/rootzone"
+	"rootless/internal/zone"
+)
+
+type seededRand struct{ r *rand.Rand }
+
+func (s seededRand) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+func main() {
+	dateStr := flag.String("date", "2019-06-07", "zone snapshot date (YYYY-MM-DD)")
+	out := flag.String("o", "root.zone", "output zone file (- for stdout)")
+	compress := flag.Bool("compress", false, "gzip the output")
+	sign := flag.Bool("sign", false, "DNSSEC-sign the zone (NSEC chain + RRSIGs)")
+	seed := flag.Int64("seed", 20190607, "deterministic key seed used with -sign")
+	keyOut := flag.String("key-out", "", "write the KSK private key here (with -sign)")
+	pubOut := flag.String("pub-out", "", "write the KSK public DNSKEY here (with -sign)")
+	hintsOut := flag.String("hints-out", "", "also write the classic root hints file here")
+	flag.Parse()
+
+	at, err := time.Parse("2006-01-02", *dateStr)
+	if err != nil {
+		fatal("bad -date: %v", err)
+	}
+	z, err := rootzone.Build(at)
+	if err != nil {
+		fatal("building zone: %v", err)
+	}
+
+	if *sign {
+		signer, err := dnssec.NewSigner(dnswire.Root, seededRand{rand.New(rand.NewSource(*seed))})
+		if err != nil {
+			fatal("generating keys: %v", err)
+		}
+		signer.AddNSEC = true
+		signer.Quantize = 14 * 24 * time.Hour
+		signer.Validity = 28 * 24 * time.Hour
+		if err := signer.SignZone(z, at); err != nil {
+			fatal("signing: %v", err)
+		}
+		if *keyOut != "" {
+			if err := writeFile(*keyOut, func(f *os.File) error {
+				return dnssec.WriteKey(f, signer.KSK)
+			}); err != nil {
+				fatal("writing key: %v", err)
+			}
+		}
+		if *pubOut != "" {
+			if err := writeFile(*pubOut, func(f *os.File) error {
+				return dnssec.WritePublicKey(f, signer.KSK)
+			}); err != nil {
+				fatal("writing public key: %v", err)
+			}
+		}
+	}
+
+	if *hintsOut != "" {
+		if err := os.WriteFile(*hintsOut, []byte(rootzone.HintsText()), 0o644); err != nil {
+			fatal("writing hints: %v", err)
+		}
+	}
+
+	var data []byte
+	if *compress {
+		data, err = zone.Compress(z)
+		if err != nil {
+			fatal("compressing: %v", err)
+		}
+	} else {
+		data = []byte(zone.Text(z))
+	}
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal("writing: %v", err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d records (%d TLDs), %d bytes, serial %d\n",
+		*out, z.Len(), len(z.Delegations()), len(data), z.Serial())
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rootzonegen: "+format+"\n", args...)
+	os.Exit(1)
+}

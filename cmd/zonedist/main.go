@@ -1,0 +1,175 @@
+// Command zonedist distributes root zones: it can serve an HTTP mirror
+// (with rsync-style delta endpoints) or act as the resolver-side client
+// that fetches, verifies and stores a zone copy.
+//
+// Serve (publisher side):
+//
+//	zonedist serve -listen 127.0.0.1:8053 -seed 42 -date 2019-06-07
+//
+// Fetch (resolver side):
+//
+//	zonedist fetch -mirror http://127.0.0.1:8053 -pub root.dnskey -o root.zone
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rootless/internal/dist"
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/rootzone"
+	"rootless/internal/zone"
+)
+
+type seededRand struct{ r *rand.Rand }
+
+func (s seededRand) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal("usage: zonedist serve|fetch [flags]")
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "fetch":
+		fetch(os.Args[2:])
+	default:
+		fatal("unknown subcommand %q (want serve or fetch)", os.Args[1])
+	}
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8053", "HTTP listen address")
+	seed := fs.Int64("seed", 20190607, "deterministic signing key seed")
+	dateStr := fs.String("date", "2019-06-07", "zone snapshot date")
+	pubOut := fs.String("pub-out", "", "write the public KSK here for clients")
+	republish := fs.Duration("republish", 0, "re-sign and publish a fresh serial at this interval (0 = once)")
+	_ = fs.Parse(args)
+
+	at, err := time.Parse("2006-01-02", *dateStr)
+	if err != nil {
+		fatal("bad -date: %v", err)
+	}
+	signer, err := dnssec.NewSigner(dnswire.Root, seededRand{rand.New(rand.NewSource(*seed))})
+	if err != nil {
+		fatal("%v", err)
+	}
+	signer.AddNSEC = true
+	signer.Quantize = 14 * 24 * time.Hour
+	signer.Validity = 28 * 24 * time.Hour
+
+	if *pubOut != "" {
+		f, err := os.Create(*pubOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := dnssec.WritePublicKey(f, signer.KSK); err != nil {
+			fatal("%v", err)
+		}
+		f.Close()
+	}
+
+	mirror := dist.NewMirror(signer, 16)
+	publish := func(at time.Time) error {
+		z, err := rootzone.Build(at)
+		if err != nil {
+			return err
+		}
+		if err := signer.SignZone(z, at); err != nil {
+			return err
+		}
+		if err := mirror.Publish(z); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "zonedist: published serial %d (%d records)\n", z.Serial(), z.Len())
+		return nil
+	}
+	if err := publish(at); err != nil {
+		fatal("%v", err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *republish > 0 {
+		go func() {
+			day := at
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(*republish):
+					day = day.AddDate(0, 0, 1)
+					if err := publish(day); err != nil {
+						fmt.Fprintf(os.Stderr, "zonedist: republish: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: mirror}
+	go func() {
+		<-ctx.Done()
+		_ = srv.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "zonedist: mirror on http://%s (bundle, text, delta endpoints)\n", *listen)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal("%v", err)
+	}
+	st := mirror.Stats()
+	fmt.Fprintf(os.Stderr, "zonedist: served %d requests (%d bundle bytes, %d delta bytes)\n",
+		st.Requests, st.BundleBytes, st.DeltaBytes)
+}
+
+func fetch(args []string) {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	mirrorURL := fs.String("mirror", "http://127.0.0.1:8053", "mirror base URL")
+	pubPath := fs.String("pub", "", "public KSK file for verification (required)")
+	out := fs.String("o", "root.zone", "where to store the verified zone")
+	_ = fs.Parse(args)
+
+	if *pubPath == "" {
+		fatal("fetch requires -pub (the publisher's DNSKEY)")
+	}
+	f, err := os.Open(*pubPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	ksk, err := dnssec.ReadPublicKey(f)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ctx, cancelTO := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelTO()
+	client := dist.NewHTTPClient(*mirrorURL)
+	bundle, err := client.Fetch(ctx)
+	if err != nil {
+		fatal("fetch: %v", err)
+	}
+	z, err := bundle.Verify(ksk)
+	if err != nil {
+		fatal("VERIFICATION FAILED: %v", err)
+	}
+	if err := os.WriteFile(*out, []byte(zone.Text(z)), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "zonedist: verified serial %d (%d records, %d bytes fetched) -> %s\n",
+		z.Serial(), z.Len(), client.BytesFetched(), *out)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "zonedist: "+format+"\n", args...)
+	os.Exit(1)
+}

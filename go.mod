@@ -1,0 +1,3 @@
+module rootless
+
+go 1.22

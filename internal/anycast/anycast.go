@@ -1,0 +1,266 @@
+// Package anycast models the root nameserver deployment: the per-letter
+// anycast instance counts over time that produce Figure 2 of the paper
+// (including the documented e-root and f-root expansion events), instance
+// geography, and nearest-instance catchment with a propagation-delay RTT
+// model. The resolver-side experiments use this package as the stand-in
+// for the real Internet's anycast routing.
+package anycast
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+)
+
+// GeoPoint is a location on the globe.
+type GeoPoint struct {
+	Lat, Lon float64
+}
+
+// DistanceKm returns the great-circle distance to other in kilometres.
+func (g GeoPoint) DistanceKm(other GeoPoint) float64 {
+	const earthRadiusKm = 6371
+	lat1, lon1 := g.Lat*math.Pi/180, g.Lon*math.Pi/180
+	lat2, lon2 := other.Lat*math.Pi/180, other.Lon*math.Pi/180
+	dlat, dlon := lat2-lat1, lon2-lon1
+	a := math.Sin(dlat/2)*math.Sin(dlat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dlon/2)*math.Sin(dlon/2)
+	return 2 * earthRadiusKm * math.Atan2(math.Sqrt(a), math.Sqrt(1-a))
+}
+
+// RTT estimates the round-trip time between two points: great-circle
+// propagation in fibre (~100 km/ms one way) with a path-inflation factor
+// and a small fixed processing cost. Deterministic.
+func RTT(a, b GeoPoint) time.Duration {
+	const (
+		kmPerMsOneWay = 100.0 // ≈ 2/3 c in fibre
+		pathInflation = 1.6   // routes are not great circles
+		fixedMs       = 2.0   // serialization + local hops
+	)
+	ms := fixedMs + 2*a.DistanceKm(b)*pathInflation/kmPerMsOneWay
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// cities is the placement pool for instances and resolvers — major
+// population/interconnection centres.
+var cities = []struct {
+	name string
+	loc  GeoPoint
+}{
+	{"ashburn", GeoPoint{39.0, -77.5}},
+	{"newyork", GeoPoint{40.7, -74.0}},
+	{"chicago", GeoPoint{41.9, -87.6}},
+	{"dallas", GeoPoint{32.8, -96.8}},
+	{"losangeles", GeoPoint{34.1, -118.2}},
+	{"seattle", GeoPoint{47.6, -122.3}},
+	{"saopaulo", GeoPoint{-23.6, -46.6}},
+	{"buenosaires", GeoPoint{-34.6, -58.4}},
+	{"london", GeoPoint{51.5, -0.1}},
+	{"amsterdam", GeoPoint{52.4, 4.9}},
+	{"frankfurt", GeoPoint{50.1, 8.7}},
+	{"paris", GeoPoint{48.9, 2.4}},
+	{"stockholm", GeoPoint{59.3, 18.1}},
+	{"moscow", GeoPoint{55.8, 37.6}},
+	{"johannesburg", GeoPoint{-26.2, 28.0}},
+	{"nairobi", GeoPoint{-1.3, 36.8}},
+	{"dubai", GeoPoint{25.2, 55.3}},
+	{"mumbai", GeoPoint{19.1, 72.9}},
+	{"singapore", GeoPoint{1.35, 103.8}},
+	{"hongkong", GeoPoint{22.3, 114.2}},
+	{"tokyo", GeoPoint{35.7, 139.7}},
+	{"seoul", GeoPoint{37.6, 127.0}},
+	{"sydney", GeoPoint{-33.9, 151.2}},
+	{"auckland", GeoPoint{-36.8, 174.8}},
+	{"beijing", GeoPoint{39.9, 116.4}},
+	{"toronto", GeoPoint{43.7, -79.4}},
+	{"mexicocity", GeoPoint{19.4, -99.1}},
+	{"warsaw", GeoPoint{52.2, 21.0}},
+	{"madrid", GeoPoint{40.4, -3.7}},
+	{"cairo", GeoPoint{30.0, 31.2}},
+}
+
+// CityCount returns the number of placement cities.
+func CityCount() int { return len(cities) }
+
+// CityLocation returns the i-th city location (modulo the pool).
+func CityLocation(i int) GeoPoint { return cities[((i%len(cities))+len(cities))%len(cities)].loc }
+
+// letterModel drives one root letter's instance count over time.
+type letterModel struct {
+	letter   byte
+	start    int     // instances at 2015-03
+	perMonth float64 // baseline growth rate
+}
+
+// The baselines are tuned so the total tracks Figure 2: ~420 instances in
+// March 2015 growing to ~985 by May 2019, with b/g/h/m staying at six or
+// fewer instances and d/e/f/j/l exceeding one hundred.
+var letterModels = []letterModel{
+	{'a', 6, 0.10},
+	{'b', 4, 0.02},
+	{'c', 8, 0.10},
+	{'d', 60, 1.20},
+	{'e', 12, 0.50},
+	{'f', 57, 1.00},
+	{'g', 6, 0.00},
+	{'h', 2, 0.04},
+	{'i', 49, 0.70},
+	{'j', 80, 1.20},
+	{'k', 33, 0.50},
+	{'l', 100, 0.90},
+	{'m', 5, 0.02},
+}
+
+// jump is a documented step change in a letter's deployment.
+type jump struct {
+	letter byte
+	when   time.Time
+	delta  int
+}
+
+// The paper's §2.1 documented events.
+var jumps = []jump{
+	{'e', time.Date(2016, time.February, 1, 0, 0, 0, 0, time.UTC), 45},
+	{'f', time.Date(2017, time.May, 1, 0, 0, 0, 0, time.UTC), 81},
+	{'e', time.Date(2017, time.December, 1, 0, 0, 0, 0, time.UTC), 85},
+	{'f', time.Date(2017, time.December, 1, 0, 0, 0, 0, time.UTC), 43},
+}
+
+var modelStart = time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// monthsSince returns fractional months between two times.
+func monthsSince(from, to time.Time) float64 {
+	return to.Sub(from).Hours() / (24 * 30.44)
+}
+
+// InstanceCountForLetter returns the modeled instance count for one root
+// letter at a date.
+func InstanceCountForLetter(letter byte, at time.Time) int {
+	var m letterModel
+	for _, lm := range letterModels {
+		if lm.letter == letter {
+			m = lm
+			break
+		}
+	}
+	if m.letter == 0 {
+		return 0
+	}
+	months := monthsSince(modelStart, at)
+	if months < 0 {
+		months = 0
+	}
+	n := m.start + int(m.perMonth*months)
+	for _, j := range jumps {
+		if j.letter == letter && !at.Before(j.when) {
+			n += j.delta
+		}
+	}
+	return n
+}
+
+// InstanceCount returns the total modeled root instance count at a date —
+// the Figure 2 series.
+func InstanceCount(at time.Time) int {
+	total := 0
+	for _, lm := range letterModels {
+		total += InstanceCountForLetter(lm.letter, at)
+	}
+	return total
+}
+
+// Instance is one anycast replica of a root letter.
+type Instance struct {
+	Letter   byte
+	Index    int
+	Location GeoPoint
+}
+
+// Name returns a human-readable instance identifier.
+func (i Instance) Name() string {
+	return fmt.Sprintf("%c-root#%d", i.Letter, i.Index)
+}
+
+// Deployment returns every root instance at a date, deterministically
+// placed: each letter's instances spread across the city pool with
+// hash-driven jitter so catchments are stable across runs.
+func Deployment(at time.Time) []Instance {
+	var out []Instance
+	for _, lm := range letterModels {
+		n := InstanceCountForLetter(lm.letter, at)
+		for i := 0; i < n; i++ {
+			out = append(out, Instance{
+				Letter:   lm.letter,
+				Index:    i,
+				Location: placeInstance(lm.letter, i),
+			})
+		}
+	}
+	return out
+}
+
+func placeInstance(letter byte, i int) GeoPoint {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%c/%d", letter, i)
+	v := h.Sum64()
+	city := cities[v%uint64(len(cities))].loc
+	// Jitter within ~200 km so co-city instances are distinct.
+	return GeoPoint{
+		Lat: city.Lat + float64(int64(v>>8)%300-150)/100.0,
+		Lon: city.Lon + float64(int64(v>>16)%300-150)/100.0,
+	}
+}
+
+// Nearest returns the instance closest to from, which models anycast
+// catchment. It returns false if instances is empty.
+func Nearest(instances []Instance, from GeoPoint) (Instance, bool) {
+	if len(instances) == 0 {
+		return Instance{}, false
+	}
+	best := instances[0]
+	bestD := from.DistanceKm(best.Location)
+	for _, in := range instances[1:] {
+		if d := from.DistanceKm(in.Location); d < bestD {
+			best, bestD = in, d
+		}
+	}
+	return best, true
+}
+
+// NearestForLetter returns the closest instance of one letter.
+func NearestForLetter(instances []Instance, letter byte, from GeoPoint) (Instance, bool) {
+	var filtered []Instance
+	for _, in := range instances {
+		if in.Letter == letter {
+			filtered = append(filtered, in)
+		}
+	}
+	return Nearest(filtered, from)
+}
+
+// MedianRTTToLetter computes, for a set of client locations, the median
+// RTT to each client's nearest instance of a letter — the quantity the
+// anycast build-out is optimizing.
+func MedianRTTToLetter(instances []Instance, letter byte, clients []GeoPoint) time.Duration {
+	if len(clients) == 0 {
+		return 0
+	}
+	rtts := make([]time.Duration, 0, len(clients))
+	for _, c := range clients {
+		in, ok := NearestForLetter(instances, letter, c)
+		if !ok {
+			continue
+		}
+		rtts = append(rtts, RTT(c, in.Location))
+	}
+	if len(rtts) == 0 {
+		return 0
+	}
+	for i := 1; i < len(rtts); i++ {
+		for j := i; j > 0 && rtts[j] < rtts[j-1]; j-- {
+			rtts[j], rtts[j-1] = rtts[j-1], rtts[j]
+		}
+	}
+	return rtts[len(rtts)/2]
+}

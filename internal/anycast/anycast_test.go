@@ -1,0 +1,171 @@
+package anycast
+
+import (
+	"testing"
+	"time"
+)
+
+func d(y int, m time.Month, day int) time.Time {
+	return time.Date(y, m, day, 0, 0, 0, 0, time.UTC)
+}
+
+func TestInstanceCountShape(t *testing.T) {
+	start := InstanceCount(d(2015, time.March, 15))
+	if start < 380 || start > 480 {
+		t.Errorf("2015-03 total = %d, want ~420", start)
+	}
+	may2019 := InstanceCount(d(2019, time.May, 15))
+	if may2019 < 940 || may2019 > 1040 {
+		t.Errorf("2019-05 total = %d, want ~985", may2019)
+	}
+	// Count must never decrease month over month.
+	prev := 0
+	for at := d(2015, time.March, 15); at.Before(d(2019, time.August, 1)); at = at.AddDate(0, 1, 0) {
+		n := InstanceCount(at)
+		if n < prev {
+			t.Errorf("count decreased at %s: %d < %d", at.Format("2006-01"), n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestDocumentedJumps(t *testing.T) {
+	cases := []struct {
+		letter   byte
+		before   time.Time
+		after    time.Time
+		minDelta int
+	}{
+		{'e', d(2016, time.January, 15), d(2016, time.February, 15), 45},
+		{'f', d(2017, time.April, 15), d(2017, time.May, 15), 81},
+		{'e', d(2017, time.November, 15), d(2017, time.December, 15), 85},
+		{'f', d(2017, time.November, 15), d(2017, time.December, 15), 43},
+	}
+	for _, c := range cases {
+		b := InstanceCountForLetter(c.letter, c.before)
+		a := InstanceCountForLetter(c.letter, c.after)
+		if a-b < c.minDelta {
+			t.Errorf("%c-root jump %s: %d -> %d, want +>=%d",
+				c.letter, c.after.Format("2006-01"), b, a, c.minDelta)
+		}
+	}
+}
+
+func TestSmallLettersStaySmall(t *testing.T) {
+	at := d(2019, time.May, 15)
+	for _, letter := range []byte{'b', 'g', 'h', 'm'} {
+		if n := InstanceCountForLetter(letter, at); n > 6 {
+			t.Errorf("%c-root = %d instances, paper says at most 6", letter, n)
+		}
+	}
+	for _, letter := range []byte{'d', 'e', 'f', 'j', 'l'} {
+		if n := InstanceCountForLetter(letter, at); n <= 100 {
+			t.Errorf("%c-root = %d instances, paper says over 100", letter, n)
+		}
+	}
+}
+
+func TestDeploymentMatchesCounts(t *testing.T) {
+	at := d(2018, time.April, 11)
+	dep := Deployment(at)
+	if len(dep) != InstanceCount(at) {
+		t.Errorf("deployment size %d != count %d", len(dep), InstanceCount(at))
+	}
+	perLetter := make(map[byte]int)
+	for _, in := range dep {
+		perLetter[in.Letter]++
+	}
+	if perLetter['j'] != InstanceCountForLetter('j', at) {
+		t.Errorf("j-root deployment %d != model %d", perLetter['j'], InstanceCountForLetter('j', at))
+	}
+	// j-root had ~160 replicas at DITL 2018.
+	if perLetter['j'] < 120 || perLetter['j'] > 200 {
+		t.Errorf("j-root at DITL 2018 = %d, want ~160", perLetter['j'])
+	}
+}
+
+func TestDeploymentDeterministic(t *testing.T) {
+	a := Deployment(d(2019, time.January, 1))
+	b := Deployment(d(2019, time.January, 1))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instance %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDistanceAndRTT(t *testing.T) {
+	london := GeoPoint{51.5, -0.1}
+	nyc := GeoPoint{40.7, -74.0}
+	dKm := london.DistanceKm(nyc)
+	if dKm < 5300 || dKm > 5800 {
+		t.Errorf("London-NYC = %.0f km, want ~5570", dKm)
+	}
+	if got := london.DistanceKm(london); got > 0.001 {
+		t.Errorf("self distance = %f", got)
+	}
+	rtt := RTT(london, nyc)
+	if rtt < 50*time.Millisecond || rtt > 250*time.Millisecond {
+		t.Errorf("London-NYC RTT = %v, want transatlantic scale", rtt)
+	}
+	// Symmetry.
+	if RTT(london, nyc) != RTT(nyc, london) {
+		t.Error("RTT not symmetric")
+	}
+	// Local RTT is small but nonzero.
+	local := RTT(london, GeoPoint{51.6, 0.0})
+	if local < time.Millisecond || local > 10*time.Millisecond {
+		t.Errorf("local RTT = %v", local)
+	}
+}
+
+func TestNearestCatchment(t *testing.T) {
+	at := d(2019, time.January, 1)
+	dep := Deployment(at)
+	tokyo := GeoPoint{35.7, 139.7}
+	in, ok := Nearest(dep, tokyo)
+	if !ok {
+		t.Fatal("no instances")
+	}
+	if tokyo.DistanceKm(in.Location) > 3000 {
+		t.Errorf("nearest instance to Tokyo is %.0f km away (%s)",
+			tokyo.DistanceKm(in.Location), in.Name())
+	}
+	if _, ok := Nearest(nil, tokyo); ok {
+		t.Error("empty deployment should return false")
+	}
+}
+
+func TestAnycastExpansionReducesRTT(t *testing.T) {
+	// The point of the build-out: median RTT to a letter's nearest
+	// instance should not increase as instances are added.
+	clients := make([]GeoPoint, 0, CityCount())
+	for i := 0; i < CityCount(); i++ {
+		clients = append(clients, CityLocation(i))
+	}
+	early := Deployment(d(2015, time.April, 1))
+	late := Deployment(d(2019, time.April, 1))
+	for _, letter := range []byte{'e', 'f', 'j'} {
+		rttEarly := MedianRTTToLetter(early, letter, clients)
+		rttLate := MedianRTTToLetter(late, letter, clients)
+		if rttLate > rttEarly {
+			t.Errorf("%c-root median RTT grew with deployment: %v -> %v",
+				letter, rttEarly, rttLate)
+		}
+	}
+}
+
+func TestNearestForLetter(t *testing.T) {
+	dep := Deployment(d(2018, time.April, 11))
+	sydney := GeoPoint{-33.9, 151.2}
+	inJ, ok := NearestForLetter(dep, 'j', sydney)
+	if !ok || inJ.Letter != 'j' {
+		t.Fatalf("NearestForLetter j: %+v ok=%v", inJ, ok)
+	}
+	if _, ok := NearestForLetter(dep, 'z', sydney); ok {
+		t.Error("unknown letter should return false")
+	}
+}

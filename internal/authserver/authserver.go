@@ -1,0 +1,202 @@
+// Package authserver implements an authoritative DNS server over a zone:
+// the referral/answer/NXDOMAIN logic of RFC 1034 §4.3.2, response-size
+// truncation, and statistics. The same engine serves three transports:
+// the netsim simulated network (experiments), real UDP sockets, and real
+// TCP with AXFR zone transfer (one of the paper's §3 distribution paths).
+package authserver
+
+import (
+	"net/netip"
+	"sync"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// Stats counts server activity, broken down the way the paper's root
+// traffic analysis needs.
+type Stats struct {
+	Queries   int64
+	Answers   int64
+	Referrals int64
+	NXDomain  int64
+	NoData    int64
+	Refused   int64
+	FormErr   int64
+	Truncated int64
+	AXFRs     int64
+	IXFRs     int64
+}
+
+// Server answers queries for one zone. The zone may be swapped atomically
+// while serving (SetZone), which is how a local root instance refreshes.
+type Server struct {
+	mu      sync.RWMutex
+	zone    *zone.Zone
+	stats   Stats
+	journal *ixfrJournal // non-nil once EnableIXFR is called
+	// secondaries receive a NOTIFY on every zone change.
+	secondaries []string
+}
+
+// New creates a server for z.
+func New(z *zone.Zone) *Server {
+	return &Server{zone: z}
+}
+
+// Zone returns the currently served zone.
+func (s *Server) Zone() *zone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.zone
+}
+
+// SetZone atomically replaces the served zone. With IXFR enabled the
+// version is journaled for incremental transfer service.
+func (s *Server) SetZone(z *zone.Zone) {
+	s.mu.Lock()
+	s.zone = z
+	s.mu.Unlock()
+	s.recordVersion(z)
+	s.notifySecondaries(z)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+func (s *Server) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Handle implements netsim.Handler: it answers one query message.
+func (s *Server) Handle(q *dnswire.Message, _ netip.Addr) *dnswire.Message {
+	s.count(func(st *Stats) { st.Queries++ })
+
+	resp := &dnswire.Message{
+		ID:               q.ID,
+		Response:         true,
+		Opcode:           q.Opcode,
+		RecursionDesired: q.RecursionDesired,
+		Questions:        q.Questions,
+	}
+	if q.Opcode != dnswire.OpcodeQuery || len(q.Questions) != 1 {
+		s.count(func(st *Stats) { st.FormErr++ })
+		resp.Rcode = dnswire.RcodeFormat
+		if q.Opcode != dnswire.OpcodeQuery {
+			resp.Rcode = dnswire.RcodeNotImpl
+		}
+		return resp
+	}
+	question := q.Questions[0]
+	if question.Class != dnswire.ClassINET ||
+		question.Type == dnswire.TypeAXFR || question.Type == dnswire.TypeIXFR {
+		s.count(func(st *Stats) { st.Refused++ })
+		resp.Rcode = dnswire.RcodeRefused
+		return resp
+	}
+
+	ans := s.Zone().Query(question.Name, question.Type)
+	resp.Rcode = ans.Rcode
+	resp.Authoritative = ans.Authoritative
+	resp.Answers = ans.Answer
+	resp.Authority = ans.Authority
+	resp.Additional = ans.Additional
+
+	switch {
+	case ans.Rcode == dnswire.RcodeRefused:
+		s.count(func(st *Stats) { st.Refused++ })
+	case ans.Rcode == dnswire.RcodeNXDomain:
+		s.count(func(st *Stats) { st.NXDomain++ })
+	case len(ans.Answer) > 0:
+		s.count(func(st *Stats) { st.Answers++ })
+	case !ans.Authoritative && len(ans.Authority) > 0:
+		s.count(func(st *Stats) { st.Referrals++ })
+	default:
+		s.count(func(st *Stats) { st.NoData++ })
+	}
+
+	// Echo EDNS: advertise our own buffer size and respect the client's
+	// for truncation purposes. With the DO bit set, attach DNSSEC proof
+	// material (RRSIGs and NSEC denial records) from the signed zone.
+	limit := dnswire.MaxUDPSize
+	if _, size, do := q.EDNS(); size > 0 {
+		if int(size) > limit {
+			limit = int(size)
+		}
+		if do {
+			s.addDNSSEC(resp, question)
+		}
+		resp.SetEDNS(dnswire.DefaultEDNSSize, do)
+	}
+	truncateTo(resp, limit)
+	if resp.Truncated {
+		s.count(func(st *Stats) { st.Truncated++ })
+	}
+	return resp
+}
+
+// truncateTo marks the message truncated and drops records until the
+// packed size fits limit. Additional goes first, then authority, then
+// answers, per common server practice.
+func truncateTo(m *dnswire.Message, limit int) {
+	for {
+		wire, err := m.Pack()
+		if err != nil || len(wire) <= limit {
+			return
+		}
+		m.Truncated = true
+		switch {
+		case len(m.Additional) > 0:
+			m.Additional = m.Additional[:len(m.Additional)-1]
+		case len(m.Authority) > 0:
+			m.Authority = m.Authority[:len(m.Authority)-1]
+		case len(m.Answers) > 0:
+			m.Answers = m.Answers[:len(m.Answers)-1]
+		default:
+			return
+		}
+	}
+}
+
+// addDNSSEC augments a response with signatures and denial proofs when
+// the client signalled DNSSEC awareness (DO). Unsigned zones yield no
+// extra records.
+func (s *Server) addDNSSEC(resp *dnswire.Message, question dnswire.Question) {
+	z := s.Zone()
+
+	// Signatures covering each RRset already in the message.
+	signFor := func(section []dnswire.RR) []dnswire.RR {
+		keys, _ := dnswire.GroupRRsets(section)
+		var sigs []dnswire.RR
+		for _, k := range keys {
+			if k.Type == dnswire.TypeRRSIG {
+				continue
+			}
+			sigs = append(sigs, z.SignaturesFor(k.Name, k.Type)...)
+		}
+		return sigs
+	}
+	resp.Answers = append(resp.Answers, signFor(resp.Answers)...)
+	resp.Authority = append(resp.Authority, signFor(resp.Authority)...)
+
+	// Denial proofs: NXDOMAIN needs the covering NSEC; NODATA and
+	// unsigned-delegation referrals need the NSEC at the closest signed
+	// name (proving the type, or the DS, does not exist).
+	needDenial := resp.Rcode == dnswire.RcodeNXDomain ||
+		(resp.Rcode == dnswire.RcodeSuccess && len(resp.Answers) == 0)
+	if !needDenial {
+		return
+	}
+	nsec, ok := z.NSECCovering(question.Name)
+	if !ok {
+		return
+	}
+	resp.Authority = append(resp.Authority, nsec)
+	resp.Authority = append(resp.Authority, z.SignaturesFor(nsec.Name, dnswire.TypeNSEC)...)
+}

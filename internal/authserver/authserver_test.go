@@ -1,0 +1,233 @@
+package authserver
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+const testZoneSrc = `
+$ORIGIN .
+. 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. 2019041100 1800 900 604800 86400
+. 518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+com. 172800 IN NS b.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+b.gtld-servers.net. 172800 IN A 192.33.14.30
+org. 172800 IN NS a0.org.afilias-nst.info.
+`
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	z, err := zone.Parse(strings.NewReader(testZoneSrc), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(z)
+}
+
+func query(name dnswire.Name, typ dnswire.Type) *dnswire.Message {
+	q := dnswire.NewQuery(42, name, typ)
+	q.SetEDNS(dnswire.DefaultEDNSSize, false)
+	return q
+}
+
+func TestHandleReferral(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("www.example.com.", dnswire.TypeA), netip.Addr{})
+	if resp.Rcode != dnswire.RcodeSuccess || resp.Authoritative {
+		t.Fatalf("rcode=%v aa=%v", resp.Rcode, resp.Authoritative)
+	}
+	if len(resp.Answers) != 0 || len(resp.Authority) != 2 || len(resp.Additional) < 2 {
+		t.Fatalf("sections: an=%d ns=%d ar=%d", len(resp.Answers), len(resp.Authority), len(resp.Additional))
+	}
+	if resp.ID != 42 {
+		t.Error("ID not echoed")
+	}
+	if s.Stats().Referrals != 1 {
+		t.Errorf("stats: %+v", s.Stats())
+	}
+}
+
+func TestHandleNXDomain(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query("foo.bogustld.", dnswire.TypeA), netip.Addr{})
+	if resp.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("rcode = %v", resp.Rcode)
+	}
+	if s.Stats().NXDomain != 1 {
+		t.Errorf("stats: %+v", s.Stats())
+	}
+}
+
+func TestHandleApexAnswer(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query(dnswire.Root, dnswire.TypeNS), netip.Addr{})
+	if !resp.Authoritative || len(resp.Answers) != 1 {
+		t.Fatalf("apex NS: %+v", resp)
+	}
+	if s.Stats().Answers != 1 {
+		t.Errorf("stats: %+v", s.Stats())
+	}
+}
+
+func TestHandleFormErrAndNotImpl(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(&dnswire.Message{ID: 1}, netip.Addr{})
+	if resp.Rcode != dnswire.RcodeFormat {
+		t.Errorf("no question: %v", resp.Rcode)
+	}
+	m := query("example.com.", dnswire.TypeA)
+	m.Opcode = dnswire.OpcodeUpdate
+	resp = s.Handle(m, netip.Addr{})
+	if resp.Rcode != dnswire.RcodeNotImpl {
+		t.Errorf("update opcode: %v", resp.Rcode)
+	}
+}
+
+func TestHandleRefusesAXFROverUDP(t *testing.T) {
+	s := testServer(t)
+	resp := s.Handle(query(dnswire.Root, dnswire.TypeAXFR), netip.Addr{})
+	if resp.Rcode != dnswire.RcodeRefused {
+		t.Errorf("AXFR over UDP: %v", resp.Rcode)
+	}
+}
+
+func TestTruncationWithoutEDNS(t *testing.T) {
+	// Build a zone with a fat RRset that cannot fit in 512 bytes.
+	z := zone.New(dnswire.Root)
+	_ = z.Add(dnswire.NewRR(dnswire.Root, 86400, dnswire.SOA{MName: "m.", RName: "r.", Serial: 1, Minimum: 60}))
+	for i := 0; i < 40; i++ {
+		_ = z.Add(dnswire.NewRR("fat.example.", 60,
+			dnswire.TXT{Strings: []string{strings.Repeat("x", 100) + string(rune('a'+i%26))}}))
+	}
+	// Many TXT strings at one name are one RRset of 40 records.
+	s := New(z)
+	q := dnswire.NewQuery(7, "fat.example.", dnswire.TypeTXT) // no EDNS: 512 limit
+	resp := s.Handle(q, netip.Addr{})
+	wire, err := resp.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) > 512 {
+		t.Errorf("response %d bytes exceeds 512", len(wire))
+	}
+	if !resp.Truncated {
+		t.Error("TC bit not set")
+	}
+	if s.Stats().Truncated != 1 {
+		t.Errorf("stats: %+v", s.Stats())
+	}
+}
+
+func TestSetZoneSwap(t *testing.T) {
+	s := testServer(t)
+	z2 := zone.New(dnswire.Root)
+	_ = z2.Add(dnswire.NewRR(dnswire.Root, 86400, dnswire.SOA{MName: "m.", RName: "r.", Serial: 99, Minimum: 60}))
+	s.SetZone(z2)
+	if s.Zone().Serial() != 99 {
+		t.Error("zone swap failed")
+	}
+}
+
+func TestServeUDPRealSocket(t *testing.T) {
+	s := testServer(t)
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.ServeUDP(ctx, conn) }()
+
+	client, err := net.Dial("udp", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	wire, _ := query("www.example.com.", dnswire.TypeA).Pack()
+	if _, err := client.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 65536)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp dnswire.Message
+	if err := resp.Unpack(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Authority) != 2 {
+		t.Errorf("UDP referral authority = %d", len(resp.Authority))
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("ServeUDP: %v", err)
+	}
+}
+
+func TestServeTCPAndAXFR(t *testing.T) {
+	s := testServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.ServeTCP(ctx, l) }()
+
+	// Plain query over TCP.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTCPMessage(conn, query("www.example.org.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadTCPMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Authority) != 1 {
+		t.Errorf("TCP referral authority = %d", len(resp.Authority))
+	}
+	conn.Close()
+
+	// Full zone transfer.
+	tctx, tcancel := context.WithTimeout(ctx, 5*time.Second)
+	defer tcancel()
+	got, err := AXFR(tctx, l.Addr().String(), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Zone().Len() {
+		t.Errorf("AXFR transferred %d records, want %d", got.Len(), s.Zone().Len())
+	}
+	if got.Serial() != 2019041100 {
+		t.Errorf("AXFR serial = %d", got.Serial())
+	}
+	if s.Stats().AXFRs != 1 {
+		t.Errorf("stats: %+v", s.Stats())
+	}
+
+	// AXFR for a zone we are not authoritative for must fail.
+	if _, err := AXFR(tctx, l.Addr().String(), "com."); err == nil {
+		t.Error("foreign-origin AXFR should fail")
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("ServeTCP: %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package authserver
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// TestNotifyDrivenReplication exercises the full RFC 1996 loop over real
+// sockets: primary publishes, pushes NOTIFY, the secondary acknowledges
+// and IXFRs the delta — no polling anywhere.
+func TestNotifyDrivenReplication(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Primary: TCP for transfers, IXFR journal on.
+	primary := New(zoneV(t, 1, "alpha"))
+	primary.EnableIXFR(8)
+	tl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = primary.ServeTCP(ctx, tl) }()
+
+	// Secondary: bootstrap AXFR, then listen for NOTIFY on UDP.
+	bctx, bcancel := context.WithTimeout(ctx, 5*time.Second)
+	defer bcancel()
+	sec, err := NewSecondary(bctx, dnswire.Root, tl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Zone().Serial() != 1 {
+		t.Fatalf("bootstrap serial = %d", sec.Zone().Serial())
+	}
+	notifyConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = sec.ServeNotify(ctx, notifyConn) }()
+
+	got := make(chan uint32, 8)
+	sec.OnUpdate(func(z *zone.Zone) { got <- z.Serial() })
+
+	primary.AddSecondary(notifyConn.LocalAddr().String())
+
+	// Publish a new serial: the secondary should converge with no poll.
+	primary.SetZone(zoneV(t, 2, "alpha", "beta"))
+	select {
+	case serial := <-got:
+		if serial != 2 {
+			t.Fatalf("converged to %d", serial)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("secondary did not converge after NOTIFY")
+	}
+	if !reflect.DeepEqual(recordsOf(sec.Zone()), recordsOf(primary.Zone())) {
+		t.Fatal("replica differs from primary")
+	}
+	transfers, notifies, lastErr := sec.Stats()
+	if transfers < 1 || notifies != 1 || lastErr != nil {
+		t.Errorf("stats: transfers=%d notifies=%d err=%v", transfers, notifies, lastErr)
+	}
+
+	// A second publish converges too.
+	primary.SetZone(zoneV(t, 3, "beta", "gamma"))
+	select {
+	case serial := <-got:
+		if serial != 3 {
+			t.Fatalf("converged to %d", serial)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("secondary missed the second NOTIFY")
+	}
+}
+
+func TestSecondaryManualRefresh(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	primary := New(zoneV(t, 1, "alpha"))
+	primary.EnableIXFR(8)
+	tl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = primary.ServeTCP(ctx, tl) }()
+
+	sec, err := NewSecondary(ctx, dnswire.Root, tl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refresh with nothing new is a no-op success.
+	if err := sec.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sec.Zone().Serial() != 1 {
+		t.Error("serial drifted")
+	}
+	primary.SetZone(zoneV(t, 2, "alpha", "beta"))
+	if err := sec.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sec.Zone().Serial() != 2 {
+		t.Errorf("serial = %d after refresh", sec.Zone().Serial())
+	}
+}
+
+func TestSecondaryBootstrapFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := NewSecondary(ctx, dnswire.Root, "127.0.0.1:1"); err == nil {
+		t.Fatal("bootstrap from a dead primary succeeded")
+	}
+}

@@ -1,0 +1,240 @@
+package authserver
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// ServeUDP answers queries on conn until the connection is closed or ctx
+// is cancelled. Malformed packets are dropped silently, as real servers do.
+func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		var q dnswire.Message
+		if err := q.Unpack(buf[:n]); err != nil {
+			continue
+		}
+		resp := s.Handle(&q, addrFrom(addr))
+		wire, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		_, _ = conn.WriteTo(wire, addr)
+	}
+}
+
+// ServeTCP accepts DNS-over-TCP connections (RFC 1035 §4.2.2 two-byte
+// length framing) on l. AXFR questions stream the whole zone.
+func (s *Server) ServeTCP(ctx context.Context, l net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveTCPConn(conn)
+	}
+}
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		q, err := ReadTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		if len(q.Questions) == 1 && q.Questions[0].Type == dnswire.TypeAXFR {
+			s.count(func(st *Stats) { st.AXFRs++; st.Queries++ })
+			if err := s.streamAXFR(conn, q); err != nil {
+				return
+			}
+			continue
+		}
+		if len(q.Questions) == 1 && q.Questions[0].Type == dnswire.TypeIXFR {
+			s.count(func(st *Stats) { st.IXFRs++; st.Queries++ })
+			if err := s.streamIXFR(conn, q); err != nil {
+				return
+			}
+			continue
+		}
+		resp := s.Handle(q, netip.Addr{})
+		resp.Truncated = false // no truncation over TCP
+		if err := WriteTCPMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// streamAXFR sends the zone as a record stream bracketed by the SOA.
+func (s *Server) streamAXFR(w io.Writer, q *dnswire.Message) error {
+	z := s.Zone()
+	if q.Questions[0].Name != z.Origin {
+		resp := &dnswire.Message{ID: q.ID, Response: true, Rcode: dnswire.RcodeNotAuth,
+			Questions: q.Questions}
+		return WriteTCPMessage(w, resp)
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		resp := &dnswire.Message{ID: q.ID, Response: true, Rcode: dnswire.RcodeServFail,
+			Questions: q.Questions}
+		return WriteTCPMessage(w, resp)
+	}
+	records := z.Records()
+	// Batch records into messages of ~100 RRs, SOA first and last.
+	const batch = 100
+	var out []dnswire.RR
+	out = append(out, soa)
+	flush := func(final bool) error {
+		if final {
+			out = append(out, soa)
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		m := &dnswire.Message{ID: q.ID, Response: true, Authoritative: true,
+			Questions: q.Questions, Answers: out}
+		out = nil
+		return WriteTCPMessage(w, m)
+	}
+	for _, rr := range records {
+		if rr.Type == dnswire.TypeSOA && rr.Name == z.Origin {
+			continue
+		}
+		out = append(out, rr)
+		if len(out) >= batch {
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+	}
+	return flush(true)
+}
+
+// ReadTCPMessage reads one length-framed DNS message.
+func ReadTCPMessage(r io.Reader) (*dnswire.Message, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var m dnswire.Message
+	if err := m.Unpack(buf); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WriteTCPMessage writes one length-framed DNS message.
+func WriteTCPMessage(w io.Writer, m *dnswire.Message) error {
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	if len(wire) > 0xFFFF {
+		return errors.New("authserver: message exceeds TCP frame limit")
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(wire)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// AXFR fetches a zone over TCP from addr ("host:port").
+func AXFR(ctx context.Context, addr string, origin dnswire.Name) (*zone.Zone, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+
+	q := &dnswire.Message{
+		ID:        1,
+		Opcode:    dnswire.OpcodeQuery,
+		Questions: []dnswire.Question{{Name: origin, Type: dnswire.TypeAXFR, Class: dnswire.ClassINET}},
+	}
+	if err := WriteTCPMessage(conn, q); err != nil {
+		return nil, err
+	}
+
+	z := zone.New(origin)
+	soaSeen := 0
+	for soaSeen < 2 {
+		m, err := ReadTCPMessage(conn)
+		if err != nil {
+			return nil, fmt.Errorf("authserver: AXFR stream: %w", err)
+		}
+		if m.Rcode != dnswire.RcodeSuccess {
+			return nil, fmt.Errorf("authserver: AXFR refused: %s", m.Rcode)
+		}
+		if len(m.Answers) == 0 {
+			return nil, errors.New("authserver: empty AXFR message")
+		}
+		for _, rr := range m.Answers {
+			if rr.Type == dnswire.TypeSOA && rr.Name == origin {
+				soaSeen++
+				if soaSeen == 2 {
+					break
+				}
+			}
+			if err := z.Add(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return z, nil
+}
+
+func addrFrom(a net.Addr) netip.Addr {
+	if ap, err := netip.ParseAddrPort(a.String()); err == nil {
+		return ap.Addr()
+	}
+	return netip.Addr{}
+}
+
+// dialTCP opens a TCP connection with a sane deadline for transfers.
+func dialTCP(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
+	return conn, nil
+}

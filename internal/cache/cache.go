@@ -1,0 +1,290 @@
+// Package cache implements the recursive resolver's record cache:
+// TTL-honouring, LRU-evicting, with negative caching (RFC 2308) and the
+// hit/occupancy statistics the paper's §5.1 cache analysis needs.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	NegativeHits int64
+	Evictions    int64
+	Expired      int64
+	Inserts      int64
+}
+
+// HitRate returns hits/(hits+misses), 0 when empty.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached RRset (or negative answer).
+type entry struct {
+	key      dnswire.RRsetKey
+	rrs      []dnswire.RR // nil for negative entries
+	negative bool
+	soa      *dnswire.RR // negative entries carry the SOA for the response
+	expires  time.Time
+	pinned   bool // pinned entries (preloaded root zone) resist eviction
+	elem     *list.Element
+}
+
+// Cache is a TTL+LRU RRset cache. The zero value is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int // max RRsets; 0 means unlimited
+	now      func() time.Time
+	entries  map[dnswire.RRsetKey]*entry
+	lru      *list.List // front = most recent
+	stats    Stats
+}
+
+// New creates a cache holding at most capacity RRsets (0 = unlimited),
+// reading time from now (nil = time.Now).
+func New(capacity int, now func() time.Time) *Cache {
+	if now == nil {
+		now = time.Now
+	}
+	return &Cache{
+		capacity: capacity,
+		now:      now,
+		entries:  make(map[dnswire.RRsetKey]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Put caches an RRset. The TTL is the minimum TTL across the set.
+// Pinned entries are not evicted by LRU pressure and are the mechanism
+// behind the paper's "preload the root zone into the cache" mode.
+func (c *Cache) Put(rrs []dnswire.RR, pinned bool) {
+	if len(rrs) == 0 {
+		return
+	}
+	key := rrs[0].Key()
+	minTTL := rrs[0].TTL
+	for _, rr := range rrs[1:] {
+		if rr.TTL < minTTL {
+			minTTL = rr.TTL
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(&entry{
+		key:     key,
+		rrs:     append([]dnswire.RR(nil), rrs...),
+		expires: c.now().Add(time.Duration(minTTL) * time.Second),
+		pinned:  pinned,
+	})
+}
+
+// PutNegative caches a negative answer (NXDOMAIN or NODATA) for (name,
+// type), using the SOA minimum TTL per RFC 2308.
+func (c *Cache) PutNegative(name dnswire.Name, typ dnswire.Type, soa dnswire.RR) {
+	ttl := soa.TTL
+	if data, ok := soa.Data.(dnswire.SOA); ok && data.Minimum < ttl {
+		ttl = data.Minimum
+	}
+	soaCopy := soa
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(&entry{
+		key:      dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET},
+		negative: true,
+		soa:      &soaCopy,
+		expires:  c.now().Add(time.Duration(ttl) * time.Second),
+	})
+}
+
+func (c *Cache) insert(e *entry) {
+	c.stats.Inserts++
+	if old, ok := c.entries[e.key]; ok {
+		if old.elem != nil {
+			c.lru.Remove(old.elem)
+		}
+		delete(c.entries, e.key)
+	}
+	// Pinned entries never participate in LRU eviction, so they stay off
+	// the list entirely — evictions then run in O(1) regardless of how
+	// much of the root zone is preloaded.
+	if !e.pinned {
+		e.elem = c.lru.PushFront(e)
+	}
+	c.entries[e.key] = e
+	if c.capacity > 0 {
+		for len(c.entries) > c.capacity {
+			if !c.evictOne() {
+				break
+			}
+		}
+	}
+}
+
+// evictOne removes the least recently used unpinned entry.
+func (c *Cache) evictOne() bool {
+	el := c.lru.Back()
+	if el == nil {
+		return false
+	}
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.stats.Evictions++
+	return true
+}
+
+// Result is the outcome of a cache lookup.
+type Result struct {
+	RRs      []dnswire.RR
+	Negative bool
+	SOA      *dnswire.RR
+}
+
+// Get returns the live cached RRset for (name, type). TTLs in the returned
+// records are decayed to the remaining lifetime.
+func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) (Result, bool) {
+	key := dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return Result{}, false
+	}
+	now := c.now()
+	if !e.expires.After(now) {
+		// Expired entries stay resident (until swept or evicted) so the
+		// serve-stale path (RFC 8767) can fall back to them; a normal
+		// Get never returns them.
+		c.stats.Expired++
+		c.stats.Misses++
+		return Result{}, false
+	}
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	if e.negative {
+		c.stats.NegativeHits++
+		c.stats.Hits++
+		return Result{Negative: true, SOA: e.soa}, true
+	}
+	c.stats.Hits++
+	remaining := uint32(e.expires.Sub(now) / time.Second)
+	out := make([]dnswire.RR, len(e.rrs))
+	copy(out, e.rrs)
+	for i := range out {
+		if out[i].TTL > remaining {
+			out[i].TTL = remaining
+		}
+	}
+	return Result{RRs: out}, true
+}
+
+// GetStale returns a cached RRset even if its TTL has run out, for
+// serve-stale operation (RFC 8767). Returned records carry the stale TTL
+// (30 s, per the RFC's recommendation) when expired. The staleLimit
+// bounds how long past expiry an entry may still be served.
+func (c *Cache) GetStale(name dnswire.Name, typ dnswire.Type, staleLimit time.Duration) (Result, bool) {
+	key := dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.negative {
+		return Result{}, false
+	}
+	now := c.now()
+	if staleLimit > 0 && now.Sub(e.expires) > staleLimit {
+		return Result{}, false
+	}
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	out := make([]dnswire.RR, len(e.rrs))
+	copy(out, e.rrs)
+	const staleTTL = 30
+	for i := range out {
+		if remaining := e.expires.Sub(now); remaining > 0 {
+			if out[i].TTL > uint32(remaining/time.Second) {
+				out[i].TTL = uint32(remaining / time.Second)
+			}
+		} else {
+			out[i].TTL = staleTTL
+		}
+	}
+	return Result{RRs: out}, true
+}
+
+// Peek reports whether a live entry exists without touching LRU order or
+// statistics.
+func (c *Cache) Peek(name dnswire.Name, typ dnswire.Type) bool {
+	key := dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.expires.After(c.now())
+}
+
+// Len returns the number of cached RRsets (including expired-but-unswept).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// PinnedLen returns the number of pinned RRsets.
+func (c *Cache) PinnedLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		if e.pinned {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Flush removes every entry (pinned included) and resets nothing else.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[dnswire.RRsetKey]*entry)
+	c.lru.Init()
+}
+
+// Sweep removes expired entries proactively and returns how many.
+func (c *Cache) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	removed := 0
+	for key, e := range c.entries {
+		if !e.expires.After(now) {
+			if e.elem != nil {
+				c.lru.Remove(e.elem)
+			}
+			delete(c.entries, key)
+			c.stats.Expired++
+			removed++
+		}
+	}
+	return removed
+}

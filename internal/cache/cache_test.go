@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// fakeClock is an adjustable time source.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1555000000, 0)} }
+func aRR(name string, ttl uint32, ip string) dnswire.RR {
+	return dnswire.NewRR(dnswire.Name(name), ttl, dnswire.A{Addr: netip.MustParseAddr(ip)})
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	if _, ok := c.Get("a.example.", dnswire.TypeA); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.1")}, false)
+	res, ok := c.Get("a.example.", dnswire.TypeA)
+	if !ok || len(res.RRs) != 1 {
+		t.Fatal("expected hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v", got)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.1")}, false)
+	clk.advance(299 * time.Second)
+	res, ok := c.Get("a.example.", dnswire.TypeA)
+	if !ok {
+		t.Fatal("should still be live at 299s")
+	}
+	if res.RRs[0].TTL != 1 {
+		t.Errorf("decayed TTL = %d, want 1", res.RRs[0].TTL)
+	}
+	clk.advance(2 * time.Second)
+	if _, ok := c.Get("a.example.", dnswire.TypeA); ok {
+		t.Fatal("should be expired at 301s")
+	}
+	if c.Stats().Expired != 1 {
+		t.Errorf("expired = %d", c.Stats().Expired)
+	}
+}
+
+func TestCacheMinTTLOfSet(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	c.Put([]dnswire.RR{
+		aRR("a.example.", 300, "192.0.2.1"),
+		aRR("a.example.", 60, "192.0.2.2"),
+	}, false)
+	clk.advance(61 * time.Second)
+	if _, ok := c.Get("a.example.", dnswire.TypeA); ok {
+		t.Fatal("set should expire at min TTL")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	clk := newClock()
+	c := New(3, clk.now)
+	for i := 0; i < 3; i++ {
+		c.Put([]dnswire.RR{aRR(fmt.Sprintf("n%d.example.", i), 300, "192.0.2.1")}, false)
+	}
+	// Touch n0 so n1 becomes LRU.
+	if _, ok := c.Get("n0.example.", dnswire.TypeA); !ok {
+		t.Fatal("n0 missing")
+	}
+	c.Put([]dnswire.RR{aRR("n3.example.", 300, "192.0.2.1")}, false)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if c.Peek("n1.example.", dnswire.TypeA) {
+		t.Error("n1 should have been evicted")
+	}
+	if !c.Peek("n0.example.", dnswire.TypeA) || !c.Peek("n3.example.", dnswire.TypeA) {
+		t.Error("wrong entry evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestCachePinnedResistEviction(t *testing.T) {
+	clk := newClock()
+	c := New(2, clk.now)
+	c.Put([]dnswire.RR{aRR("pinned.example.", 300, "192.0.2.1")}, true)
+	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.1")}, false)
+	c.Put([]dnswire.RR{aRR("b.example.", 300, "192.0.2.1")}, false)
+	if !c.Peek("pinned.example.", dnswire.TypeA) {
+		t.Error("pinned entry evicted")
+	}
+	if c.PinnedLen() != 1 {
+		t.Errorf("pinned len = %d", c.PinnedLen())
+	}
+	// A cache of only pinned entries may exceed capacity rather than
+	// evict pinned data.
+	c2 := New(1, clk.now)
+	c2.Put([]dnswire.RR{aRR("p1.example.", 300, "192.0.2.1")}, true)
+	c2.Put([]dnswire.RR{aRR("p2.example.", 300, "192.0.2.1")}, true)
+	if c2.Len() != 2 {
+		t.Errorf("pinned overflow len = %d, want 2", c2.Len())
+	}
+}
+
+func TestCacheNegative(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	soa := dnswire.NewRR(".", 86400, dnswire.SOA{MName: "m.", RName: "r.", Serial: 1, Minimum: 60})
+	c.PutNegative("nope.example.", dnswire.TypeA, soa)
+	res, ok := c.Get("nope.example.", dnswire.TypeA)
+	if !ok || !res.Negative || res.SOA == nil {
+		t.Fatalf("negative entry: %+v ok=%v", res, ok)
+	}
+	if c.Stats().NegativeHits != 1 {
+		t.Error("negative hit not counted")
+	}
+	// Negative TTL uses SOA minimum (60), not SOA TTL (86400).
+	clk.advance(61 * time.Second)
+	if _, ok := c.Get("nope.example.", dnswire.TypeA); ok {
+		t.Error("negative entry should expire at SOA minimum")
+	}
+}
+
+func TestCacheReplace(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.1")}, false)
+	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.99")}, false)
+	res, _ := c.Get("a.example.", dnswire.TypeA)
+	if len(res.RRs) != 1 || res.RRs[0].Data.(dnswire.A).Addr.String() != "192.0.2.99" {
+		t.Errorf("replace failed: %+v", res.RRs)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheSweepAndFlush(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	c.Put([]dnswire.RR{aRR("a.example.", 60, "192.0.2.1")}, false)
+	c.Put([]dnswire.RR{aRR("b.example.", 600, "192.0.2.1")}, false)
+	clk.advance(120 * time.Second)
+	if n := c.Sweep(); n != 1 {
+		t.Errorf("sweep removed %d, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len after sweep = %d", c.Len())
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Error("flush left entries")
+	}
+}
+
+func TestCacheNeverReturnsExpiredProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		clk := newClock()
+		c := New(8, clk.now)
+		type placed struct {
+			name    dnswire.Name
+			expires time.Time
+		}
+		var live []placed
+		for i := 0; i < 200; i++ {
+			switch r.Intn(3) {
+			case 0:
+				ttl := uint32(1 + r.Intn(600))
+				name := dnswire.Name(fmt.Sprintf("n%d.example.", r.Intn(20)))
+				c.Put([]dnswire.RR{aRR(string(name), ttl, "192.0.2.1")}, false)
+				live = append(live, placed{name, clk.t.Add(time.Duration(ttl) * time.Second)})
+			case 1:
+				clk.advance(time.Duration(r.Intn(300)) * time.Second)
+			default:
+				name := dnswire.Name(fmt.Sprintf("n%d.example.", r.Intn(20)))
+				if res, ok := c.Get(name, dnswire.TypeA); ok && !res.Negative {
+					// Every returned record must have a positive remaining
+					// TTL consistent with some live insert.
+					found := false
+					for _, p := range live {
+						if p.name == name && p.expires.After(clk.t) {
+							found = true
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheCapacityInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		clk := newClock()
+		cap := 1 + r.Intn(16)
+		c := New(cap, clk.now)
+		for i := 0; i < 300; i++ {
+			name := fmt.Sprintf("n%d.example.", r.Intn(100))
+			c.Put([]dnswire.RR{aRR(name, 300, "192.0.2.1")}, false)
+			if c.Len() > cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheGetStale(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.1")}, false)
+
+	// Live entry: GetStale returns it with the decayed TTL.
+	clk.advance(100 * time.Second)
+	res, ok := c.GetStale("a.example.", dnswire.TypeA, time.Hour)
+	if !ok || res.RRs[0].TTL != 200 {
+		t.Fatalf("live stale get: ok=%v ttl=%d", ok, res.RRs[0].TTL)
+	}
+
+	// Expired entry: normal Get misses, GetStale serves with TTL 30.
+	clk.advance(300 * time.Second)
+	if _, ok := c.Get("a.example.", dnswire.TypeA); ok {
+		t.Fatal("expired entry returned by Get")
+	}
+	res, ok = c.GetStale("a.example.", dnswire.TypeA, time.Hour)
+	if !ok || res.RRs[0].TTL != 30 {
+		t.Fatalf("expired stale get: ok=%v", ok)
+	}
+
+	// Past the stale limit: gone.
+	clk.advance(2 * time.Hour)
+	if _, ok := c.GetStale("a.example.", dnswire.TypeA, time.Hour); ok {
+		t.Fatal("stale entry served past the limit")
+	}
+
+	// Negative entries are never served stale.
+	soa := dnswire.NewRR(".", 60, dnswire.SOA{MName: "m.", RName: "r.", Minimum: 60})
+	c.PutNegative("neg.example.", dnswire.TypeA, soa)
+	clk.advance(2 * time.Minute)
+	if _, ok := c.GetStale("neg.example.", dnswire.TypeA, time.Hour); ok {
+		t.Fatal("negative entry served stale")
+	}
+}
+
+func TestCacheExpiredEntriesRemainUntilSwept(t *testing.T) {
+	clk := newClock()
+	c := New(0, clk.now)
+	c.Put([]dnswire.RR{aRR("a.example.", 60, "192.0.2.1")}, false)
+	clk.advance(2 * time.Minute)
+	if _, ok := c.Get("a.example.", dnswire.TypeA); ok {
+		t.Fatal("expired hit")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("expired entry removed before sweep: len=%d", c.Len())
+	}
+	if n := c.Sweep(); n != 1 {
+		t.Fatalf("sweep = %d", n)
+	}
+}

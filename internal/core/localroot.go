@@ -1,0 +1,260 @@
+// Package core implements the paper's proposal: eliminate the root
+// nameservers by giving every recursive resolver a verified local copy of
+// the root zone.
+//
+// LocalRoot is the orchestrator a resolver operator runs. It obtains the
+// root zone out of band through any dist.Source (HTTP mirror, AXFR,
+// rsync-delta, peer-to-peer), verifies it cryptographically (the detached
+// whole-file signature by default, or the full DNSSEC per-RRset chain),
+// installs it into the serving path for the chosen root mode (cache
+// preload, per-transaction lookaside, or an RFC 7706-style loopback
+// authoritative server), and keeps it fresh on the paper's TTL-derived
+// schedule — refresh at X+42 h with retries through hour 48, after which
+// the copy is stale and lookups would be impacted.
+//
+// Migration models §3's deployment story: resolvers adopt local root
+// independently, root traffic drains, and the root server infrastructure
+// can be decommissioned gradually.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rootless/internal/authserver"
+	"rootless/internal/dist"
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/resolver"
+	"rootless/internal/zone"
+)
+
+// VerifyMode selects how fetched zones are validated.
+type VerifyMode int
+
+// Verification modes.
+const (
+	// VerifyDetached checks the single whole-file signature — the
+	// paper's "sign the entire root zone file" fast path.
+	VerifyDetached VerifyMode = iota
+	// VerifyFullDNSSEC validates every RRset signature against the DS
+	// trust anchor plus the zone digest.
+	VerifyFullDNSSEC
+	// VerifyBoth requires both to pass.
+	VerifyBoth
+)
+
+// Config configures a LocalRoot.
+type Config struct {
+	// Source supplies root zone bundles; required.
+	Source dist.Source
+	// KSK is the publisher's key-signing key (detached verification).
+	KSK dnswire.DNSKEY
+	// Anchor is the DS trust anchor (full DNSSEC verification).
+	Anchor dnswire.DS
+	// Verify selects the validation mode (default VerifyDetached).
+	Verify VerifyMode
+
+	// Resolver, when set, receives verified zones via SetLocalZone —
+	// used with resolver.RootModePreload and RootModeLookaside.
+	Resolver *resolver.Resolver
+	// AuthServer, when set, receives verified zones via SetZone — the
+	// RFC 7706 loopback instance for resolver.RootModeLocalAuth.
+	AuthServer *authserver.Server
+
+	// Refresh/Retry/Expiry tune the schedule; zero values take the
+	// paper's defaults (42 h / 1 h / 48 h).
+	Refresh time.Duration
+	Retry   time.Duration
+	Expiry  time.Duration
+
+	// AdditionsSource, when set, is polled between full refreshes for
+	// the §5.3 "recent additions" supplement, so TLDs added to the root
+	// after our last fetch become resolvable without waiting for the
+	// next full refresh (or for a longer TTL to run out).
+	AdditionsSource AdditionsSource
+	// AdditionsInterval is the poll cadence (default 6 h).
+	AdditionsInterval time.Duration
+
+	// Clock supplies time; nil means time.Now.
+	Clock func() time.Time
+}
+
+// AdditionsSource serves recent-additions supplements; implemented by
+// dist.HTTPClient.
+type AdditionsSource interface {
+	FetchAdditions(ctx context.Context, fromSerial uint32) (*dist.AdditionsBundle, error)
+}
+
+// LocalRoot keeps one resolver's local root zone fetched, verified,
+// installed and fresh.
+type LocalRoot struct {
+	cfg       Config
+	refresher *dist.Refresher
+	installed int64
+	current   *zone.Zone
+
+	// Additions state.
+	baseSerial    uint32 // serial of the last full fetch
+	lastAdditions time.Time
+	additionsOK   int64
+	additionsErr  int64
+}
+
+// Errors.
+var (
+	ErrNoTarget = errors.New("core: config needs a Resolver or AuthServer to install into")
+	ErrNoSource = errors.New("core: config needs a Source")
+)
+
+// New validates the configuration and builds the LocalRoot.
+func New(cfg Config) (*LocalRoot, error) {
+	if cfg.Source == nil {
+		return nil, ErrNoSource
+	}
+	if cfg.Resolver == nil && cfg.AuthServer == nil {
+		return nil, ErrNoTarget
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	lr := &LocalRoot{cfg: cfg}
+
+	// The refresher's Source wrapper layers the selected verification on
+	// top of the raw fetch; dist.Refresher itself always checks the
+	// detached signature, so full-DNSSEC modes verify here first.
+	r, err := dist.NewRefresher(dist.RefresherConfig{
+		Source:  dist.SourceFunc(lr.fetchVerified),
+		KSK:     cfg.KSK,
+		Install: lr.install,
+		Refresh: cfg.Refresh,
+		Retry:   cfg.Retry,
+		Expiry:  cfg.Expiry,
+		Clock:   cfg.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lr.refresher = r
+	return lr, nil
+}
+
+// fetchVerified pulls a bundle and applies full-DNSSEC validation when
+// configured; detached-signature validation always runs in the refresher.
+func (lr *LocalRoot) fetchVerified(ctx context.Context) (*dist.Bundle, error) {
+	b, err := lr.cfg.Source.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if lr.cfg.Verify == VerifyFullDNSSEC || lr.cfg.Verify == VerifyBoth {
+		if _, err := b.VerifyFull(lr.cfg.Anchor, lr.cfg.Clock()); err != nil {
+			return nil, fmt.Errorf("core: full DNSSEC validation: %w", err)
+		}
+	}
+	return b, nil
+}
+
+// install pushes a verified zone into the configured serving paths.
+func (lr *LocalRoot) install(z *zone.Zone) error {
+	if lr.cfg.Resolver != nil {
+		lr.cfg.Resolver.SetLocalZone(z)
+	}
+	if lr.cfg.AuthServer != nil {
+		lr.cfg.AuthServer.SetZone(z)
+	}
+	lr.current = z
+	lr.installed++
+	return nil
+}
+
+// Tick attempts a fetch if one is due; returns true if a new zone was
+// installed (by full refresh or by an applied additions supplement).
+// Experiments drive this on a virtual clock; daemons use Run.
+func (lr *LocalRoot) Tick(ctx context.Context) bool {
+	if lr.refresher.Tick(ctx) {
+		lr.baseSerial = lr.refresher.State().Serial
+		lr.lastAdditions = lr.cfg.Clock()
+		return true
+	}
+	return lr.tickAdditions(ctx)
+}
+
+// tickAdditions polls the recent-additions channel when due and applies
+// any new-TLD records on top of the installed zone.
+func (lr *LocalRoot) tickAdditions(ctx context.Context) bool {
+	if lr.cfg.AdditionsSource == nil || lr.current == nil {
+		return false
+	}
+	interval := lr.cfg.AdditionsInterval
+	if interval == 0 {
+		interval = 6 * time.Hour
+	}
+	now := lr.cfg.Clock()
+	if now.Sub(lr.lastAdditions) < interval {
+		return false
+	}
+	lr.lastAdditions = now
+	bundle, err := lr.cfg.AdditionsSource.FetchAdditions(ctx, lr.baseSerial)
+	if err != nil {
+		lr.additionsErr++
+		return false
+	}
+	if bundle.FromSerial != lr.baseSerial {
+		lr.additionsErr++
+		return false
+	}
+	rrs, err := bundle.Verify(lr.cfg.KSK)
+	if err != nil {
+		lr.additionsErr++
+		return false
+	}
+	if len(rrs) == 0 {
+		return false // nothing new; not an install
+	}
+	patched := lr.current.Clone()
+	for _, rr := range rrs {
+		if err := patched.Add(rr); err != nil {
+			lr.additionsErr++
+			return false
+		}
+	}
+	if err := lr.install(patched); err != nil {
+		lr.additionsErr++
+		return false
+	}
+	lr.additionsOK++
+	return true
+}
+
+// AdditionsApplied returns how many additions supplements were installed,
+// and how many attempts failed.
+func (lr *LocalRoot) AdditionsApplied() (ok, failed int64) {
+	return lr.additionsOK, lr.additionsErr
+}
+
+// Run drives the refresh loop on wall-clock time until ctx ends.
+func (lr *LocalRoot) Run(ctx context.Context) { lr.refresher.Run(ctx) }
+
+// State reports freshness, serial, age, and fetch/failure counts.
+func (lr *LocalRoot) State() dist.State { return lr.refresher.State() }
+
+// Zone returns the currently installed zone, or nil before the first
+// successful fetch.
+func (lr *LocalRoot) Zone() *zone.Zone { return lr.current }
+
+// Healthy reports whether a fresh (unexpired) zone is installed.
+func (lr *LocalRoot) Healthy() bool {
+	st := lr.refresher.State()
+	return st.HaveZone && st.Fresh
+}
+
+// Installs returns how many zones have been installed over the lifetime.
+func (lr *LocalRoot) Installs() int64 { return lr.installed }
+
+// BuildTrustAnchor is a convenience for operators bootstrapping from a
+// signer (tests, examples, and the zone publisher side).
+func BuildTrustAnchor(s *dnssec.Signer) (dnswire.DNSKEY, dnswire.DS) {
+	return s.KSK.DNSKEY, s.TrustAnchor()
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// MigrationConfig parameterises the §3 deployment model: resolvers adopt
+// the local root zone independently (no flag day), root traffic drains in
+// proportion, and the operator community rolls back instances as load
+// falls.
+type MigrationConfig struct {
+	// Resolvers is the worldwide recursive resolver population.
+	Resolvers int
+	// RootQPS is the aggregate query rate the roots carry before any
+	// adoption (the paper's DITL-scale ~66K q/s × 13 letters).
+	RootQPS float64
+	// Midpoint is when half the population has adopted.
+	Midpoint time.Time
+	// Steepness is the logistic growth rate per year (default 1.5).
+	Steepness float64
+	// InitialInstances is the root deployment at the start (~1000).
+	InitialInstances int
+	// MinInstances is the floor kept during the long tail (operators
+	// retain a skeleton service until the end; default 50).
+	MinInstances int
+	// CapacityQPS is the per-instance load target used when shrinking
+	// the fleet (default: initial load spread over initial instances).
+	CapacityQPS float64
+}
+
+// MigrationPoint is the modeled state at one moment.
+type MigrationPoint struct {
+	Time time.Time
+	// AdoptedShare is the fraction of resolvers using a local root.
+	AdoptedShare float64
+	// RootQPS is the remaining aggregate root traffic.
+	RootQPS float64
+	// InstancesNeeded is the root fleet still required for that load.
+	InstancesNeeded int
+	// DistributionMBPerDay is the aggregate mirror traffic for serving
+	// adopted resolvers their ~1.1 MB zone every two days.
+	DistributionMBPerDay float64
+}
+
+// Migration evaluates the adoption model.
+type Migration struct {
+	cfg MigrationConfig
+}
+
+// NewMigration applies defaults.
+func NewMigration(cfg MigrationConfig) *Migration {
+	if cfg.Resolvers == 0 {
+		cfg.Resolvers = 4_100_000
+	}
+	if cfg.RootQPS == 0 {
+		cfg.RootQPS = 66_000 * 13 // DITL j-root scaled to all letters
+	}
+	if cfg.Steepness == 0 {
+		cfg.Steepness = 1.5
+	}
+	if cfg.InitialInstances == 0 {
+		cfg.InitialInstances = 1000
+	}
+	if cfg.MinInstances == 0 {
+		cfg.MinInstances = 50
+	}
+	if cfg.CapacityQPS == 0 {
+		cfg.CapacityQPS = cfg.RootQPS / float64(cfg.InitialInstances)
+	}
+	if cfg.Midpoint.IsZero() {
+		cfg.Midpoint = time.Date(2023, time.January, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return &Migration{cfg: cfg}
+}
+
+// AdoptedShare returns the logistic adoption fraction at a time.
+func (m *Migration) AdoptedShare(at time.Time) float64 {
+	years := at.Sub(m.cfg.Midpoint).Hours() / (24 * 365.25)
+	return 1 / (1 + math.Exp(-m.cfg.Steepness*years))
+}
+
+// zoneMBCompressed is the paper's compressed root zone size.
+const zoneMBCompressed = 1.1
+
+// At evaluates the model at a time.
+func (m *Migration) At(at time.Time) MigrationPoint {
+	share := m.AdoptedShare(at)
+	qps := m.cfg.RootQPS * (1 - share)
+	needed := int(math.Ceil(qps / m.cfg.CapacityQPS))
+	if needed < m.cfg.MinInstances && share < 0.999 {
+		needed = m.cfg.MinInstances
+	}
+	if share >= 0.999 {
+		// The end state the paper argues for: no root nameservers.
+		needed = 0
+	}
+	adopted := float64(m.cfg.Resolvers) * share
+	// Each adopted resolver fetches ~1.1 MB every two days.
+	distMBPerDay := adopted * zoneMBCompressed / 2
+	return MigrationPoint{
+		Time:                 at,
+		AdoptedShare:         share,
+		RootQPS:              qps,
+		InstancesNeeded:      needed,
+		DistributionMBPerDay: distMBPerDay,
+	}
+}
+
+// Series samples the model monthly across [from, to].
+func (m *Migration) Series(from, to time.Time) []MigrationPoint {
+	var out []MigrationPoint
+	for at := from; !at.After(to); at = at.AddDate(0, 1, 0) {
+		out = append(out, m.At(at))
+	}
+	return out
+}

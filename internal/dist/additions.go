@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+	"rootless/internal/zonediff"
+)
+
+// The paper's §5.3 mitigation for new-TLD lag: "augment the root zone
+// file with a small 'recent additions' or 'diffs' file to allow resolvers
+// to cheaply and fairly constantly obtain information about newly added
+// TLDs." AdditionsBundle is that file — the records of every TLD added
+// since a base serial, signed so it can be applied between full
+// refreshes without weakening the trust story.
+
+// AdditionsBundle carries the recent-additions supplement.
+type AdditionsBundle struct {
+	// FromSerial is the base snapshot the additions apply on top of.
+	FromSerial uint32
+	// ToSerial is the snapshot the additions bring the TLD set up to.
+	ToSerial uint32
+	// Text is the additions in master-file form.
+	Text []byte
+	// Signature is the publisher's detached signature over Text.
+	Signature dnssec.DetachedSignature
+}
+
+const additionsMagic = 0x52544C41 // "RTLA"
+
+// MakeAdditions builds the signed supplement between two snapshots.
+func MakeAdditions(old, new *zone.Zone, signer *dnssec.Signer) (*AdditionsBundle, error) {
+	adds := zonediff.RecentAdditions(old, new)
+	var sb strings.Builder
+	for _, rr := range adds {
+		sb.WriteString(rr.String())
+		sb.WriteByte('\n')
+	}
+	text := []byte(sb.String())
+	return &AdditionsBundle{
+		FromSerial: old.Serial(),
+		ToSerial:   new.Serial(),
+		Text:       text,
+		Signature:  signer.SignFile(text),
+	}, nil
+}
+
+// Verify checks the signature and parses the additions.
+func (a *AdditionsBundle) Verify(ksk dnswire.DNSKEY) ([]dnswire.RR, error) {
+	if err := dnssec.VerifyFile(a.Text, a.Signature, ksk); err != nil {
+		return nil, fmt.Errorf("dist: additions signature: %w", err)
+	}
+	z, err := zone.Parse(bytes.NewReader(a.Text), dnswire.Root)
+	if err != nil {
+		return nil, fmt.Errorf("dist: additions contents: %w", err)
+	}
+	return z.Records(), nil
+}
+
+// Encode serializes the bundle.
+func (a *AdditionsBundle) Encode() []byte {
+	var buf bytes.Buffer
+	var hdr [18]byte
+	binary.BigEndian.PutUint32(hdr[0:], additionsMagic)
+	binary.BigEndian.PutUint32(hdr[4:], a.FromSerial)
+	binary.BigEndian.PutUint32(hdr[8:], a.ToSerial)
+	binary.BigEndian.PutUint16(hdr[12:], a.Signature.KeyTag)
+	binary.BigEndian.PutUint32(hdr[14:], uint32(len(a.Signature.Signature)))
+	buf.Write(hdr[:])
+	buf.Write(a.Signature.Signature)
+	buf.Write(a.Text)
+	return buf.Bytes()
+}
+
+// DecodeAdditions parses an encoded bundle.
+func DecodeAdditions(data []byte) (*AdditionsBundle, error) {
+	if len(data) < 18 {
+		return nil, errors.New("dist: short additions bundle")
+	}
+	if binary.BigEndian.Uint32(data) != additionsMagic {
+		return nil, errors.New("dist: bad additions magic")
+	}
+	sigLen := int(binary.BigEndian.Uint32(data[14:]))
+	if 18+sigLen > len(data) {
+		return nil, errors.New("dist: truncated additions signature")
+	}
+	return &AdditionsBundle{
+		FromSerial: binary.BigEndian.Uint32(data[4:]),
+		ToSerial:   binary.BigEndian.Uint32(data[8:]),
+		Signature: dnssec.DetachedSignature{
+			KeyTag:    binary.BigEndian.Uint16(data[12:]),
+			Signature: append([]byte(nil), data[18:18+sigLen]...),
+		},
+		Text: append([]byte(nil), data[18+sigLen:]...),
+	}, nil
+}
+
+// FetchAdditions retrieves the additions from a mirror for the given base
+// serial.
+func (c *HTTPClient) FetchAdditions(ctx context.Context, fromSerial uint32) (*AdditionsBundle, error) {
+	data, _, err := c.get(ctx, fmt.Sprintf("/additions?from=%d", fromSerial))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeAdditions(data)
+}

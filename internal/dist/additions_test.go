@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"rootless/internal/dnswire"
+)
+
+func TestAdditionsBundleRoundTrip(t *testing.T) {
+	s := testSigner(t)
+	old := testZone(t, 1, "")
+	new := testZone(t, 2, "fresh. 172800 IN NS ns0.nic.fresh.\nns0.nic.fresh. 172800 IN A 100.9.9.9\n")
+
+	b, err := MakeAdditions(old, new, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FromSerial != 1 || b.ToSerial != 2 {
+		t.Errorf("serials %d->%d", b.FromSerial, b.ToSerial)
+	}
+	enc := b.Encode()
+	dec, err := DecodeAdditions(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs, err := dec.Verify(s.KSK.DNSKEY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasNS, hasGlue bool
+	for _, rr := range rrs {
+		if rr.Name == "fresh." && rr.Type == dnswire.TypeNS {
+			hasNS = true
+		}
+		if rr.Name == "ns0.nic.fresh." && rr.Type == dnswire.TypeA {
+			hasGlue = true
+		}
+	}
+	if !hasNS || !hasGlue {
+		t.Errorf("additions incomplete: NS=%v glue=%v (%d rrs)", hasNS, hasGlue, len(rrs))
+	}
+
+	// Tampering is caught.
+	bad := *dec
+	bad.Text = append([]byte(nil), dec.Text...)
+	bad.Text[0] ^= 1
+	if _, err := bad.Verify(s.KSK.DNSKEY); err == nil {
+		t.Error("tampered additions verified")
+	}
+	// Truncated encodings fail cleanly.
+	if _, err := DecodeAdditions(enc[:10]); err == nil {
+		t.Error("truncated bundle decoded")
+	}
+	if _, err := DecodeAdditions([]byte("garbage!")); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestAdditionsEmpty(t *testing.T) {
+	s := testSigner(t)
+	z := testZone(t, 5, "")
+	b, err := MakeAdditions(z, z, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs, err := b.Verify(s.KSK.DNSKEY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 0 {
+		t.Errorf("identical zones produced %d additions", len(rrs))
+	}
+}
+
+func TestAdditionsOverHTTP(t *testing.T) {
+	s := testSigner(t)
+	m := NewMirror(s, 4)
+	if err := m.Publish(testZone(t, 1, "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Publish(testZone(t, 2, "fresh. 172800 IN NS ns0.nic.fresh.\nns0.nic.fresh. 172800 IN A 100.9.9.9\n")); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL)
+
+	b, err := c.FetchAdditions(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs, err := b.Verify(s.KSK.DNSKEY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) == 0 {
+		t.Fatal("no additions over HTTP")
+	}
+	// The supplement is tiny compared to a full fetch.
+	if len(b.Encode()) > 2048 {
+		t.Errorf("additions bundle is %d bytes for one TLD", len(b.Encode()))
+	}
+	// Unknown base serial 404s.
+	if _, err := c.FetchAdditions(context.Background(), 999); err == nil {
+		t.Error("unknown serial should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// Bundle is the distributed artifact: one root zone snapshot as a
+// gzip-compressed master file plus the detached whole-file signature the
+// paper suggests as the fast-validation optimisation. Consumers that want
+// the full per-RRset check parse the zone and run dnssec.VerifyZone.
+type Bundle struct {
+	Serial     uint32
+	Compressed []byte
+	Signature  dnssec.DetachedSignature
+}
+
+const bundleMagic = 0x52544C52 // "RTLR"
+
+// MakeBundle compresses and signs a zone.
+func MakeBundle(z *zone.Zone, signer *dnssec.Signer) (*Bundle, error) {
+	blob, err := zone.Compress(z)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		Serial:     z.Serial(),
+		Compressed: blob,
+		Signature:  signer.SignFile(blob),
+	}, nil
+}
+
+// Verify checks the bundle's detached signature against the publisher's
+// KSK and returns the parsed zone. Tampered or mis-keyed bundles fail.
+func (b *Bundle) Verify(ksk dnswire.DNSKEY) (*zone.Zone, error) {
+	if err := dnssec.VerifyFile(b.Compressed, b.Signature, ksk); err != nil {
+		return nil, fmt.Errorf("dist: bundle signature: %w", err)
+	}
+	z, err := zone.Decompress(b.Compressed, dnswire.Root)
+	if err != nil {
+		return nil, fmt.Errorf("dist: bundle contents: %w", err)
+	}
+	if z.Serial() != b.Serial {
+		return nil, fmt.Errorf("dist: bundle serial %d != zone serial %d", b.Serial, z.Serial())
+	}
+	return z, nil
+}
+
+// VerifyFull validates the bundle with the complete DNSSEC path — chain
+// from a DS trust anchor plus zone digest — instead of the detached
+// signature shortcut.
+func (b *Bundle) VerifyFull(anchor dnswire.DS, now time.Time) (*zone.Zone, error) {
+	z, err := zone.Decompress(b.Compressed, dnswire.Root)
+	if err != nil {
+		return nil, err
+	}
+	if err := dnssec.VerifyZone(z, anchor, now); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// Encode serializes the bundle: magic, serial, keytag, sig, blob.
+func (b *Bundle) Encode() []byte {
+	var buf bytes.Buffer
+	var hdr [14]byte
+	binary.BigEndian.PutUint32(hdr[0:], bundleMagic)
+	binary.BigEndian.PutUint32(hdr[4:], b.Serial)
+	binary.BigEndian.PutUint16(hdr[8:], b.Signature.KeyTag)
+	binary.BigEndian.PutUint32(hdr[10:], uint32(len(b.Signature.Signature)))
+	buf.Write(hdr[:])
+	buf.Write(b.Signature.Signature)
+	buf.Write(b.Compressed)
+	return buf.Bytes()
+}
+
+// DecodeBundle parses an encoded bundle.
+func DecodeBundle(data []byte) (*Bundle, error) {
+	if len(data) < 14 {
+		return nil, errors.New("dist: short bundle")
+	}
+	if binary.BigEndian.Uint32(data) != bundleMagic {
+		return nil, errors.New("dist: bad bundle magic")
+	}
+	sigLen := int(binary.BigEndian.Uint32(data[10:]))
+	if 14+sigLen > len(data) {
+		return nil, errors.New("dist: truncated bundle signature")
+	}
+	return &Bundle{
+		Serial: binary.BigEndian.Uint32(data[4:]),
+		Signature: dnssec.DetachedSignature{
+			KeyTag:    binary.BigEndian.Uint16(data[8:]),
+			Signature: append([]byte(nil), data[14:14+sigLen]...),
+		},
+		Compressed: append([]byte(nil), data[14+sigLen:]...),
+	}, nil
+}

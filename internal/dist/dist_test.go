@@ -1,0 +1,670 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) { return d.r.Read(p) }
+
+func testSigner(t *testing.T) *dnssec.Signer {
+	t.Helper()
+	s, err := dnssec.NewSigner(dnswire.Root, detRand{rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testZone(t *testing.T, serial uint32, extra string) *zone.Zone {
+	t.Helper()
+	src := `
+. 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. ` +
+		// serial patched below
+		`SERIAL 1800 900 604800 86400
+. 518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+org. 172800 IN NS a0.org.afilias-nst.info.
+a0.org.afilias-nst.info. 172800 IN A 199.19.56.1
+` + extra
+	src = strings.Replace(src, "SERIAL", itoa(serial), 1)
+	z, err := zone.Parse(strings.NewReader(src), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func itoa(v uint32) string {
+	return strings.TrimSpace(strings.ReplaceAll(strings.Join([]string{string(rune(0))}, ""), "\x00", "")) + uitoa(v)
+}
+
+func uitoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// ---- rsync algorithm ----
+
+func TestRsyncIdentical(t *testing.T) {
+	data := []byte(strings.Repeat("the quick brown fox\n", 200))
+	sig := SignBlocks(data, 64)
+	ops := ComputeDelta(sig, data)
+	for _, op := range ops {
+		if op.Block < 0 {
+			t.Fatalf("identical data produced literal of %d bytes", len(op.Literal))
+		}
+	}
+	out, err := ApplyDelta(data, sig, ops)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("reconstruction failed: %v", err)
+	}
+	if DeltaSize(ops) >= len(data)/4 {
+		t.Errorf("identical-data delta too large: %d vs %d", DeltaSize(ops), len(data))
+	}
+}
+
+func TestRsyncSmallChange(t *testing.T) {
+	old := []byte(strings.Repeat("record line with some content here\n", 500))
+	new := append([]byte{}, old...)
+	// Change one byte in the middle and insert a line near the end.
+	new[len(new)/2] = 'X'
+	insert := []byte("a brand new TLD line appears\n")
+	pos := len(new) - 100
+	new = append(new[:pos], append(insert, new[pos:]...)...)
+
+	sig := SignBlocks(old, DefaultBlockSize)
+	ops := ComputeDelta(sig, new)
+	out, err := ApplyDelta(old, sig, ops)
+	if err != nil || !bytes.Equal(out, new) {
+		t.Fatalf("reconstruction failed: %v", err)
+	}
+	if ds := DeltaSize(ops); ds > len(new)/3 {
+		t.Errorf("delta %d bytes for small change to %d-byte file", ds, len(new))
+	}
+}
+
+func TestRsyncFromEmpty(t *testing.T) {
+	sig := SignBlocks(nil, 64)
+	data := []byte("fresh content never seen before")
+	ops := ComputeDelta(sig, data)
+	out, err := ApplyDelta(nil, sig, ops)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("from-empty failed: %v", err)
+	}
+}
+
+func TestRsyncEncodeDecode(t *testing.T) {
+	ops := []Op{{Block: 3}, {Block: -1, Literal: []byte("abc")}, {Block: 0}, {Block: -1, Literal: []byte{}}}
+	enc := EncodeDelta(ops)
+	dec, err := DecodeDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 4 || dec[0].Block != 3 || string(dec[1].Literal) != "abc" || dec[2].Block != 0 {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+	if _, err := DecodeDelta(enc[:3]); err == nil {
+		t.Error("truncated tag accepted")
+	}
+	bad := EncodeDelta([]Op{{Block: -1, Literal: []byte("xyz")}})
+	if _, err := DecodeDelta(bad[:5]); err == nil {
+		t.Error("truncated literal accepted")
+	}
+}
+
+func TestRsyncRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		old := make([]byte, r.Intn(5000))
+		r.Read(old)
+		// Mutate: random splices.
+		new := append([]byte{}, old...)
+		for k := 0; k < r.Intn(5); k++ {
+			if len(new) == 0 {
+				break
+			}
+			pos := r.Intn(len(new))
+			switch r.Intn(3) {
+			case 0: // flip
+				new[pos] ^= 0xFF
+			case 1: // insert
+				ins := make([]byte, 1+r.Intn(100))
+				r.Read(ins)
+				new = append(new[:pos], append(ins, new[pos:]...)...)
+			default: // delete
+				end := pos + r.Intn(len(new)-pos)
+				new = append(new[:pos], new[end:]...)
+			}
+		}
+		bs := 16 << r.Intn(5)
+		sig := SignBlocks(old, bs)
+		ops := ComputeDelta(sig, new)
+		enc := EncodeDelta(ops)
+		dec, err := DecodeDelta(enc)
+		if err != nil {
+			return false
+		}
+		out, err := ApplyDelta(old, sig, dec)
+		return err == nil && bytes.Equal(out, new)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ---- bundles ----
+
+func TestBundleRoundTripAndVerify(t *testing.T) {
+	s := testSigner(t)
+	z := testZone(t, 2019060700, "")
+	b, err := MakeBundle(z, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := b.Encode()
+	dec, err := DecodeBundle(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Verify(s.KSK.DNSKEY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Serial() != 2019060700 || got.Len() != z.Len() {
+		t.Errorf("verified zone: serial=%d len=%d", got.Serial(), got.Len())
+	}
+	// Tampering breaks verification.
+	bad := *dec
+	bad.Compressed = append([]byte(nil), dec.Compressed...)
+	bad.Compressed[10] ^= 1
+	if _, err := bad.Verify(s.KSK.DNSKEY); err == nil {
+		t.Error("tampered bundle verified")
+	}
+	// Wrong key breaks verification.
+	other := testSigner(t)
+	otherKey, _ := dnssec.GenerateKey(dnswire.Root, true, detRand{rand.New(rand.NewSource(99))})
+	_ = other
+	if _, err := dec.Verify(otherKey.DNSKEY); err == nil {
+		t.Error("foreign key verified")
+	}
+	// Garbage decodes fail cleanly.
+	if _, err := DecodeBundle([]byte("nope")); err == nil {
+		t.Error("garbage bundle decoded")
+	}
+	if _, err := DecodeBundle(enc[:10]); err == nil {
+		t.Error("truncated bundle decoded")
+	}
+}
+
+func TestBundleVerifyFull(t *testing.T) {
+	s := testSigner(t)
+	z := testZone(t, 2019060700, "")
+	now := time.Unix(1559900000, 0)
+	if err := s.SignZone(z, now); err != nil {
+		t.Fatal(err)
+	}
+	b, err := MakeBundle(z, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.VerifyFull(s.TrustAnchor(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Serial() != 2019060700 {
+		t.Errorf("serial = %d", got.Serial())
+	}
+}
+
+// ---- mirror over real HTTP ----
+
+func TestMirrorHTTPFull(t *testing.T) {
+	s := testSigner(t)
+	m := NewMirror(s, 4)
+	if err := m.Publish(testZone(t, 100, "")); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+
+	c := NewHTTPClient(srv.URL)
+	b, err := c.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Serial != 100 {
+		t.Errorf("serial = %d", b.Serial)
+	}
+	if _, err := b.Verify(s.KSK.DNSKEY); err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesFetched() == 0 {
+		t.Error("no bytes accounted")
+	}
+}
+
+// bulkTLDs generates n synthetic TLD delegation lines so the zone text is
+// large enough for delta syncs to pay off, as the real root zone is.
+func bulkTLDs(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "tld%04d. 172800 IN NS ns0.nic.tld%04d.\n", i, i)
+		fmt.Fprintf(&sb, "ns0.nic.tld%04d. 172800 IN A 100.64.%d.%d\n", i, i/250, 1+i%250)
+	}
+	return sb.String()
+}
+
+func TestMirrorDeltaSync(t *testing.T) {
+	s := testSigner(t)
+	m := NewMirror(s, 4)
+	if err := m.Publish(testZone(t, 100, bulkTLDs(400))); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL)
+
+	// First sync is a full fetch.
+	text1, serial1, bytes1, err := c.SyncText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial1 != 100 || len(text1) == 0 {
+		t.Fatalf("sync1: serial=%d len=%d", serial1, len(text1))
+	}
+
+	// Publish a slightly changed zone; second sync must be a small delta.
+	if err := m.Publish(testZone(t, 101, bulkTLDs(400)+"newtld. 172800 IN NS ns0.nic.newtld.\nns0.nic.newtld. 172800 IN A 100.1.2.3\n")); err != nil {
+		t.Fatal(err)
+	}
+	text2, serial2, bytes2, err := c.SyncText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial2 != 101 {
+		t.Fatalf("sync2 serial = %d", serial2)
+	}
+	if !strings.Contains(string(text2), "newtld.") {
+		t.Error("delta-synced text missing new TLD")
+	}
+	if bytes2 >= bytes1 {
+		t.Errorf("delta sync (%d B) not smaller than full fetch (%d B)", bytes2, bytes1)
+	}
+	full, delta := c.Fetches()
+	if full != 1 || delta != 1 {
+		t.Errorf("fetches: full=%d delta=%d", full, delta)
+	}
+	// The delta-synced text must reparse into the published zone.
+	z2, err := zone.Parse(strings.NewReader(string(text2)), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z2.Serial() != 101 {
+		t.Errorf("reparsed serial = %d", z2.Serial())
+	}
+}
+
+func TestMirrorDeltaWindowEviction(t *testing.T) {
+	s := testSigner(t)
+	m := NewMirror(s, 2)
+	for serial := uint32(1); serial <= 5; serial++ {
+		if err := m.Publish(testZone(t, serial, "")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL)
+	// Pretend we hold serial 1 (evicted): delta must 404 and the client
+	// must transparently fall back to a full fetch.
+	c.mu.Lock()
+	c.serial, c.text = 1, []byte("stale")
+	c.mu.Unlock()
+	_, serial, _, err := c.SyncText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != 5 {
+		t.Errorf("fallback sync serial = %d", serial)
+	}
+	full, _ := c.Fetches()
+	if full != 1 {
+		t.Errorf("full fetches = %d", full)
+	}
+}
+
+// ---- refresher ----
+
+// vclock is a settable virtual clock.
+type vclock struct{ t time.Time }
+
+func (v *vclock) now() time.Time          { return v.t }
+func (v *vclock) advance(d time.Duration) { v.t = v.t.Add(d) }
+
+func TestRefresherHappyPath(t *testing.T) {
+	s := testSigner(t)
+	clk := &vclock{t: time.Unix(1555000000, 0)}
+	serial := uint32(1)
+	src := SourceFunc(func(context.Context) (*Bundle, error) {
+		return MakeBundle(testZone(t, serial, ""), s)
+	})
+	var installed []uint32
+	r, err := NewRefresher(RefresherConfig{
+		Source: src,
+		KSK:    s.KSK.DNSKEY,
+		Install: func(z *zone.Zone) error {
+			installed = append(installed, z.Serial())
+			return nil
+		},
+		Clock: clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tick(context.Background()) {
+		t.Fatal("initial fetch failed")
+	}
+	st := r.State()
+	if !st.HaveZone || !st.Fresh || st.Serial != 1 {
+		t.Fatalf("state: %+v", st)
+	}
+	// Not due before 42 h.
+	clk.advance(41 * time.Hour)
+	if r.Tick(context.Background()) {
+		t.Error("refreshed before schedule")
+	}
+	// Due at 42 h; new serial arrives.
+	serial = 2
+	clk.advance(2 * time.Hour)
+	if !r.Tick(context.Background()) {
+		t.Error("did not refresh on schedule")
+	}
+	if got := r.State().Serial; got != 2 {
+		t.Errorf("serial = %d", got)
+	}
+	if len(installed) != 2 {
+		t.Errorf("installs = %v", installed)
+	}
+}
+
+func TestRefresherRetryWindow(t *testing.T) {
+	// The paper's robustness arithmetic: fetch at X, refresh attempt at
+	// X+42 h fails, hourly retries run; if the source recovers within the
+	// 6-hour window the copy never goes stale.
+	s := testSigner(t)
+	clk := &vclock{t: time.Unix(1555000000, 0)}
+	failing := true
+	src := SourceFunc(func(context.Context) (*Bundle, error) {
+		if failing {
+			return nil, errors.New("mirror unreachable")
+		}
+		return MakeBundle(testZone(t, 7, ""), s)
+	})
+	r, err := NewRefresher(RefresherConfig{
+		Source:  src,
+		KSK:     s.KSK.DNSKEY,
+		Install: func(*zone.Zone) error { return nil },
+		Clock:   clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing = false
+	if !r.Tick(context.Background()) {
+		t.Fatal("bootstrap failed")
+	}
+	failing = true
+
+	// At X+42h the refresh fails; retries every hour; copy stays fresh
+	// through hour 47.
+	clk.advance(42 * time.Hour)
+	for h := 0; h < 5; h++ {
+		r.Tick(context.Background())
+		if st := r.State(); !st.Fresh {
+			t.Fatalf("copy went stale at hour %d: %+v", 42+h, st)
+		}
+		clk.advance(time.Hour)
+	}
+	// Source recovers inside the window: freshness restored without any
+	// stale period.
+	failing = false
+	if !r.Tick(context.Background()) {
+		t.Fatal("recovery fetch failed")
+	}
+	if st := r.State(); !st.Fresh || st.Failures == 0 {
+		t.Fatalf("state after recovery: %+v", st)
+	}
+}
+
+func TestRefresherExpiry(t *testing.T) {
+	s := testSigner(t)
+	clk := &vclock{t: time.Unix(1555000000, 0)}
+	calls := 0
+	src := SourceFunc(func(context.Context) (*Bundle, error) {
+		calls++
+		if calls == 1 {
+			return MakeBundle(testZone(t, 1, ""), s)
+		}
+		return nil, errors.New("mirror down hard")
+	})
+	r, err := NewRefresher(RefresherConfig{
+		Source:  src,
+		KSK:     s.KSK.DNSKEY,
+		Install: func(*zone.Zone) error { return nil },
+		Clock:   clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tick(context.Background())
+	clk.advance(49 * time.Hour)
+	r.Tick(context.Background()) // fails
+	st := r.State()
+	if st.Fresh {
+		t.Error("copy still fresh after 49h with no refresh")
+	}
+	if !st.HaveZone {
+		t.Error("zone should still be present, merely stale")
+	}
+	if st.LastErr == nil {
+		t.Error("LastErr not recorded")
+	}
+}
+
+func TestRefresherRejectsBadSignature(t *testing.T) {
+	s := testSigner(t)
+	evil, _ := dnssec.NewSigner(dnswire.Root, detRand{rand.New(rand.NewSource(666))})
+	clk := &vclock{t: time.Unix(1555000000, 0)}
+	src := SourceFunc(func(context.Context) (*Bundle, error) {
+		return MakeBundle(testZone(t, 1, "poisoned. 172800 IN NS evil.attacker.\n"), evil)
+	})
+	installs := 0
+	r, err := NewRefresher(RefresherConfig{
+		Source:  src,
+		KSK:     s.KSK.DNSKEY, // trusts the honest KSK
+		Install: func(*zone.Zone) error { installs++; return nil },
+		Clock:   clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tick(context.Background()) {
+		t.Fatal("evil bundle installed")
+	}
+	if installs != 0 {
+		t.Fatal("install ran for unverified zone")
+	}
+	if r.State().Failures != 1 {
+		t.Errorf("state: %+v", r.State())
+	}
+}
+
+func TestNewRefresherValidation(t *testing.T) {
+	if _, err := NewRefresher(RefresherConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+// ---- gossip ----
+
+func TestGossipPropagation(t *testing.T) {
+	s := testSigner(t)
+	b, err := MakeBundle(testZone(t, 42, ""), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGossip(1000, 7)
+	g.Seed(b, 5)
+	rounds, err := g.RoundsToCoverage(42, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epidemic spread reaches ~everyone in O(log n) rounds.
+	if rounds > 15 {
+		t.Errorf("gossip took %d rounds for 1000 peers", rounds)
+	}
+	if g.Coverage(42) < 0.999 {
+		t.Error("coverage target not reached")
+	}
+	st := g.Stats()
+	if st.Transfers < 990 || st.Bytes == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	// A peer can then act as a refresher source.
+	if _, err := g.PeerSource(0).Fetch(context.Background()); err != nil {
+		t.Error(err)
+	}
+	if _, err := g.PeerSource(len(g.peers)).Fetch(context.Background()); err == nil {
+		t.Error("out-of-range peer fetched")
+	}
+}
+
+func TestMultiSourceFailover(t *testing.T) {
+	s := testSigner(t)
+	good, err := MakeBundle(testZone(t, 9, ""), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downA, downB := true, false
+	srcA := SourceFunc(func(context.Context) (*Bundle, error) {
+		if downA {
+			return nil, errors.New("mirror A unreachable")
+		}
+		return good, nil
+	})
+	srcB := SourceFunc(func(context.Context) (*Bundle, error) {
+		if downB {
+			return nil, errors.New("mirror B unreachable")
+		}
+		return good, nil
+	})
+	ms, err := NewMultiSource([]Source{srcA, srcB}, []string{"mirror-a", "mirror-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A down: fetch succeeds via B and B becomes preferred.
+	if _, err := ms.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Preferred() != "mirror-b" || ms.Failovers() != 1 {
+		t.Errorf("preferred=%s failovers=%d", ms.Preferred(), ms.Failovers())
+	}
+	// B keeps serving without touching A (sticky preference).
+	if _, err := ms.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Failovers() != 1 {
+		t.Errorf("failovers = %d after steady fetch", ms.Failovers())
+	}
+	// B dies, A recovers: failover back.
+	downA, downB = false, true
+	if _, err := ms.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Preferred() != "mirror-a" || ms.Failovers() != 2 {
+		t.Errorf("preferred=%s failovers=%d", ms.Preferred(), ms.Failovers())
+	}
+	// Everything down: aggregate error names both sources.
+	downA = true
+	_, err = ms.Fetch(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "mirror-a") || !strings.Contains(err.Error(), "mirror-b") {
+		t.Errorf("aggregate error: %v", err)
+	}
+}
+
+func TestMultiSourceValidation(t *testing.T) {
+	if _, err := NewMultiSource(nil, nil); err == nil {
+		t.Error("empty source list accepted")
+	}
+	src := SourceFunc(func(context.Context) (*Bundle, error) { return nil, nil })
+	if _, err := NewMultiSource([]Source{src}, []string{"a", "b"}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestMultiSourceWithRefresher(t *testing.T) {
+	// The failover chain slots straight into the Refresher: a resolver
+	// survives its primary mirror dying mid-deployment.
+	s := testSigner(t)
+	clk := &vclock{t: time.Unix(1555000000, 0)}
+	serial := uint32(1)
+	primaryUp := true
+	primary := SourceFunc(func(context.Context) (*Bundle, error) {
+		if !primaryUp {
+			return nil, errors.New("primary down")
+		}
+		return MakeBundle(testZone(t, serial, ""), s)
+	})
+	backup := SourceFunc(func(context.Context) (*Bundle, error) {
+		return MakeBundle(testZone(t, serial, ""), s)
+	})
+	ms, err := NewMultiSource([]Source{primary, backup}, []string{"primary", "backup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRefresher(RefresherConfig{
+		Source: ms, KSK: s.KSK.DNSKEY,
+		Install: func(*zone.Zone) error { return nil },
+		Clock:   clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tick(context.Background()) {
+		t.Fatal("bootstrap failed")
+	}
+	primaryUp = false
+	serial = 2
+	clk.advance(43 * time.Hour)
+	if !r.Tick(context.Background()) {
+		t.Fatal("refresh via backup failed")
+	}
+	if r.State().Serial != 2 || ms.Preferred() != "backup" {
+		t.Errorf("serial=%d preferred=%s", r.State().Serial, ms.Preferred())
+	}
+}

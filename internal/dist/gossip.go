@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+)
+
+// Gossip simulates the §3 peer-to-peer distribution option: resolvers
+// form a random mesh and exchange the newest bundle in rounds. The
+// simulation answers the deployment question "how quickly does a new
+// zone reach everyone, and what does it cost per peer?".
+type Gossip struct {
+	rng   *rand.Rand
+	peers []*gossipPeer
+	// Fanout is how many random neighbours each peer pushes to per round.
+	Fanout int
+
+	rounds    int
+	transfers int64
+	bytes     int64
+}
+
+type gossipPeer struct {
+	bundle *Bundle
+}
+
+// NewGossip builds a mesh of n peers, none holding a bundle yet.
+func NewGossip(n int, seed int64) *Gossip {
+	g := &Gossip{rng: rand.New(rand.NewSource(seed)), Fanout: 3}
+	for i := 0; i < n; i++ {
+		g.peers = append(g.peers, &gossipPeer{})
+	}
+	return g
+}
+
+// Seed gives the bundle to k initial peers (the publisher's direct
+// mirrors).
+func (g *Gossip) Seed(b *Bundle, k int) {
+	for i := 0; i < k && i < len(g.peers); i++ {
+		g.peers[i].bundle = b
+	}
+}
+
+// Coverage returns the fraction of peers holding the newest serial.
+func (g *Gossip) Coverage(serial uint32) float64 {
+	if len(g.peers) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range g.peers {
+		if p.bundle != nil && p.bundle.Serial >= serial {
+			n++
+		}
+	}
+	return float64(n) / float64(len(g.peers))
+}
+
+// Round performs one gossip round: every infected peer pushes to Fanout
+// random neighbours. Returns the number of new peers reached.
+func (g *Gossip) Round() int {
+	g.rounds++
+	newly := 0
+	// Snapshot infected set so this round's infections spread next round.
+	var infected []*gossipPeer
+	for _, p := range g.peers {
+		if p.bundle != nil {
+			infected = append(infected, p)
+		}
+	}
+	for _, p := range infected {
+		for f := 0; f < g.Fanout; f++ {
+			q := g.peers[g.rng.Intn(len(g.peers))]
+			if q.bundle == nil || q.bundle.Serial < p.bundle.Serial {
+				q.bundle = p.bundle
+				g.transfers++
+				g.bytes += int64(len(p.bundle.Compressed))
+				newly++
+			}
+		}
+	}
+	return newly
+}
+
+// RoundsToCoverage runs rounds until the target coverage (0–1] of serial
+// is reached, returning how many rounds it took. Errors if the mesh
+// stops making progress first.
+func (g *Gossip) RoundsToCoverage(serial uint32, target float64) (int, error) {
+	start := g.rounds
+	for g.Coverage(serial) < target {
+		if g.Round() == 0 && g.Coverage(serial) < target {
+			return g.rounds - start, errors.New("dist: gossip stalled")
+		}
+		if g.rounds-start > 10_000 {
+			return g.rounds - start, errors.New("dist: gossip did not converge")
+		}
+	}
+	return g.rounds - start, nil
+}
+
+// GossipStats reports totals.
+type GossipStats struct {
+	Rounds    int
+	Transfers int64
+	Bytes     int64
+}
+
+// Stats returns the totals so far.
+func (g *Gossip) Stats() GossipStats {
+	return GossipStats{Rounds: g.rounds, Transfers: g.transfers, Bytes: g.bytes}
+}
+
+// PeerSource lets a gossip peer serve as a Refresher Source.
+func (g *Gossip) PeerSource(i int) Source {
+	return SourceFunc(func(context.Context) (*Bundle, error) {
+		if i < 0 || i >= len(g.peers) || g.peers[i].bundle == nil {
+			return nil, errors.New("dist: peer has no bundle")
+		}
+		return g.peers[i].bundle, nil
+	})
+}

@@ -1,0 +1,338 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"rootless/internal/dnssec"
+	"rootless/internal/zone"
+)
+
+// Mirror serves root-zone bundles over HTTP — the "set of HTTP mirrors as
+// we use for software distribution" option in §3. It also keeps a window
+// of past snapshots so delta clients can sync from any recent serial.
+//
+// Endpoints:
+//
+//	GET /root.zone.bundle        current bundle (binary)
+//	GET /serial                  current serial (text)
+//	GET /root.zone.text          current uncompressed master file
+//	GET /delta?from=SERIAL       rsync-style delta from an old serial
+type Mirror struct {
+	mu        sync.RWMutex
+	current   *Bundle
+	signer    *dnssec.Signer
+	text      map[uint32][]byte // serial -> master file text
+	zones     map[uint32]*zone.Zone
+	order     []uint32
+	window    int
+	blockSize int
+
+	// Stats.
+	bundleBytes int64
+	deltaBytes  int64
+	requests    int64
+}
+
+// NewMirror creates a mirror that retains `window` past snapshots for
+// delta service.
+func NewMirror(signer *dnssec.Signer, window int) *Mirror {
+	if window <= 0 {
+		window = 8
+	}
+	return &Mirror{
+		signer:    signer,
+		text:      make(map[uint32][]byte),
+		zones:     make(map[uint32]*zone.Zone),
+		window:    window,
+		blockSize: DefaultBlockSize,
+	}
+}
+
+// Publish installs a new zone snapshot.
+func (m *Mirror) Publish(z *zone.Zone) error {
+	b, err := MakeBundle(z, m.signer)
+	if err != nil {
+		return err
+	}
+	text := []byte(zone.Text(z))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current = b
+	if _, ok := m.text[b.Serial]; !ok {
+		m.order = append(m.order, b.Serial)
+	}
+	m.text[b.Serial] = text
+	m.zones[b.Serial] = z
+	for len(m.order) > m.window {
+		delete(m.text, m.order[0])
+		delete(m.zones, m.order[0])
+		m.order = m.order[1:]
+	}
+	return nil
+}
+
+// Current returns the latest bundle, or nil.
+func (m *Mirror) Current() *Bundle {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.current
+}
+
+// MirrorStats reports transfer volumes, the §5.2 distribution-load metric.
+type MirrorStats struct {
+	Requests    int64
+	BundleBytes int64
+	DeltaBytes  int64
+}
+
+// Stats returns a snapshot of the transfer counters.
+func (m *Mirror) Stats() MirrorStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return MirrorStats{Requests: m.requests, BundleBytes: m.bundleBytes, DeltaBytes: m.deltaBytes}
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Mirror) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+	switch r.URL.Path {
+	case "/root.zone.bundle":
+		b := m.Current()
+		if b == nil {
+			http.Error(w, "no zone published", http.StatusServiceUnavailable)
+			return
+		}
+		data := b.Encode()
+		m.mu.Lock()
+		m.bundleBytes += int64(len(data))
+		m.mu.Unlock()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	case "/serial":
+		b := m.Current()
+		if b == nil {
+			http.Error(w, "no zone published", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "%d\n", b.Serial)
+	case "/root.zone.text":
+		m.mu.RLock()
+		var text []byte
+		if m.current != nil {
+			text = m.text[m.current.Serial]
+		}
+		m.mu.RUnlock()
+		if text == nil {
+			http.Error(w, "no zone published", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = w.Write(text)
+	case "/delta":
+		m.serveDelta(w, r)
+	case "/additions":
+		m.serveAdditions(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveDelta returns an encoded delta from the client's serial to the
+// current snapshot, prefixed with the current serial. 404 when the old
+// serial fell out of the retention window (client must full-fetch).
+func (m *Mirror) serveDelta(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad from serial", http.StatusBadRequest)
+		return
+	}
+	m.mu.RLock()
+	oldText, okOld := m.text[uint32(from)]
+	var curSerial uint32
+	var curText []byte
+	if m.current != nil {
+		curSerial = m.current.Serial
+		curText = m.text[curSerial]
+	}
+	m.mu.RUnlock()
+	if !okOld || curText == nil {
+		http.Error(w, "serial not in window", http.StatusNotFound)
+		return
+	}
+	sig := SignBlocks(oldText, m.blockSize)
+	ops := ComputeDelta(sig, curText)
+	payload := EncodeDelta(ops)
+	m.mu.Lock()
+	m.deltaBytes += int64(len(payload))
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Zone-Serial", strconv.FormatUint(uint64(curSerial), 10))
+	_, _ = w.Write(payload)
+}
+
+// HTTPClient fetches bundles (and deltas) from a mirror base URL.
+type HTTPClient struct {
+	BaseURL string
+	Client  *http.Client
+
+	// State for delta sync.
+	mu     sync.Mutex
+	serial uint32
+	text   []byte
+
+	// Transfer accounting.
+	bytesFetched int64
+	fullFetches  int64
+	deltaFetches int64
+}
+
+// NewHTTPClient creates a client for a mirror.
+func NewHTTPClient(baseURL string) *HTTPClient {
+	return &HTTPClient{BaseURL: baseURL, Client: http.DefaultClient}
+}
+
+// BytesFetched returns the total bytes transferred.
+func (c *HTTPClient) BytesFetched() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesFetched
+}
+
+// Fetches returns (full, delta) fetch counts.
+func (c *HTTPClient) Fetches() (full, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fullFetches, c.deltaFetches
+}
+
+func (c *HTTPClient) get(ctx context.Context, path string) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.Header, fmt.Errorf("dist: %s: %s", path, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.Header, err
+	}
+	c.mu.Lock()
+	c.bytesFetched += int64(len(data))
+	c.mu.Unlock()
+	return data, resp.Header, nil
+}
+
+// Fetch implements Source: it downloads the current bundle.
+func (c *HTTPClient) Fetch(ctx context.Context) (*Bundle, error) {
+	data, _, err := c.get(ctx, "/root.zone.bundle")
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.fullFetches++
+	c.mu.Unlock()
+	return DecodeBundle(data)
+}
+
+// SyncText updates the client's master-file copy, preferring a delta when
+// the mirror still remembers our serial, falling back to a full text
+// fetch. It returns the new text, the new serial, and the bytes this sync
+// transferred.
+func (c *HTTPClient) SyncText(ctx context.Context) ([]byte, uint32, int64, error) {
+	c.mu.Lock()
+	oldSerial, oldText := c.serial, c.text
+	c.mu.Unlock()
+
+	before := c.BytesFetched()
+	if oldText != nil {
+		payload, hdr, err := c.get(ctx, fmt.Sprintf("/delta?from=%d", oldSerial))
+		if err == nil {
+			newSerial, err := strconv.ParseUint(hdr.Get("X-Zone-Serial"), 10, 32)
+			if err != nil {
+				return nil, 0, 0, errors.New("dist: delta reply missing serial")
+			}
+			ops, err := DecodeDelta(payload)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			sig := SignBlocks(oldText, DefaultBlockSize)
+			newText, err := ApplyDelta(oldText, sig, ops)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			c.mu.Lock()
+			c.serial, c.text = uint32(newSerial), newText
+			c.deltaFetches++
+			c.mu.Unlock()
+			return newText, uint32(newSerial), c.BytesFetched() - before, nil
+		}
+	}
+
+	text, _, err := c.get(ctx, "/root.zone.text")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	serialData, _, err := c.get(ctx, "/serial")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	serial, err := strconv.ParseUint(string(trimNL(serialData)), 10, 32)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("dist: bad serial: %w", err)
+	}
+	c.mu.Lock()
+	c.serial, c.text = uint32(serial), text
+	c.fullFetches++
+	c.mu.Unlock()
+	return text, uint32(serial), c.BytesFetched() - before, nil
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// serveAdditions returns the signed §5.3 recent-additions supplement from
+// an old serial to the current snapshot. 404 when the base serial fell
+// out of the retention window.
+func (m *Mirror) serveAdditions(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad from serial", http.StatusBadRequest)
+		return
+	}
+	m.mu.RLock()
+	oldZone := m.zones[uint32(from)]
+	var curZone *zone.Zone
+	if m.current != nil {
+		curZone = m.zones[m.current.Serial]
+	}
+	m.mu.RUnlock()
+	if oldZone == nil || curZone == nil {
+		http.Error(w, "serial not in window", http.StatusNotFound)
+		return
+	}
+	bundle, err := MakeAdditions(oldZone, curZone, m.signer)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(bundle.Encode())
+}

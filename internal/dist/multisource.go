@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// MultiSource fails over across several bundle sources — the §3 point
+// that delivery "can take many forms and develop organically": a resolver
+// might try two HTTP mirrors, then an AXFR server, then a gossip peer.
+// The most-recently-working source is tried first on subsequent fetches
+// (sticky preference), and a fetch succeeds if any source does.
+type MultiSource struct {
+	mu        sync.Mutex
+	sources   []Source
+	labels    []string
+	preferred int
+	failovers int64
+}
+
+// NewMultiSource builds a failover chain. Labels are used in errors and
+// stats; len(labels) must equal len(sources) (or be nil).
+func NewMultiSource(sources []Source, labels []string) (*MultiSource, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("dist: MultiSource needs at least one source")
+	}
+	if labels == nil {
+		labels = make([]string, len(sources))
+		for i := range labels {
+			labels[i] = fmt.Sprintf("source%d", i)
+		}
+	}
+	if len(labels) != len(sources) {
+		return nil, errors.New("dist: labels/sources length mismatch")
+	}
+	return &MultiSource{sources: sources, labels: labels}, nil
+}
+
+// Fetch implements Source: it tries the preferred source first, then the
+// rest in order, returning the first success.
+func (m *MultiSource) Fetch(ctx context.Context) (*Bundle, error) {
+	m.mu.Lock()
+	start := m.preferred
+	n := len(m.sources)
+	m.mu.Unlock()
+
+	var errs []error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		b, err := m.sources[idx].Fetch(ctx)
+		if err == nil {
+			m.mu.Lock()
+			if idx != m.preferred {
+				m.failovers++
+				m.preferred = idx
+			}
+			m.mu.Unlock()
+			return b, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", m.labels[idx], err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("dist: all sources failed: %w", errors.Join(errs...))
+}
+
+// Failovers reports how many times the preferred source changed.
+func (m *MultiSource) Failovers() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failovers
+}
+
+// Preferred returns the label of the currently preferred source.
+func (m *MultiSource) Preferred() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.labels[m.preferred]
+}

@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// Source produces root zone bundles; implemented by HTTPClient, the gossip
+// peer, and test fakes.
+type Source interface {
+	Fetch(ctx context.Context) (*Bundle, error)
+}
+
+// SourceFunc adapts a function to Source.
+type SourceFunc func(ctx context.Context) (*Bundle, error)
+
+// Fetch implements Source.
+func (f SourceFunc) Fetch(ctx context.Context) (*Bundle, error) { return f(ctx) }
+
+// RefresherConfig sets the refresh policy. The defaults encode the
+// paper's §4 robustness arithmetic: with two-day TTLs a copy obtained at
+// time X is refreshed at X+42 h, leaving a 6-hour retry window before the
+// copy expires at X+48 h and lookups are actually impacted.
+type RefresherConfig struct {
+	Source Source
+	// KSK verifies bundle signatures.
+	KSK dnswire.DNSKEY
+	// Install receives each verified zone (e.g. resolver.SetLocalZone).
+	Install func(*zone.Zone) error
+	// Refresh is the planned interval between fetches (default 42 h).
+	Refresh time.Duration
+	// Retry is the pause between attempts after a failure (default 1 h).
+	Retry time.Duration
+	// Expiry is the zone copy's maximum age (default 48 h).
+	Expiry time.Duration
+	// Clock supplies time (virtual in experiments); nil = time.Now.
+	Clock func() time.Time
+}
+
+// Refresher drives the periodic fetch → verify → install loop. It is
+// clock-driven rather than goroutine-driven so experiments can step
+// virtual time; Tick must be called whenever time may have passed (a
+// convenience Run loop exists for real deployments).
+type Refresher struct {
+	cfg RefresherConfig
+
+	obtained time.Time // when the current copy was fetched
+	nextTry  time.Time
+	serial   uint32
+	haveZone bool
+	fetches  int64
+	failures int64
+	installs int64
+	lastErr  error
+}
+
+// NewRefresher validates the config and applies defaults.
+func NewRefresher(cfg RefresherConfig) (*Refresher, error) {
+	if cfg.Source == nil || cfg.Install == nil {
+		return nil, errors.New("dist: Refresher needs Source and Install")
+	}
+	if cfg.Refresh == 0 {
+		cfg.Refresh = 42 * time.Hour
+	}
+	if cfg.Retry == 0 {
+		cfg.Retry = time.Hour
+	}
+	if cfg.Expiry == 0 {
+		cfg.Expiry = 48 * time.Hour
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Refresher{cfg: cfg}, nil
+}
+
+// State reports the refresher's externally visible condition.
+type State struct {
+	HaveZone bool
+	// Fresh is false once the copy is older than Expiry — the moment the
+	// paper says lookups are actually impacted.
+	Fresh    bool
+	Serial   uint32
+	Age      time.Duration
+	Fetches  int64
+	Failures int64
+	Installs int64
+	LastErr  error
+}
+
+// State returns the current state.
+func (r *Refresher) State() State {
+	now := r.cfg.Clock()
+	age := now.Sub(r.obtained)
+	return State{
+		HaveZone: r.haveZone,
+		Fresh:    r.haveZone && age <= r.cfg.Expiry,
+		Serial:   r.serial,
+		Age:      age,
+		Fetches:  r.fetches,
+		Failures: r.failures,
+		Installs: r.installs,
+		LastErr:  r.lastErr,
+	}
+}
+
+// Due reports whether Tick would attempt a fetch now.
+func (r *Refresher) Due() bool {
+	return !r.haveZone || !r.cfg.Clock().Before(r.nextTry)
+}
+
+// Tick attempts a fetch if one is due. It returns true if a new zone was
+// installed.
+func (r *Refresher) Tick(ctx context.Context) bool {
+	now := r.cfg.Clock()
+	if r.haveZone && now.Before(r.nextTry) {
+		return false
+	}
+	r.fetches++
+	bundle, err := r.cfg.Source.Fetch(ctx)
+	if err != nil {
+		r.fail(now, err)
+		return false
+	}
+	z, err := bundle.Verify(r.cfg.KSK)
+	if err != nil {
+		r.fail(now, err)
+		return false
+	}
+	if err := r.cfg.Install(z); err != nil {
+		r.fail(now, err)
+		return false
+	}
+	r.installs++
+	r.lastErr = nil
+	r.obtained = now
+	r.serial = bundle.Serial
+	r.haveZone = true
+	r.nextTry = now.Add(r.cfg.Refresh)
+	return true
+}
+
+func (r *Refresher) fail(now time.Time, err error) {
+	r.failures++
+	r.lastErr = err
+	r.nextTry = now.Add(r.cfg.Retry)
+}
+
+// Run drives Tick on real time until ctx is cancelled. Experiments use
+// Tick directly with a virtual clock instead.
+func (r *Refresher) Run(ctx context.Context) {
+	for {
+		r.Tick(ctx)
+		wait := r.nextTry.Sub(r.cfg.Clock())
+		if wait < time.Second {
+			wait = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+	}
+}

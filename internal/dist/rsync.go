@@ -1,0 +1,242 @@
+// Package dist distributes root zone files — the replacement the paper
+// proposes for the root nameserver service. It provides four transports
+// (§3 "Root Zone Distribution"): an HTTP mirror, DNS AXFR (via the
+// authserver package), an rsync-style block-delta protocol that ships
+// only changes between snapshots, and a gossip/peer-to-peer simulation.
+// A Refresher drives the fetch → verify → install loop on the paper's
+// TTL-derived schedule (refresh at X+42 h, retry through hour 48).
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSize is the rsync block granularity. Root-zone master files
+// change in record-sized units, so ~700-byte blocks balance signature size
+// against delta granularity.
+const DefaultBlockSize = 704
+
+// weakSum is the rolling Adler-style checksum (Tridgell §3).
+type weakSum struct {
+	a, b uint32
+	n    int
+}
+
+func newWeakSum(data []byte) weakSum {
+	var w weakSum
+	w.n = len(data)
+	for i, c := range data {
+		w.a += uint32(c)
+		w.b += uint32(len(data)-i) * uint32(c)
+	}
+	return w
+}
+
+// roll slides the window one byte: drop out, add in.
+func (w *weakSum) roll(out, in byte) {
+	w.a = w.a - uint32(out) + uint32(in)
+	w.b = w.b - uint32(w.n)*uint32(out) + w.a
+}
+
+func (w weakSum) sum() uint32 { return w.a&0xFFFF | w.b<<16 }
+
+// strongSum is the short collision-resistant block hash.
+func strongSum(data []byte) [8]byte {
+	h := sha256.Sum256(data)
+	var out [8]byte
+	copy(out[:], h[:8])
+	return out
+}
+
+// BlockSig is the per-block signature of a file the receiver already has.
+type BlockSig struct {
+	BlockSize int
+	Weak      []uint32
+	Strong    [][8]byte
+	TotalLen  int
+}
+
+// SignBlocks computes the receiver-side signature of old data.
+func SignBlocks(data []byte, blockSize int) BlockSig {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	sig := BlockSig{BlockSize: blockSize, TotalLen: len(data)}
+	for off := 0; off < len(data); off += blockSize {
+		end := off + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		block := data[off:end]
+		sig.Weak = append(sig.Weak, newWeakSum(block).sum())
+		sig.Strong = append(sig.Strong, strongSum(block))
+	}
+	return sig
+}
+
+// Op is one delta instruction: copy a block the receiver has, or insert
+// literal bytes.
+type Op struct {
+	// Block is the index into the receiver's blocks; -1 for a literal.
+	Block   int
+	Literal []byte
+}
+
+// ComputeDelta produces the instruction stream turning the receiver's old
+// data (described by sig) into new data.
+func ComputeDelta(sig BlockSig, newData []byte) []Op {
+	bs := sig.BlockSize
+	weakIndex := make(map[uint32][]int, len(sig.Weak))
+	for i, w := range sig.Weak {
+		weakIndex[w] = append(weakIndex[w], i)
+	}
+
+	var ops []Op
+	var lit []byte
+	flushLit := func() {
+		if len(lit) > 0 {
+			ops = append(ops, Op{Block: -1, Literal: lit})
+			lit = nil
+		}
+	}
+
+	i := 0
+	var w weakSum
+	haveSum := false
+	for i < len(newData) {
+		if len(newData)-i < bs {
+			// Tail shorter than a block: try to match the (short) final
+			// block, else emit as literal.
+			tail := newData[i:]
+			matched := false
+			if len(sig.Weak) > 0 {
+				last := len(sig.Weak) - 1
+				lastLen := sig.TotalLen - last*bs
+				if lastLen == len(tail) && sig.Weak[last] == newWeakSum(tail).sum() &&
+					sig.Strong[last] == strongSum(tail) {
+					flushLit()
+					ops = append(ops, Op{Block: last})
+					matched = true
+				}
+			}
+			if !matched {
+				lit = append(lit, tail...)
+			}
+			flushLit()
+			return ops
+		}
+		if !haveSum {
+			w = newWeakSum(newData[i : i+bs])
+			haveSum = true
+		}
+		match := -1
+		if candidates, ok := weakIndex[w.sum()]; ok {
+			strong := strongSum(newData[i : i+bs])
+			for _, c := range candidates {
+				// Only full-sized blocks match here.
+				if cEnd := (c + 1) * bs; cEnd <= sig.TotalLen && sig.Strong[c] == strong {
+					match = c
+					break
+				}
+			}
+		}
+		if match >= 0 {
+			flushLit()
+			ops = append(ops, Op{Block: match})
+			i += bs
+			haveSum = false
+			continue
+		}
+		lit = append(lit, newData[i])
+		if i+bs < len(newData) {
+			w.roll(newData[i], newData[i+bs])
+		} else {
+			haveSum = false
+		}
+		i++
+	}
+	flushLit()
+	return ops
+}
+
+// ApplyDelta reconstructs the new data from the receiver's old data and
+// the delta.
+func ApplyDelta(old []byte, sig BlockSig, ops []Op) ([]byte, error) {
+	bs := sig.BlockSize
+	var out []byte
+	for _, op := range ops {
+		if op.Block < 0 {
+			out = append(out, op.Literal...)
+			continue
+		}
+		start := op.Block * bs
+		end := start + bs
+		if start >= len(old) {
+			return nil, fmt.Errorf("dist: delta references block %d beyond data", op.Block)
+		}
+		if end > len(old) {
+			end = len(old)
+		}
+		out = append(out, old[start:end]...)
+	}
+	return out, nil
+}
+
+// DeltaSize returns the encoded wire size of a delta: literals dominate;
+// block copies cost 4 bytes.
+func DeltaSize(ops []Op) int {
+	n := 0
+	for _, op := range ops {
+		if op.Block >= 0 {
+			n += 4
+		} else {
+			n += 4 + len(op.Literal)
+		}
+	}
+	return n
+}
+
+// EncodeDelta serializes a delta: sequence of (int32 tag, payload).
+// Tag >= 0: block index. Tag < 0: literal of length -tag follows.
+func EncodeDelta(ops []Op) []byte {
+	var buf bytes.Buffer
+	for _, op := range ops {
+		var tag [4]byte
+		if op.Block >= 0 {
+			binary.BigEndian.PutUint32(tag[:], uint32(op.Block))
+			buf.Write(tag[:])
+		} else {
+			binary.BigEndian.PutUint32(tag[:], uint32(0x80000000|len(op.Literal)))
+			buf.Write(tag[:])
+			buf.Write(op.Literal)
+		}
+	}
+	return buf.Bytes()
+}
+
+// DecodeDelta parses an encoded delta.
+func DecodeDelta(data []byte) ([]Op, error) {
+	var ops []Op
+	for off := 0; off < len(data); {
+		if off+4 > len(data) {
+			return nil, errors.New("dist: truncated delta tag")
+		}
+		tag := binary.BigEndian.Uint32(data[off:])
+		off += 4
+		if tag&0x80000000 == 0 {
+			ops = append(ops, Op{Block: int(tag)})
+			continue
+		}
+		n := int(tag & 0x7FFFFFFF)
+		if off+n > len(data) {
+			return nil, errors.New("dist: truncated delta literal")
+		}
+		ops = append(ops, Op{Block: -1, Literal: append([]byte(nil), data[off:off+n]...)})
+		off += n
+	}
+	return ops, nil
+}

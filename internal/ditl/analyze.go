@@ -1,0 +1,184 @@
+package ditl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// Analysis is the §2.2 classification of a trace.
+type Analysis struct {
+	Total int
+
+	// BogusTLD queries name a TLD that does not exist in the root zone.
+	BogusTLD int
+
+	// IdealRedundant queries are for valid TLDs the resolver had already
+	// asked about during the trace (an ideal 24-hour cache would have
+	// absorbed them); IdealValid is the remainder.
+	IdealRedundant int
+	IdealValid     int
+
+	// WindowRedundant applies the relaxed model (a fresh query per TLD
+	// every Window is legitimate); WindowValid is the remainder.
+	WindowRedundant int
+	WindowValid     int
+
+	Resolvers          int
+	BogusOnlyResolvers int
+
+	NewTLDQueries   int
+	NewTLDResolvers int
+
+	Duration  time.Duration
+	Instances int
+	Window    time.Duration
+}
+
+// Share helpers.
+func (a Analysis) BogusShare() float64          { return share(a.BogusTLD, a.Total) }
+func (a Analysis) IdealRedundantShare() float64 { return share(a.IdealRedundant, a.Total) }
+func (a Analysis) IdealValidShare() float64     { return share(a.IdealValid, a.Total) }
+func (a Analysis) WindowRedundantShare() float64 {
+	return share(a.WindowRedundant, a.Total)
+}
+func (a Analysis) WindowValidShare() float64 { return share(a.WindowValid, a.Total) }
+
+func share(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// QueriesPerSecond is the trace-wide arrival rate.
+func (a Analysis) QueriesPerSecond() float64 {
+	if a.Duration == 0 {
+		return 0
+	}
+	return float64(a.Total) / a.Duration.Seconds()
+}
+
+// ValidPerInstancePerSecond is the relaxed-model valid load each anycast
+// instance carries — the paper's "roughly 15 valid queries/second".
+func (a Analysis) ValidPerInstancePerSecond() float64 {
+	if a.Duration == 0 || a.Instances == 0 {
+		return 0
+	}
+	return float64(a.WindowValid) / a.Duration.Seconds() / float64(a.Instances)
+}
+
+// Analyzer classifies queries streamingly, in chronological order.
+type Analyzer struct {
+	valid    map[dnswire.Name]bool
+	newTLD   dnswire.Name
+	window   time.Duration
+	pairs    map[pairKey]bool
+	tuples   map[tupleKey]bool
+	resolver map[uint32]byte // bit 1 = sent valid, bit 2 = sent bogus
+	newRes   map[uint32]bool
+	a        Analysis
+}
+
+type pairKey struct {
+	resolver uint32
+	tld      dnswire.Name
+}
+
+type tupleKey struct {
+	resolver uint32
+	tld      dnswire.Name
+	window   int32
+}
+
+// NewAnalyzer builds a classifier for the given TLD universe.
+func NewAnalyzer(validTLDs []dnswire.Name, newTLD dnswire.Name, window time.Duration) *Analyzer {
+	valid := make(map[dnswire.Name]bool, len(validTLDs))
+	for _, t := range validTLDs {
+		valid[t] = true
+	}
+	if window == 0 {
+		window = 15 * time.Minute
+	}
+	return &Analyzer{
+		valid:    valid,
+		newTLD:   newTLD,
+		window:   window,
+		pairs:    make(map[pairKey]bool),
+		tuples:   make(map[tupleKey]bool),
+		resolver: make(map[uint32]byte),
+		newRes:   make(map[uint32]bool),
+	}
+}
+
+// Observe classifies one query.
+func (an *Analyzer) Observe(q Query) {
+	an.a.Total++
+	tld := q.TLD()
+	if tld == an.newTLD {
+		an.a.NewTLDQueries++
+		an.newRes[q.Resolver] = true
+	}
+	if !an.valid[tld] {
+		an.a.BogusTLD++
+		an.resolver[q.Resolver] |= 2
+		return
+	}
+	an.resolver[q.Resolver] |= 1
+	pk := pairKey{q.Resolver, tld}
+	if an.pairs[pk] {
+		an.a.IdealRedundant++
+	} else {
+		an.pairs[pk] = true
+		an.a.IdealValid++
+	}
+	tk := tupleKey{q.Resolver, tld, int32(q.Offset / an.window)}
+	if an.tuples[tk] {
+		an.a.WindowRedundant++
+	} else {
+		an.tuples[tk] = true
+		an.a.WindowValid++
+	}
+}
+
+// Result finalizes the analysis.
+func (an *Analyzer) Result(duration time.Duration, instances int) Analysis {
+	a := an.a
+	a.Duration = duration
+	a.Instances = instances
+	a.Window = an.window
+	a.Resolvers = len(an.resolver)
+	for _, bits := range an.resolver {
+		if bits == 2 {
+			a.BogusOnlyResolvers++
+		}
+	}
+	a.NewTLDResolvers = len(an.newRes)
+	return a
+}
+
+// Analyze classifies a whole trace.
+func Analyze(trace *Trace, validTLDs []dnswire.Name, newTLD dnswire.Name, window time.Duration) Analysis {
+	an := NewAnalyzer(validTLDs, newTLD, window)
+	for _, q := range trace.Queries {
+		an.Observe(q)
+	}
+	return an.Result(trace.Duration, trace.Instances)
+}
+
+// Table renders the analysis as the paper's §2.2 narrative table.
+func (a Analysis) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total queries:                 %d (%.0f q/s)\n", a.Total, a.QueriesPerSecond())
+	fmt.Fprintf(&sb, "distinct resolvers:            %d (%d bogus-only)\n", a.Resolvers, a.BogusOnlyResolvers)
+	fmt.Fprintf(&sb, "bogus TLD queries:             %d (%.1f%%)\n", a.BogusTLD, 100*a.BogusShare())
+	fmt.Fprintf(&sb, "ideal cache:  redundant        %d (%.1f%%), valid %d (%.1f%%)\n",
+		a.IdealRedundant, 100*a.IdealRedundantShare(), a.IdealValid, 100*a.IdealValidShare())
+	fmt.Fprintf(&sb, "%v cache: redundant        %d (%.1f%%), valid %d (%.1f%%)\n",
+		a.Window, a.WindowRedundant, 100*a.WindowRedundantShare(), a.WindowValid, 100*a.WindowValidShare())
+	fmt.Fprintf(&sb, "valid q/s per instance:        %.2f\n", a.ValidPerInstancePerSecond())
+	fmt.Fprintf(&sb, "new-TLD queries:               %d from %d resolvers\n", a.NewTLDQueries, a.NewTLDResolvers)
+	return sb.String()
+}

@@ -1,0 +1,429 @@
+// Package ditl models Day-In-The-Life root-server traffic. The real
+// DITL-2018 j-root capture (5.7 B queries from 4.1 M resolvers across 142
+// instances) is not redistributable, so this package synthesizes traces
+// with the same *measured composition* the paper reports — 61.0 % bogus-
+// TLD queries, enough tightly-clustered repeats that an ideal cache marks
+// 38.4 % redundant (leaving 0.5 % valid) and a 15-minute cache marks
+// 35.7 % redundant (leaving 3.3 % valid), 723/4100 resolvers that only
+// ever send junk, and a trace-wide trickle of queries for the newest TLD
+// (".llc") — and provides the classifier that §2.2 runs over the trace.
+//
+// The default scale is 1/1000 of the real capture; the analyzer reports
+// raw counts and the experiment harness scales rates back up.
+package ditl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// Query is one observed root-bound query.
+type Query struct {
+	// Offset is the time since trace start.
+	Offset   time.Duration
+	Resolver uint32
+	Instance uint16
+	Type     dnswire.Type
+	Name     dnswire.Name
+}
+
+// TLD returns the query name's top-level domain.
+func (q Query) TLD() dnswire.Name { return q.Name.TLD() }
+
+// Trace is a chronologically ordered query stream.
+type Trace struct {
+	Start     time.Time
+	Duration  time.Duration
+	Instances int
+	Queries   []Query
+}
+
+// GenConfig parameterises trace synthesis. The zero value is completed by
+// DefaultGenConfig.
+type GenConfig struct {
+	Seed     int64
+	Start    time.Time
+	Duration time.Duration
+	// TotalQueries is the trace size (default 5.7 M, 1/1000 of DITL-2018).
+	TotalQueries int
+	// Resolvers is the resolver population (default 4100).
+	Resolvers int
+	// BogusOnlyResolvers send nothing but junk (default 723).
+	BogusOnlyResolvers int
+	// Instances is the anycast instance count queries spread over
+	// (default 142, the j-root instances in the dataset).
+	Instances int
+	// BogusShare is the bogus-TLD query fraction (default 0.610).
+	BogusShare float64
+	// IdealValidShare is the fraction left valid under ideal caching
+	// (default 0.005): it equals distinct (resolver, TLD) pairs / total.
+	IdealValidShare float64
+	// WindowValidShare is the fraction left valid under the 15-minute
+	// cache model (default 0.033): distinct (resolver, TLD, window)
+	// tuples / total.
+	WindowValidShare float64
+	// Window is the relaxed-cache window (default 15 min).
+	Window time.Duration
+	// ValidTLDs is the TLD universe for legitimate queries; required.
+	ValidTLDs []dnswire.Name
+	// NewTLD receives a trace-wide trickle: NewTLDQueries queries from
+	// NewTLDResolvers resolvers (defaults 7 and 2, scaling the paper's
+	// 6.5 K queries from 1 817 resolvers). Zero NewTLD disables it.
+	NewTLD          dnswire.Name
+	NewTLDQueries   int
+	NewTLDResolvers int
+}
+
+// DefaultGenConfig returns the paper-calibrated configuration at 1/1000
+// scale for the given TLD universe.
+func DefaultGenConfig(validTLDs []dnswire.Name) GenConfig {
+	return GenConfig{
+		Seed:               2018,
+		Start:              time.Date(2018, time.April, 11, 0, 0, 0, 0, time.UTC),
+		Duration:           24 * time.Hour,
+		TotalQueries:       5_700_000,
+		Resolvers:          4100,
+		BogusOnlyResolvers: 723,
+		Instances:          142,
+		BogusShare:         0.610,
+		IdealValidShare:    0.005,
+		WindowValidShare:   0.033,
+		Window:             15 * time.Minute,
+		ValidTLDs:          validTLDs,
+		NewTLD:             "llc.",
+		NewTLDQueries:      7,
+		NewTLDResolvers:    2,
+	}
+}
+
+func (c *GenConfig) fillDefaults() {
+	d := DefaultGenConfig(c.ValidTLDs)
+	if c.Start.IsZero() {
+		c.Start = d.Start
+	}
+	if c.Duration == 0 {
+		c.Duration = d.Duration
+	}
+	if c.TotalQueries == 0 {
+		c.TotalQueries = d.TotalQueries
+	}
+	if c.Resolvers == 0 {
+		c.Resolvers = d.Resolvers
+	}
+	if c.BogusOnlyResolvers == 0 {
+		c.BogusOnlyResolvers = d.BogusOnlyResolvers
+	}
+	if c.Instances == 0 {
+		c.Instances = d.Instances
+	}
+	if c.BogusShare == 0 {
+		c.BogusShare = d.BogusShare
+	}
+	if c.IdealValidShare == 0 {
+		c.IdealValidShare = d.IdealValidShare
+	}
+	if c.WindowValidShare == 0 {
+		c.WindowValidShare = d.WindowValidShare
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+}
+
+// bogusTLDPool mimics the junk seen at roots: leaked private suffixes and
+// random line noise.
+var bogusSuffixes = []string{
+	"local", "home", "corp", "lan", "internal", "localdomain", "dhcp",
+	"belkin", "invalid", "workgroup", "domain", "wpad", "loc", "intra",
+}
+
+// queryTypeMix is the rough qtype distribution of root traffic.
+var queryTypeMix = []dnswire.Type{
+	dnswire.TypeA, dnswire.TypeA, dnswire.TypeA, dnswire.TypeA,
+	dnswire.TypeAAAA, dnswire.TypeAAAA,
+	dnswire.TypeNS, dnswire.TypeDS, dnswire.TypeMX, dnswire.TypeTXT,
+	dnswire.TypeSRV, dnswire.TypePTR,
+}
+
+// Generate synthesizes a trace per cfg. The output is chronologically
+// sorted and deterministic for a given config.
+func Generate(cfg GenConfig) (*Trace, error) {
+	cfg.fillDefaults()
+	if len(cfg.ValidTLDs) == 0 {
+		return nil, fmt.Errorf("ditl: no valid TLDs supplied")
+	}
+	if cfg.BogusOnlyResolvers >= cfg.Resolvers {
+		return nil, fmt.Errorf("ditl: bogus-only resolvers exceed population")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	total := cfg.TotalQueries
+	nBogus := int(cfg.BogusShare * float64(total))
+	nValid := total - nBogus
+	nPairs := int(cfg.IdealValidShare * float64(total))
+	nTuples := int(cfg.WindowValidShare * float64(total))
+	if nPairs < 1 {
+		nPairs = 1
+	}
+	if nTuples < nPairs {
+		nTuples = nPairs
+	}
+	if nValid < nTuples {
+		nTuples = nValid
+	}
+	windows := int(cfg.Duration / cfg.Window)
+	if windows < 1 {
+		windows = 1
+	}
+
+	queries := make([]Query, 0, total)
+	validResolvers := cfg.Resolvers - cfg.BogusOnlyResolvers
+
+	// Instance catchment: resolvers stick to one instance.
+	instanceOf := func(resolver uint32) uint16 {
+		return uint16((uint64(resolver)*2654435761 + 77) % uint64(cfg.Instances))
+	}
+
+	// --- Valid traffic: nPairs (resolver, TLD) pairs, spread over
+	// nTuples (pair, window) bursts, totalling nValid queries. ---
+	type pair struct {
+		resolver uint32
+		tld      dnswire.Name
+	}
+	// The newest TLD must not enter the ordinary popularity pool — its
+	// traffic is modeled explicitly below at the paper's observed level.
+	pool := cfg.ValidTLDs
+	if cfg.NewTLD != "" {
+		pool = make([]dnswire.Name, 0, len(cfg.ValidTLDs))
+		for _, t := range cfg.ValidTLDs {
+			if t != cfg.NewTLD {
+				pool = append(pool, t)
+			}
+		}
+	}
+
+	pairs := make([]pair, nPairs)
+	// Every non-junk resolver does some useful work (the paper's framing:
+	// 3.4M of 4.1M resolvers accomplish useful work), so when the pair
+	// budget allows, each valid resolver gets at least one TLD before the
+	// heavy tail concentrates the rest on big public resolvers.
+	for i := range pairs {
+		var res uint32
+		if i < validResolvers && nPairs >= validResolvers {
+			res = uint32(i)
+		} else {
+			res = uint32(heavyTailIndex(rng, validResolvers))
+		}
+		tld := pool[zipfIndex(rng, len(pool))]
+		pairs[i] = pair{resolver: res, tld: tld}
+	}
+
+	// Apportion windows per pair (Σ = nTuples) and queries per tuple
+	// (Σ = nValid), both with heavy-tailed jitter.
+	windowsPerPair := apportion(rng, nPairs, nTuples)
+	tupleQueries := apportion(rng, nTuples, nValid)
+
+	tupleIdx := 0
+	for i, p := range pairs {
+		wset := pickDistinct(rng, windows, windowsPerPair[i])
+		for _, w := range wset {
+			n := tupleQueries[tupleIdx]
+			tupleIdx++
+			base := time.Duration(w) * cfg.Window
+			for k := 0; k < n; k++ {
+				// Burst inside one window: repeats cluster tightly, as
+				// retransmissions and TTL-refresh storms do.
+				off := base + time.Duration(rng.Int63n(int64(cfg.Window)))
+				queries = append(queries, Query{
+					Offset:   off,
+					Resolver: p.resolver,
+					Instance: instanceOf(p.resolver),
+					Type:     queryTypeMix[rng.Intn(len(queryTypeMix))],
+					Name:     childName(rng, p.tld),
+				})
+			}
+		}
+	}
+
+	// --- New-TLD trickle (§5.3): a handful of queries, few resolvers. ---
+	if cfg.NewTLD != "" && cfg.NewTLDQueries > 0 {
+		for k := 0; k < cfg.NewTLDQueries && len(queries) > 0; k++ {
+			res := uint32(k % maxInt(cfg.NewTLDResolvers, 1))
+			queries[len(queries)-1-k] = Query{
+				Offset:   time.Duration(rng.Int63n(int64(cfg.Duration))),
+				Resolver: res,
+				Instance: instanceOf(res),
+				Type:     dnswire.TypeA,
+				Name:     childName(rng, cfg.NewTLD),
+			}
+		}
+	}
+
+	// --- Bogus traffic. ---
+	for len(queries) < total {
+		var res uint32
+		// Bogus-only resolvers live at the top of the ID space; they
+		// emit roughly 40% of the junk, ordinary resolvers the rest.
+		if rng.Float64() < 0.4 {
+			res = uint32(validResolvers + rng.Intn(cfg.BogusOnlyResolvers))
+		} else {
+			res = uint32(heavyTailIndex(rng, validResolvers))
+		}
+		queries = append(queries, Query{
+			Offset:   time.Duration(rng.Int63n(int64(cfg.Duration))),
+			Resolver: res,
+			Instance: instanceOf(res),
+			Type:     queryTypeMix[rng.Intn(len(queryTypeMix))],
+			Name:     bogusName(rng),
+		})
+	}
+
+	sort.Slice(queries, func(i, j int) bool { return queries[i].Offset < queries[j].Offset })
+	return &Trace{
+		Start:     cfg.Start,
+		Duration:  cfg.Duration,
+		Instances: cfg.Instances,
+		Queries:   queries,
+	}, nil
+}
+
+// heavyTailIndex draws an index in [0, n) with a Zipf-ish heavy tail.
+func heavyTailIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-power sampling: cheap approximation of Zipf(s≈1).
+	u := rng.Float64()
+	idx := int(float64(n) * u * u * u)
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// zipfIndex draws a TLD rank with realistic skew (com/net dominate).
+func zipfIndex(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	u := rng.Float64()
+	idx := int(float64(n) * u * u)
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// apportion splits total into n parts that sum exactly to total, with
+// multiplicative jitter for a heavy-tailed look.
+func apportion(rng *rand.Rand, n, total int) []int {
+	if n <= 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		w := rng.ExpFloat64() + 0.1
+		weights[i] = w
+		sum += w
+	}
+	out := make([]int, n)
+	assigned := 0
+	for i := range out {
+		out[i] = int(weights[i] / sum * float64(total))
+		assigned += out[i]
+	}
+	// Distribute the rounding remainder one by one.
+	for i := 0; assigned < total; i = (i + 1) % n {
+		out[i]++
+		assigned++
+	}
+	// Guarantee every part is at least 1 by stealing from the largest.
+	for i := range out {
+		for out[i] == 0 {
+			maxJ := 0
+			for j := range out {
+				if out[j] > out[maxJ] {
+					maxJ = j
+				}
+			}
+			if out[maxJ] <= 1 {
+				break
+			}
+			out[maxJ]--
+			out[i]++
+		}
+	}
+	return out
+}
+
+// pickDistinct chooses k distinct window indices out of n.
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		w := rng.Intn(n)
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// childName fabricates a plausible query name under a TLD.
+func childName(rng *rand.Rand, tld dnswire.Name) dnswire.Name {
+	hosts := []string{"www", "mail", "api", "cdn", "ns1", "app"}
+	seconds := []string{"example", "acme", "shop", "media", "data", "cloud", "web"}
+	n, err := tld.Child(seconds[rng.Intn(len(seconds))])
+	if err != nil {
+		return tld
+	}
+	n2, err := n.Child(hosts[rng.Intn(len(hosts))])
+	if err != nil {
+		return n
+	}
+	return n2
+}
+
+// bogusName fabricates junk: leaked private suffixes, raw labels, or
+// random noise — none of which exist in the root zone.
+func bogusName(rng *rand.Rand) dnswire.Name {
+	switch rng.Intn(3) {
+	case 0:
+		s := bogusSuffixes[rng.Intn(len(bogusSuffixes))]
+		return dnswire.Name("printer." + s + ".")
+	case 1:
+		return dnswire.Name(randLabel(rng, 8) + "." + bogusSuffixes[rng.Intn(len(bogusSuffixes))] + ".")
+	default:
+		return dnswire.Name(randLabel(rng, 12) + "-zz.")
+	}
+}
+
+func randLabel(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

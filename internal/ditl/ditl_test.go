@@ -1,0 +1,235 @@
+package ditl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/rootzone"
+)
+
+// testTLDs is a fixed valid-TLD universe including llc.
+func testTLDs() []dnswire.Name {
+	var out []dnswire.Name
+	for _, t := range rootzone.TLDsAt(time.Date(2018, time.April, 11, 0, 0, 0, 0, time.UTC)) {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// smallConfig is a 100K-query configuration for fast tests; the resolver
+// population scales down with the trace so the composition holds.
+func smallConfig() GenConfig {
+	cfg := DefaultGenConfig(testTLDs())
+	cfg.TotalQueries = 100_000
+	cfg.Resolvers = 410
+	cfg.BogusOnlyResolvers = 72
+	return cfg
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.4f, want %.4f ± %.4f", name, got, want, tol)
+	}
+}
+
+func TestGenerateMatchesPaperShares(t *testing.T) {
+	trace, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Queries) != 100_000 {
+		t.Fatalf("query count = %d", len(trace.Queries))
+	}
+	a := Analyze(trace, testTLDs(), "llc.", 15*time.Minute)
+
+	// The §2.2 headline decomposition.
+	approx(t, "bogus share", a.BogusShare(), 0.610, 0.01)
+	approx(t, "ideal-valid share", a.IdealValidShare(), 0.005, 0.004)
+	approx(t, "ideal-redundant share", a.IdealRedundantShare(), 0.384, 0.012)
+	approx(t, "window-valid share", a.WindowValidShare(), 0.033, 0.008)
+	approx(t, "window-redundant share", a.WindowRedundantShare(), 0.357, 0.012)
+
+	// Population shape: nearly every resolver appears, and the junk-only
+	// population matches the configured share (723/4100 at full scale).
+	if a.Resolvers < 380 || a.Resolvers > 410 {
+		t.Errorf("resolvers = %d, want ~410", a.Resolvers)
+	}
+	if a.BogusOnlyResolvers < 60 || a.BogusOnlyResolvers > 95 {
+		t.Errorf("bogus-only resolvers = %d, want ~72", a.BogusOnlyResolvers)
+	}
+
+	// Shares must hold: bogus + redundant + valid = 1 for both models.
+	if a.BogusTLD+a.IdealRedundant+a.IdealValid != a.Total {
+		t.Error("ideal decomposition does not sum to total")
+	}
+	if a.BogusTLD+a.WindowRedundant+a.WindowValid != a.Total {
+		t.Error("window decomposition does not sum to total")
+	}
+}
+
+func TestGenerateNewTLDTrickle(t *testing.T) {
+	trace, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(trace, testTLDs(), "llc.", 15*time.Minute)
+	// §5.3: a tiny number of queries from very few resolvers.
+	if a.NewTLDQueries < 1 || a.NewTLDQueries > 20 {
+		t.Errorf("llc queries = %d, want ~7", a.NewTLDQueries)
+	}
+	if a.NewTLDResolvers < 1 || a.NewTLDResolvers > 4 {
+		t.Errorf("llc resolvers = %d, want ~2", a.NewTLDResolvers)
+	}
+	if share := float64(a.NewTLDQueries) / float64(a.Total); share > 0.001 {
+		t.Errorf("llc share = %f, should be negligible", share)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TotalQueries = 10_000
+	t1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Queries) != len(t2.Queries) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range t1.Queries {
+		if t1.Queries[i] != t2.Queries[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestGenerateChronological(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TotalQueries = 20_000
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(trace.Queries); i++ {
+		if trace.Queries[i].Offset < trace.Queries[i-1].Offset {
+			t.Fatal("trace not sorted")
+		}
+	}
+	for _, q := range trace.Queries {
+		if q.Offset < 0 || q.Offset >= trace.Duration {
+			t.Fatalf("offset %v outside trace", q.Offset)
+		}
+		if int(q.Instance) >= trace.Instances {
+			t.Fatalf("instance %d out of range", q.Instance)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{}); err == nil {
+		t.Error("no TLDs accepted")
+	}
+	cfg := smallConfig()
+	cfg.Resolvers = 10
+	cfg.BogusOnlyResolvers = 10
+	if _, err := Generate(cfg); err == nil {
+		t.Error("bogus-only >= population accepted")
+	}
+}
+
+func TestAnalyzerRates(t *testing.T) {
+	cfg := smallConfig()
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(trace, testTLDs(), "llc.", 15*time.Minute)
+	// 100K queries / 86400s ≈ 1.16 q/s at this scale; at the paper's
+	// 5.7B scale the same model yields its ~66K q/s.
+	approx(t, "q/s", a.QueriesPerSecond(), 100_000.0/86400, 0.01)
+	if scaled := a.QueriesPerSecond() * 5.7e9 / 100_000; scaled < 60_000 || scaled > 72_000 {
+		t.Errorf("full-scale q/s = %.0f, want ~66K", scaled)
+	}
+	perInstance := a.ValidPerInstancePerSecond()
+	if perInstance <= 0 {
+		t.Error("per-instance valid rate zero")
+	}
+}
+
+func TestTraceIORoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TotalQueries = 5_000
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Instances != trace.Instances || got.Duration != trace.Duration ||
+		!got.Start.Equal(trace.Start) {
+		t.Error("metadata mismatch")
+	}
+	if len(got.Queries) != len(trace.Queries) {
+		t.Fatalf("query count %d != %d", len(got.Queries), len(trace.Queries))
+	}
+	for i := range got.Queries {
+		a, b := got.Queries[i], trace.Queries[i]
+		// Offsets round to microseconds in the file.
+		if a.Resolver != b.Resolver || a.Instance != b.Instance ||
+			a.Type != b.Type || a.Name != b.Name ||
+			a.Offset/time.Microsecond != b.Offset/time.Microsecond {
+			t.Fatalf("query %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"#wrong\t1\t2\t3\t4\n",
+		"#ditl\t1\t2\t3\n",
+		"#ditl\t1\t2\t3\t4\nbadline\n",
+		"#ditl\t1\t2\t3\t1\nx\ty\tz\tA\tcom.\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadTrace(bytes.NewReader([]byte(src))); err == nil {
+			t.Errorf("case %d: bad trace accepted", i)
+		}
+	}
+}
+
+func TestAnalysisTableRenders(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TotalQueries = 10_000
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(trace, testTLDs(), "llc.", 15*time.Minute)
+	table := a.Table()
+	for _, want := range []string{"bogus TLD", "ideal cache", "valid q/s per instance"} {
+		if !bytes.Contains([]byte(table), []byte(want)) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestShareHelpersZeroSafe(t *testing.T) {
+	var a Analysis
+	if a.BogusShare() != 0 || a.QueriesPerSecond() != 0 || a.ValidPerInstancePerSecond() != 0 {
+		t.Error("zero-value Analysis not safe")
+	}
+}

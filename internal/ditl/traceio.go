@@ -1,0 +1,102 @@
+package ditl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// WriteTrace serializes a trace as TSV: a header line with metadata, then
+// one line per query (offset-µs, resolver, instance, type, name). The
+// format mirrors the flat text dumps DNS-OARC tooling emits.
+func WriteTrace(w io.Writer, trace *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#ditl\t%d\t%d\t%d\t%d\n",
+		trace.Start.Unix(), int64(trace.Duration/time.Second),
+		trace.Instances, len(trace.Queries)); err != nil {
+		return err
+	}
+	for _, q := range trace.Queries {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%s\t%s\n",
+			q.Offset.Microseconds(), q.Resolver, q.Instance, q.Type, q.Name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("ditl: empty trace")
+	}
+	header := strings.Split(sc.Text(), "\t")
+	if len(header) != 5 || header[0] != "#ditl" {
+		return nil, fmt.Errorf("ditl: bad trace header")
+	}
+	start, err := strconv.ParseInt(header[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("ditl: bad start: %w", err)
+	}
+	durSec, err := strconv.ParseInt(header[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("ditl: bad duration: %w", err)
+	}
+	instances, err := strconv.Atoi(header[3])
+	if err != nil {
+		return nil, fmt.Errorf("ditl: bad instance count: %w", err)
+	}
+	count, err := strconv.Atoi(header[4])
+	if err != nil {
+		return nil, fmt.Errorf("ditl: bad query count: %w", err)
+	}
+	trace := &Trace{
+		Start:     time.Unix(start, 0).UTC(),
+		Duration:  time.Duration(durSec) * time.Second,
+		Instances: instances,
+		Queries:   make([]Query, 0, count),
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("ditl: line %d: want 5 fields, have %d", line, len(fields))
+		}
+		offUS, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("ditl: line %d: offset: %w", line, err)
+		}
+		res, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("ditl: line %d: resolver: %w", line, err)
+		}
+		inst, err := strconv.ParseUint(fields[2], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("ditl: line %d: instance: %w", line, err)
+		}
+		typ, err := dnswire.ParseType(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("ditl: line %d: %w", line, err)
+		}
+		name, err := dnswire.ParseName(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("ditl: line %d: %w", line, err)
+		}
+		trace.Queries = append(trace.Queries, Query{
+			Offset:   time.Duration(offUS) * time.Microsecond,
+			Resolver: uint32(res),
+			Instance: uint16(inst),
+			Type:     typ,
+			Name:     name,
+		})
+	}
+	return trace, sc.Err()
+}

@@ -1,0 +1,413 @@
+package dnssec
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+var testNow = time.Unix(1555000000, 0) // fixed clock: 2019-04-11-ish
+
+// detRand is a deterministic io.Reader for key generation in tests.
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) { return d.r.Read(p) }
+
+func newTestSigner(t *testing.T, seed int64) *Signer {
+	t.Helper()
+	s, err := NewSigner(dnswire.Root, detRand{rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func buildZone(t *testing.T) *zone.Zone {
+	t.Helper()
+	src := `
+$ORIGIN .
+. 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. 2019041100 1800 900 604800 86400
+. 518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+com. 172800 IN NS b.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+b.gtld-servers.net. 172800 IN A 192.33.14.30
+com. 86400 IN DS 30909 8 2 AABBCC
+org. 172800 IN NS a0.org.afilias-nst.info.
+`
+	z, err := zone.Parse(strings.NewReader(src), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestKeyGeneration(t *testing.T) {
+	s := newTestSigner(t, 1)
+	if s.KSK.DNSKEY.Flags&dnswire.DNSKEYFlagSEP == 0 {
+		t.Error("KSK missing SEP flag")
+	}
+	if s.ZSK.DNSKEY.Flags&dnswire.DNSKEYFlagSEP != 0 {
+		t.Error("ZSK has SEP flag")
+	}
+	if s.KSK.KeyTag() == s.ZSK.KeyTag() {
+		t.Error("KSK and ZSK share a key tag")
+	}
+	if s.KSK.DNSKEY.Algorithm != dnswire.AlgEd25519 {
+		t.Error("wrong algorithm")
+	}
+}
+
+func TestDSVerify(t *testing.T) {
+	s := newTestSigner(t, 2)
+	ds := s.KSK.DS(172800).Data.(dnswire.DS)
+	if err := VerifyDS(dnswire.Root, s.KSK.DNSKEY, ds); err != nil {
+		t.Errorf("VerifyDS: %v", err)
+	}
+	if err := VerifyDS(dnswire.Root, s.ZSK.DNSKEY, ds); err == nil {
+		t.Error("ZSK should not match KSK's DS")
+	}
+	bad := ds
+	bad.Digest = append([]byte(nil), ds.Digest...)
+	bad.Digest[0] ^= 1
+	if err := VerifyDS(dnswire.Root, s.KSK.DNSKEY, bad); err == nil {
+		t.Error("corrupted digest should not verify")
+	}
+}
+
+func TestSignVerifyRRset(t *testing.T) {
+	s := newTestSigner(t, 3)
+	rrset := []dnswire.RR{
+		dnswire.NewRR("com.", 172800, dnswire.NS{Host: "a.gtld-servers.net."}),
+		dnswire.NewRR("com.", 172800, dnswire.NS{Host: "b.gtld-servers.net."}),
+	}
+	sig, err := SignRRset(s.ZSK, rrset, testNow.Add(-time.Hour), testNow.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []dnswire.DNSKEY{s.KSK.DNSKEY, s.ZSK.DNSKEY}
+	if err := VerifyRRset(rrset, sig, keys, testNow); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// RRset order must not matter (canonical ordering).
+	swapped := []dnswire.RR{rrset[1], rrset[0]}
+	if err := VerifyRRset(swapped, sig, keys, testNow); err != nil {
+		t.Errorf("verify reordered: %v", err)
+	}
+	// Tampered rdata must fail.
+	tampered := []dnswire.RR{
+		rrset[0],
+		dnswire.NewRR("com.", 172800, dnswire.NS{Host: "evil.example."}),
+	}
+	if err := VerifyRRset(tampered, sig, keys, testNow); err == nil {
+		t.Error("tampered rrset verified")
+	}
+	// Expiry windows.
+	if err := VerifyRRset(rrset, sig, keys, testNow.Add(48*time.Hour)); err != ErrSigExpired {
+		t.Errorf("expired: %v", err)
+	}
+	if err := VerifyRRset(rrset, sig, keys, testNow.Add(-3*time.Hour)); err != ErrSigNotYet {
+		t.Errorf("not yet valid: %v", err)
+	}
+	// Wrong key set.
+	other := newTestSigner(t, 99)
+	if err := VerifyRRset(rrset, sig, []dnswire.DNSKEY{other.ZSK.DNSKEY}, testNow); err != ErrNoDNSKEY {
+		t.Errorf("foreign keys: %v", err)
+	}
+}
+
+func TestSignRRsetRejectsMixed(t *testing.T) {
+	s := newTestSigner(t, 4)
+	mixed := []dnswire.RR{
+		dnswire.NewRR("a.example.", 60, dnswire.NS{Host: "ns.example."}),
+		dnswire.NewRR("b.example.", 60, dnswire.NS{Host: "ns.example."}),
+	}
+	if _, err := SignRRset(s.ZSK, mixed, testNow, testNow.Add(time.Hour)); err == nil {
+		t.Error("mixed rrset should be rejected")
+	}
+	if _, err := SignRRset(s.ZSK, nil, testNow, testNow.Add(time.Hour)); err == nil {
+		t.Error("empty rrset should be rejected")
+	}
+}
+
+func TestSignZoneVerifyZone(t *testing.T) {
+	s := newTestSigner(t, 5)
+	z := buildZone(t)
+	before := z.Len()
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() <= before {
+		t.Error("signing did not add records")
+	}
+	if len(z.Lookup(dnswire.Root, dnswire.TypeDNSKEY)) != 2 {
+		t.Error("expected 2 DNSKEYs at apex")
+	}
+	if len(z.Lookup(dnswire.Root, dnswire.TypeZONEMD)) != 1 {
+		t.Error("expected ZONEMD at apex")
+	}
+	anchor := s.TrustAnchor()
+	if err := VerifyZone(z, anchor, testNow); err != nil {
+		t.Fatalf("VerifyZone: %v", err)
+	}
+	// Delegation NS sets must NOT be signed (they are not authoritative).
+	for _, rr := range z.Lookup("com.", dnswire.TypeRRSIG) {
+		if rr.Data.(dnswire.RRSIG).TypeCovered == dnswire.TypeNS {
+			t.Error("delegation NS rrset was signed")
+		}
+	}
+	// But the delegation's DS must be signed.
+	foundDSSig := false
+	for _, rr := range z.Lookup("com.", dnswire.TypeRRSIG) {
+		if rr.Data.(dnswire.RRSIG).TypeCovered == dnswire.TypeDS {
+			foundDSSig = true
+		}
+	}
+	if !foundDSSig {
+		t.Error("delegation DS rrset not signed")
+	}
+}
+
+func TestSignZoneIdempotent(t *testing.T) {
+	s := newTestSigner(t, 6)
+	z := buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	n1 := z.Len()
+	if err := s.SignZone(z, testNow.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != n1 {
+		t.Errorf("re-signing changed record count %d -> %d", n1, z.Len())
+	}
+	if err := VerifyZone(z, s.TrustAnchor(), testNow.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyZoneRejectsTampering(t *testing.T) {
+	s := newTestSigner(t, 7)
+	anchor := s.TrustAnchor()
+
+	// Case 1: modified authoritative record.
+	z := buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	z.Remove("a.root-servers.net.", dnswire.TypeA)
+	_ = z.Add(dnswire.NewRR("a.root-servers.net.", 518400, dnswire.A{Addr: netip.MustParseAddr("6.6.6.6")}))
+	if err := VerifyZone(z, anchor, testNow); err == nil {
+		t.Error("tampered record passed verification")
+	}
+
+	// Case 2: record injected without signature.
+	z = buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	_ = z.Add(dnswire.NewRR("evil.", 60, dnswire.TXT{Strings: []string{"injected"}}))
+	if err := VerifyZone(z, anchor, testNow); err == nil {
+		t.Error("injected unsigned record passed verification")
+	}
+
+	// Case 3: wrong trust anchor.
+	z = buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	other := newTestSigner(t, 1234)
+	if err := VerifyZone(z, other.TrustAnchor(), testNow); err == nil {
+		t.Error("foreign anchor passed verification")
+	}
+
+	// Case 4: signatures expired.
+	if err := VerifyZone(z, anchor, testNow.Add(30*24*time.Hour)); err == nil {
+		t.Error("expired zone passed verification")
+	}
+
+	// Case 5: missing DNSKEY.
+	z.Remove(dnswire.Root, dnswire.TypeDNSKEY)
+	if err := VerifyZone(z, anchor, testNow); err != ErrNoDNSKEY {
+		t.Errorf("missing DNSKEY: %v", err)
+	}
+}
+
+func TestZoneDigestDetectsDrift(t *testing.T) {
+	s := newTestSigner(t, 8)
+	z := buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	d1 := ZoneDigest(z)
+	// Glue changes are not covered by RRSIGs (glue is unsigned) but ARE
+	// covered by the zone digest — the whole point of the file-level check.
+	z.Remove("a.gtld-servers.net.", dnswire.TypeA)
+	_ = z.Add(dnswire.NewRR("a.gtld-servers.net.", 172800, dnswire.A{Addr: netip.MustParseAddr("6.6.6.6")}))
+	d2 := ZoneDigest(z)
+	if string(d1) == string(d2) {
+		t.Error("digest did not change with glue tampering")
+	}
+	if err := VerifyZone(z, s.TrustAnchor(), testNow); err == nil {
+		t.Error("glue tampering passed full verification")
+	}
+}
+
+func TestDetachedFileSignature(t *testing.T) {
+	s := newTestSigner(t, 9)
+	blob := []byte("the serialized root zone file")
+	sig := s.SignFile(blob)
+	if err := VerifyFile(blob, sig, s.KSK.DNSKEY); err != nil {
+		t.Fatalf("VerifyFile: %v", err)
+	}
+	if err := VerifyFile(append(blob, '!'), sig, s.KSK.DNSKEY); err == nil {
+		t.Error("modified blob verified")
+	}
+	if err := VerifyFile(blob, sig, s.ZSK.DNSKEY); err == nil {
+		t.Error("wrong key verified")
+	}
+}
+
+func TestSignedZoneSurvivesSerialization(t *testing.T) {
+	// A signed zone must verify after a master-file round trip — this is
+	// the property the whole distribution pipeline rests on.
+	s := newTestSigner(t, 10)
+	z := buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	text := zone.Text(z)
+	z2, err := zone.Parse(strings.NewReader(text), dnswire.Root)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if err := VerifyZone(z2, s.TrustAnchor(), testNow); err != nil {
+		t.Fatalf("verify after round trip: %v", err)
+	}
+	blob, err := zone.Compress(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z3, err := zone.Decompress(blob, dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyZone(z3, s.TrustAnchor(), testNow); err != nil {
+		t.Fatalf("verify after compress round trip: %v", err)
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	// Property: any RRset signs and verifies; any single-bit rdata change
+	// breaks verification.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s, err := NewSigner(dnswire.Root, detRand{r})
+		if err != nil {
+			return false
+		}
+		n := dnswire.Name("tld" + string(rune('a'+r.Intn(26))) + ".")
+		rrset := make([]dnswire.RR, 1+r.Intn(4))
+		for i := range rrset {
+			var a4 [4]byte
+			r.Read(a4[:])
+			rrset[i] = dnswire.NewRR(n, 172800, dnswire.A{Addr: netip.AddrFrom4(a4)})
+		}
+		sig, err := SignRRset(s.ZSK, rrset, testNow.Add(-time.Hour), testNow.Add(time.Hour))
+		if err != nil {
+			return false
+		}
+		keys := []dnswire.DNSKEY{s.ZSK.DNSKEY}
+		if VerifyRRset(rrset, sig, keys, testNow) != nil {
+			return false
+		}
+		mutated := append([]dnswire.RR(nil), rrset...)
+		old := mutated[0].Data.(dnswire.A).Addr.As4()
+		old[r.Intn(4)] ^= byte(1 << r.Intn(8))
+		mutated[0].Data = dnswire.A{Addr: netip.AddrFrom4(old)}
+		return VerifyRRset(mutated, sig, keys, testNow) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNSECChain(t *testing.T) {
+	s := newTestSigner(t, 21)
+	s.AddNSEC = true
+	z := buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	// NSEC at the apex and at each delegation; none at glue-only names.
+	for _, name := range []dnswire.Name{".", "com.", "org."} {
+		if len(z.Lookup(name, dnswire.TypeNSEC)) != 1 {
+			t.Errorf("no NSEC at %s", name)
+		}
+	}
+	if len(z.Lookup("a.gtld-servers.net.", dnswire.TypeNSEC)) != 0 {
+		t.Error("NSEC at glue-only name")
+	}
+	// The chain closes: following NextName from the apex must visit every
+	// owner once and return to the apex.
+	seen := map[dnswire.Name]bool{dnswire.Root: true}
+	cur := dnswire.Root
+	for i := 0; i < 100; i++ {
+		rrs := z.Lookup(cur, dnswire.TypeNSEC)
+		if len(rrs) != 1 {
+			t.Fatalf("chain broken at %s", cur)
+		}
+		next := rrs[0].Data.(dnswire.NSEC).NextName
+		if next == dnswire.Root {
+			if len(seen) != 3 { // apex + com + org
+				t.Fatalf("chain closed after %d owners, want 3", len(seen))
+			}
+			return
+		}
+		if seen[next] {
+			t.Fatalf("chain revisits %s before closing", next)
+		}
+		seen[next] = true
+		cur = next
+	}
+	t.Fatal("chain did not close")
+}
+
+func TestNSECBitmaps(t *testing.T) {
+	s := newTestSigner(t, 22)
+	s.AddNSEC = true
+	z := buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	comNSEC := z.Lookup("com.", dnswire.TypeNSEC)[0].Data.(dnswire.NSEC)
+	want := map[dnswire.Type]bool{dnswire.TypeNS: false, dnswire.TypeDS: false, dnswire.TypeNSEC: false}
+	for _, typ := range comNSEC.Types {
+		if _, ok := want[typ]; ok {
+			want[typ] = true
+		}
+	}
+	for typ, got := range want {
+		if !got {
+			t.Errorf("com. NSEC bitmap missing %s", typ)
+		}
+	}
+	// org. has no DS in the test zone, so its bitmap must not claim one.
+	orgNSEC := z.Lookup("org.", dnswire.TypeNSEC)[0].Data.(dnswire.NSEC)
+	for _, typ := range orgNSEC.Types {
+		if typ == dnswire.TypeDS {
+			t.Error("org. NSEC bitmap claims a DS that does not exist")
+		}
+	}
+	// NSEC RRsets are signed and the zone still verifies.
+	if err := VerifyZone(z, s.TrustAnchor(), testNow); err != nil {
+		t.Fatal(err)
+	}
+}

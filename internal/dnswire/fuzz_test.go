@@ -1,0 +1,90 @@
+package dnswire
+
+import (
+	"testing"
+)
+
+// FuzzMessageUnpack drives the decoder with arbitrary bytes: it must
+// never panic, and anything it accepts must survive a pack/unpack round
+// trip (decode-encode-decode stability).
+func FuzzMessageUnpack(f *testing.F) {
+	// Seed corpus: valid messages of increasing complexity plus a few
+	// known-nasty shapes.
+	q := NewQuery(1, "example.com.", TypeA)
+	w1, _ := q.Pack()
+	f.Add(w1)
+
+	resp := &Message{
+		ID: 2, Response: true,
+		Questions: []Question{{Name: "www.example.com.", Type: TypeA, Class: ClassINET}},
+		Answers:   sampleRRs(),
+	}
+	w2, _ := resp.Pack()
+	f.Add(w2)
+
+	f.Add([]byte{})                                               // empty
+	f.Add(make([]byte, 12))                                       // bare header
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C}) // self-pointer qname
+	f.Add(append(append([]byte{}, w2...), 0xFF))                  // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.Unpack(data); err != nil {
+			return // rejects are fine; panics are not
+		}
+		// Accepted messages must re-encode and re-decode to the same
+		// structure (the encoder may compress differently, so compare
+		// after a second decode).
+		w, err := m.Pack()
+		if err != nil {
+			// Some decodable messages exceed encoder limits (e.g. a
+			// label that only existed via compression). That is
+			// acceptable as long as it is an error, not a panic.
+			return
+		}
+		var m2 Message
+		if err := m2.Unpack(w); err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		w2, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if string(w) != string(w2) {
+			t.Fatalf("encode not stable:\n%x\n%x", w, w2)
+		}
+	})
+}
+
+// FuzzNameParse drives the presentation-form name parser.
+func FuzzNameParse(f *testing.F) {
+	for _, seed := range []string{
+		"", ".", "com", "www.example.com.", `ex\.ample.com`, `a\032b.tld`,
+		`bad\`, "..", "xn--idn00.", "_sip._tcp.example.com.",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseName(s)
+		if err != nil {
+			return
+		}
+		// Valid names round-trip through the wire codec.
+		wire, err := appendName(nil, n, nil)
+		if err != nil {
+			t.Fatalf("ParseName accepted %q but wire encoding failed: %v", s, err)
+		}
+		back, _, err := unpackName(wire, 0)
+		if err != nil {
+			t.Fatalf("wire round trip of %q failed: %v", n, err)
+		}
+		if back != n {
+			t.Fatalf("round trip drift: %q -> %q", n, back)
+		}
+		// And re-parsing the canonical form is a fixed point.
+		again, err := ParseName(string(n))
+		if err != nil || again != n {
+			t.Fatalf("canonical form not a fixed point: %q -> %q (%v)", n, again, err)
+		}
+	})
+}

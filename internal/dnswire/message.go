@@ -1,0 +1,282 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MaxUDPSize is the classic DNS-over-UDP payload limit (RFC 1035 §4.2.1).
+const MaxUDPSize = 512
+
+// DefaultEDNSSize is the EDNS0 UDP payload size this system advertises.
+const DefaultEDNSSize = 1232
+
+// Question is a query tuple (RFC 1035 §4.1.2).
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// Message is a complete DNS message (RFC 1035 §4.1).
+type Message struct {
+	ID     uint16
+	Opcode Opcode
+	Rcode  Rcode
+
+	Response           bool // QR
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	AuthenticData      bool // AD (RFC 4035)
+	CheckingDisabled   bool // CD (RFC 4035)
+
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Errors returned by message packing and unpacking.
+var (
+	ErrMessageTruncated = errors.New("dnswire: truncated message")
+	ErrTrailingBytes    = errors.New("dnswire: trailing bytes after message")
+)
+
+// flags layout within the second header word.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+	flagAD = 1 << 5
+	flagCD = 1 << 4
+)
+
+// Pack serializes the message with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack serializes the message with name compression, appending to b.
+// Compression offsets assume the message starts at b's current beginning,
+// so b must be empty or used only for this message.
+func (m *Message) AppendPack(b []byte) ([]byte, error) {
+	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
+		len(m.Authority) > 0xFFFF || len(m.Additional) > 0xFFFF {
+		return nil, errors.New("dnswire: section exceeds 65535 records")
+	}
+	b = binary.BigEndian.AppendUint16(b, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Opcode&0xF) << 11
+	if m.Authoritative {
+		flags |= flagAA
+	}
+	if m.Truncated {
+		flags |= flagTC
+	}
+	if m.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.RecursionAvailable {
+		flags |= flagRA
+	}
+	if m.AuthenticData {
+		flags |= flagAD
+	}
+	if m.CheckingDisabled {
+		flags |= flagCD
+	}
+	flags |= uint16(m.Rcode & 0xF)
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Questions)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Answers)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Authority)))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Additional)))
+
+	cmp := newCompressor()
+	var err error
+	for _, q := range m.Questions {
+		if b, err = appendName(b, q.Name, cmp); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(q.Type))
+		b = binary.BigEndian.AppendUint16(b, uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if b, err = appendRR(b, rr, cmp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// Unpack parses a complete DNS message. Trailing bytes are an error.
+func (m *Message) Unpack(data []byte) error {
+	if len(data) < 12 {
+		return ErrMessageTruncated
+	}
+	*m = Message{}
+	m.ID = binary.BigEndian.Uint16(data)
+	flags := binary.BigEndian.Uint16(data[2:])
+	m.Response = flags&flagQR != 0
+	m.Opcode = Opcode(flags >> 11 & 0xF)
+	m.Authoritative = flags&flagAA != 0
+	m.Truncated = flags&flagTC != 0
+	m.RecursionDesired = flags&flagRD != 0
+	m.RecursionAvailable = flags&flagRA != 0
+	m.AuthenticData = flags&flagAD != 0
+	m.CheckingDisabled = flags&flagCD != 0
+	m.Rcode = Rcode(flags & 0xF)
+
+	qd := int(binary.BigEndian.Uint16(data[4:]))
+	an := int(binary.BigEndian.Uint16(data[6:]))
+	ns := int(binary.BigEndian.Uint16(data[8:]))
+	ar := int(binary.BigEndian.Uint16(data[10:]))
+
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = unpackName(data, off)
+		if err != nil {
+			return err
+		}
+		if off+4 > len(data) {
+			return ErrMessageTruncated
+		}
+		q.Type = Type(binary.BigEndian.Uint16(data[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(data[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for i := 0; i < an; i++ {
+		var rr RR
+		rr, off, err = unpackRR(data, off)
+		if err != nil {
+			return err
+		}
+		m.Answers = append(m.Answers, rr)
+	}
+	for i := 0; i < ns; i++ {
+		var rr RR
+		rr, off, err = unpackRR(data, off)
+		if err != nil {
+			return err
+		}
+		m.Authority = append(m.Authority, rr)
+	}
+	for i := 0; i < ar; i++ {
+		var rr RR
+		rr, off, err = unpackRR(data, off)
+		if err != nil {
+			return err
+		}
+		m.Additional = append(m.Additional, rr)
+	}
+	if off != len(data) {
+		return ErrTrailingBytes
+	}
+	return nil
+}
+
+// NewQuery builds a standard query message for (name, type) in class IN.
+func NewQuery(id uint16, name Name, typ Type) *Message {
+	return &Message{
+		ID:               id,
+		Opcode:           OpcodeQuery,
+		RecursionDesired: true,
+		Questions:        []Question{{Name: name, Type: typ, Class: ClassINET}},
+	}
+}
+
+// SetEDNS attaches (or replaces) an OPT pseudo-record advertising the given
+// UDP payload size and the DO bit.
+func (m *Message) SetEDNS(udpSize uint16, do bool) {
+	kept := m.Additional[:0]
+	for _, rr := range m.Additional {
+		if rr.Type != TypeOPT {
+			kept = append(kept, rr)
+		}
+	}
+	m.Additional = kept
+	var ttl uint32
+	if do {
+		ttl |= 1 << 15 // DO bit lives in the high bit of the TTL's low word
+	}
+	m.Additional = append(m.Additional, RR{
+		Name:  Root,
+		Type:  TypeOPT,
+		Class: Class(udpSize),
+		TTL:   ttl,
+		Data:  OPT{},
+	})
+}
+
+// EDNS returns the message's OPT record, if any, and the advertised UDP
+// payload size and DO bit.
+func (m *Message) EDNS() (opt *RR, udpSize uint16, do bool) {
+	for i := range m.Additional {
+		if m.Additional[i].Type == TypeOPT {
+			rr := &m.Additional[i]
+			return rr, uint16(rr.Class), rr.TTL&(1<<15) != 0
+		}
+	}
+	return nil, 0, false
+}
+
+// String renders the message dig-style for debugging.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; opcode: %s, status: %s, id: %d\n", m.Opcode, m.Rcode, m.ID)
+	fmt.Fprintf(&sb, ";; flags:")
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{m.Response, "qr"}, {m.Authoritative, "aa"}, {m.Truncated, "tc"},
+		{m.RecursionDesired, "rd"}, {m.RecursionAvailable, "ra"},
+		{m.AuthenticData, "ad"}, {m.CheckingDisabled, "cd"},
+	} {
+		if f.on {
+			sb.WriteByte(' ')
+			sb.WriteString(f.name)
+		}
+	}
+	fmt.Fprintf(&sb, "; QUERY: %d, ANSWER: %d, AUTHORITY: %d, ADDITIONAL: %d\n",
+		len(m.Questions), len(m.Answers), len(m.Authority), len(m.Additional))
+	if len(m.Questions) > 0 {
+		sb.WriteString(";; QUESTION SECTION:\n")
+		for _, q := range m.Questions {
+			fmt.Fprintf(&sb, ";%s\n", q)
+		}
+	}
+	for _, sec := range []struct {
+		name string
+		rrs  []RR
+	}{{"ANSWER", m.Answers}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Additional}} {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, ";; %s SECTION:\n", sec.name)
+		for _, rr := range sec.rrs {
+			sb.WriteString(rr.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

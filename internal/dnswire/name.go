@@ -1,0 +1,339 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Name is a fully-qualified domain name in canonical presentation form:
+// lowercase, absolute (trailing dot), with special characters escaped as
+// "\." or "\DDD". The root is the single dot ".".
+//
+// The zero value is not a valid name; use Root for the root.
+type Name string
+
+// Root is the root of the DNS namespace.
+const Root Name = "."
+
+// Errors produced by name handling.
+var (
+	ErrNameTooLong   = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong  = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel    = errors.New("dnswire: empty label")
+	ErrBadEscape     = errors.New("dnswire: bad escape sequence")
+	ErrBadPointer    = errors.New("dnswire: bad compression pointer")
+	ErrNameTruncated = errors.New("dnswire: truncated name")
+)
+
+// lowerByte lowercases ASCII, leaving other bytes untouched (RFC 4343).
+func lowerByte(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + 'a' - 'A'
+	}
+	return b
+}
+
+// escapeLabel renders a raw label in presentation form.
+func escapeLabel(label []byte) string {
+	var sb strings.Builder
+	for _, b := range label {
+		switch {
+		case b == '.' || b == '\\':
+			sb.WriteByte('\\')
+			sb.WriteByte(b)
+		case b < '!' || b > '~':
+			sb.WriteByte('\\')
+			sb.WriteByte('0' + b/100)
+			sb.WriteByte('0' + b/10%10)
+			sb.WriteByte('0' + b%10)
+		default:
+			sb.WriteByte(lowerByte(b))
+		}
+	}
+	return sb.String()
+}
+
+// parseLabels splits a presentation-form name into raw (unescaped,
+// lowercased) labels. The input may be relative or absolute; an empty
+// string or "." yields no labels.
+func parseLabels(s string) ([][]byte, error) {
+	if s == "" || s == "." {
+		return nil, nil
+	}
+	var labels [][]byte
+	var cur []byte
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '.':
+			if len(cur) == 0 {
+				return nil, ErrEmptyLabel
+			}
+			if len(cur) > 63 {
+				return nil, ErrLabelTooLong
+			}
+			labels = append(labels, cur)
+			cur = nil
+			i++
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, ErrBadEscape
+			}
+			n := s[i+1]
+			if n >= '0' && n <= '9' {
+				if i+3 >= len(s) || s[i+2] < '0' || s[i+2] > '9' || s[i+3] < '0' || s[i+3] > '9' {
+					return nil, ErrBadEscape
+				}
+				v := int(n-'0')*100 + int(s[i+2]-'0')*10 + int(s[i+3]-'0')
+				if v > 255 {
+					return nil, ErrBadEscape
+				}
+				cur = append(cur, byte(v))
+				i += 4
+			} else {
+				cur = append(cur, lowerByte(n))
+				i += 2
+			}
+		default:
+			cur = append(cur, lowerByte(c))
+			i++
+		}
+	}
+	if len(cur) > 0 {
+		if len(cur) > 63 {
+			return nil, ErrLabelTooLong
+		}
+		labels = append(labels, cur)
+	}
+	total := 1 // terminating zero octet
+	for _, l := range labels {
+		total += len(l) + 1
+	}
+	if total > 255 {
+		return nil, ErrNameTooLong
+	}
+	return labels, nil
+}
+
+// nameFromLabels builds a canonical Name from raw labels.
+func nameFromLabels(labels [][]byte) Name {
+	if len(labels) == 0 {
+		return Root
+	}
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(escapeLabel(l))
+		sb.WriteByte('.')
+	}
+	return Name(sb.String())
+}
+
+// ParseName normalizes a presentation-form name (relative names are made
+// absolute) into canonical form, validating length limits.
+func ParseName(s string) (Name, error) {
+	labels, err := parseLabels(s)
+	if err != nil {
+		return "", err
+	}
+	return nameFromLabels(labels), nil
+}
+
+// MustParseName is ParseName that panics on error, for constants and tests.
+func MustParseName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// IsRoot reports whether n is the root name.
+func (n Name) IsRoot() bool { return n == Root }
+
+// Labels returns the name's raw labels, outermost first. The root has none.
+func (n Name) Labels() [][]byte {
+	labels, err := parseLabels(string(n))
+	if err != nil {
+		return nil
+	}
+	return labels
+}
+
+// LabelCount returns the number of labels in n (0 for the root).
+func (n Name) LabelCount() int { return len(n.Labels()) }
+
+// Parent returns the name with the leftmost label removed; the root's
+// parent is the root.
+func (n Name) Parent() Name {
+	labels := n.Labels()
+	if len(labels) == 0 {
+		return Root
+	}
+	return nameFromLabels(labels[1:])
+}
+
+// TLD returns the top-level domain of n as an absolute Name ("com." for
+// "www.example.com."), or the root if n is the root.
+func (n Name) TLD() Name {
+	labels := n.Labels()
+	if len(labels) == 0 {
+		return Root
+	}
+	return nameFromLabels(labels[len(labels)-1:])
+}
+
+// IsSubdomainOf reports whether n is equal to or below parent.
+func (n Name) IsSubdomainOf(parent Name) bool {
+	if parent.IsRoot() {
+		return true
+	}
+	if n == parent {
+		return true
+	}
+	return strings.HasSuffix(string(n), "."+string(parent)) ||
+		(len(n) > len(parent) && strings.HasSuffix(string(n), string(parent)) &&
+			n[len(n)-len(parent)-1] == '.')
+}
+
+// Child returns the label-prefixed child of n: Child("www", "example.com.")
+// is "www.example.com.".
+func (n Name) Child(label string) (Name, error) {
+	if n.IsRoot() {
+		return ParseName(label)
+	}
+	return ParseName(label + "." + string(n))
+}
+
+// WireLen returns the uncompressed wire length of the name in octets.
+func (n Name) WireLen() int {
+	total := 1
+	for _, l := range n.Labels() {
+		total += len(l) + 1
+	}
+	return total
+}
+
+// Compare orders names in DNSSEC canonical order (RFC 4034 §6.1):
+// by reversed label sequence, labels compared as case-folded octet strings.
+func (n Name) Compare(m Name) int {
+	a, b := n.Labels(), m.Labels()
+	for i := 1; i <= len(a) && i <= len(b); i++ {
+		la, lb := a[len(a)-i], b[len(b)-i]
+		if c := compareLabels(la, lb); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func compareLabels(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		ca, cb := lowerByte(a[i]), lowerByte(b[i])
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// compressor tracks label-suffix offsets while packing a message, so
+// later occurrences of a suffix can be encoded as 14-bit pointers.
+type compressor struct {
+	offsets map[string]int
+}
+
+func newCompressor() *compressor {
+	return &compressor{offsets: make(map[string]int)}
+}
+
+// appendName appends the wire encoding of n to b. If cmp is non-nil the
+// name may be compressed against, and is registered in, cmp's suffix table.
+func appendName(b []byte, n Name, cmp *compressor) ([]byte, error) {
+	labels, err := parseLabels(string(n))
+	if err != nil {
+		return nil, err
+	}
+	for i := range labels {
+		suffix := string(nameFromLabels(labels[i:]))
+		if cmp != nil {
+			if off, ok := cmp.offsets[suffix]; ok {
+				return append(b, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if len(b) < 0x4000 {
+				cmp.offsets[suffix] = len(b)
+			}
+		}
+		b = append(b, byte(len(labels[i])))
+		b = append(b, labels[i]...)
+	}
+	return append(b, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name from msg starting at off.
+// It returns the name and the offset just past the name's encoding at the
+// top level (pointers do not advance the caller's offset past 2 octets).
+func unpackName(msg []byte, off int) (Name, int, error) {
+	var labels [][]byte
+	ptrBudget := 127 // defends against pointer loops
+	end := -1        // offset after the name at the original nesting level
+	total := 1
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrNameTruncated
+		}
+		c := int(msg[off])
+		switch {
+		case c == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			return nameFromLabels(labels), end, nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrNameTruncated
+			}
+			ptr := (c&0x3F)<<8 | int(msg[off+1])
+			if end < 0 {
+				end = off + 2
+			}
+			if ptr >= off {
+				// Forward or self pointers are invalid and could loop.
+				return "", 0, ErrBadPointer
+			}
+			if ptrBudget--; ptrBudget < 0 {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return "", 0, ErrBadPointer
+		default:
+			if off+1+c > len(msg) {
+				return "", 0, ErrNameTruncated
+			}
+			total += c + 1
+			if total > 255 {
+				return "", 0, ErrNameTooLong
+			}
+			label := make([]byte, c)
+			copy(label, msg[off+1:off+1+c])
+			labels = append(labels, label)
+			off += 1 + c
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RR is a resource record: owner name, type/class/TTL metadata, and
+// type-specific data.
+type RR struct {
+	Name  Name
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// NewRR builds an RR of class IN, deriving Type from the data.
+func NewRR(name Name, ttl uint32, data RData) RR {
+	return RR{Name: name, Type: data.Type(), Class: ClassINET, TTL: ttl, Data: data}
+}
+
+// String renders the record in zone-file presentation form.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s",
+		rr.Name, rr.TTL, rr.Class, rr.Type, rr.Data.String())
+}
+
+// appendRR appends the record's wire encoding to b.
+func appendRR(b []byte, rr RR, cmp *compressor) ([]byte, error) {
+	if rr.Data == nil {
+		return nil, errors.New("dnswire: RR with nil data")
+	}
+	var err error
+	if b, err = appendName(b, rr.Name, cmp); err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(rr.Type))
+	b = binary.BigEndian.AppendUint16(b, uint16(rr.Class))
+	b = binary.BigEndian.AppendUint32(b, rr.TTL)
+	lenOff := len(b)
+	b = append(b, 0, 0)
+	if b, err = rr.Data.appendWire(b, cmp); err != nil {
+		return nil, err
+	}
+	rdlen := len(b) - lenOff - 2
+	if rdlen > 0xFFFF {
+		return nil, errors.New("dnswire: rdata exceeds 65535 octets")
+	}
+	binary.BigEndian.PutUint16(b[lenOff:], uint16(rdlen))
+	return b, nil
+}
+
+// unpackRR decodes one record from msg starting at off, returning the
+// record and the offset just past it.
+func unpackRR(msg []byte, off int) (RR, int, error) {
+	name, off, err := unpackName(msg, off)
+	if err != nil {
+		return RR{}, 0, err
+	}
+	if off+10 > len(msg) {
+		return RR{}, 0, errRDataTruncated
+	}
+	rr := RR{
+		Name:  name,
+		Type:  Type(binary.BigEndian.Uint16(msg[off:])),
+		Class: Class(binary.BigEndian.Uint16(msg[off+2:])),
+		TTL:   binary.BigEndian.Uint32(msg[off+4:]),
+	}
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return RR{}, 0, errRDataTruncated
+	}
+	rr.Data, err = unpackRData(rr.Type, msg, off, rdlen)
+	if err != nil {
+		return RR{}, 0, err
+	}
+	return rr, off + rdlen, nil
+}
+
+// CanonicalWire returns the record's uncompressed wire form with the owner
+// name lowercased, as required for DNSSEC signing (RFC 4034 §6).
+func (rr RR) CanonicalWire() ([]byte, error) {
+	return appendRR(nil, rr, nil)
+}
+
+// RRsetKey identifies an RRset: the (name, type, class) triple.
+type RRsetKey struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// Key returns the record's RRset key.
+func (rr RR) Key() RRsetKey {
+	return RRsetKey{Name: rr.Name, Type: rr.Type, Class: rr.Class}
+}
+
+// GroupRRsets partitions records into RRsets, preserving first-seen order
+// of the sets and record order within each set.
+func GroupRRsets(rrs []RR) ([]RRsetKey, map[RRsetKey][]RR) {
+	var order []RRsetKey
+	sets := make(map[RRsetKey][]RR)
+	for _, rr := range rrs {
+		k := rr.Key()
+		if _, ok := sets[k]; !ok {
+			order = append(order, k)
+		}
+		sets[k] = append(sets[k], rr)
+	}
+	return order, sets
+}

@@ -1,0 +1,119 @@
+// Package experiments reproduces every quantitative claim in the paper:
+// both figures plus each inline analysis in §2, §4 and §5, treated as a
+// table. Each experiment returns a Result with paper-vs-measured rows so
+// cmd/experiments, EXPERIMENTS.md, and the benchmark harness all share
+// one source of truth.
+//
+// Absolute numbers need not match the paper (our substrate is a
+// simulator, not DNS-OARC's capture or the 2019 Internet); the *shape* —
+// who wins, by what factor, where crossovers fall — must.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rootless/internal/metrics"
+)
+
+// Row is one paper-vs-measured comparison.
+type Row struct {
+	Metric   string
+	Paper    string
+	Measured string
+	// Match reports whether the measured value preserves the paper's
+	// finding (within the experiment's tolerance).
+	Match bool
+}
+
+// Result is one experiment's outcome.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Series holds figure data (monthly samples etc.).
+	Series []metrics.Series
+	Notes  string
+}
+
+// Matches reports whether every row preserved the paper's finding.
+func (r Result) Matches() bool {
+	for _, row := range r.Rows {
+		if !row.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the result as a text report section.
+func (r Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	w := 0
+	for _, row := range r.Rows {
+		if len(row.Metric) > w {
+			w = len(row.Metric)
+		}
+	}
+	for _, row := range r.Rows {
+		mark := "ok"
+		if !row.Match {
+			mark = "MISMATCH"
+		}
+		fmt.Fprintf(&sb, "  %-*s  paper: %-24s measured: %-24s [%s]\n",
+			w, row.Metric, row.Paper, row.Measured, mark)
+	}
+	for i := range r.Series {
+		sb.WriteString(r.Series[i].AsciiPlot(64, 10))
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&sb, "  note: %s\n", r.Notes)
+	}
+	return sb.String()
+}
+
+// row builds a Row with a match predicate already evaluated.
+func row(metric, paper string, measuredFmt string, args ...interface{}) func(bool) Row {
+	measured := fmt.Sprintf(measuredFmt, args...)
+	return func(match bool) Row {
+		return Row{Metric: metric, Paper: paper, Measured: measured, Match: match}
+	}
+}
+
+// within reports |got-want| <= tol*want (relative tolerance).
+func within(got, want, tol float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	limit := want * tol
+	if limit < 0 {
+		limit = -limit
+	}
+	return diff <= limit
+}
+
+// All runs every experiment at its default (fast) scale, in paper order.
+func All() []Result {
+	return []Result{
+		Fig1RootZoneGrowth(),
+		Fig2InstanceGrowth(),
+		TrafficClassification(500_000),
+		HintsFile(),
+		ZoneSize(),
+		CachePreload(),
+		TLDExtraction(25),
+		DistributionLoad(),
+		Staleness(),
+		NewTLDLag(),
+		ResolutionLatency(400),
+		Robustness(),
+		Attack(150),
+		Privacy(300),
+		Complexity(200),
+		TTLSweep(),
+		AdditionsChannel(),
+		Infrastructure(),
+	}
+}

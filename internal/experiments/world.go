@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"rootless/internal/anycast"
+	"rootless/internal/authserver"
+	"rootless/internal/dnswire"
+	"rootless/internal/netsim"
+	"rootless/internal/resolver"
+	"rootless/internal/rootzone"
+	"rootless/internal/zone"
+)
+
+// world is the simulated internet the §4 experiments share: the full
+// anycast root deployment serving the synthetic root zone, a TLD/SLD
+// answering fabric behind every glue address in that zone, and clients
+// scattered across cities.
+type world struct {
+	net       *netsim.Network
+	rootZone  *zone.Zone
+	rootSrv   *authserver.Server
+	hints     []dnswire.RR
+	rootAddrs []netip.Addr
+	date      time.Time
+	tlds      []dnswire.Name
+	nextLoop  int
+}
+
+// instancesPerLetterCap bounds simulated hosts per letter for speed; the
+// catchment structure survives because instances are spread over cities.
+func buildWorld(seed int64, at time.Time, instancesPerLetterCap int) (*world, error) {
+	rz, err := rootzone.Build(at)
+	if err != nil {
+		return nil, err
+	}
+	w := &world{
+		net:      netsim.New(seed, at),
+		rootZone: rz,
+		rootSrv:  authserver.New(rz),
+		hints:    rootzone.Hints(),
+		date:     at,
+	}
+	for _, t := range rootzone.TLDsAt(at) {
+		w.tlds = append(w.tlds, t.Name)
+	}
+
+	// Root letters: anycast instances from the deployment model.
+	perLetter := make(map[byte]int)
+	for _, in := range anycast.Deployment(at) {
+		if perLetter[in.Letter] >= instancesPerLetterCap {
+			continue
+		}
+		perLetter[in.Letter]++
+		letterIdx := int(in.Letter - 'a')
+		rl := rootzone.RootLetters()[letterIdx]
+		w.net.AddHost(in.Name(), rl.V4, in.Location, w.rootSrv)
+	}
+	for _, rl := range rootzone.RootLetters() {
+		w.rootAddrs = append(w.rootAddrs, rl.V4)
+	}
+
+	// TLD fabric: every A-glue address in the root zone hosts an
+	// authoritative answerer for the whole subtree under its TLDs.
+	fabric := newFabricHandler(seed)
+	for _, rr := range rz.Records() {
+		if rr.Type != dnswire.TypeA || rr.Name.IsRoot() {
+			continue
+		}
+		if rr.Name.IsSubdomainOf("root-servers.net.") {
+			continue
+		}
+		addr := rr.Data.(dnswire.A).Addr
+		w.net.AddHost("tld:"+string(rr.Name), addr, cityFor(string(rr.Name)), fabric)
+	}
+	return w, nil
+}
+
+// cityFor deterministically places a host in the city pool.
+func cityFor(key string) anycast.GeoPoint {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return anycast.CityLocation(int(h.Sum64() % uint64(anycast.CityCount())))
+}
+
+// fabricHandler authoritatively answers anything below a TLD: synthetic
+// A/AAAA answers with 1-hour TTLs, NXDOMAIN for the label "missing".
+type fabricHandler struct {
+	seed int64
+}
+
+func newFabricHandler(seed int64) *fabricHandler { return &fabricHandler{seed: seed} }
+
+func (f *fabricHandler) Handle(q *dnswire.Message, _ netip.Addr) *dnswire.Message {
+	resp := &dnswire.Message{
+		ID:            q.ID,
+		Response:      true,
+		Authoritative: true,
+		Questions:     q.Questions,
+	}
+	if len(q.Questions) != 1 {
+		resp.Rcode = dnswire.RcodeFormat
+		return resp
+	}
+	question := q.Questions[0]
+	soa := dnswire.NewRR(question.Name.TLD(), 900, dnswire.SOA{
+		MName: "ns0.nic." + question.Name.TLD(), RName: "hostmaster.nic." + question.Name.TLD(),
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 300,
+	})
+	labels := question.Name.Labels()
+	if len(labels) > 0 && string(labels[0]) == "missing" {
+		resp.Rcode = dnswire.RcodeNXDomain
+		resp.Authority = []dnswire.RR{soa}
+		return resp
+	}
+	switch question.Type {
+	case dnswire.TypeA:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d/%s", f.seed, question.Name)
+		v := h.Sum64()
+		resp.Answers = []dnswire.RR{dnswire.NewRR(question.Name, 3600, dnswire.A{
+			Addr: netip.AddrFrom4([4]byte{203, 0, byte(v >> 8 & 0x7f), byte(1 + v%250)}),
+		})}
+	case dnswire.TypeNS:
+		if len(labels) <= 1 {
+			// TLD apex NS.
+			resp.Answers = []dnswire.RR{dnswire.NewRR(question.Name, 172800,
+				dnswire.NS{Host: "ns0.nic." + question.Name})}
+		} else {
+			// No deeper delegations in the fabric: NODATA.
+			resp.Authority = []dnswire.RR{soa}
+		}
+	default:
+		resp.Authority = []dnswire.RR{soa}
+	}
+	return resp
+}
+
+// newResolver builds a resolver of the requested mode for a client at a
+// city, wiring local-root machinery as needed.
+func (w *world) newResolver(mode resolver.RootMode, city int, seed int64) *resolver.Resolver {
+	loc := anycast.CityLocation(city)
+	cfg := resolver.Config{
+		Mode:      mode,
+		Hints:     w.hints,
+		Transport: w.net.Client(loc),
+		Clock:     w.net.Now,
+		Seed:      seed,
+	}
+	switch mode {
+	case resolver.RootModePreload, resolver.RootModeLookaside:
+		cfg.LocalZone = w.rootZone
+	case resolver.RootModeLocalAuth:
+		w.nextLoop++
+		addr := netip.AddrFrom4([4]byte{127, 10, byte(w.nextLoop >> 8), byte(1 + w.nextLoop%250)})
+		cfg.LocalAuthAddr = addr
+		w.net.AddHost(fmt.Sprintf("localroot%d", w.nextLoop), addr, loc, authserver.New(w.rootZone))
+	}
+	return resolver.New(cfg)
+}
+
+// newResolverStale is a classic-mode resolver with RFC 8767 serve-stale.
+func (w *world) newResolverStale(city int, seed int64) *resolver.Resolver {
+	return resolver.New(resolver.Config{
+		Mode:       resolver.RootModeHints,
+		Hints:      w.hints,
+		Transport:  w.net.Client(anycast.CityLocation(city)),
+		Clock:      w.net.Now,
+		Seed:       seed,
+		ServeStale: true,
+		StaleLimit: 7 * 24 * time.Hour,
+	})
+}
+
+// newResolverQMIN is newResolver with QNAME minimisation enabled.
+func (w *world) newResolverQMIN(mode resolver.RootMode, city int, seed int64) *resolver.Resolver {
+	loc := anycast.CityLocation(city)
+	cfg := resolver.Config{
+		Mode:              mode,
+		Hints:             w.hints,
+		Transport:         w.net.Client(loc),
+		Clock:             w.net.Now,
+		Seed:              seed,
+		QNameMinimisation: true,
+	}
+	switch mode {
+	case resolver.RootModePreload, resolver.RootModeLookaside:
+		cfg.LocalZone = w.rootZone
+	case resolver.RootModeLocalAuth:
+		w.nextLoop++
+		addr := netip.AddrFrom4([4]byte{127, 11, byte(w.nextLoop >> 8), byte(1 + w.nextLoop%250)})
+		cfg.LocalAuthAddr = addr
+		w.net.AddHost(fmt.Sprintf("localrootq%d", w.nextLoop), addr, loc, authserver.New(w.rootZone))
+	}
+	return resolver.New(cfg)
+}
+
+// workloadNames yields n resolvable names across the TLD universe with a
+// Zipf-ish popularity skew.
+func (w *world) workloadNames(n int, seed int64) []dnswire.Name {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dnswire.Name, n)
+	for i := range out {
+		u := rng.Float64()
+		tld := w.tlds[int(float64(len(w.tlds))*u*u)%len(w.tlds)]
+		out[i] = dnswire.Name(fmt.Sprintf("www.site%d.%s", rng.Intn(n/2+1), tld))
+	}
+	return out
+}
+
+// allRootsDown toggles every root letter address.
+func (w *world) allRootsDown(down bool) {
+	for _, a := range w.rootAddrs {
+		w.net.SetAddrDown(a, down)
+	}
+}

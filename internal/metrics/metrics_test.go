@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Error("empty histogram should be zero-valued")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("Mean = %f", h.Mean())
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Errorf("p50 = %f", got)
+	}
+	if got := h.Percentile(95); got != 95 {
+		t.Errorf("p95 = %f", got)
+	}
+	if got := h.Percentile(99); got != 99 {
+		t.Errorf("p99 = %f", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %f/%f", h.Min(), h.Max())
+	}
+	if !strings.Contains(h.Summary(), "n=100") {
+		t.Error("Summary missing count")
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(250 * time.Millisecond)
+	if h.Mean() != 250 {
+		t.Errorf("Mean = %f ms", h.Mean())
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	_ = h.Percentile(50)
+	h.Observe(1) // must re-sort
+	if got := h.Percentile(1); got != 1 {
+		t.Errorf("p1 after new observation = %f", got)
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var h Histogram
+		min, max := 1e18, -1e18
+		for i := 0; i < 1+r.Intn(200); i++ {
+			v := r.NormFloat64() * 100
+			h.Observe(v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		p50 := h.Percentile(50)
+		return p50 >= min && p50 <= max &&
+			h.Percentile(10) <= h.Percentile(90)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "test", XLabel: "x", YLabel: "y"}
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	table := s.Table()
+	if !strings.Contains(table, "test") || !strings.Contains(table, "81.00") {
+		t.Errorf("Table output wrong:\n%s", table)
+	}
+	plot := s.AsciiPlot(40, 8)
+	if !strings.Contains(plot, "*") {
+		t.Error("plot has no points")
+	}
+	if lines := strings.Count(plot, "\n"); lines != 10 {
+		t.Errorf("plot has %d lines", lines)
+	}
+	// Degenerate cases must not panic.
+	if (&Series{}).AsciiPlot(40, 8) != "" {
+		t.Error("empty series should produce no plot")
+	}
+	flat := Series{Name: "flat"}
+	flat.Append(0, 5)
+	flat.Append(1, 5)
+	_ = flat.AsciiPlot(10, 3)
+}

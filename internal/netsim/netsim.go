@@ -1,0 +1,282 @@
+// Package netsim is a deterministic simulated network for DNS
+// experiments. Hosts are placed geographically; an address may be served
+// by many hosts (anycast), in which case clients reach the nearest live
+// instance. Exchanges round-trip real wire-format messages through the
+// dnswire codec, cost virtual time derived from great-circle RTTs, suffer
+// configurable loss, and can be observed or intercepted by an on-path
+// attacker — everything §4's robustness, security and privacy experiments
+// need, with no real sockets or wall-clock sleeps.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"rootless/internal/anycast"
+	"rootless/internal/dnswire"
+)
+
+// Handler answers DNS queries at a simulated host.
+type Handler interface {
+	Handle(query *dnswire.Message, from netip.Addr) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(query *dnswire.Message, from netip.Addr) *dnswire.Message
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	return f(q, from)
+}
+
+// Host is one simulated machine.
+type Host struct {
+	Name     string
+	Addr     netip.Addr
+	Location anycast.GeoPoint
+	Handler  Handler
+	down     bool
+}
+
+// Errors returned by Exchange.
+var (
+	ErrTimeout   = errors.New("netsim: query timed out")
+	ErrNoRoute   = errors.New("netsim: no host at address")
+	ErrMalformed = errors.New("netsim: malformed message")
+)
+
+// QueryTimeout is the virtual-time cost of an unanswered query.
+const QueryTimeout = 3 * time.Second
+
+// Observer sees every query that traverses the network; used to model
+// on-path monitoring for the privacy analysis.
+type Observer func(from anycast.GeoPoint, dst netip.Addr, query *dnswire.Message)
+
+// Interceptor may answer a query instead of the real destination — the
+// paper's "root manipulation" man-in-the-middle. Returning (nil, false)
+// lets the query through.
+type Interceptor func(from anycast.GeoPoint, dst netip.Addr, query *dnswire.Message) (*dnswire.Message, bool)
+
+// Network is the simulated internet.
+type Network struct {
+	mu          sync.Mutex
+	hosts       map[netip.Addr][]*Host
+	clock       time.Time
+	lossRate    float64
+	rng         *rand.Rand
+	observers   []Observer
+	interceptor Interceptor
+
+	// Stats.
+	exchanges int64
+	timeouts  int64
+	bytesUp   int64
+	bytesDown int64
+}
+
+// New creates an empty network with a deterministic RNG and a virtual
+// clock starting at start.
+func New(seed int64, start time.Time) *Network {
+	return &Network{
+		hosts: make(map[netip.Addr][]*Host),
+		clock: start,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the virtual time.
+func (n *Network) Now() time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clock
+}
+
+// Advance moves the virtual clock forward.
+func (n *Network) Advance(d time.Duration) {
+	n.mu.Lock()
+	n.clock = n.clock.Add(d)
+	n.mu.Unlock()
+}
+
+// SetLossRate sets the independent per-query drop probability.
+func (n *Network) SetLossRate(p float64) {
+	n.mu.Lock()
+	n.lossRate = p
+	n.mu.Unlock()
+}
+
+// AddHost registers a host. Multiple hosts may share an address to form
+// an anycast group.
+func (n *Network) AddHost(name string, addr netip.Addr, loc anycast.GeoPoint, h Handler) *Host {
+	host := &Host{Name: name, Addr: addr, Location: loc, Handler: h}
+	n.mu.Lock()
+	n.hosts[addr] = append(n.hosts[addr], host)
+	n.mu.Unlock()
+	return host
+}
+
+// SetHostDown marks a single host (anycast instance) up or down.
+func (n *Network) SetHostDown(h *Host, down bool) {
+	n.mu.Lock()
+	h.down = down
+	n.mu.Unlock()
+}
+
+// SetAddrDown marks every instance of an address up or down — a whole
+// root letter failing, or a network partition to it.
+func (n *Network) SetAddrDown(addr netip.Addr, down bool) {
+	n.mu.Lock()
+	for _, h := range n.hosts[addr] {
+		h.down = down
+	}
+	n.mu.Unlock()
+}
+
+// AddObserver attaches an on-path monitor.
+func (n *Network) AddObserver(o Observer) {
+	n.mu.Lock()
+	n.observers = append(n.observers, o)
+	n.mu.Unlock()
+}
+
+// SetInterceptor installs (or clears, with nil) the on-path attacker.
+func (n *Network) SetInterceptor(i Interceptor) {
+	n.mu.Lock()
+	n.interceptor = i
+	n.mu.Unlock()
+}
+
+// Stats reports network-level counters.
+type Stats struct {
+	Exchanges int64
+	Timeouts  int64
+	BytesUp   int64
+	BytesDown int64
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{Exchanges: n.exchanges, Timeouts: n.timeouts,
+		BytesUp: n.bytesUp, BytesDown: n.bytesDown}
+}
+
+// nearestLive picks the closest live instance of an address.
+func (n *Network) nearestLive(addr netip.Addr, from anycast.GeoPoint) *Host {
+	var best *Host
+	bestD := 0.0
+	for _, h := range n.hosts[addr] {
+		if h.down {
+			continue
+		}
+		d := from.DistanceKm(h.Location)
+		if best == nil || d < bestD {
+			best, bestD = h, d
+		}
+	}
+	return best
+}
+
+// Exchange sends a query from a client at loc to dst and returns the
+// reply plus the virtual round-trip cost. The query and reply both pass
+// through real wire encoding. On timeout the returned duration is
+// QueryTimeout and the error is ErrTimeout.
+func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+
+	n.mu.Lock()
+	n.exchanges++
+	n.bytesUp += int64(len(wire))
+	observers := n.observers
+	interceptor := n.interceptor
+	dropped := n.lossRate > 0 && n.rng.Float64() < n.lossRate
+	target := n.nearestLive(dst, loc)
+	n.mu.Unlock()
+
+	var parsed dnswire.Message
+	if err := parsed.Unpack(wire); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	for _, o := range observers {
+		o(loc, dst, &parsed)
+	}
+
+	if interceptor != nil {
+		if forged, ok := interceptor(loc, dst, &parsed); ok {
+			rtt := 10 * time.Millisecond // attacker is on-path and close
+			n.account(forged, rtt)
+			return forged, rtt, nil
+		}
+	}
+
+	if dropped || target == nil || target.Handler == nil {
+		n.mu.Lock()
+		n.timeouts++
+		n.clock = n.clock.Add(QueryTimeout)
+		n.mu.Unlock()
+		if target == nil && !dropped {
+			return nil, QueryTimeout, fmt.Errorf("%w (%s): %w", ErrNoRoute, dst, ErrTimeout)
+		}
+		return nil, QueryTimeout, ErrTimeout
+	}
+
+	reply := target.Handler.Handle(&parsed, netip.Addr{})
+	if reply == nil {
+		n.mu.Lock()
+		n.timeouts++
+		n.clock = n.clock.Add(QueryTimeout)
+		n.mu.Unlock()
+		return nil, QueryTimeout, ErrTimeout
+	}
+	rtt := anycast.RTT(loc, target.Location)
+	// Round-trip the reply through the codec too.
+	replyWire, err := reply.Pack()
+	if err != nil {
+		return nil, rtt, fmt.Errorf("%w: server reply: %v", ErrMalformed, err)
+	}
+	var replyParsed dnswire.Message
+	if err := replyParsed.Unpack(replyWire); err != nil {
+		return nil, rtt, fmt.Errorf("%w: server reply: %v", ErrMalformed, err)
+	}
+	n.mu.Lock()
+	n.bytesDown += int64(len(replyWire))
+	n.clock = n.clock.Add(rtt)
+	n.mu.Unlock()
+	return &replyParsed, rtt, nil
+}
+
+// Client is a network endpoint at a fixed location. It satisfies the
+// resolver's Transport interface.
+type Client struct {
+	net *Network
+	Loc anycast.GeoPoint
+}
+
+// Client returns an endpoint at loc.
+func (n *Network) Client(loc anycast.GeoPoint) *Client {
+	return &Client{net: n, Loc: loc}
+}
+
+// Exchange sends a query from the client's location.
+func (c *Client) Exchange(dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return c.net.Exchange(c.Loc, dst, query)
+}
+
+func (n *Network) account(reply *dnswire.Message, rtt time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reply != nil {
+		if w, err := reply.Pack(); err == nil {
+			n.bytesDown += int64(len(w))
+		}
+	}
+	n.clock = n.clock.Add(rtt)
+}

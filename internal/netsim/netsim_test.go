@@ -1,0 +1,281 @@
+package netsim
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"rootless/internal/anycast"
+	"rootless/internal/authserver"
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+var (
+	rootAddr = netip.MustParseAddr("198.41.0.4")
+	london   = anycast.GeoPoint{Lat: 51.5, Lon: -0.1}
+	nyc      = anycast.GeoPoint{Lat: 40.7, Lon: -74.0}
+	tokyo    = anycast.GeoPoint{Lat: 35.7, Lon: 139.7}
+	simStart = time.Unix(1555000000, 0)
+)
+
+func newRootServer(t *testing.T) *authserver.Server {
+	t.Helper()
+	src := `
+. 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. 1 1800 900 604800 86400
+. 518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+`
+	z, err := zone.Parse(strings.NewReader(src), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return authserver.New(z)
+}
+
+func TestExchangeBasic(t *testing.T) {
+	net := New(1, simStart)
+	srv := newRootServer(t)
+	net.AddHost("a-root", rootAddr, nyc, srv)
+
+	q := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA)
+	resp, rtt, err := net.Exchange(london, rootAddr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Authority) != 1 || resp.Authority[0].Data.(dnswire.NS).Host != "a.gtld-servers.net." {
+		t.Fatalf("referral: %+v", resp.Authority)
+	}
+	if rtt < 50*time.Millisecond || rtt > 300*time.Millisecond {
+		t.Errorf("transatlantic rtt = %v", rtt)
+	}
+	if got := net.Now().Sub(simStart); got != rtt {
+		t.Errorf("clock advanced %v, want %v", got, rtt)
+	}
+	st := net.Stats()
+	if st.Exchanges != 1 || st.BytesUp == 0 || st.BytesDown == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestAnycastNearestInstance(t *testing.T) {
+	net := New(1, simStart)
+	srv := newRootServer(t)
+	net.AddHost("a-root-nyc", rootAddr, nyc, srv)
+	net.AddHost("a-root-tokyo", rootAddr, tokyo, srv)
+
+	q := dnswire.NewQuery(2, "example.com.", dnswire.TypeNS)
+	_, rttFromTokyoClient, err := net.Exchange(anycast.GeoPoint{Lat: 34, Lon: 135}, rootAddr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Osaka client should hit Tokyo instance: RTT ≈ few ms, not ~200ms.
+	if rttFromTokyoClient > 50*time.Millisecond {
+		t.Errorf("anycast did not pick nearest: rtt = %v", rttFromTokyoClient)
+	}
+}
+
+func TestOutageFailsOverToOtherInstance(t *testing.T) {
+	net := New(1, simStart)
+	srv := newRootServer(t)
+	hTokyo := net.AddHost("a-root-tokyo", rootAddr, tokyo, srv)
+	net.AddHost("a-root-nyc", rootAddr, nyc, srv)
+
+	osaka := anycast.GeoPoint{Lat: 34, Lon: 135}
+	net.SetHostDown(hTokyo, true)
+	_, rtt, err := net.Exchange(osaka, rootAddr, dnswire.NewQuery(3, "example.com.", dnswire.TypeNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 100*time.Millisecond {
+		t.Errorf("with Tokyo down, rtt should be transpacific, got %v", rtt)
+	}
+	// All instances down: timeout.
+	net.SetAddrDown(rootAddr, true)
+	_, rtt, err = net.Exchange(osaka, rootAddr, dnswire.NewQuery(4, "example.com.", dnswire.TypeNS))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	if rtt != QueryTimeout {
+		t.Errorf("timeout cost = %v", rtt)
+	}
+	if net.Stats().Timeouts != 1 {
+		t.Errorf("stats: %+v", net.Stats())
+	}
+	// Back up: recovers.
+	net.SetAddrDown(rootAddr, false)
+	if _, _, err := net.Exchange(osaka, rootAddr, dnswire.NewQuery(5, "example.com.", dnswire.TypeNS)); err != nil {
+		t.Errorf("after recovery: %v", err)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	net := New(1, simStart)
+	_, _, err := net.Exchange(london, netip.MustParseAddr("203.0.113.99"),
+		dnswire.NewQuery(1, "example.com.", dnswire.TypeA))
+	if !errors.Is(err, ErrNoRoute) || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoss(t *testing.T) {
+	net := New(7, simStart)
+	srv := newRootServer(t)
+	net.AddHost("a-root", rootAddr, nyc, srv)
+	net.SetLossRate(1.0)
+	_, _, err := net.Exchange(london, rootAddr, dnswire.NewQuery(1, "example.com.", dnswire.TypeNS))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected loss timeout, got %v", err)
+	}
+	net.SetLossRate(0)
+	if _, _, err := net.Exchange(london, rootAddr, dnswire.NewQuery(2, "example.com.", dnswire.TypeNS)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Statistical check: ~30% loss should drop roughly 30% of queries.
+	net2 := New(42, simStart)
+	net2.AddHost("a-root", rootAddr, nyc, newRootServer(t))
+	net2.SetLossRate(0.3)
+	lost := 0
+	for i := 0; i < 500; i++ {
+		if _, _, err := net2.Exchange(london, rootAddr, dnswire.NewQuery(uint16(i), "example.com.", dnswire.TypeNS)); err != nil {
+			lost++
+		}
+	}
+	if lost < 100 || lost > 200 {
+		t.Errorf("lost %d/500 at 30%% loss", lost)
+	}
+}
+
+func TestObserverSeesQueries(t *testing.T) {
+	net := New(1, simStart)
+	net.AddHost("a-root", rootAddr, nyc, newRootServer(t))
+	var seen []dnswire.Name
+	net.AddObserver(func(_ anycast.GeoPoint, dst netip.Addr, q *dnswire.Message) {
+		if dst == rootAddr {
+			seen = append(seen, q.Questions[0].Name)
+		}
+	})
+	_, _, _ = net.Exchange(london, rootAddr, dnswire.NewQuery(1, "www.secret.example.com.", dnswire.TypeA))
+	if len(seen) != 1 || seen[0] != "www.secret.example.com." {
+		t.Fatalf("observer saw %v", seen)
+	}
+}
+
+func TestInterceptorForgesReplies(t *testing.T) {
+	net := New(1, simStart)
+	net.AddHost("a-root", rootAddr, nyc, newRootServer(t))
+	evil := netip.MustParseAddr("203.0.113.66")
+	net.SetInterceptor(func(_ anycast.GeoPoint, dst netip.Addr, q *dnswire.Message) (*dnswire.Message, bool) {
+		if dst != rootAddr {
+			return nil, false
+		}
+		forged := &dnswire.Message{
+			ID: q.ID, Response: true, Questions: q.Questions,
+			Authority:  []dnswire.RR{dnswire.NewRR("com.", 172800, dnswire.NS{Host: "evil.attacker."})},
+			Additional: []dnswire.RR{dnswire.NewRR("evil.attacker.", 172800, dnswire.A{Addr: evil})},
+		}
+		return forged, true
+	})
+	resp, _, err := net.Exchange(london, rootAddr, dnswire.NewQuery(9, "www.example.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Authority[0].Data.(dnswire.NS).Host != "evil.attacker." {
+		t.Fatal("interception failed")
+	}
+	// Clearing the interceptor restores honest answers.
+	net.SetInterceptor(nil)
+	resp, _, err = net.Exchange(london, rootAddr, dnswire.NewQuery(10, "www.example.com.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Authority[0].Data.(dnswire.NS).Host != "a.gtld-servers.net." {
+		t.Fatal("honest path broken after clearing interceptor")
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	net := New(1, simStart)
+	net.Advance(42 * time.Hour)
+	if got := net.Now().Sub(simStart); got != 42*time.Hour {
+		t.Errorf("Advance: %v", got)
+	}
+}
+
+func TestHandlerFuncAdapter(t *testing.T) {
+	net := New(1, simStart)
+	net.AddHost("echo", rootAddr, nyc, HandlerFunc(func(q *dnswire.Message, _ netip.Addr) *dnswire.Message {
+		return &dnswire.Message{ID: q.ID, Response: true, Rcode: dnswire.RcodeRefused, Questions: q.Questions}
+	}))
+	resp, _, err := net.Exchange(london, rootAddr, dnswire.NewQuery(5, "x.", dnswire.TypeA))
+	if err != nil || resp.Rcode != dnswire.RcodeRefused {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+}
+
+func TestNetworkDeterminismProperty(t *testing.T) {
+	// Two networks built identically and driven identically produce
+	// byte-identical outcomes: same replies, same RTTs, same clock.
+	build := func() *Network {
+		n := New(99, simStart)
+		srv := authserver.New(mustTestZone())
+		for i := 0; i < 3; i++ {
+			n.AddHost("r", rootAddr, anycast.GeoPoint{Lat: float64(10 * i), Lon: float64(5 * i)}, srv)
+		}
+		n.SetLossRate(0.2)
+		return n
+	}
+	n1, n2 := build(), build()
+	for i := 0; i < 200; i++ {
+		q := dnswire.NewQuery(uint16(i), "www.example.com.", dnswire.TypeA)
+		r1, rtt1, err1 := n1.Exchange(london, rootAddr, q)
+		r2, rtt2, err2 := n2.Exchange(london, rootAddr, q)
+		if (err1 == nil) != (err2 == nil) || rtt1 != rtt2 {
+			t.Fatalf("step %d diverged: %v/%v vs %v/%v", i, rtt1, err1, rtt2, err2)
+		}
+		if err1 == nil {
+			w1, _ := r1.Pack()
+			w2, _ := r2.Pack()
+			if string(w1) != string(w2) {
+				t.Fatalf("step %d: replies differ", i)
+			}
+		}
+	}
+	if !n1.Now().Equal(n2.Now()) {
+		t.Fatal("clocks diverged")
+	}
+	if n1.Stats() != n2.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", n1.Stats(), n2.Stats())
+	}
+}
+
+// mustTestZone builds the shared root test zone without a *testing.T.
+func mustTestZone() *zone.Zone {
+	src := `
+. 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. 1 1800 900 604800 86400
+. 518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+`
+	z, err := zone.Parse(strings.NewReader(src), dnswire.Root)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+func TestClientTransport(t *testing.T) {
+	net := New(1, simStart)
+	net.AddHost("a-root", rootAddr, nyc, authserver.New(mustTestZone()))
+	client := net.Client(london)
+	resp, rtt, err := client.Exchange(rootAddr, dnswire.NewQuery(5, "com.", dnswire.TypeNS))
+	if err != nil || resp == nil || rtt <= 0 {
+		t.Fatalf("client exchange: %v %v %v", resp, rtt, err)
+	}
+}

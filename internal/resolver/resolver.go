@@ -1,0 +1,764 @@
+// Package resolver implements an iterative recursive DNS resolver — the
+// component the paper proposes to change. It supports four root modes:
+//
+//   - RootModeHints: the classic arrangement; bootstrap from the root
+//     hints file and query root nameservers, with the SRTT-based root
+//     server selection machinery real resolvers carry (§4 "Complexity").
+//   - RootModePreload: read the whole local root zone into the cache as
+//     pinned entries (§3, first implementation option).
+//   - RootModeLookaside: consult the local root zone each time a root
+//     nameserver would have been queried (§3, second option).
+//   - RootModeLocalAuth: send root queries to a loopback authoritative
+//     server carrying the root zone (§3, third option; RFC 7706).
+//
+// The resolver runs over an abstract Transport, so the same code drives
+// the netsim simulated internet and real UDP sockets.
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"rootless/internal/cache"
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// RootMode selects how the resolver learns about the root of the namespace.
+type RootMode int
+
+// Root modes.
+const (
+	RootModeHints RootMode = iota
+	RootModePreload
+	RootModeLookaside
+	RootModeLocalAuth
+)
+
+// String names the mode.
+func (m RootMode) String() string {
+	switch m {
+	case RootModeHints:
+		return "hints"
+	case RootModePreload:
+		return "preload"
+	case RootModeLookaside:
+		return "lookaside"
+	case RootModeLocalAuth:
+		return "localauth"
+	}
+	return fmt.Sprintf("mode%d", int(m))
+}
+
+// Transport sends one DNS query and returns the reply and round-trip cost.
+type Transport interface {
+	Exchange(dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error)
+}
+
+// Config configures a Resolver.
+type Config struct {
+	Mode RootMode
+	// Hints is the root hints RRset (required for RootModeHints; used as
+	// a last-resort fallback by other modes if no local zone is set).
+	Hints []dnswire.RR
+	// LocalZone is the local root zone copy (RootModePreload and
+	// RootModeLookaside).
+	LocalZone *zone.Zone
+	// LocalAuthAddr is the loopback root server (RootModeLocalAuth).
+	LocalAuthAddr netip.Addr
+	// Transport carries queries; required.
+	Transport Transport
+	// Clock supplies time for cache TTLs; nil means time.Now.
+	Clock func() time.Time
+	// CacheCapacity bounds the cache in RRsets; 0 = unlimited.
+	CacheCapacity int
+	// QNameMinimisation sends only the germane name labels to each zone's
+	// servers (RFC 7816), the §4 privacy mitigation we compare against.
+	QNameMinimisation bool
+	// MaxQueries bounds network queries per resolution (default 64).
+	MaxQueries int
+	// ServeStale answers from expired cache entries when every upstream
+	// server fails (RFC 8767) — the incumbent robustness mechanism the
+	// paper's local-root approach is compared against. StaleLimit bounds
+	// how old a stale answer may be (default 24 h).
+	ServeStale bool
+	StaleLimit time.Duration
+	// Seed makes server tie-breaking deterministic.
+	Seed int64
+}
+
+// Stats counts resolver activity. Every counter the paper's experiments
+// compare across root modes lives here.
+type Stats struct {
+	Resolutions       int64
+	Failures          int64
+	CacheAnswers      int64 // resolutions answered fully from cache
+	NegCacheAnswers   int64
+	TotalQueries      int64 // network queries sent
+	RootQueries       int64 // sent to root nameserver addresses
+	LocalRootConsults int64 // local root zone consultations (lookaside)
+	TLDQueries        int64 // sent to TLD servers
+	OtherQueries      int64
+	Timeouts          int64
+	GlueChases        int64 // sub-resolutions for nameserver addresses
+	StaleAnswers      int64 // resolutions served from expired cache entries
+	ServerSelections  int64 // SRTT-based choices among multiple servers
+	SRTTUpdates       int64
+	CNAMEChases       int64
+}
+
+// Result is the outcome of one resolution.
+type Result struct {
+	Rcode   dnswire.Rcode
+	Answers []dnswire.RR
+	// Latency is the total (virtual) network time spent.
+	Latency time.Duration
+	// Queries is the number of network queries used.
+	Queries int
+	// FromCache reports a resolution that needed no network traffic.
+	FromCache bool
+}
+
+// Errors.
+var (
+	ErrBudgetExceeded = errors.New("resolver: query budget exceeded")
+	ErrAllServersFail = errors.New("resolver: all nameservers failed")
+	ErrNoRootConfig   = errors.New("resolver: no usable root configuration")
+	ErrLame           = errors.New("resolver: lame or malformed delegation")
+)
+
+// Resolver is an iterative resolver with a shared cache. Safe for
+// sequential use; the experiments run one goroutine per resolver.
+type Resolver struct {
+	cfg   Config
+	cache *cache.Cache
+	rng   *rand.Rand
+
+	mu        sync.Mutex
+	stats     Stats
+	srtt      map[netip.Addr]time.Duration
+	rootAddrs map[netip.Addr]bool
+	inflight  map[dnswire.Name]bool // glue chases underway (loop guard)
+}
+
+// New creates a resolver. It panics if cfg.Transport is nil and the mode
+// needs one (all modes do — even lookaside queries TLD servers).
+func New(cfg Config) *Resolver {
+	if cfg.Transport == nil {
+		panic("resolver: Config.Transport is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.MaxQueries == 0 {
+		cfg.MaxQueries = 64
+	}
+	r := &Resolver{
+		cfg:       cfg,
+		cache:     cache.New(cfg.CacheCapacity, cfg.Clock),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		srtt:      make(map[netip.Addr]time.Duration),
+		rootAddrs: make(map[netip.Addr]bool),
+		inflight:  make(map[dnswire.Name]bool),
+	}
+	for _, rr := range cfg.Hints {
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			r.rootAddrs[d.Addr] = true
+		case dnswire.AAAA:
+			r.rootAddrs[d.Addr] = true
+		}
+	}
+	if cfg.Mode == RootModePreload && cfg.LocalZone != nil {
+		r.PreloadRootZone(cfg.LocalZone)
+	}
+	return r
+}
+
+// Cache exposes the resolver's cache for inspection by experiments.
+func (r *Resolver) Cache() *cache.Cache { return r.cache }
+
+// Stats returns a snapshot of the counters.
+func (r *Resolver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Mode returns the configured root mode.
+func (r *Resolver) Mode() RootMode { return r.cfg.Mode }
+
+// SetLocalZone swaps in a fresh local root zone copy (after a refresh).
+// In preload mode the new zone is re-pinned into the cache.
+func (r *Resolver) SetLocalZone(z *zone.Zone) {
+	r.mu.Lock()
+	r.cfg.LocalZone = z
+	r.mu.Unlock()
+	if r.cfg.Mode == RootModePreload {
+		r.PreloadRootZone(z)
+	}
+}
+
+// PreloadRootZone loads every RRset of z into the cache as pinned entries
+// — the paper's "place all records from the root zone file in the cache".
+func (r *Resolver) PreloadRootZone(z *zone.Zone) {
+	_, sets := dnswire.GroupRRsets(z.Records())
+	for key, rrs := range sets {
+		if key.Type == dnswire.TypeSOA && key.Name.IsRoot() {
+			// keep the SOA too; it answers negative proofs
+		}
+		r.cache.Put(rrs, true)
+	}
+}
+
+func (r *Resolver) count(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// Resolve performs a full iterative resolution of (qname, qtype).
+func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	r.count(func(s *Stats) { s.Resolutions++ })
+	res := &Result{Rcode: dnswire.RcodeServFail}
+	budget := r.cfg.MaxQueries
+
+	target := qname
+	var chain []dnswire.RR
+	for depth := 0; depth < 9; depth++ {
+		rcode, rrs, err := r.iterate(target, qtype, res, &budget)
+		if err != nil {
+			r.count(func(s *Stats) { s.Failures++ })
+			return res, err
+		}
+		res.Rcode = rcode
+		// Follow a CNAME unless that is what was asked for.
+		if rcode == dnswire.RcodeSuccess && qtype != dnswire.TypeCNAME {
+			if cn, ok := terminalCNAME(rrs, target); ok {
+				chain = append(chain, rrs...)
+				target = cn
+				r.count(func(s *Stats) { s.CNAMEChases++ })
+				continue
+			}
+		}
+		res.Answers = append(chain, rrs...)
+		res.FromCache = res.Queries == 0
+		return res, nil
+	}
+	r.count(func(s *Stats) { s.Failures++ })
+	return res, errors.New("resolver: CNAME chain too long")
+}
+
+// terminalCNAME reports whether rrs answers name only via a CNAME.
+func terminalCNAME(rrs []dnswire.RR, name dnswire.Name) (dnswire.Name, bool) {
+	var cn dnswire.Name
+	for _, rr := range rrs {
+		if rr.Name == name && rr.Type == dnswire.TypeCNAME {
+			cn = rr.Data.(dnswire.CNAME).Target
+		}
+	}
+	if cn == "" {
+		return "", false
+	}
+	// If the set already contains records at the target, no chase needed.
+	for _, rr := range rrs {
+		if rr.Name == cn && rr.Type != dnswire.TypeCNAME {
+			return "", false
+		}
+	}
+	return cn, true
+}
+
+// nsSet is a delegation: the zone name and its servers.
+type nsSet struct {
+	zone  dnswire.Name
+	hosts []dnswire.Name
+	// local marks "consult the local root zone" (lookaside mode).
+	local bool
+}
+
+// iterate resolves one name without following CNAMEs.
+func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int) (dnswire.Rcode, []dnswire.RR, error) {
+	// Full answer from cache?
+	if hit, ok := r.cache.Get(qname, qtype); ok {
+		if hit.Negative {
+			r.count(func(s *Stats) { s.NegCacheAnswers++; s.CacheAnswers++ })
+			return dnswire.RcodeNXDomain, nil, nil
+		}
+		r.count(func(s *Stats) { s.CacheAnswers++ })
+		return dnswire.RcodeSuccess, hit.RRs, nil
+	}
+	// Cached CNAME at the name also answers.
+	if qtype != dnswire.TypeCNAME {
+		if hit, ok := r.cache.Get(qname, dnswire.TypeCNAME); ok && !hit.Negative {
+			r.count(func(s *Stats) { s.CacheAnswers++ })
+			return dnswire.RcodeSuccess, hit.RRs, nil
+		}
+	}
+
+	cur := r.closestNameservers(qname)
+	for hop := 0; hop < 24; hop++ {
+		if cur.local {
+			next, rcode, rrs, done := r.consultLocalRoot(qname, qtype)
+			if done {
+				return rcode, rrs, nil
+			}
+			cur = next
+			continue
+		}
+
+		resp, err := r.queryZoneServers(cur, qname, qtype, res, budget)
+		if err != nil {
+			if rrs, ok := r.staleAnswer(qname, qtype); ok {
+				return dnswire.RcodeSuccess, rrs, nil
+			}
+			return dnswire.RcodeServFail, nil, err
+		}
+
+		rcode, rrs, next, done := r.processResponse(cur, qname, qtype, resp)
+		if done {
+			return rcode, rrs, nil
+		}
+		cur = next
+	}
+	return dnswire.RcodeServFail, nil, ErrLame
+}
+
+// staleAnswer consults the expired cache when serve-stale is enabled.
+func (r *Resolver) staleAnswer(qname dnswire.Name, qtype dnswire.Type) ([]dnswire.RR, bool) {
+	if !r.cfg.ServeStale {
+		return nil, false
+	}
+	limit := r.cfg.StaleLimit
+	if limit == 0 {
+		limit = 24 * time.Hour
+	}
+	if hit, ok := r.cache.GetStale(qname, qtype, limit); ok {
+		r.count(func(s *Stats) { s.StaleAnswers++ })
+		return hit.RRs, true
+	}
+	return nil, false
+}
+
+// consultLocalRoot performs the lookaside step: read the referral (or
+// terminal answer) straight from the local root zone.
+func (r *Resolver) consultLocalRoot(qname dnswire.Name, qtype dnswire.Type) (nsSet, dnswire.Rcode, []dnswire.RR, bool) {
+	r.count(func(s *Stats) { s.LocalRootConsults++ })
+	r.mu.Lock()
+	lz := r.cfg.LocalZone
+	r.mu.Unlock()
+	if lz == nil {
+		return nsSet{}, dnswire.RcodeServFail, nil, true
+	}
+	ans := lz.Query(qname, qtype)
+	switch {
+	case ans.Rcode == dnswire.RcodeNXDomain:
+		if len(ans.Authority) > 0 {
+			r.cache.PutNegative(qname, qtype, ans.Authority[0])
+		}
+		return nsSet{}, dnswire.RcodeNXDomain, nil, true
+	case len(ans.Answer) > 0:
+		r.cacheSets(ans.Answer, false)
+		return nsSet{}, dnswire.RcodeSuccess, ans.Answer, true
+	case !ans.Authoritative && len(ans.Authority) > 0:
+		// Referral: cache the NS set and glue, then continue iterating
+		// at the TLD servers.
+		r.cacheSets(ans.Authority, false)
+		r.cacheSets(ans.Additional, false)
+		next := nsSet{zone: ans.Authority[0].Name}
+		for _, rr := range ans.Authority {
+			if rr.Type == dnswire.TypeNS {
+				next.hosts = append(next.hosts, rr.Data.(dnswire.NS).Host)
+			}
+		}
+		return next, 0, nil, false
+	default:
+		// NODATA at the root (e.g. TLD apex, wrong type).
+		if len(ans.Authority) > 0 {
+			r.cache.PutNegative(qname, qtype, ans.Authority[0])
+		}
+		return nsSet{}, dnswire.RcodeSuccess, nil, true
+	}
+}
+
+// closestNameservers finds the deepest delegation the resolver already
+// knows that encloses qname, falling back to the root per the configured
+// mode.
+func (r *Resolver) closestNameservers(qname dnswire.Name) nsSet {
+	for n := qname; !n.IsRoot(); n = n.Parent() {
+		if hit, ok := r.cache.Get(n, dnswire.TypeNS); ok && !hit.Negative {
+			set := nsSet{zone: n}
+			for _, rr := range hit.RRs {
+				if ns, ok := rr.Data.(dnswire.NS); ok {
+					set.hosts = append(set.hosts, ns.Host)
+				}
+			}
+			if len(set.hosts) > 0 {
+				return set
+			}
+		}
+	}
+	return r.rootSet()
+}
+
+// rootSet returns the starting point for a resolution that must begin at
+// the root, per the configured mode.
+func (r *Resolver) rootSet() nsSet {
+	switch r.cfg.Mode {
+	case RootModeLookaside:
+		return nsSet{zone: dnswire.Root, local: true}
+	case RootModeLocalAuth:
+		return nsSet{zone: dnswire.Root, hosts: []dnswire.Name{"localroot."}}
+	case RootModePreload:
+		// Preload pins TLD NS sets in the cache, so reaching here means
+		// the name's TLD does not exist in the local zone — consult it
+		// directly so NXDOMAIN is answered without any network traffic.
+		r.mu.Lock()
+		lz := r.cfg.LocalZone
+		r.mu.Unlock()
+		if lz != nil {
+			return nsSet{zone: dnswire.Root, local: true}
+		}
+	}
+	// Classic: the hints file.
+	set := nsSet{zone: dnswire.Root}
+	for _, rr := range r.cfg.Hints {
+		if ns, ok := rr.Data.(dnswire.NS); ok {
+			set.hosts = append(set.hosts, ns.Host)
+		}
+	}
+	return set
+}
+
+// serverAddrs resolves a delegation's nameserver hosts to addresses using
+// hints, cached glue, and (if allowed) glue-chasing sub-resolutions.
+func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool) []netip.Addr {
+	var addrs []netip.Addr
+	seen := make(map[netip.Addr]bool)
+	add := func(a netip.Addr) {
+		if a.IsValid() && !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	if r.cfg.Mode == RootModeLocalAuth && set.zone.IsRoot() && !set.local {
+		add(r.cfg.LocalAuthAddr)
+		return addrs
+	}
+	for _, host := range set.hosts {
+		if set.zone.IsRoot() {
+			for _, rr := range r.cfg.Hints {
+				if rr.Name != host {
+					continue
+				}
+				if a, ok := rr.Data.(dnswire.A); ok {
+					add(a.Addr)
+				}
+			}
+		}
+		if hit, ok := r.cache.Get(host, dnswire.TypeA); ok && !hit.Negative {
+			for _, rr := range hit.RRs {
+				if a, ok := rr.Data.(dnswire.A); ok {
+					add(a.Addr)
+				}
+			}
+		}
+	}
+	if len(addrs) > 0 || !chase {
+		return addrs
+	}
+	// No glue anywhere: chase one nameserver's address out of band.
+	for _, host := range set.hosts {
+		if *budget <= 0 {
+			break
+		}
+		r.mu.Lock()
+		busy := r.inflight[host]
+		if !busy {
+			r.inflight[host] = true
+		}
+		r.mu.Unlock()
+		if busy {
+			continue // a chase for this host encloses us; avoid the loop
+		}
+		r.count(func(s *Stats) { s.GlueChases++ })
+		sub, err := r.Resolve(host, dnswire.TypeA)
+		r.mu.Lock()
+		delete(r.inflight, host)
+		r.mu.Unlock()
+		res.Queries += sub.Queries
+		res.Latency += sub.Latency
+		*budget -= sub.Queries
+		if err != nil || sub.Rcode != dnswire.RcodeSuccess {
+			continue
+		}
+		for _, rr := range sub.Answers {
+			if a, ok := rr.Data.(dnswire.A); ok {
+				add(a.Addr)
+			}
+		}
+		if len(addrs) > 0 {
+			break
+		}
+	}
+	return addrs
+}
+
+// queryZoneServers sends the (possibly minimised) query to the best
+// servers of the current delegation until one answers.
+func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int) (*dnswire.Message, error) {
+	sendName, sendType := qname, qtype
+	if r.cfg.QNameMinimisation {
+		sendName, sendType = minimise(set.zone, qname, qtype)
+	}
+
+	addrs := r.serverAddrs(set, res, budget, true)
+	if len(addrs) == 0 {
+		return nil, ErrAllServersFail
+	}
+	r.orderBySRTT(addrs)
+	if len(addrs) > 1 {
+		r.count(func(s *Stats) { s.ServerSelections++ })
+	}
+
+	var lastErr error
+	for _, addr := range addrs {
+		if *budget <= 0 {
+			return nil, ErrBudgetExceeded
+		}
+		*budget--
+		q := dnswire.NewQuery(uint16(r.rng.Intn(1<<16)), sendName, sendType)
+		q.RecursionDesired = false
+		q.SetEDNS(dnswire.DefaultEDNSSize, true)
+
+		r.count(func(s *Stats) {
+			s.TotalQueries++
+			switch {
+			case r.rootAddrs[addr] || (set.zone.IsRoot() && r.cfg.Mode == RootModeHints):
+				s.RootQueries++
+			case addr == r.cfg.LocalAuthAddr && r.cfg.Mode == RootModeLocalAuth:
+				s.LocalRootConsults++
+			case set.zone.LabelCount() == 1:
+				s.TLDQueries++
+			default:
+				s.OtherQueries++
+			}
+		})
+
+		resp, rtt, err := r.cfg.Transport.Exchange(addr, q)
+		res.Queries++
+		res.Latency += rtt
+		if err != nil {
+			r.count(func(s *Stats) { s.Timeouts++ })
+			r.updateSRTT(addr, rtt, true)
+			lastErr = err
+			continue
+		}
+		r.updateSRTT(addr, rtt, false)
+		if resp.Rcode == dnswire.RcodeServFail || resp.Rcode == dnswire.RcodeRefused {
+			lastErr = fmt.Errorf("resolver: %s from %s", resp.Rcode, addr)
+			continue
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrAllServersFail
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAllServersFail, lastErr)
+}
+
+// minimise computes the QNAME-minimised (name, type) to send to servers
+// of zone for the eventual target qname (RFC 7816).
+func minimise(zoneName, qname dnswire.Name, qtype dnswire.Type) (dnswire.Name, dnswire.Type) {
+	zl, ql := zoneName.LabelCount(), qname.LabelCount()
+	if ql <= zl+1 {
+		return qname, qtype
+	}
+	labels := qname.Labels()
+	// Keep zl+1 trailing labels.
+	keep := labels[len(labels)-(zl+1):]
+	var name dnswire.Name = dnswire.Root
+	for i := len(keep) - 1; i >= 0; i-- {
+		child, err := name.Child(string(keep[i]))
+		if err != nil {
+			return qname, qtype
+		}
+		name = child
+	}
+	return name, dnswire.TypeNS
+}
+
+// processResponse classifies a response and updates the cache. It returns
+// either a terminal (rcode, rrs) or the next delegation to chase.
+func (r *Resolver) processResponse(cur nsSet, qname dnswire.Name, qtype dnswire.Type, resp *dnswire.Message) (dnswire.Rcode, []dnswire.RR, nsSet, bool) {
+	sentName := qname
+	sentType := qtype
+	if r.cfg.QNameMinimisation {
+		sentName, sentType = minimise(cur.zone, qname, qtype)
+	}
+
+	switch {
+	case resp.Rcode == dnswire.RcodeNXDomain:
+		soa := findSOA(resp.Authority)
+		if soa != nil {
+			r.cache.PutNegative(sentName, sentType, *soa)
+		}
+		// NXDOMAIN for an ancestor name dooms the full qname too.
+		return dnswire.RcodeNXDomain, nil, nsSet{}, true
+
+	case len(resp.Answers) > 0:
+		r.cacheSets(resp.Answers, false)
+		if sentName != qname || sentType != qtype {
+			// Minimised intermediate answer (e.g. NS at a cut we asked
+			// about): descend within the same or delegated servers.
+			next := nsSet{zone: sentName}
+			for _, rr := range resp.Answers {
+				if rr.Name == sentName && rr.Type == dnswire.TypeNS {
+					next.hosts = append(next.hosts, rr.Data.(dnswire.NS).Host)
+				}
+			}
+			if len(next.hosts) > 0 {
+				r.cacheSets(resp.Additional, false)
+				return 0, nil, next, false
+			}
+			// CNAME at an intermediate minimised name: rare; restart from
+			// the full name against the same servers.
+			return 0, nil, cur, false
+		}
+		return dnswire.RcodeSuccess, resp.Answers, nsSet{}, true
+
+	case isReferral(resp):
+		r.cacheSets(referralNS(resp), false)
+		r.cacheSets(resp.Additional, false)
+		next := nsSet{}
+		for _, rr := range resp.Authority {
+			if rr.Type == dnswire.TypeNS {
+				if next.zone == "" {
+					next.zone = rr.Name
+				}
+				if rr.Name == next.zone {
+					next.hosts = append(next.hosts, rr.Data.(dnswire.NS).Host)
+				}
+			}
+		}
+		// A referral that does not descend is lame; stop.
+		if next.zone == "" || next.zone == cur.zone || !next.zone.IsSubdomainOf(cur.zone) {
+			return dnswire.RcodeServFail, nil, nsSet{}, true
+		}
+		return 0, nil, next, false
+
+	default:
+		// NODATA. For a minimised intermediate name this means an empty
+		// non-terminal: descend one more label against the same servers.
+		if sentName != qname || sentType != qtype {
+			deeper := cur
+			deeper.zone = sentName
+			// The zone does not actually cut here, but using sentName as
+			// the floor makes minimise() reveal one more label while we
+			// keep asking the same servers.
+			deeper.hosts = cur.hosts
+			return 0, nil, deeper, false
+		}
+		soa := findSOA(resp.Authority)
+		if soa != nil {
+			r.cache.PutNegative(sentName, sentType, *soa)
+		}
+		return dnswire.RcodeSuccess, nil, nsSet{}, true
+	}
+}
+
+// cacheSets groups records into RRsets and caches each.
+func (r *Resolver) cacheSets(rrs []dnswire.RR, pinned bool) {
+	if len(rrs) == 0 {
+		return
+	}
+	_, sets := dnswire.GroupRRsets(rrs)
+	for key, set := range sets {
+		if key.Type == dnswire.TypeOPT {
+			continue
+		}
+		r.cache.Put(set, pinned)
+	}
+}
+
+func findSOA(rrs []dnswire.RR) *dnswire.RR {
+	for i := range rrs {
+		if rrs[i].Type == dnswire.TypeSOA {
+			return &rrs[i]
+		}
+	}
+	return nil
+}
+
+func isReferral(resp *dnswire.Message) bool {
+	if resp.Authoritative || len(resp.Answers) > 0 {
+		return false
+	}
+	for _, rr := range resp.Authority {
+		if rr.Type == dnswire.TypeNS {
+			return true
+		}
+	}
+	return false
+}
+
+func referralNS(resp *dnswire.Message) []dnswire.RR {
+	var out []dnswire.RR
+	for _, rr := range resp.Authority {
+		if rr.Type == dnswire.TypeNS || rr.Type == dnswire.TypeDS {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// orderBySRTT sorts candidate servers by smoothed RTT, unknown servers
+// first at a small optimistic default so new servers get explored —
+// the selection machinery §4 notes local-root modes can delete.
+func (r *Resolver) orderBySRTT(addrs []netip.Addr) {
+	const unknownSRTT = 30 * time.Millisecond
+	r.mu.Lock()
+	key := func(a netip.Addr) time.Duration {
+		if v, ok := r.srtt[a]; ok {
+			return v
+		}
+		return unknownSRTT
+	}
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && key(addrs[j]) < key(addrs[j-1]); j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+	r.mu.Unlock()
+}
+
+// updateSRTT folds a measurement into the per-server estimate (EWMA with
+// BIND-style decay; timeouts penalize multiplicatively).
+func (r *Resolver) updateSRTT(addr netip.Addr, rtt time.Duration, timedOut bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.SRTTUpdates++
+	old, ok := r.srtt[addr]
+	switch {
+	case timedOut && ok:
+		r.srtt[addr] = old*2 + time.Second
+	case timedOut:
+		r.srtt[addr] = 10 * time.Second
+	case ok:
+		r.srtt[addr] = (old*7 + rtt*3) / 10
+	default:
+		r.srtt[addr] = rtt
+	}
+}
+
+// SRTTStateSize returns how many per-server timing entries the resolver
+// maintains (the §4 complexity metric).
+func (r *Resolver) SRTTStateSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.srtt)
+}

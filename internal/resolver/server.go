@@ -1,0 +1,84 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net"
+
+	"rootless/internal/dnswire"
+)
+
+// Server exposes a Resolver as a recursive DNS service over UDP — what a
+// stub resolver (or dig) talks to.
+type Server struct {
+	resolver *Resolver
+}
+
+// NewServer wraps a resolver.
+func NewServer(r *Resolver) *Server { return &Server{resolver: r} }
+
+// ServeUDP answers stub queries on conn until ctx ends or the connection
+// closes. Each query runs its own goroutine: recursion can take many
+// round trips and must not head-of-line block the socket.
+func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go func(pkt []byte, addr net.Addr) {
+			var q dnswire.Message
+			if err := q.Unpack(pkt); err != nil {
+				return
+			}
+			resp := s.handle(&q)
+			wire, err := resp.Pack()
+			if err != nil {
+				return
+			}
+			_, _ = conn.WriteTo(wire, addr)
+		}(pkt, addr)
+	}
+}
+
+func (s *Server) handle(q *dnswire.Message) *dnswire.Message {
+	resp := &dnswire.Message{
+		ID:                 q.ID,
+		Response:           true,
+		Opcode:             q.Opcode,
+		RecursionDesired:   q.RecursionDesired,
+		RecursionAvailable: true,
+		Questions:          q.Questions,
+	}
+	if q.Opcode != dnswire.OpcodeQuery {
+		resp.Rcode = dnswire.RcodeNotImpl
+		return resp
+	}
+	if len(q.Questions) != 1 {
+		resp.Rcode = dnswire.RcodeFormat
+		return resp
+	}
+	question := q.Questions[0]
+	if question.Class != dnswire.ClassINET {
+		resp.Rcode = dnswire.RcodeRefused
+		return resp
+	}
+	res, err := s.resolver.Resolve(question.Name, question.Type)
+	if err != nil {
+		resp.Rcode = dnswire.RcodeServFail
+		return resp
+	}
+	resp.Rcode = res.Rcode
+	resp.Answers = res.Answers
+	return resp
+}

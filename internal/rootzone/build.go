@@ -1,0 +1,230 @@
+package rootzone
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// TTL values mirroring the real root zone (§2.1 of the paper).
+const (
+	TTLApexNS     = 518400  // 6 days
+	TTLDelegation = 172800  // 2 days — the TTL the paper's analysis leans on
+	TTLDS         = 86400   // 1 day
+	TTLHints      = 3600000 // ~42 days, the root hints TTL
+)
+
+// RootLetter is one of the 13 named root servers.
+type RootLetter struct {
+	Letter byte
+	Host   dnswire.Name
+	V4     netip.Addr
+	V6     netip.Addr
+}
+
+// rootLetterData holds the real 13 root-server addresses.
+var rootLetterData = []struct{ v4, v6 string }{
+	{"198.41.0.4", "2001:503:ba3e::2:30"},   // a (Verisign)
+	{"199.9.14.201", "2001:500:200::b"},     // b (USC-ISI)
+	{"192.33.4.12", "2001:500:2::c"},        // c (Cogent)
+	{"199.7.91.13", "2001:500:2d::d"},       // d (UMD)
+	{"192.203.230.10", "2001:500:a8::e"},    // e (NASA)
+	{"192.5.5.241", "2001:500:2f::f"},       // f (ISC)
+	{"192.112.36.4", "2001:500:12::d0d"},    // g (DISA)
+	{"198.97.190.53", "2001:500:1::53"},     // h (ARL)
+	{"192.36.148.17", "2001:7fe::53"},       // i (Netnod)
+	{"192.58.128.30", "2001:503:c27::2:30"}, // j (Verisign)
+	{"193.0.14.129", "2001:7fd::1"},         // k (RIPE)
+	{"199.7.83.42", "2001:500:9f::42"},      // l (ICANN)
+	{"202.12.27.33", "2001:dc3::35"},        // m (WIDE)
+}
+
+// RootLetters returns the 13 named root servers a–m.
+func RootLetters() []RootLetter {
+	out := make([]RootLetter, 13)
+	for i := range out {
+		letter := byte('a' + i)
+		out[i] = RootLetter{
+			Letter: letter,
+			Host:   dnswire.Name(string(letter) + ".root-servers.net."),
+			V4:     netip.MustParseAddr(rootLetterData[i].v4),
+			V6:     netip.MustParseAddr(rootLetterData[i].v6),
+		}
+	}
+	return out
+}
+
+// Hints returns the root hints file contents: 13 NS records plus an A and
+// AAAA per named root — 39 records, the paper's ~3 KB bootstrap file.
+func Hints() []dnswire.RR {
+	var rrs []dnswire.RR
+	for _, rl := range RootLetters() {
+		rrs = append(rrs, dnswire.NewRR(dnswire.Root, TTLHints, dnswire.NS{Host: rl.Host}))
+	}
+	for _, rl := range RootLetters() {
+		rrs = append(rrs,
+			dnswire.NewRR(rl.Host, TTLHints, dnswire.A{Addr: rl.V4}),
+			dnswire.NewRR(rl.Host, TTLHints, dnswire.AAAA{Addr: rl.V6}))
+	}
+	return rrs
+}
+
+// HintsText serializes the hints in master-file form.
+func HintsText() string {
+	z := zone.New(dnswire.Root)
+	for _, rr := range Hints() {
+		_ = z.Add(rr)
+	}
+	return zone.Text(z)
+}
+
+// addrEpochs returns the address-generation epochs for each of a TLD's
+// nameserver hosts at a date. Static TLDs use epoch 0 for every host;
+// rotating TLDs advance each host's epoch on a staggered 28-day schedule;
+// churning TLDs bump every host once a year on ChurnDay.
+func addrEpochs(t TLDInfo, nsCount int, at time.Time) []int64 {
+	epochs := make([]int64, nsCount)
+	switch {
+	case t.Rotating:
+		days := at.Unix() / 86400
+		for i := range epochs {
+			epochs[i] = (days + int64(i)*7) / 28
+		}
+	case t.ChurnDay > 0:
+		year := int64(at.Year())
+		if at.YearDay() < t.ChurnDay {
+			year--
+		}
+		for i := range epochs {
+			epochs[i] = year
+		}
+	}
+	return epochs
+}
+
+// nsHostCount derives a TLD's nameserver count (2–9, averaging ~5.5)
+// from its name.
+func nsHostCount(name dnswire.Name) int {
+	return 2 + int(hash64("nscount", string(name))%8)
+}
+
+// nsHost names the i-th nameserver of a TLD. Most TLDs — as in the real
+// root zone, where a few registry back-ends (Afilias, Neustar,
+// CentralNic, Verisign) serve hundreds of TLDs — use hosts under a shared
+// operator domain, so glue is heavily deduplicated; the rest host their
+// servers in-bailiwick under nic.<tld>. Rotating and churning TLDs always
+// stay in-bailiwick so their renumbering cannot leak into other TLDs
+// through shared hosts.
+func nsHost(t TLDInfo, i int) dnswire.Name {
+	if !t.Rotating && t.ChurnDay == 0 && hash64("oob", string(t.Name))%10 < 6 {
+		op := hash64("operator", string(t.Name)) % 20
+		return dnswire.Name(fmt.Sprintf("ns%d.operator%02d.registry-ops.net.", i, op))
+	}
+	return dnswire.Name(fmt.Sprintf("ns%d.nic.%s", i, t.Name))
+}
+
+// v4For derives a deterministic public-looking IPv4 address for a host at
+// an address epoch.
+func v4For(host dnswire.Name, epoch int64) netip.Addr {
+	h := hash64("v4", string(host), fmt.Sprint(epoch))
+	return netip.AddrFrom4([4]byte{
+		byte(100 + h%100), // 100–199, avoids reserved low ranges
+		byte(h >> 8),
+		byte(h >> 16),
+		byte(1 + (h>>24)%254),
+	})
+}
+
+// v6For derives a deterministic IPv6 address for a host at an epoch.
+func v6For(host dnswire.Name, epoch int64) netip.Addr {
+	h := hash64("v6", string(host), fmt.Sprint(epoch))
+	var a [16]byte
+	a[0], a[1] = 0x20, 0x01 // 2001::/16
+	for i := 2; i < 16; i++ {
+		a[i] = byte(h >> ((i % 8) * 8))
+	}
+	return netip.AddrFrom16(a)
+}
+
+// hasAAAA reports whether a host publishes an IPv6 address (~70 % do).
+func hasAAAA(host dnswire.Name) bool {
+	return hash64("hasaaaa", string(host))%10 < 7
+}
+
+// hasDS reports whether a TLD is DNSSEC-signed (~90 % are).
+func hasDS(name dnswire.Name) bool {
+	return hash64("hasds", string(name))%10 < 9
+}
+
+// TLDRecords generates the root-zone records for one TLD at a date:
+// its NS set, glue addresses, and DS record.
+func TLDRecords(t TLDInfo, at time.Time) []dnswire.RR {
+	n := nsHostCount(t.Name)
+	epochs := addrEpochs(t, n, at)
+	var rrs []dnswire.RR
+	seenHost := make(map[dnswire.Name]bool)
+	for i := 0; i < n; i++ {
+		host := nsHost(t, i)
+		rrs = append(rrs, dnswire.NewRR(t.Name, TTLDelegation, dnswire.NS{Host: host}))
+		if seenHost[host] {
+			continue
+		}
+		seenHost[host] = true
+		rrs = append(rrs, dnswire.NewRR(host, TTLDelegation, dnswire.A{Addr: v4For(host, epochs[i])}))
+		if hasAAAA(host) {
+			rrs = append(rrs, dnswire.NewRR(host, TTLDelegation, dnswire.AAAA{Addr: v6For(host, epochs[i])}))
+		}
+	}
+	if hasDS(t.Name) {
+		h := hash64("dsdigest", string(t.Name))
+		digest := make([]byte, 32)
+		for i := range digest {
+			digest[i] = byte(h >> ((i % 8) * 8))
+		}
+		rrs = append(rrs, dnswire.NewRR(t.Name, TTLDS, dnswire.DS{
+			KeyTag:     uint16(h),
+			Algorithm:  dnswire.AlgEd25519,
+			DigestType: 2,
+			Digest:     digest,
+		}))
+	}
+	return rrs
+}
+
+// Build synthesizes the (unsigned) root zone as of a date.
+func Build(at time.Time) (*zone.Zone, error) {
+	z := zone.New(dnswire.Root)
+	if err := z.Add(dnswire.NewRR(dnswire.Root, 86400, dnswire.SOA{
+		MName:   "a.root-servers.net.",
+		RName:   "nstld.verisign-grs.com.",
+		Serial:  SerialFor(at),
+		Refresh: 1800,
+		Retry:   900,
+		Expire:  604800,
+		Minimum: 86400,
+	})); err != nil {
+		return nil, err
+	}
+	for _, rl := range RootLetters() {
+		if err := z.Add(dnswire.NewRR(dnswire.Root, TTLApexNS, dnswire.NS{Host: rl.Host})); err != nil {
+			return nil, err
+		}
+		if err := z.Add(dnswire.NewRR(rl.Host, TTLApexNS, dnswire.A{Addr: rl.V4})); err != nil {
+			return nil, err
+		}
+		if err := z.Add(dnswire.NewRR(rl.Host, TTLApexNS, dnswire.AAAA{Addr: rl.V6})); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range TLDsAt(at) {
+		for _, rr := range TLDRecords(t, at) {
+			if err := z.Add(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return z, nil
+}

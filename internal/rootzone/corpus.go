@@ -1,0 +1,317 @@
+package rootzone
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// Category classifies a TLD in the corpus.
+type Category int
+
+// TLD categories.
+const (
+	CategoryLegacy  Category = iota // original gTLDs (com, net, org, ...)
+	CategoryCC                      // country codes
+	CategoryNewGTLD                 // 2013+ new-gTLD program
+	CategoryIDN                     // internationalized (xn--) TLDs
+)
+
+func (c Category) String() string {
+	switch c {
+	case CategoryLegacy:
+		return "legacy"
+	case CategoryCC:
+		return "cc"
+	case CategoryNewGTLD:
+		return "new-gtld"
+	case CategoryIDN:
+		return "idn"
+	}
+	return "unknown"
+}
+
+// TLDInfo describes one TLD in the corpus.
+type TLDInfo struct {
+	Name     dnswire.Name
+	Category Category
+	Added    time.Time  // date the TLD entered the root zone
+	Removed  *time.Time // date it left, if ever
+	// Rotating marks the five NeuStar-style TLDs whose nameserver
+	// addresses rotate on a schedule (§5.2).
+	Rotating bool
+	// ChurnDay, if non-zero, is the day-of-year on which the TLD
+	// renumbers its entire NS set annually — the slow churn that makes
+	// ~3% of TLDs unreachable from a year-old zone (§5.2). Churn days
+	// avoid April so that any single April is churn-free, matching the
+	// paper's April 2019 snapshot analysis.
+	ChurnDay int
+}
+
+var legacyTLDs = []string{
+	"com", "net", "org", "edu", "gov", "mil", "int", "arpa",
+	"biz", "info", "name", "pro", "aero", "coop", "museum",
+	"jobs", "mobi", "travel", "cat", "tel", "asia", "post", "xxx",
+}
+
+var ccTLDs = []string{
+	"ac", "ad", "ae", "af", "ag", "ai", "al", "am", "ao", "aq", "ar", "as",
+	"at", "au", "aw", "ax", "az", "ba", "bb", "bd", "be", "bf", "bg", "bh",
+	"bi", "bj", "bm", "bn", "bo", "br", "bs", "bt", "bw", "by", "bz", "ca",
+	"cc", "cd", "cf", "cg", "ch", "ci", "ck", "cl", "cm", "cn", "co", "cr",
+	"cu", "cv", "cw", "cx", "cy", "cz", "de", "dj", "dk", "dm", "do", "dz",
+	"ec", "ee", "eg", "er", "es", "et", "eu", "fi", "fj", "fk", "fm", "fo",
+	"fr", "ga", "gd", "ge", "gf", "gg", "gh", "gi", "gl", "gm", "gn", "gp",
+	"gq", "gr", "gs", "gt", "gu", "gw", "gy", "hk", "hm", "hn", "hr", "ht",
+	"hu", "id", "ie", "il", "im", "in", "io", "iq", "ir", "is", "it", "je",
+	"jm", "jo", "jp", "ke", "kg", "kh", "ki", "km", "kn", "kp", "kr", "kw",
+	"ky", "kz", "la", "lb", "lc", "li", "lk", "lr", "ls", "lt", "lu", "lv",
+	"ly", "ma", "mc", "md", "me", "mg", "mh", "mk", "ml", "mm", "mn", "mo",
+	"mp", "mq", "mr", "ms", "mt", "mu", "mv", "mw", "mx", "my", "mz", "na",
+	"nc", "ne", "nf", "ng", "ni", "nl", "no", "np", "nr", "nu", "nz", "om",
+	"pa", "pe", "pf", "pg", "ph", "pk", "pl", "pm", "pn", "pr", "ps", "pt",
+	"pw", "py", "qa", "re", "ro", "rs", "ru", "rw", "sa", "sb", "sc", "sd",
+	"se", "sg", "sh", "si", "sk", "sl", "sm", "sn", "so", "sr", "ss", "st",
+	"sv", "sx", "sy", "sz", "tc", "td", "tf", "tg", "th", "tj", "tk", "tl",
+	"tm", "tn", "to", "tr", "tt", "tv", "tw", "tz", "ua", "ug", "uk", "us",
+	"uy", "uz", "va", "vc", "ve", "vg", "vi", "vn", "vu", "wf", "ws", "ye",
+	"yt", "za", "zm", "zw",
+}
+
+// notableNewGTLDs are real new-gTLD names placed early in the corpus so
+// workloads can reference familiar strings. "llc" carries its real
+// addition date (2018-02-23), which the §5.3 experiment depends on.
+var notableNewGTLDs = []string{
+	"xyz", "top", "club", "online", "site", "shop", "app", "dev", "blog",
+	"cloud", "store", "tech", "space", "live", "fun", "email", "news",
+	"agency", "digital", "guru", "today", "world", "life", "media",
+	"network", "systems", "solutions", "ventures", "capital", "partners",
+}
+
+// syllables drive the synthetic new-gTLD name generator.
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "ca", "ce", "co", "da", "de", "di", "do",
+	"fa", "fe", "fi", "fo", "ga", "ge", "go", "ha", "he", "hi", "ho", "ka",
+	"ke", "ki", "ko", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo",
+	"na", "ne", "ni", "no", "pa", "pe", "pi", "po", "ra", "re", "ri", "ro",
+	"sa", "se", "si", "so", "ta", "te", "ti", "to", "va", "ve", "vi", "vo",
+	"za", "zo", "zu", "ny", "ster", "ton", "ville", "land", "zone", "mark",
+}
+
+// hash64 is the deterministic per-name hash all modeled attributes key off.
+func hash64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// llcAdded is the real addition date of the .llc TLD.
+var llcAdded = date(2018, time.February, 23)
+
+var (
+	corpusOnce sync.Once
+	corpus     []TLDInfo
+)
+
+// Corpus returns the full dated TLD corpus, built once. TLDs are ordered
+// by addition date.
+func Corpus() []TLDInfo {
+	corpusOnce.Do(buildCorpus)
+	return corpus
+}
+
+func buildCorpus() {
+	epoch := date(2000, time.January, 1)
+	var all []TLDInfo
+	seen := make(map[string]bool)
+	addName := func(name string, cat Category, added time.Time) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		all = append(all, TLDInfo{
+			Name:     dnswire.Name(name + "."),
+			Category: cat,
+			Added:    added,
+		})
+	}
+
+	for _, s := range legacyTLDs {
+		addName(s, CategoryLegacy, epoch)
+	}
+	for _, s := range ccTLDs {
+		addName(s, CategoryCC, epoch)
+	}
+	// 2009–2013 trickle of IDN ccTLDs brings the count from 280 to 317,
+	// tracking the growth model month by month so the paper's anchor
+	// (317 TLDs on June 15, 2013) lands exactly.
+	idn := 0
+	for at := date(2009, time.June, 15); at.Before(date(2014, time.January, 1)); at = at.AddDate(0, 1, 0) {
+		for len(all) < TLDCountModel(at) {
+			addName(fmt.Sprintf("xn--idn%02d", idn), CategoryIDN, at)
+			idn++
+		}
+	}
+
+	// New-gTLD program: generate enough names to cover peak count plus
+	// removals, assign addition dates by inverting the growth curve.
+	peak := 1600
+	var newNames []string
+	newNames = append(newNames, notableNewGTLDs...)
+	newNames = append(newNames, "llc") // dated specially below
+	for i := 0; len(newNames) < peak; i++ {
+		h := hash64("newgtld", fmt.Sprint(i))
+		s := syllables[h%uint64(len(syllables))] +
+			syllables[(h>>8)%uint64(len(syllables))] +
+			syllables[(h>>16)%uint64(len(syllables))]
+		if !seen[s] && !contains(newNames, s) {
+			newNames = append(newNames, s)
+		}
+	}
+	// Every ~25th new gTLD is an IDN.
+	program := date(2014, time.January, 15)
+	end := date(2019, time.December, 1)
+	idx := 0
+	for at := program; at.Before(end); at = at.AddDate(0, 0, 7) {
+		want := TLDCountModel(at)
+		for len(all)-removedBy(all, at) < want && idx < len(newNames) {
+			name := newNames[idx]
+			cat := CategoryNewGTLD
+			if idx%25 == 24 {
+				name = "xn--" + name
+				cat = CategoryIDN
+			}
+			if name == "llc" {
+				// Hold llc for its true date.
+				idx++
+				continue
+			}
+			addName(name, cat, at)
+			idx++
+		}
+	}
+	addName("llc", CategoryNewGTLD, llcAdded)
+
+	// Removals: the plateau after early 2018 shrinks slightly; retire a
+	// handful of 2015-vintage names, including exactly one during April
+	// 2019 (the paper observes one deletion that month).
+	removedCount := 0
+	wantRemoved := 16
+	removalClock := date(2018, time.March, 10)
+	for i := range all {
+		if removedCount >= wantRemoved {
+			break
+		}
+		t := &all[i]
+		if t.Category != CategoryNewGTLD || t.Name == "llc." {
+			continue
+		}
+		if t.Added.Year() != 2015 {
+			continue
+		}
+		if hash64("removed", string(t.Name))%7 != 0 {
+			continue
+		}
+		rm := removalClock
+		removalClock = removalClock.AddDate(0, 1, 3)
+		if removedCount == 12 {
+			rm = date(2019, time.April, 17) // the April 2019 deletion
+		}
+		t.Removed = &rm
+		removedCount++
+	}
+
+	// Mark the five rotating-NS TLDs: stable new gTLDs present from 2014.
+	rotated := 0
+	for i := range all {
+		t := &all[i]
+		if t.Category == CategoryNewGTLD && t.Removed == nil &&
+			t.Added.Year() == 2014 && hash64("rotate", string(t.Name))%11 == 0 {
+			t.Rotating = true
+			rotated++
+			if rotated == 5 {
+				break
+			}
+		}
+	}
+
+	// Annual-churn TLDs: ~3% of the steady-state population renumbers its
+	// full NS set once a year on a day outside April.
+	for i := range all {
+		t := &all[i]
+		if t.Rotating || t.Removed != nil {
+			continue
+		}
+		h := hash64("churn", string(t.Name))
+		if h%33 == 0 { // ~3%
+			day := int(h>>8) % 300
+			// Map into day-of-year ranges that skip April (days 91–120).
+			if day >= 90 {
+				day += 31
+			}
+			t.ChurnDay = day + 1
+		}
+	}
+
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Added.Before(all[j].Added) })
+	corpus = all
+}
+
+func removedBy(all []TLDInfo, at time.Time) int {
+	n := 0
+	for i := range all {
+		if all[i].Removed != nil && all[i].Removed.Before(at) {
+			n++
+		}
+	}
+	return n
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TLDsAt returns the TLDs present in the root zone on a date, ordered by
+// addition date.
+func TLDsAt(at time.Time) []TLDInfo {
+	var out []TLDInfo
+	for _, t := range Corpus() {
+		if t.Added.After(at) {
+			continue
+		}
+		if t.Removed != nil && !t.Removed.After(at) {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Find returns the corpus entry for a TLD name.
+func Find(name dnswire.Name) (TLDInfo, bool) {
+	for _, t := range Corpus() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return TLDInfo{}, false
+}

@@ -1,0 +1,69 @@
+// Package rootzone synthesizes root zones. It models the real root zone's
+// composition and history closely enough to drive every experiment in the
+// paper: a TLD corpus with dated additions and removals reproducing the
+// growth curve of Figure 1 (317 TLDs in June 2013 growing past 1,500 by
+// 2017, ~22 K records at steady state), per-TLD NS/glue/DS record sets,
+// the 13-letter root hints file, NeuStar-style rotating-nameserver TLDs
+// and slow NS-renumbering churn for the §5.2 staleness analysis, and the
+// ".llc" late addition for the §5.3 new-TLD-lag analysis.
+//
+// Everything is deterministic: the same date always yields the same zone.
+package rootzone
+
+import (
+	"time"
+)
+
+// date is a compact constructor for UTC dates.
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// growthAnchor pins the TLD count at a moment in time. Between anchors the
+// count is interpolated linearly; the anchors encode the paper's Figure 1:
+// stability through 2013, five-fold growth 2014→2017, then a plateau with
+// slight shrinkage.
+type growthAnchor struct {
+	at    time.Time
+	count int
+}
+
+var growthAnchors = []growthAnchor{
+	{date(2009, time.April, 1), 280},
+	{date(2013, time.June, 15), 317},
+	{date(2014, time.January, 1), 335},
+	{date(2015, time.January, 1), 700},
+	{date(2016, time.January, 1), 1100},
+	{date(2017, time.June, 15), 1534},
+	{date(2018, time.February, 1), 1543},
+	{date(2019, time.April, 1), 1532},
+	{date(2020, time.June, 1), 1527},
+}
+
+// TLDCountModel returns the modeled number of TLDs at a date, per the
+// Figure 1 growth curve. Dates outside the modeled window clamp to the
+// nearest anchor.
+func TLDCountModel(at time.Time) int {
+	if !at.After(growthAnchors[0].at) {
+		return growthAnchors[0].count
+	}
+	last := growthAnchors[len(growthAnchors)-1]
+	if !at.Before(last.at) {
+		return last.count
+	}
+	for i := 1; i < len(growthAnchors); i++ {
+		a, b := growthAnchors[i-1], growthAnchors[i]
+		if at.Before(b.at) {
+			span := b.at.Sub(a.at)
+			into := at.Sub(a.at)
+			return a.count + int(float64(b.count-a.count)*float64(into)/float64(span))
+		}
+	}
+	return last.count
+}
+
+// SerialFor derives the zone's SOA serial for a date: YYYYMMDD00, the
+// convention the real root zone uses.
+func SerialFor(at time.Time) uint32 {
+	return uint32(at.Year()*1000000 + int(at.Month())*10000 + at.Day()*100)
+}

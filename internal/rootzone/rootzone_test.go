@@ -1,0 +1,333 @@
+package rootzone
+
+import (
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+func TestTLDCountModelAnchors(t *testing.T) {
+	cases := []struct {
+		at   time.Time
+		want int
+	}{
+		{date(2013, time.June, 15), 317},
+		{date(2017, time.June, 15), 1534},
+		{date(2008, time.January, 1), 280},  // clamps low
+		{date(2025, time.January, 1), 1527}, // clamps high
+	}
+	for _, c := range cases {
+		if got := TLDCountModel(c.at); got != c.want {
+			t.Errorf("TLDCountModel(%s) = %d, want %d", c.at.Format("2006-01-02"), got, c.want)
+		}
+	}
+	// Monotone growth through the expansion era.
+	prev := 0
+	for y := 2014; y <= 2017; y++ {
+		got := TLDCountModel(date(y, time.June, 1))
+		if got < prev {
+			t.Errorf("growth not monotone at %d: %d < %d", y, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCorpusMatchesModel(t *testing.T) {
+	for _, at := range []time.Time{
+		date(2013, time.June, 15),
+		date(2016, time.January, 15),
+		date(2018, time.April, 11),
+		date(2019, time.April, 1),
+	} {
+		model := TLDCountModel(at)
+		got := len(TLDsAt(at))
+		diff := got - model
+		if diff < -20 || diff > 20 {
+			t.Errorf("TLDsAt(%s) = %d, model %d (diff %d)", at.Format("2006-01-02"), got, model, diff)
+		}
+	}
+}
+
+func TestCorpusSpecialTLDs(t *testing.T) {
+	llc, ok := Find("llc.")
+	if !ok {
+		t.Fatal("llc. missing from corpus")
+	}
+	if !llc.Added.Equal(llcAdded) {
+		t.Errorf("llc added %s, want 2018-02-23", llc.Added)
+	}
+	// llc must be absent before its date and present at DITL 2018.
+	for _, ti := range TLDsAt(date(2018, time.January, 1)) {
+		if ti.Name == "llc." {
+			t.Error("llc present before addition date")
+		}
+	}
+	found := false
+	for _, ti := range TLDsAt(date(2018, time.April, 11)) {
+		if ti.Name == "llc." {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("llc absent at DITL 2018 date")
+	}
+	// com must exist since forever.
+	if _, ok := Find("com."); !ok {
+		t.Error("com. missing")
+	}
+}
+
+func TestCorpusRotatingAndChurn(t *testing.T) {
+	rotating, churning := 0, 0
+	for _, ti := range Corpus() {
+		if ti.Rotating {
+			rotating++
+			if ti.ChurnDay != 0 {
+				t.Error("rotating TLD also churns")
+			}
+		}
+		if ti.ChurnDay > 0 {
+			churning++
+			// Churn day must fall outside April (days 91–120).
+			if ti.ChurnDay >= 91 && ti.ChurnDay <= 120 {
+				t.Errorf("%s churn day %d falls in April", ti.Name, ti.ChurnDay)
+			}
+		}
+	}
+	if rotating != 5 {
+		t.Errorf("rotating TLDs = %d, want 5", rotating)
+	}
+	pop := len(TLDsAt(date(2019, time.April, 1)))
+	share := float64(churning) / float64(pop)
+	if share < 0.015 || share > 0.06 {
+		t.Errorf("churning share = %.3f (%d/%d), want ~3%%", share, churning, pop)
+	}
+}
+
+func TestCorpusOneRemovalInApril2019(t *testing.T) {
+	n := 0
+	for _, ti := range Corpus() {
+		if ti.Removed != nil && ti.Removed.Year() == 2019 && ti.Removed.Month() == time.April {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("April 2019 removals = %d, want 1", n)
+	}
+}
+
+func TestHints(t *testing.T) {
+	rrs := Hints()
+	if len(rrs) != 39 {
+		t.Fatalf("hints records = %d, want 39", len(rrs))
+	}
+	ns, a, aaaa := 0, 0, 0
+	for _, rr := range rrs {
+		if rr.TTL != TTLHints {
+			t.Errorf("hint TTL = %d, want %d", rr.TTL, TTLHints)
+		}
+		switch rr.Type {
+		case dnswire.TypeNS:
+			ns++
+		case dnswire.TypeA:
+			a++
+		case dnswire.TypeAAAA:
+			aaaa++
+		}
+	}
+	if ns != 13 || a != 13 || aaaa != 13 {
+		t.Errorf("hints NS/A/AAAA = %d/%d/%d, want 13 each", ns, a, aaaa)
+	}
+	text := HintsText()
+	// The paper calls the hints file "roughly 3KB".
+	if len(text) < 1500 || len(text) > 5000 {
+		t.Errorf("hints file size = %d bytes, want roughly 3KB", len(text))
+	}
+}
+
+func TestRootLetters(t *testing.T) {
+	letters := RootLetters()
+	if len(letters) != 13 {
+		t.Fatalf("letters = %d", len(letters))
+	}
+	if letters[0].Host != "a.root-servers.net." || letters[12].Host != "m.root-servers.net." {
+		t.Error("letter hosts wrong")
+	}
+	seen := make(map[string]bool)
+	for _, rl := range letters {
+		if seen[rl.V4.String()] {
+			t.Errorf("duplicate v4 %s", rl.V4)
+		}
+		seen[rl.V4.String()] = true
+		if !rl.V4.Is4() || !rl.V6.Is6() {
+			t.Error("address families wrong")
+		}
+	}
+}
+
+func TestBuildZoneShape(t *testing.T) {
+	at := date(2019, time.June, 7)
+	z, err := Build(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unsigned zone carries ~16K records; DNSSEC (NSEC chain and
+	// RRSIGs) brings the published zone to the paper's ~22K records and
+	// ~14K RRsets — asserted in the experiments package, which owns the
+	// signing config.
+	n := z.Len()
+	if n < 13000 || n > 19000 {
+		t.Errorf("record count = %d, want ~16K unsigned", n)
+	}
+	rrsets := z.RRsetCount()
+	if rrsets < 7000 || rrsets > 12000 {
+		t.Errorf("RRset count = %d, want ~9K unsigned", rrsets)
+	}
+	dels := len(z.Delegations())
+	model := TLDCountModel(at)
+	if dels < model-20 || dels > model+20 {
+		t.Errorf("delegations = %d, model %d", dels, model)
+	}
+	if z.Serial() != 2019060700 {
+		t.Errorf("serial = %d", z.Serial())
+	}
+	// The unsigned zone compresses heavily (the paper's ~1.1 MB figure is
+	// for the signed zone, whose RRSIGs are incompressible; the signed
+	// size is checked in the experiments package). Sanity-check scale.
+	blob, err := zone.Compress(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 100*1024 || len(blob) > 2*1024*1024 {
+		t.Errorf("compressed size = %d bytes, out of expected scale", len(blob))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	at := date(2018, time.April, 11)
+	z1, err := Build(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Build(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zone.Text(z1) != zone.Text(z2) {
+		t.Error("Build is not deterministic")
+	}
+}
+
+func TestBuildQueryable(t *testing.T) {
+	z, err := Build(date(2018, time.April, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := z.Query("www.example.com.", dnswire.TypeA)
+	if ans.Authoritative || len(ans.Authority) == 0 {
+		t.Error("com. referral failed")
+	}
+	ans = z.Query("www.example.bogus-tld-xyz.", dnswire.TypeA)
+	if ans.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("bogus TLD rcode = %v", ans.Rcode)
+	}
+}
+
+func TestRotationOverlapWindows(t *testing.T) {
+	// Find a rotating TLD and verify the §5.2 reachability property:
+	// a zone ≤14 days stale shares at least one NS address with the
+	// current zone; a zone 30+ days stale shares none.
+	var rot TLDInfo
+	for _, ti := range Corpus() {
+		if ti.Rotating {
+			rot = ti
+			break
+		}
+	}
+	if rot.Name == "" {
+		t.Fatal("no rotating TLD")
+	}
+	base := date(2019, time.April, 1)
+	addrsAt := func(at time.Time) map[string]bool {
+		m := make(map[string]bool)
+		for _, rr := range TLDRecords(rot, at) {
+			if rr.Type == dnswire.TypeA || rr.Type == dnswire.TypeAAAA {
+				m[rr.Data.String()] = true
+			}
+		}
+		return m
+	}
+	overlap := func(a, b map[string]bool) int {
+		n := 0
+		for k := range a {
+			if b[k] {
+				n++
+			}
+		}
+		return n
+	}
+	cur := addrsAt(base)
+	for _, staleDays := range []int{1, 7, 14} {
+		old := addrsAt(base.AddDate(0, 0, -staleDays))
+		if overlap(cur, old) == 0 {
+			t.Errorf("%d-day-old zone shares no address for rotating TLD", staleDays)
+		}
+	}
+	old := addrsAt(base.AddDate(0, 0, -30))
+	if overlap(cur, old) != 0 {
+		t.Errorf("30-day-old zone still shares addresses for rotating TLD")
+	}
+}
+
+func TestChurnWithinAprilStable(t *testing.T) {
+	// Every non-rotating TLD must keep all NS addresses constant across
+	// April 2019, matching the paper's snapshot analysis.
+	a1 := date(2019, time.April, 1)
+	a30 := date(2019, time.April, 30)
+	for _, ti := range TLDsAt(a30) {
+		if ti.Rotating {
+			continue
+		}
+		r1 := TLDRecords(ti, a1)
+		r2 := TLDRecords(ti, a30)
+		if len(r1) != len(r2) {
+			t.Fatalf("%s record count changed in April", ti.Name)
+		}
+		for i := range r1 {
+			if r1[i].String() != r2[i].String() {
+				t.Fatalf("%s changed in April: %s -> %s", ti.Name, r1[i], r2[i])
+			}
+		}
+	}
+}
+
+func TestChurnAcrossYear(t *testing.T) {
+	// A churning TLD must renumber between April 2018 and April 2019.
+	var churn TLDInfo
+	for _, ti := range Corpus() {
+		if ti.ChurnDay > 0 && !ti.Added.After(date(2018, time.January, 1)) && ti.Removed == nil {
+			churn = ti
+			break
+		}
+	}
+	if churn.Name == "" {
+		t.Fatal("no churning TLD present in 2018")
+	}
+	r1 := TLDRecords(churn, date(2018, time.April, 1))
+	r2 := TLDRecords(churn, date(2019, time.April, 1))
+	same := 0
+	for i := range r1 {
+		if r1[i].String() == r2[i].String() {
+			same++
+		}
+	}
+	// NS and DS records stay; A/AAAA must all change.
+	for i := range r1 {
+		if (r1[i].Type == dnswire.TypeA || r1[i].Type == dnswire.TypeAAAA) &&
+			r1[i].String() == r2[i].String() {
+			t.Errorf("churning TLD %s kept address %s across a year", churn.Name, r1[i])
+		}
+	}
+}

@@ -1,0 +1,588 @@
+package zone
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"rootless/internal/dnswire"
+)
+
+// ParseError reports a master-file syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("zone: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads an RFC 1035 §5 master file into a Zone rooted at origin.
+// Supported syntax: $ORIGIN and $TTL directives, "@" owners, inherited
+// owners, optional TTL and class in either order, parenthesized
+// multi-line records, ';' comments, and quoted strings.
+func Parse(r io.Reader, origin dnswire.Name) (*Zone, error) {
+	z := New(origin)
+	p := &parser{
+		zone:       z,
+		origin:     origin,
+		defaultTTL: 86400,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	var pending []token
+	parenDepth := 0
+	pendingStart := 0
+	for sc.Scan() {
+		lineNo++
+		tokens, depth, err := tokenize(sc.Text(), parenDepth)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		if len(pending) == 0 {
+			pendingStart = lineNo
+			// Leading whitespace means "inherit the previous owner"; the
+			// tokenizer marks it.
+		}
+		pending = append(pending, tokens...)
+		parenDepth = depth
+		if parenDepth > 0 {
+			continue
+		}
+		if len(pending) > 0 {
+			if err := p.record(pending); err != nil {
+				return nil, &ParseError{Line: pendingStart, Msg: err.Error()}
+			}
+		}
+		pending = nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if parenDepth > 0 {
+		return nil, &ParseError{Line: lineNo, Msg: "unclosed parenthesis"}
+	}
+	if len(pending) > 0 {
+		if err := p.record(pending); err != nil {
+			return nil, &ParseError{Line: pendingStart, Msg: err.Error()}
+		}
+	}
+	return z, nil
+}
+
+// token is one master-file token; quoted strings are marked.
+type token struct {
+	text      string
+	quoted    bool
+	leadingWS bool // token began a line that started with whitespace
+}
+
+// tokenize splits one line into tokens, tracking parenthesis depth across
+// lines and stripping comments.
+func tokenize(line string, depth int) ([]token, int, error) {
+	var tokens []token
+	i := 0
+	startsWithWS := len(line) > 0 && (line[0] == ' ' || line[0] == '\t')
+	first := true
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == ';':
+			return tokens, depth, nil
+		case c == '(':
+			depth++
+			i++
+		case c == ')':
+			depth--
+			if depth < 0 {
+				return nil, 0, fmt.Errorf("unbalanced ')'")
+			}
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(line) && line[j] != '"' {
+				if line[j] == '\\' && j+1 < len(line) {
+					sb.WriteByte(line[j+1])
+					j += 2
+					continue
+				}
+				sb.WriteByte(line[j])
+				j++
+			}
+			if j >= len(line) {
+				return nil, 0, fmt.Errorf("unterminated quoted string")
+			}
+			tokens = append(tokens, token{text: sb.String(), quoted: true, leadingWS: first && startsWithWS})
+			first = false
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && !strings.ContainsRune(" \t;()\"", rune(line[j])) {
+				j++
+			}
+			tokens = append(tokens, token{text: line[i:j], leadingWS: first && startsWithWS})
+			first = false
+			i = j
+		}
+	}
+	return tokens, depth, nil
+}
+
+type parser struct {
+	zone       *Zone
+	origin     dnswire.Name
+	defaultTTL uint32
+	lastOwner  dnswire.Name
+	haveOwner  bool
+}
+
+// name resolves a possibly-relative presentation name against $ORIGIN.
+func (p *parser) name(s string) (dnswire.Name, error) {
+	if s == "@" {
+		return p.origin, nil
+	}
+	if strings.HasSuffix(s, ".") && !strings.HasSuffix(s, "\\.") {
+		return dnswire.ParseName(s)
+	}
+	if p.origin.IsRoot() {
+		return dnswire.ParseName(s)
+	}
+	return dnswire.ParseName(s + "." + string(p.origin))
+}
+
+func (p *parser) record(tokens []token) error {
+	if len(tokens) == 0 {
+		return nil
+	}
+	// Directives.
+	switch strings.ToUpper(tokens[0].text) {
+	case "$ORIGIN":
+		if len(tokens) != 2 {
+			return fmt.Errorf("$ORIGIN needs one argument")
+		}
+		n, err := dnswire.ParseName(tokens[1].text)
+		if err != nil {
+			return err
+		}
+		p.origin = n
+		return nil
+	case "$TTL":
+		if len(tokens) != 2 {
+			return fmt.Errorf("$TTL needs one argument")
+		}
+		ttl, err := parseTTL(tokens[1].text)
+		if err != nil {
+			return err
+		}
+		p.defaultTTL = ttl
+		return nil
+	case "$INCLUDE":
+		return fmt.Errorf("$INCLUDE is not supported")
+	}
+
+	// Owner: explicit unless the line started with whitespace.
+	idx := 0
+	owner := p.lastOwner
+	if tokens[0].leadingWS {
+		if !p.haveOwner {
+			return fmt.Errorf("record with no prior owner")
+		}
+	} else {
+		n, err := p.name(tokens[0].text)
+		if err != nil {
+			return fmt.Errorf("bad owner %q: %v", tokens[0].text, err)
+		}
+		owner = n
+		idx = 1
+	}
+
+	// Optional TTL and class, in either order.
+	ttl := p.defaultTTL
+	class := dnswire.ClassINET
+	sawTTL, sawClass := false, false
+	for idx < len(tokens) {
+		tok := tokens[idx].text
+		if !sawTTL {
+			if v, err := parseTTL(tok); err == nil {
+				ttl = v
+				sawTTL = true
+				idx++
+				continue
+			}
+		}
+		if !sawClass {
+			if c, err := dnswire.ParseClass(strings.ToUpper(tok)); err == nil {
+				class = c
+				sawClass = true
+				idx++
+				continue
+			}
+		}
+		break
+	}
+	if idx >= len(tokens) {
+		return fmt.Errorf("missing record type")
+	}
+	typ, err := dnswire.ParseType(strings.ToUpper(tokens[idx].text))
+	if err != nil {
+		return fmt.Errorf("bad type %q", tokens[idx].text)
+	}
+	idx++
+	data, err := p.rdata(typ, tokens[idx:])
+	if err != nil {
+		return fmt.Errorf("%s rdata: %v", typ, err)
+	}
+	p.lastOwner = owner
+	p.haveOwner = true
+	return p.zone.Add(dnswire.RR{Name: owner, Type: typ, Class: class, TTL: ttl, Data: data})
+}
+
+// parseTTL accepts plain seconds or BIND-style unit suffixes (1h30m, 2d, 1w).
+func parseTTL(s string) (uint32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty ttl")
+	}
+	if v, err := strconv.ParseUint(s, 10, 32); err == nil {
+		return uint32(v), nil
+	}
+	total := uint64(0)
+	num := uint64(0)
+	haveNum := false
+	for _, c := range strings.ToLower(s) {
+		switch {
+		case c >= '0' && c <= '9':
+			num = num*10 + uint64(c-'0')
+			haveNum = true
+		case c == 's' || c == 'm' || c == 'h' || c == 'd' || c == 'w':
+			if !haveNum {
+				return 0, fmt.Errorf("bad ttl %q", s)
+			}
+			mult := map[rune]uint64{'s': 1, 'm': 60, 'h': 3600, 'd': 86400, 'w': 604800}[c]
+			total += num * mult
+			num, haveNum = 0, false
+		default:
+			return 0, fmt.Errorf("bad ttl %q", s)
+		}
+	}
+	if haveNum {
+		return 0, fmt.Errorf("bad ttl %q", s)
+	}
+	if total > 1<<32-1 {
+		return 0, fmt.Errorf("ttl overflow")
+	}
+	return uint32(total), nil
+}
+
+func (p *parser) rdata(typ dnswire.Type, toks []token) (dnswire.RData, error) {
+	text := func(i int) string { return toks[i].text }
+	need := func(n int) error {
+		if len(toks) < n {
+			return fmt.Errorf("want %d fields, have %d", n, len(toks))
+		}
+		return nil
+	}
+	switch typ {
+	case dnswire.TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(text(0))
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("bad IPv4 %q", text(0))
+		}
+		return dnswire.A{Addr: addr}, nil
+	case dnswire.TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(text(0))
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return nil, fmt.Errorf("bad IPv6 %q", text(0))
+		}
+		return dnswire.AAAA{Addr: addr}, nil
+	case dnswire.TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := p.name(text(0))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.NS{Host: n}, nil
+	case dnswire.TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := p.name(text(0))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.CNAME{Target: n}, nil
+	case dnswire.TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := p.name(text(0))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.PTR{Target: n}, nil
+	case dnswire.TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		mname, err := p.name(text(0))
+		if err != nil {
+			return nil, err
+		}
+		rname, err := p.name(text(1))
+		if err != nil {
+			return nil, err
+		}
+		var nums [5]uint32
+		for i := 0; i < 5; i++ {
+			v, err := parseTTL(text(2 + i))
+			if err != nil {
+				return nil, err
+			}
+			nums[i] = v
+		}
+		return dnswire.SOA{MName: mname, RName: rname, Serial: nums[0],
+			Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4]}, nil
+	case dnswire.TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(text(0), 10, 16)
+		if err != nil {
+			return nil, err
+		}
+		host, err := p.name(text(1))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.MX{Preference: uint16(pref), Host: host}, nil
+	case dnswire.TypeTXT:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		var ss []string
+		for i := range toks {
+			ss = append(ss, toks[i].text)
+		}
+		return dnswire.TXT{Strings: ss}, nil
+	case dnswire.TypeSRV:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		var nums [3]uint16
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseUint(text(i), 10, 16)
+			if err != nil {
+				return nil, err
+			}
+			nums[i] = uint16(v)
+		}
+		target, err := p.name(text(3))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.SRV{Priority: nums[0], Weight: nums[1], Port: nums[2], Target: target}, nil
+	case dnswire.TypeDS:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		tag, err := strconv.ParseUint(text(0), 10, 16)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := strconv.ParseUint(text(1), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		dt, err := strconv.ParseUint(text(2), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		digest, err := hex.DecodeString(strings.ToLower(strings.Join(texts(toks[3:]), "")))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.DS{KeyTag: uint16(tag), Algorithm: uint8(alg),
+			DigestType: uint8(dt), Digest: digest}, nil
+	case dnswire.TypeDNSKEY:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		flags, err := strconv.ParseUint(text(0), 10, 16)
+		if err != nil {
+			return nil, err
+		}
+		proto, err := strconv.ParseUint(text(1), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := strconv.ParseUint(text(2), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		key, err := base64.StdEncoding.DecodeString(strings.Join(texts(toks[3:]), ""))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.DNSKEY{Flags: uint16(flags), Protocol: uint8(proto),
+			Algorithm: uint8(alg), PublicKey: key}, nil
+	case dnswire.TypeRRSIG:
+		if err := need(9); err != nil {
+			return nil, err
+		}
+		covered, err := dnswire.ParseType(strings.ToUpper(text(0)))
+		if err != nil {
+			return nil, err
+		}
+		alg, err := strconv.ParseUint(text(1), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		labels, err := strconv.ParseUint(text(2), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		origTTL, err := strconv.ParseUint(text(3), 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		exp, err := strconv.ParseUint(text(4), 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		inc, err := strconv.ParseUint(text(5), 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		tag, err := strconv.ParseUint(text(6), 10, 16)
+		if err != nil {
+			return nil, err
+		}
+		signer, err := p.name(text(7))
+		if err != nil {
+			return nil, err
+		}
+		sig, err := base64.StdEncoding.DecodeString(strings.Join(texts(toks[8:]), ""))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.RRSIG{TypeCovered: covered, Algorithm: uint8(alg),
+			Labels: uint8(labels), OrigTTL: uint32(origTTL), Expiration: uint32(exp),
+			Inception: uint32(inc), KeyTag: uint16(tag), SignerName: signer,
+			Signature: sig}, nil
+	case dnswire.TypeNSEC:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		next, err := p.name(text(0))
+		if err != nil {
+			return nil, err
+		}
+		var types []dnswire.Type
+		for _, tok := range toks[1:] {
+			t, err := dnswire.ParseType(strings.ToUpper(tok.text))
+			if err != nil {
+				return nil, err
+			}
+			types = append(types, t)
+		}
+		return dnswire.NSEC{NextName: next, Types: types}, nil
+	case dnswire.TypeZONEMD:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		serial, err := strconv.ParseUint(text(0), 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := strconv.ParseUint(text(1), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		hash, err := strconv.ParseUint(text(2), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		digest, err := hex.DecodeString(strings.ToLower(strings.Join(texts(toks[3:]), "")))
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.ZONEMD{Serial: uint32(serial), Scheme: uint8(scheme),
+			Hash: uint8(hash), Digest: digest}, nil
+	case dnswire.TypeCAA:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		flags, err := strconv.ParseUint(text(0), 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.CAA{Flags: uint8(flags), Tag: text(1), Value: text(2)}, nil
+	default:
+		// RFC 3597 generic syntax: \# length hexdata
+		if len(toks) >= 2 && text(0) == "\\#" {
+			n, err := strconv.Atoi(text(1))
+			if err != nil {
+				return nil, err
+			}
+			data, err := hex.DecodeString(strings.Join(texts(toks[2:]), ""))
+			if err != nil {
+				return nil, err
+			}
+			if len(data) != n {
+				return nil, fmt.Errorf("\\# length %d != data length %d", n, len(data))
+			}
+			return dnswire.Unknown{RRType: typ, Data: data}, nil
+		}
+		return nil, fmt.Errorf("unsupported type %s", typ)
+	}
+}
+
+func texts(toks []token) []string {
+	out := make([]string, len(toks))
+	for i := range toks {
+		out[i] = toks[i].text
+	}
+	return out
+}
+
+// Write serializes the zone in master-file form: a $ORIGIN and $TTL header
+// followed by records in canonical order.
+func Write(w io.Writer, z *Zone) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "$ORIGIN %s\n", z.Origin); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "$TTL 86400\n"); err != nil {
+		return err
+	}
+	for _, rr := range z.Records() {
+		if _, err := fmt.Fprintln(bw, rr.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Text returns the zone's master-file serialization as a string.
+func Text(z *Zone) string {
+	var sb strings.Builder
+	_ = Write(&sb, z)
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package zone
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"rootless/internal/dnswire"
+)
+
+// randomDelegationZone builds a random root-like zone with nested names
+// to stress the authoritative lookup algorithm.
+func randomDelegationZone(r *rand.Rand) *Zone {
+	z := New(dnswire.Root)
+	_ = z.Add(dnswire.NewRR(dnswire.Root, 86400, dnswire.SOA{
+		MName: "m.", RName: "r.", Serial: uint32(r.Intn(1 << 30)), Minimum: 300}))
+	nTLDs := 1 + r.Intn(12)
+	for i := 0; i < nTLDs; i++ {
+		tld := dnswire.Name(fmt.Sprintf("t%d.", i))
+		host := dnswire.Name(fmt.Sprintf("ns.nic.t%d.", i))
+		_ = z.Add(dnswire.NewRR(tld, 172800, dnswire.NS{Host: host}))
+		var a4 [4]byte
+		r.Read(a4[:])
+		_ = z.Add(dnswire.NewRR(host, 172800, dnswire.A{Addr: netip.AddrFrom4(a4)}))
+		if r.Intn(2) == 0 {
+			_ = z.Add(dnswire.NewRR(tld, 86400, dnswire.DS{
+				KeyTag: uint16(r.Intn(1 << 16)), Algorithm: 15, DigestType: 2,
+				Digest: []byte{1, 2, 3}}))
+		}
+	}
+	return z
+}
+
+// randomQueryName produces names at assorted depths, some existing.
+func randomQueryName(r *rand.Rand) dnswire.Name {
+	switch r.Intn(5) {
+	case 0:
+		return dnswire.Root
+	case 1:
+		return dnswire.Name(fmt.Sprintf("t%d.", r.Intn(16)))
+	case 2:
+		return dnswire.Name(fmt.Sprintf("www.example.t%d.", r.Intn(16)))
+	case 3:
+		return dnswire.Name(fmt.Sprintf("ns.nic.t%d.", r.Intn(16)))
+	default:
+		return dnswire.Name(fmt.Sprintf("bogus%d.", r.Intn(1000)))
+	}
+}
+
+// TestZoneQueryInvariantsProperty checks structural invariants of the
+// RFC 1034 lookup over random zones and queries:
+//   - never panics, rcode is NOERROR/NXDOMAIN/REFUSED
+//   - a referral is never authoritative and always carries NS records
+//     for a name enclosing the query name
+//   - NXDOMAIN always carries the SOA
+//   - answers only contain records at the query name
+func TestZoneQueryInvariantsProperty(t *testing.T) {
+	types := []dnswire.Type{dnswire.TypeA, dnswire.TypeNS, dnswire.TypeDS,
+		dnswire.TypeSOA, dnswire.TypeTXT, dnswire.TypeANY}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		z := randomDelegationZone(r)
+		for i := 0; i < 40; i++ {
+			qname := randomQueryName(r)
+			qtype := types[r.Intn(len(types))]
+			ans := z.Query(qname, qtype)
+			switch ans.Rcode {
+			case dnswire.RcodeSuccess, dnswire.RcodeNXDomain:
+			default:
+				return false
+			}
+			if ans.Rcode == dnswire.RcodeNXDomain {
+				if len(ans.Answer) != 0 {
+					return false
+				}
+				if len(ans.Authority) != 1 || ans.Authority[0].Type != dnswire.TypeSOA {
+					return false
+				}
+			}
+			isReferral := !ans.Authoritative && ans.Rcode == dnswire.RcodeSuccess &&
+				len(ans.Authority) > 0
+			if isReferral {
+				sawNS := false
+				for _, rr := range ans.Authority {
+					if rr.Type == dnswire.TypeNS {
+						sawNS = true
+						if !qname.IsSubdomainOf(rr.Name) {
+							return false
+						}
+					}
+				}
+				if !sawNS {
+					return false
+				}
+			}
+			for _, rr := range ans.Answer {
+				if rr.Name != qname {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZoneAddRemoveIdempotencyProperty: adding a record twice equals
+// adding it once; removing then re-adding restores the lookup.
+func TestZoneAddRemoveIdempotencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		z := randomDelegationZone(r)
+		before := z.Len()
+		rr := dnswire.NewRR("t0.", 172800, dnswire.NS{Host: "ns.nic.t0."})
+		_ = z.Add(rr)
+		if z.Len() != before {
+			return false // duplicate changed the zone
+		}
+		got := z.Lookup("t0.", dnswire.TypeNS)
+		z.Remove("t0.", dnswire.TypeNS)
+		if z.Lookup("t0.", dnswire.TypeNS) != nil {
+			return false
+		}
+		for _, e := range got {
+			if z.Add(e) != nil {
+				return false
+			}
+		}
+		return len(z.Lookup("t0.", dnswire.TypeNS)) == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,412 @@
+// Package zone implements DNS zones: an in-memory store of resource
+// records with the authoritative-lookup operations a nameserver needs
+// (answers, referrals with glue, NXDOMAIN determination), plus an RFC 1035
+// §5 master-file parser and serializer and a compressed container format.
+//
+// The root zone — the object this whole system is about — is just a Zone
+// whose origin is the root name.
+package zone
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rootless/internal/dnswire"
+)
+
+// Zone is a set of resource records rooted at Origin.
+//
+// A Zone is safe for concurrent readers once built; mutation (Add/Remove)
+// is guarded internally, so a Zone may also be updated while being served.
+type Zone struct {
+	Origin dnswire.Name
+
+	mu      sync.RWMutex
+	records map[dnswire.Name]map[dnswire.Type][]dnswire.RR
+	// delegations caches the set of names that own NS rrsets other than
+	// the origin — the zone cuts.
+	delegations map[dnswire.Name]bool
+	// nsecNames counts owners carrying NSEC records, so unsigned zones
+	// skip denial-proof scans entirely.
+	nsecNames int
+}
+
+// New returns an empty zone for the given origin.
+func New(origin dnswire.Name) *Zone {
+	return &Zone{
+		Origin:      origin,
+		records:     make(map[dnswire.Name]map[dnswire.Type][]dnswire.RR),
+		delegations: make(map[dnswire.Name]bool),
+	}
+}
+
+// Add inserts a record. Records outside the zone's origin are rejected.
+// Duplicate records (same name, type, class, rdata) are ignored.
+func (z *Zone) Add(rr dnswire.RR) error {
+	if !rr.Name.IsSubdomainOf(z.Origin) {
+		return fmt.Errorf("zone: record %s outside origin %s", rr.Name, z.Origin)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType, ok := z.records[rr.Name]
+	if !ok {
+		byType = make(map[dnswire.Type][]dnswire.RR)
+		z.records[rr.Name] = byType
+	}
+	for _, existing := range byType[rr.Type] {
+		if existing.Class == rr.Class && existing.Data.String() == rr.Data.String() {
+			return nil
+		}
+	}
+	if rr.Type == dnswire.TypeNSEC && len(byType[dnswire.TypeNSEC]) == 0 {
+		z.nsecNames++
+	}
+	byType[rr.Type] = append(byType[rr.Type], rr)
+	if rr.Type == dnswire.TypeNS && rr.Name != z.Origin {
+		z.delegations[rr.Name] = true
+	}
+	return nil
+}
+
+// Remove deletes all records of the given name and type. A type of
+// dnswire.TypeANY removes every record at the name.
+func (z *Zone) Remove(name dnswire.Name, typ dnswire.Type) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType, ok := z.records[name]
+	if !ok {
+		return
+	}
+	if typ == dnswire.TypeANY {
+		if len(byType[dnswire.TypeNSEC]) > 0 {
+			z.nsecNames--
+		}
+		delete(z.records, name)
+		delete(z.delegations, name)
+		return
+	}
+	if typ == dnswire.TypeNSEC && len(byType[dnswire.TypeNSEC]) > 0 {
+		z.nsecNames--
+	}
+	delete(byType, typ)
+	if typ == dnswire.TypeNS {
+		delete(z.delegations, name)
+	}
+	if len(byType) == 0 {
+		delete(z.records, name)
+	}
+}
+
+// Lookup returns the RRset for (name, type), or nil.
+func (z *Zone) Lookup(name dnswire.Name, typ dnswire.Type) []dnswire.RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	rrs := z.records[name][typ]
+	if len(rrs) == 0 {
+		return nil
+	}
+	out := make([]dnswire.RR, len(rrs))
+	copy(out, rrs)
+	return out
+}
+
+// LookupAll returns every record at name, across types.
+func (z *Zone) LookupAll(name dnswire.Name) []dnswire.RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var out []dnswire.RR
+	for _, rrs := range z.records[name] {
+		out = append(out, rrs...)
+	}
+	return out
+}
+
+// HasName reports whether any record exists at name.
+func (z *Zone) HasName(name dnswire.Name) bool {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return len(z.records[name]) > 0
+}
+
+// SOA returns the zone's SOA record, or false if absent.
+func (z *Zone) SOA() (dnswire.RR, bool) {
+	rrs := z.Lookup(z.Origin, dnswire.TypeSOA)
+	if len(rrs) == 0 {
+		return dnswire.RR{}, false
+	}
+	return rrs[0], true
+}
+
+// Serial returns the zone's SOA serial, or 0 if there is no SOA.
+func (z *Zone) Serial() uint32 {
+	if soa, ok := z.SOA(); ok {
+		return soa.Data.(dnswire.SOA).Serial
+	}
+	return 0
+}
+
+// Names returns every owner name in the zone in DNSSEC canonical order.
+func (z *Zone) Names() []dnswire.Name {
+	z.mu.RLock()
+	names := make([]dnswire.Name, 0, len(z.records))
+	for n := range z.records {
+		names = append(names, n)
+	}
+	z.mu.RUnlock()
+	sort.Slice(names, func(i, j int) bool { return names[i].Compare(names[j]) < 0 })
+	return names
+}
+
+// Records returns every record in the zone in canonical name order with
+// deterministic within-name ordering (by type, then rdata).
+func (z *Zone) Records() []dnswire.RR {
+	names := z.Names()
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var out []dnswire.RR
+	for _, n := range names {
+		byType := z.records[n]
+		types := make([]dnswire.Type, 0, len(byType))
+		for t := range byType {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			rrs := append([]dnswire.RR(nil), byType[t]...)
+			sort.Slice(rrs, func(i, j int) bool {
+				return rrs[i].Data.String() < rrs[j].Data.String()
+			})
+			out = append(out, rrs...)
+		}
+	}
+	return out
+}
+
+// Len returns the number of records in the zone.
+func (z *Zone) Len() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	n := 0
+	for _, byType := range z.records {
+		for _, rrs := range byType {
+			n += len(rrs)
+		}
+	}
+	return n
+}
+
+// RRsetCount returns the number of distinct (name, type) RRsets.
+func (z *Zone) RRsetCount() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	n := 0
+	for _, byType := range z.records {
+		n += len(byType)
+	}
+	return n
+}
+
+// Delegations returns the names of all zone cuts in canonical order.
+func (z *Zone) Delegations() []dnswire.Name {
+	z.mu.RLock()
+	names := make([]dnswire.Name, 0, len(z.delegations))
+	for n := range z.delegations {
+		names = append(names, n)
+	}
+	z.mu.RUnlock()
+	sort.Slice(names, func(i, j int) bool { return names[i].Compare(names[j]) < 0 })
+	return names
+}
+
+// Answer is the result of an authoritative lookup in a zone.
+type Answer struct {
+	// Rcode is NOERROR or NXDOMAIN.
+	Rcode dnswire.Rcode
+	// Authoritative is false for referrals.
+	Authoritative bool
+	// Answer holds the matching RRset (possibly empty for NODATA).
+	Answer []dnswire.RR
+	// Authority holds the delegation NS set (referral), or the SOA
+	// (NXDOMAIN / NODATA).
+	Authority []dnswire.RR
+	// Additional holds glue addresses for authority-section nameservers.
+	Additional []dnswire.RR
+}
+
+// Query performs the authoritative lookup algorithm (RFC 1034 §4.3.2,
+// restricted to the in-zone cases: answer, referral, NODATA, NXDOMAIN).
+func (z *Zone) Query(name dnswire.Name, typ dnswire.Type) Answer {
+	if !name.IsSubdomainOf(z.Origin) {
+		return Answer{Rcode: dnswire.RcodeRefused}
+	}
+
+	// Walk from the query name up toward the origin looking for a zone cut
+	// strictly between the origin and the name. A cut at the query name
+	// itself is a referral unless the query is for DS (which the parent
+	// answers authoritatively).
+	if cut, ok := z.findCut(name, typ); ok {
+		return z.referral(cut)
+	}
+
+	z.mu.RLock()
+	byType, exists := z.records[name]
+	z.mu.RUnlock()
+
+	if exists {
+		if rrs := byType[typ]; len(rrs) > 0 {
+			return Answer{
+				Rcode:         dnswire.RcodeSuccess,
+				Authoritative: true,
+				Answer:        append([]dnswire.RR(nil), rrs...),
+			}
+		}
+		if typ == dnswire.TypeANY {
+			var all []dnswire.RR
+			for _, rrs := range byType {
+				all = append(all, rrs...)
+			}
+			return Answer{Rcode: dnswire.RcodeSuccess, Authoritative: true, Answer: all}
+		}
+		// CNAME at the name answers any type except CNAME itself.
+		if rrs := byType[dnswire.TypeCNAME]; len(rrs) > 0 {
+			return Answer{
+				Rcode:         dnswire.RcodeSuccess,
+				Authoritative: true,
+				Answer:        append([]dnswire.RR(nil), rrs...),
+			}
+		}
+		// NODATA: name exists, type does not.
+		return Answer{
+			Rcode:         dnswire.RcodeSuccess,
+			Authoritative: true,
+			Authority:     z.soaAuthority(),
+		}
+	}
+
+	// Name does not exist, but it may be an empty non-terminal (a name
+	// with descendants), which is NODATA rather than NXDOMAIN.
+	if z.hasDescendants(name) {
+		return Answer{
+			Rcode:         dnswire.RcodeSuccess,
+			Authoritative: true,
+			Authority:     z.soaAuthority(),
+		}
+	}
+	return Answer{
+		Rcode:         dnswire.RcodeNXDomain,
+		Authoritative: true,
+		Authority:     z.soaAuthority(),
+	}
+}
+
+// findCut locates the closest delegation at-or-above name, excluding the
+// origin. A cut exactly at name does not count for DS queries.
+func (z *Zone) findCut(name dnswire.Name, typ dnswire.Type) (dnswire.Name, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for n := name; n != z.Origin && !n.IsRoot(); n = n.Parent() {
+		if z.delegations[n] {
+			if n == name && typ == dnswire.TypeDS {
+				continue
+			}
+			return n, true
+		}
+	}
+	return "", false
+}
+
+func (z *Zone) referral(cut dnswire.Name) Answer {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	ans := Answer{Rcode: dnswire.RcodeSuccess}
+	nsSet := z.records[cut][dnswire.TypeNS]
+	ans.Authority = append(ans.Authority, nsSet...)
+	// DS records live at the cut in the parent and accompany referrals.
+	ans.Authority = append(ans.Authority, z.records[cut][dnswire.TypeDS]...)
+	for _, ns := range nsSet {
+		host := ns.Data.(dnswire.NS).Host
+		if !host.IsSubdomainOf(z.Origin) {
+			continue
+		}
+		ans.Additional = append(ans.Additional, z.records[host][dnswire.TypeA]...)
+		ans.Additional = append(ans.Additional, z.records[host][dnswire.TypeAAAA]...)
+	}
+	return ans
+}
+
+func (z *Zone) soaAuthority() []dnswire.RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return append([]dnswire.RR(nil), z.records[z.Origin][dnswire.TypeSOA]...)
+}
+
+// hasDescendants reports whether any stored name is strictly below name.
+func (z *Zone) hasDescendants(name dnswire.Name) bool {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for n := range z.records {
+		if n != name && n.IsSubdomainOf(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// SignaturesFor returns the RRSIG records at name covering the given
+// type, for building DNSSEC-aware responses.
+func (z *Zone) SignaturesFor(name dnswire.Name, covered dnswire.Type) []dnswire.RR {
+	var out []dnswire.RR
+	for _, rr := range z.Lookup(name, dnswire.TypeRRSIG) {
+		if sig, ok := rr.Data.(dnswire.RRSIG); ok && sig.TypeCovered == covered {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// NSECCovering returns the NSEC record whose owner-to-next span covers
+// name in canonical order (the authenticated denial proof for name), or
+// false if the zone carries no NSEC chain. A name that owns an NSEC is
+// covered by its own record.
+func (z *Zone) NSECCovering(name dnswire.Name) (dnswire.RR, bool) {
+	type link struct {
+		owner dnswire.Name
+		rr    dnswire.RR
+	}
+	var chain []link
+	z.mu.RLock()
+	if z.nsecNames == 0 {
+		z.mu.RUnlock()
+		return dnswire.RR{}, false
+	}
+	for n, byType := range z.records {
+		if rrs := byType[dnswire.TypeNSEC]; len(rrs) > 0 {
+			chain = append(chain, link{owner: n, rr: rrs[0]})
+		}
+	}
+	z.mu.RUnlock()
+	if len(chain) == 0 {
+		return dnswire.RR{}, false
+	}
+	sort.Slice(chain, func(i, j int) bool { return chain[i].owner.Compare(chain[j].owner) < 0 })
+	// Find the last owner <= name; it covers the span up to the next
+	// owner. Names before the first owner wrap around to the last link.
+	idx := sort.Search(len(chain), func(i int) bool {
+		return chain[i].owner.Compare(name) > 0
+	}) - 1
+	if idx < 0 {
+		idx = len(chain) - 1
+	}
+	return chain[idx].rr, true
+}
+
+// Clone returns a deep-enough copy of the zone (records are value types
+// except rdata, which is immutable by convention).
+func (z *Zone) Clone() *Zone {
+	c := New(z.Origin)
+	for _, rr := range z.Records() {
+		_ = c.Add(rr)
+	}
+	return c
+}

@@ -1,0 +1,238 @@
+package zone
+
+import (
+	"net/netip"
+	"testing"
+
+	"rootless/internal/dnswire"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// testRootZone builds a miniature root zone with two delegated TLDs.
+func testRootZone(t *testing.T) *Zone {
+	t.Helper()
+	z := New(dnswire.Root)
+	add := func(rr dnswire.RR) {
+		t.Helper()
+		if err := z.Add(rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(dnswire.NewRR(dnswire.Root, 86400, dnswire.SOA{
+		MName: "a.root-servers.net.", RName: "nstld.verisign-grs.com.",
+		Serial: 2019041100, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+	}))
+	add(dnswire.NewRR(dnswire.Root, 518400, dnswire.NS{Host: "a.root-servers.net."}))
+	add(dnswire.NewRR("a.root-servers.net.", 518400, dnswire.A{Addr: addr("198.41.0.4")}))
+	// com. delegation with in-bailiwick glue.
+	add(dnswire.NewRR("com.", 172800, dnswire.NS{Host: "a.gtld-servers.net."}))
+	add(dnswire.NewRR("com.", 172800, dnswire.NS{Host: "b.gtld-servers.net."}))
+	add(dnswire.NewRR("a.gtld-servers.net.", 172800, dnswire.A{Addr: addr("192.5.6.30")}))
+	add(dnswire.NewRR("a.gtld-servers.net.", 172800, dnswire.AAAA{Addr: addr("2001:503:a83e::2:30")}))
+	add(dnswire.NewRR("b.gtld-servers.net.", 172800, dnswire.A{Addr: addr("192.33.14.30")}))
+	add(dnswire.NewRR("com.", 86400, dnswire.DS{KeyTag: 30909, Algorithm: 8, DigestType: 2, Digest: []byte{1, 2}}))
+	// org. delegation.
+	add(dnswire.NewRR("org.", 172800, dnswire.NS{Host: "a0.org.afilias-nst.info."}))
+	add(dnswire.NewRR("a0.org.afilias-nst.info.", 172800, dnswire.A{Addr: addr("199.19.56.1")}))
+	return z
+}
+
+func TestZoneAddLookup(t *testing.T) {
+	z := testRootZone(t)
+	if got := len(z.Lookup("com.", dnswire.TypeNS)); got != 2 {
+		t.Errorf("com. NS count = %d, want 2", got)
+	}
+	if z.Lookup("net.", dnswire.TypeNS) != nil {
+		t.Error("net. should not exist")
+	}
+	if z.Len() != 11 {
+		t.Errorf("Len = %d, want 11", z.Len())
+	}
+	if z.RRsetCount() != 10 {
+		t.Errorf("RRsetCount = %d, want 10", z.RRsetCount())
+	}
+	// Duplicate add is a no-op.
+	if err := z.Add(dnswire.NewRR("com.", 172800, dnswire.NS{Host: "a.gtld-servers.net."})); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(z.Lookup("com.", dnswire.TypeNS)); got != 2 {
+		t.Errorf("after dup add, com. NS count = %d, want 2", got)
+	}
+	if z.Serial() != 2019041100 {
+		t.Errorf("Serial = %d", z.Serial())
+	}
+}
+
+func TestZoneRejectsOutOfOrigin(t *testing.T) {
+	z := New("com.")
+	err := z.Add(dnswire.NewRR("example.org.", 60, dnswire.NS{Host: "ns.example.org."}))
+	if err == nil {
+		t.Fatal("expected out-of-origin rejection")
+	}
+}
+
+func TestZoneQueryReferral(t *testing.T) {
+	z := testRootZone(t)
+	ans := z.Query("www.example.com.", dnswire.TypeA)
+	if ans.Rcode != dnswire.RcodeSuccess || ans.Authoritative {
+		t.Fatalf("referral rcode=%v auth=%v", ans.Rcode, ans.Authoritative)
+	}
+	if len(ans.Answer) != 0 {
+		t.Error("referral should have no answer")
+	}
+	nsCount, dsCount := 0, 0
+	for _, rr := range ans.Authority {
+		switch rr.Type {
+		case dnswire.TypeNS:
+			nsCount++
+		case dnswire.TypeDS:
+			dsCount++
+		}
+	}
+	if nsCount != 2 || dsCount != 1 {
+		t.Errorf("authority NS=%d DS=%d, want 2,1", nsCount, dsCount)
+	}
+	if len(ans.Additional) != 3 {
+		t.Errorf("glue count = %d, want 3", len(ans.Additional))
+	}
+}
+
+func TestZoneQueryApex(t *testing.T) {
+	z := testRootZone(t)
+	ans := z.Query(dnswire.Root, dnswire.TypeNS)
+	if !ans.Authoritative || len(ans.Answer) != 1 {
+		t.Fatalf("apex NS: auth=%v answers=%d", ans.Authoritative, len(ans.Answer))
+	}
+	ans = z.Query(dnswire.Root, dnswire.TypeSOA)
+	if !ans.Authoritative || len(ans.Answer) != 1 {
+		t.Fatalf("apex SOA: auth=%v answers=%d", ans.Authoritative, len(ans.Answer))
+	}
+}
+
+func TestZoneQueryDSAtCut(t *testing.T) {
+	z := testRootZone(t)
+	// DS at a zone cut is answered authoritatively by the parent.
+	ans := z.Query("com.", dnswire.TypeDS)
+	if !ans.Authoritative || len(ans.Answer) != 1 || ans.Answer[0].Type != dnswire.TypeDS {
+		t.Fatalf("DS query: %+v", ans)
+	}
+	// But an A query at the cut is a referral.
+	ans = z.Query("com.", dnswire.TypeA)
+	if ans.Authoritative || len(ans.Authority) == 0 {
+		t.Fatalf("A at cut should refer: %+v", ans)
+	}
+}
+
+func TestZoneQueryNXDomain(t *testing.T) {
+	z := testRootZone(t)
+	ans := z.Query("nonexistent-tld.", dnswire.TypeA)
+	if ans.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("rcode = %v, want NXDOMAIN", ans.Rcode)
+	}
+	if len(ans.Authority) != 1 || ans.Authority[0].Type != dnswire.TypeSOA {
+		t.Error("NXDOMAIN should carry the SOA")
+	}
+}
+
+func TestZoneQueryNodata(t *testing.T) {
+	z := testRootZone(t)
+	ans := z.Query("a.root-servers.net.", dnswire.TypeAAAA)
+	if ans.Rcode != dnswire.RcodeSuccess || len(ans.Answer) != 0 {
+		t.Fatalf("NODATA: %+v", ans)
+	}
+	if len(ans.Authority) != 1 || ans.Authority[0].Type != dnswire.TypeSOA {
+		t.Error("NODATA should carry the SOA")
+	}
+}
+
+func TestZoneQueryEmptyNonTerminal(t *testing.T) {
+	z := New(dnswire.Root)
+	if err := z.Add(dnswire.NewRR(dnswire.Root, 86400, dnswire.SOA{MName: "m.", RName: "r.", Serial: 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Add(dnswire.NewRR("a.b.example.", 60, dnswire.A{Addr: addr("192.0.2.1")})); err != nil {
+		t.Fatal(err)
+	}
+	ans := z.Query("b.example.", dnswire.TypeA)
+	if ans.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("empty non-terminal should be NODATA, got %v", ans.Rcode)
+	}
+}
+
+func TestZoneQueryRefusedOutside(t *testing.T) {
+	z := New("com.")
+	ans := z.Query("example.org.", dnswire.TypeA)
+	if ans.Rcode != dnswire.RcodeRefused {
+		t.Fatalf("rcode = %v, want REFUSED", ans.Rcode)
+	}
+}
+
+func TestZoneQueryANY(t *testing.T) {
+	z := testRootZone(t)
+	ans := z.Query("a.gtld-servers.net.", dnswire.TypeANY)
+	if len(ans.Answer) != 2 {
+		t.Fatalf("ANY answers = %d, want 2", len(ans.Answer))
+	}
+}
+
+func TestZoneQueryCNAME(t *testing.T) {
+	z := New("example.com.")
+	if err := z.Add(dnswire.NewRR("www.example.com.", 60, dnswire.CNAME{Target: "example.com."})); err != nil {
+		t.Fatal(err)
+	}
+	ans := z.Query("www.example.com.", dnswire.TypeA)
+	if len(ans.Answer) != 1 || ans.Answer[0].Type != dnswire.TypeCNAME {
+		t.Fatalf("CNAME answer: %+v", ans)
+	}
+}
+
+func TestZoneRemove(t *testing.T) {
+	z := testRootZone(t)
+	z.Remove("org.", dnswire.TypeNS)
+	if z.Lookup("org.", dnswire.TypeNS) != nil {
+		t.Error("org. NS should be removed")
+	}
+	// With the delegation gone, the query becomes NXDOMAIN.
+	ans := z.Query("org.", dnswire.TypeA)
+	if ans.Rcode != dnswire.RcodeNXDomain {
+		t.Errorf("after delegation removal, rcode = %v", ans.Rcode)
+	}
+	z.Remove("a.gtld-servers.net.", dnswire.TypeANY)
+	if z.HasName("a.gtld-servers.net.") {
+		t.Error("ANY removal should drop the name")
+	}
+}
+
+func TestZoneNamesCanonicalOrder(t *testing.T) {
+	z := testRootZone(t)
+	names := z.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1].Compare(names[i]) >= 0 {
+			t.Fatalf("names out of order: %q >= %q", names[i-1], names[i])
+		}
+	}
+	if names[0] != dnswire.Root {
+		t.Errorf("first name = %q, want root", names[0])
+	}
+}
+
+func TestZoneDelegations(t *testing.T) {
+	z := testRootZone(t)
+	dels := z.Delegations()
+	if len(dels) != 2 || dels[0] != "com." || dels[1] != "org." {
+		t.Errorf("Delegations = %v", dels)
+	}
+}
+
+func TestZoneClone(t *testing.T) {
+	z := testRootZone(t)
+	c := z.Clone()
+	if c.Len() != z.Len() {
+		t.Fatalf("clone Len = %d, want %d", c.Len(), z.Len())
+	}
+	c.Remove("com.", dnswire.TypeNS)
+	if len(z.Lookup("com.", dnswire.TypeNS)) != 2 {
+		t.Error("mutating clone affected original")
+	}
+}

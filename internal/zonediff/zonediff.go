@@ -1,0 +1,204 @@
+// Package zonediff compares root zone snapshots: which TLDs were added,
+// removed or renumbered, and — the §5.2 question — whether a resolver
+// holding a stale zone copy could still reach each TLD. It also builds
+// the paper's §5.3 "recent additions" supplement.
+package zonediff
+
+import (
+	"sort"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// Changes summarizes the difference between two zone snapshots.
+type Changes struct {
+	AddedTLDs   []dnswire.Name
+	RemovedTLDs []dnswire.Name
+	// ChangedTLDs have the same delegation but different records
+	// (NS set, glue addresses, or DS).
+	ChangedTLDs []dnswire.Name
+	// AddedRRs/RemovedRRs count record-level changes across the zone.
+	AddedRRs   int
+	RemovedRRs int
+}
+
+// tldRecords maps each TLD to the presentation strings of its records
+// (including glue for its NS hosts).
+func tldRecords(z *zone.Zone) map[dnswire.Name]map[string]bool {
+	idx := zone.BuildTLDIndex(z)
+	out := make(map[dnswire.Name]map[string]bool)
+	for _, tld := range z.Delegations() {
+		set := make(map[string]bool)
+		for _, rr := range idx.Lookup(tld) {
+			set[rr.String()] = true
+		}
+		out[tld] = set
+	}
+	return out
+}
+
+// Diff computes the changes from old to new.
+func Diff(old, new *zone.Zone) Changes {
+	var c Changes
+	oldTLDs := tldRecords(old)
+	newTLDs := tldRecords(new)
+	for tld, newSet := range newTLDs {
+		oldSet, ok := oldTLDs[tld]
+		if !ok {
+			c.AddedTLDs = append(c.AddedTLDs, tld)
+			continue
+		}
+		same := len(oldSet) == len(newSet)
+		if same {
+			for s := range newSet {
+				if !oldSet[s] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			c.ChangedTLDs = append(c.ChangedTLDs, tld)
+		}
+	}
+	for tld := range oldTLDs {
+		if _, ok := newTLDs[tld]; !ok {
+			c.RemovedTLDs = append(c.RemovedTLDs, tld)
+		}
+	}
+	oldAll := recordSet(old)
+	newAll := recordSet(new)
+	for s := range newAll {
+		if !oldAll[s] {
+			c.AddedRRs++
+		}
+	}
+	for s := range oldAll {
+		if !newAll[s] {
+			c.RemovedRRs++
+		}
+	}
+	sortNames(c.AddedTLDs)
+	sortNames(c.RemovedTLDs)
+	sortNames(c.ChangedTLDs)
+	return c
+}
+
+func recordSet(z *zone.Zone) map[string]bool {
+	out := make(map[string]bool)
+	for _, rr := range z.Records() {
+		out[rr.String()] = true
+	}
+	return out
+}
+
+func sortNames(names []dnswire.Name) {
+	sort.Slice(names, func(i, j int) bool { return names[i].Compare(names[j]) < 0 })
+}
+
+// Reachability reports, for each TLD delegated in truth, whether a
+// resolver holding the stale zone could still contact it: some nameserver
+// address in the stale zone's records for the TLD must still be a valid
+// address of the TLD's current nameservers. This is exactly the paper's
+// "at least one nameserver (by IP address) that is constant" criterion.
+type Reachability struct {
+	Total     int
+	Reachable int
+	// Broken lists the TLDs a stale-zone resolver can no longer reach.
+	Broken []dnswire.Name
+	// Missing lists TLDs that did not exist in the stale zone at all
+	// (new additions), a subset of Broken.
+	Missing []dnswire.Name
+}
+
+// ReachableShare returns the fraction of truth's TLDs still reachable.
+func (r Reachability) ReachableShare() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Reachable) / float64(r.Total)
+}
+
+// CheckReachability evaluates a stale zone copy against the current truth.
+func CheckReachability(stale, truth *zone.Zone) Reachability {
+	staleAddrs := tldAddresses(stale)
+	truthAddrs := tldAddresses(truth)
+	var r Reachability
+	tlds := make([]dnswire.Name, 0, len(truthAddrs))
+	for tld := range truthAddrs {
+		tlds = append(tlds, tld)
+	}
+	sortNames(tlds)
+	for _, tld := range tlds {
+		r.Total++
+		old, existed := staleAddrs[tld]
+		if !existed {
+			r.Broken = append(r.Broken, tld)
+			r.Missing = append(r.Missing, tld)
+			continue
+		}
+		ok := false
+		for addr := range old {
+			if truthAddrs[tld][addr] {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			r.Reachable++
+		} else {
+			r.Broken = append(r.Broken, tld)
+		}
+	}
+	return r
+}
+
+// tldAddresses maps each delegated TLD to the set of its nameserver
+// addresses (glue) in the zone.
+func tldAddresses(z *zone.Zone) map[dnswire.Name]map[string]bool {
+	out := make(map[dnswire.Name]map[string]bool)
+	for _, tld := range z.Delegations() {
+		addrs := make(map[string]bool)
+		for _, ns := range z.Lookup(tld, dnswire.TypeNS) {
+			host := ns.Data.(dnswire.NS).Host
+			for _, rr := range z.Lookup(host, dnswire.TypeA) {
+				addrs[rr.Data.String()] = true
+			}
+			for _, rr := range z.Lookup(host, dnswire.TypeAAAA) {
+				addrs[rr.Data.String()] = true
+			}
+		}
+		out[tld] = addrs
+	}
+	return out
+}
+
+// RecentAdditions builds the paper's §5.3 "recent additions" supplement:
+// every record belonging to TLDs present in new but not in old. A
+// resolver with a stale zone plus this small file can reach new TLDs
+// without waiting for its next full refresh.
+func RecentAdditions(old, new *zone.Zone) []dnswire.RR {
+	oldTLDs := make(map[dnswire.Name]bool)
+	for _, tld := range old.Delegations() {
+		oldTLDs[tld] = true
+	}
+	idx := zone.BuildTLDIndex(new)
+	var out []dnswire.RR
+	for _, tld := range new.Delegations() {
+		if !oldTLDs[tld] {
+			out = append(out, idx.Lookup(tld)...)
+		}
+	}
+	return out
+}
+
+// ApplyAdditions merges a recent-additions supplement into a zone copy.
+func ApplyAdditions(z *zone.Zone, additions []dnswire.RR) error {
+	for _, rr := range additions {
+		if err := z.Add(rr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
