@@ -1,0 +1,14 @@
+# Verification tiers. Tier 1 is the build gate; tier 2 adds static
+# checks and the race detector (backed by the concurrent-resolve hammer
+# test in internal/resolver).
+
+.PHONY: verify verify-race bench
+
+verify:
+	go build ./... && go test ./...
+
+verify-race:
+	go vet ./... && go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...

@@ -12,6 +12,11 @@
 //
 //	authd -zone root.zone -origin . -udp 127.0.0.1:5300 -tcp 127.0.0.1:5300
 //	authd -primary 127.0.0.1:5300 -origin . -udp 127.0.0.1:5310 -notify 127.0.0.1:5311
+//
+// Observability:
+//
+//	-admin 127.0.0.1:9154   HTTP admin endpoint: /metrics, /healthz, /statusz
+//	-log-level info         debug | info | warn | error
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"rootless/internal/authserver"
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 	"rootless/internal/zone"
 )
 
@@ -38,7 +44,11 @@ func main() {
 	ixfr := flag.Int("ixfr", 8, "IXFR journal window in zone versions (0 to disable)")
 	primaryAddr := flag.String("primary", "", "run as a secondary: AXFR/IXFR from this primary (host:port, TCP)")
 	notifyAddr := flag.String("notify", "", "secondary mode: UDP address to receive NOTIFY pushes on")
+	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9154; empty to disable)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, "authd", *logLevel)
 
 	origin, err := dnswire.ParseName(*originStr)
 	if err != nil {
@@ -59,8 +69,7 @@ func main() {
 		}
 		secondary = sec
 		z = sec.Zone()
-		fmt.Fprintf(os.Stderr, "authd: secondary of %s, bootstrapped serial %d\n",
-			*primaryAddr, z.Serial())
+		logger.Info("bootstrapped as secondary", "primary", *primaryAddr, "serial", z.Serial())
 	} else {
 		z = loadZoneFile(*zonePath, origin)
 	}
@@ -69,21 +78,52 @@ func main() {
 	if *ixfr > 0 {
 		srv.EnableIXFR(*ixfr)
 	}
-	fmt.Fprintf(os.Stderr, "authd: serving %s (%d records, serial %d)\n",
-		origin, z.Len(), z.Serial())
+	logger.Info("serving zone", "origin", string(origin), "records", z.Len(), "serial", z.Serial())
+
+	if *adminAddr != "" {
+		start := time.Now()
+		reg := obs.NewRegistry()
+		reg.AddCollector(srv)
+		obs.RegisterProcessMetrics(reg, start)
+		admin := &obs.Admin{
+			Registry: reg,
+			Status: func() map[string]any {
+				st := srv.Stats()
+				cur := srv.Zone()
+				return map[string]any{
+					"component":      "authd",
+					"origin":         string(origin),
+					"zone_serial":    cur.Serial(),
+					"zone_records":   cur.Len(),
+					"queries":        st.Queries,
+					"answers":        st.Answers,
+					"referrals":      st.Referrals,
+					"axfrs":          st.AXFRs,
+					"ixfrs":          st.IXFRs,
+					"secondary":      secondary != nil,
+					"uptime_seconds": time.Since(start).Seconds(),
+				}
+			},
+		}
+		go func() {
+			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
+				logger.Error("admin server", "err", err)
+			}
+		}()
+	}
 
 	errs := make(chan error, 3)
 	if secondary != nil {
 		secondary.OnUpdate(func(nz *zone.Zone) {
 			srv.SetZone(nz)
-			fmt.Fprintf(os.Stderr, "authd: replicated serial %d\n", nz.Serial())
+			logger.Info("replicated zone", "serial", nz.Serial())
 		})
 		if *notifyAddr != "" {
 			nconn, err := net.ListenPacket("udp", *notifyAddr)
 			if err != nil {
 				fatal("notify listen: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "authd: NOTIFY listener on %s\n", nconn.LocalAddr())
+			logger.Info("NOTIFY listener ready", "addr", nconn.LocalAddr().String())
 			go func() { errs <- secondary.ServeNotify(ctx, nconn) }()
 		}
 	}
@@ -93,7 +133,7 @@ func main() {
 		if err != nil {
 			fatal("udp listen: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "authd: udp on %s\n", conn.LocalAddr())
+		logger.Info("udp listener ready", "addr", conn.LocalAddr().String())
 		go func() { errs <- srv.ServeUDP(ctx, conn) }()
 	}
 	if *tcpAddr != "" {
@@ -101,7 +141,7 @@ func main() {
 		if err != nil {
 			fatal("tcp listen: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "authd: tcp on %s (AXFR enabled)\n", l.Addr())
+		logger.Info("tcp listener ready", "addr", l.Addr().String(), "axfr", true)
 		go func() { errs <- srv.ServeTCP(ctx, l) }()
 	}
 	if *udpAddr == "" && *tcpAddr == "" {
@@ -116,8 +156,9 @@ func main() {
 		}
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "authd: served %d queries (%d referrals, %d answers, %d nxdomain, %d axfr, %d ixfr)\n",
-		st.Queries, st.Referrals, st.Answers, st.NXDomain, st.AXFRs, st.IXFRs)
+	logger.Info("shutdown",
+		"queries", st.Queries, "referrals", st.Referrals, "answers", st.Answers,
+		"nxdomain", st.NXDomain, "axfrs", st.AXFRs, "ixfrs", st.IXFRs)
 }
 
 func loadZoneFile(path string, origin dnswire.Name) *zone.Zone {

@@ -13,6 +13,15 @@
 //	resolverd -listen 127.0.0.1:5301 -mode lookaside -rootzone root.zone
 //	resolverd -listen 127.0.0.1:5301 -mode localauth -localauth 127.0.0.1 -localauth-port 5300
 //	resolverd -listen 127.0.0.1:5301 -mode hints -hints root.hints
+//
+// Observability:
+//
+//	-admin 127.0.0.1:9153   HTTP admin endpoint: /metrics (Prometheus or
+//	                        ?format=json), /healthz, /tracez, /statusz
+//	-trace                  record per-query resolution traces (view at /tracez)
+//	-trace-slow 100ms       only keep traces at least this slow (0 = all)
+//	-trace-ring 128         how many recent traces to retain
+//	-log-level info         debug | info | warn | error
 package main
 
 import (
@@ -27,7 +36,9 @@ import (
 	"syscall"
 	"time"
 
+	"rootless/internal/anycast"
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 	"rootless/internal/resolver"
 	"rootless/internal/rootzone"
 	"rootless/internal/zone"
@@ -44,7 +55,14 @@ func main() {
 	stale := flag.Bool("serve-stale", false, "serve expired cache entries when upstreams fail (RFC 8767)")
 	cacheCap := flag.Int("cache", 0, "cache capacity in RRsets (0 = unlimited)")
 	timeout := flag.Duration("timeout", 3*time.Second, "upstream query timeout")
+	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /tracez, /statusz (e.g. 127.0.0.1:9153; empty to disable)")
+	traceOn := flag.Bool("trace", false, "record per-query resolution traces")
+	traceSlow := flag.Duration("trace-slow", 0, "retain only traces at least this slow (0 = all)")
+	traceRing := flag.Int("trace-ring", 128, "recent traces to retain for /tracez")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, "resolverd", *logLevel)
 
 	var mode resolver.RootMode
 	switch *modeStr {
@@ -95,8 +113,7 @@ func main() {
 			fatal("%v", err)
 		}
 		cfg.LocalZone = z
-		fmt.Fprintf(os.Stderr, "resolverd: local root zone serial %d (%d records)\n",
-			z.Serial(), z.Len())
+		logger.Info("loaded local root zone", "serial", z.Serial(), "records", z.Len())
 	case resolver.RootModeLocalAuth:
 		addr, err := netip.ParseAddr(*localAuth)
 		if err != nil {
@@ -111,21 +128,74 @@ func main() {
 	r := resolver.New(cfg)
 	srv := resolver.NewServer(r)
 
+	tracer := obs.NewTracer(*traceRing, *traceSlow)
+	tracer.SetEnabled(*traceOn)
+	r.SetTracer(tracer)
+	if *traceOn {
+		logger.Info("query tracing enabled", "ring", *traceRing, "slow_threshold", *traceSlow)
+	}
+
 	conn, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		fatal("listen: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "resolverd: %s mode, listening on %s\n", mode, conn.LocalAddr())
+	logger.Info("listening", "mode", mode.String(), "addr", conn.LocalAddr().String())
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *adminAddr != "" {
+		start := time.Now()
+		reg := obs.NewRegistry()
+		r.Instrument(reg)
+		reg.AddCollector(tracer)
+		obs.RegisterProcessMetrics(reg, start)
+		if mode == resolver.RootModeHints {
+			// Hints mode still leans on the root-server fleet; expose the
+			// modeled deployment it depends on next to the traffic counters.
+			reg.AddCollector(anycast.DeploymentCollector{})
+		}
+		admin := &obs.Admin{
+			Registry: reg,
+			Tracer:   tracer,
+			Status: func() map[string]any {
+				st := r.Stats()
+				status := map[string]any{
+					"component":        "resolverd",
+					"mode":             mode.String(),
+					"resolutions":      st.Resolutions,
+					"cache_answers":    st.CacheAnswers,
+					"upstream_queries": st.TotalQueries,
+					"root_queries":     st.RootQueries,
+					"cache_rrsets":     r.Cache().Len(),
+					"cache_pinned":     r.Cache().PinnedLen(),
+					"srtt_entries":     r.SRTTStateSize(),
+					"uptime_seconds":   time.Since(start).Seconds(),
+					"tracing":          tracer.Enabled(),
+				}
+				if serial, age, ok := r.LocalZoneStatus(); ok {
+					// The §5.3 staleness metric: how old is our root copy?
+					status["zone_serial"] = serial
+					status["zone_age_seconds"] = age.Seconds()
+				}
+				return status
+			},
+		}
+		go func() {
+			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
+				logger.Error("admin server", "err", err)
+			}
+		}()
+	}
+
 	if err := srv.ServeUDP(ctx, conn); err != nil {
 		fatal("%v", err)
 	}
 	st := r.Stats()
-	fmt.Fprintf(os.Stderr,
-		"resolverd: %d resolutions (%d from cache), %d upstream queries (%d to roots, %d local root consults)\n",
-		st.Resolutions, st.CacheAnswers, st.TotalQueries, st.RootQueries, st.LocalRootConsults)
+	logger.Info("shutdown",
+		"resolutions", st.Resolutions, "cache_answers", st.CacheAnswers,
+		"upstream_queries", st.TotalQueries, "root_queries", st.RootQueries,
+		"local_root_consults", st.LocalRootConsults)
 }
 
 func loadZone(path string) (*zone.Zone, error) {

@@ -9,6 +9,11 @@
 // Fetch (resolver side):
 //
 //	zonedist fetch -mirror http://127.0.0.1:8053 -pub root.dnskey -o root.zone
+//
+// Observability (serve mode):
+//
+//	-admin 127.0.0.1:9155   HTTP admin endpoint: /metrics, /healthz, /statusz
+//	-log-level info         debug | info | warn | error
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"rootless/internal/dist"
 	"rootless/internal/dnssec"
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 	"rootless/internal/rootzone"
 	"rootless/internal/zone"
 )
@@ -54,7 +60,11 @@ func serve(args []string) {
 	dateStr := fs.String("date", "2019-06-07", "zone snapshot date")
 	pubOut := fs.String("pub-out", "", "write the public KSK here for clients")
 	republish := fs.Duration("republish", 0, "re-sign and publish a fresh serial at this interval (0 = once)")
+	adminAddr := fs.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9155; empty to disable)")
+	logLevel := fs.String("log-level", "info", "log level: debug | info | warn | error")
 	_ = fs.Parse(args)
+
+	logger := obs.NewLogger(os.Stderr, "zonedist", *logLevel)
 
 	at, err := time.Parse("2006-01-02", *dateStr)
 	if err != nil {
@@ -91,7 +101,7 @@ func serve(args []string) {
 		if err := mirror.Publish(z); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "zonedist: published serial %d (%d records)\n", z.Serial(), z.Len())
+		logger.Info("published zone", "serial", z.Serial(), "records", z.Len())
 		return nil
 	}
 	if err := publish(at); err != nil {
@@ -100,6 +110,35 @@ func serve(args []string) {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *adminAddr != "" {
+		start := time.Now()
+		reg := obs.NewRegistry()
+		reg.AddCollector(mirror)
+		obs.RegisterProcessMetrics(reg, start)
+		admin := &obs.Admin{
+			Registry: reg,
+			Status: func() map[string]any {
+				st := mirror.Stats()
+				status := map[string]any{
+					"component":      "zonedist",
+					"requests":       st.Requests,
+					"bundle_bytes":   st.BundleBytes,
+					"delta_bytes":    st.DeltaBytes,
+					"uptime_seconds": time.Since(start).Seconds(),
+				}
+				if b := mirror.Current(); b != nil {
+					status["zone_serial"] = b.Serial
+				}
+				return status
+			},
+		}
+		go func() {
+			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
+				logger.Error("admin server", "err", err)
+			}
+		}()
+	}
 	if *republish > 0 {
 		go func() {
 			day := at
@@ -110,7 +149,7 @@ func serve(args []string) {
 				case <-time.After(*republish):
 					day = day.AddDate(0, 0, 1)
 					if err := publish(day); err != nil {
-						fmt.Fprintf(os.Stderr, "zonedist: republish: %v\n", err)
+						logger.Error("republish failed", "err", err)
 					}
 				}
 			}
@@ -122,13 +161,13 @@ func serve(args []string) {
 		<-ctx.Done()
 		_ = srv.Close()
 	}()
-	fmt.Fprintf(os.Stderr, "zonedist: mirror on http://%s (bundle, text, delta endpoints)\n", *listen)
+	logger.Info("mirror ready", "url", "http://"+*listen)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal("%v", err)
 	}
 	st := mirror.Stats()
-	fmt.Fprintf(os.Stderr, "zonedist: served %d requests (%d bundle bytes, %d delta bytes)\n",
-		st.Requests, st.BundleBytes, st.DeltaBytes)
+	logger.Info("shutdown", "requests", st.Requests,
+		"bundle_bytes", st.BundleBytes, "delta_bytes", st.DeltaBytes)
 }
 
 func fetch(args []string) {

@@ -1,0 +1,34 @@
+package anycast
+
+import (
+	"fmt"
+	"time"
+
+	"rootless/internal/obs"
+)
+
+// DeploymentCollector publishes the modeled root-server deployment (the
+// Figure 2 instance counts) to a metrics registry: the total and one
+// per-letter series, evaluated at Clock() each scrape. The hints-mode
+// resolver daemon wires this in so a scrape shows the infrastructure the
+// paper proposes to retire next to the traffic still hitting it.
+type DeploymentCollector struct {
+	// Clock supplies the evaluation date; nil means time.Now.
+	Clock func() time.Time
+}
+
+// Collect implements obs.Collector.
+func (d DeploymentCollector) Collect(reg *obs.Registry) {
+	now := time.Now
+	if d.Clock != nil {
+		now = d.Clock
+	}
+	at := now()
+	reg.Gauge("rootless_anycast_instances", "modeled root anycast instances (all letters)", nil).
+		Set(float64(InstanceCount(at)))
+	for _, lm := range letterModels {
+		reg.Gauge("rootless_anycast_letter_instances", "modeled instances per root letter",
+			obs.Labels{"letter": fmt.Sprintf("%c", lm.letter)}).
+			Set(float64(InstanceCountForLetter(lm.letter, at)))
+	}
+}

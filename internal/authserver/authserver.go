@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 	"rootless/internal/zone"
 )
 
@@ -72,6 +73,17 @@ func (s *Server) count(f func(*Stats)) {
 	s.mu.Lock()
 	f(&s.stats)
 	s.mu.Unlock()
+}
+
+// Collect implements obs.Collector: the Stats counters plus gauges for
+// the served zone's serial and size.
+func (s *Server) Collect(reg *obs.Registry) {
+	obs.SetCountersFromStruct(reg, "rootless_authserver", "authoritative server activity", nil, s.Stats())
+	z := s.Zone()
+	reg.Gauge("rootless_authserver_zone_serial", "serial of the served zone", nil).
+		Set(float64(z.Serial()))
+	reg.Gauge("rootless_authserver_zone_records", "records in the served zone", nil).
+		Set(float64(z.Len()))
 }
 
 // Handle implements netsim.Handler: it answers one query message.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 )
 
 // Stats counts cache activity.
@@ -260,6 +261,16 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// Collect implements obs.Collector: the Stats counters plus occupancy
+// gauges (total and pinned RRsets).
+func (c *Cache) Collect(reg *obs.Registry) {
+	obs.SetCountersFromStruct(reg, "rootless_cache", "cache activity", nil, c.Stats())
+	reg.Gauge("rootless_cache_rrsets", "RRsets resident (incl. expired-unswept)", nil).
+		Set(float64(c.Len()))
+	reg.Gauge("rootless_cache_pinned_rrsets", "pinned (preloaded root zone) RRsets", nil).
+		Set(float64(c.PinnedLen()))
 }
 
 // Flush removes every entry (pinned included) and resets nothing else.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+
+	"rootless/internal/obs"
 )
 
 // Gossip simulates the §3 peer-to-peer distribution option: resolvers
@@ -108,6 +110,13 @@ type GossipStats struct {
 // Stats returns the totals so far.
 func (g *Gossip) Stats() GossipStats {
 	return GossipStats{Rounds: g.rounds, Transfers: g.transfers, Bytes: g.bytes}
+}
+
+// Collect implements obs.Collector. Gossip is a single-threaded
+// simulation; collect between rounds (or after the run), not during one.
+func (g *Gossip) Collect(reg *obs.Registry) {
+	obs.SetCountersFromStruct(reg, "rootless_gossip", "gossip mesh totals", nil, g.Stats())
+	reg.Gauge("rootless_gossip_peers", "peers in the mesh", nil).Set(float64(len(g.peers)))
 }
 
 // PeerSource lets a gossip peer serve as a Refresher Source.

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"rootless/internal/dnssec"
+	"rootless/internal/obs"
 	"rootless/internal/zone"
 )
 
@@ -96,6 +97,22 @@ func (m *Mirror) Stats() MirrorStats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return MirrorStats{Requests: m.requests, BundleBytes: m.bundleBytes, DeltaBytes: m.deltaBytes}
+}
+
+// Collect implements obs.Collector: transfer counters plus gauges for the
+// published serial and the delta retention window.
+func (m *Mirror) Collect(reg *obs.Registry) {
+	obs.SetCountersFromStruct(reg, "rootless_mirror", "mirror transfer volume", nil, m.Stats())
+	m.mu.RLock()
+	var serial uint32
+	if m.current != nil {
+		serial = m.current.Serial
+	}
+	snapshots := len(m.order)
+	m.mu.RUnlock()
+	reg.Gauge("rootless_mirror_zone_serial", "serial of the published zone", nil).Set(float64(serial))
+	reg.Gauge("rootless_mirror_snapshots", "past snapshots retained for delta service", nil).
+		Set(float64(snapshots))
 }
 
 // ServeHTTP implements http.Handler.

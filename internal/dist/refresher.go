@@ -3,9 +3,11 @@ package dist
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 	"rootless/internal/zone"
 )
 
@@ -44,10 +46,12 @@ type RefresherConfig struct {
 // Refresher drives the periodic fetch → verify → install loop. It is
 // clock-driven rather than goroutine-driven so experiments can step
 // virtual time; Tick must be called whenever time may have passed (a
-// convenience Run loop exists for real deployments).
+// convenience Run loop exists for real deployments). State and Collect
+// are safe to call from an admin scrape while Run ticks.
 type Refresher struct {
 	cfg RefresherConfig
 
+	mu       sync.Mutex
 	obtained time.Time // when the current copy was fetched
 	nextTry  time.Time
 	serial   uint32
@@ -95,6 +99,8 @@ type State struct {
 // State returns the current state.
 func (r *Refresher) State() State {
 	now := r.cfg.Clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	age := now.Sub(r.obtained)
 	return State{
 		HaveZone: r.haveZone,
@@ -108,19 +114,45 @@ func (r *Refresher) State() State {
 	}
 }
 
+// Collect implements obs.Collector: fetch/install counters plus the
+// freshness gauges the paper's §4 robustness arithmetic is about.
+func (r *Refresher) Collect(reg *obs.Registry) {
+	st := r.State()
+	reg.Counter("rootless_refresher_fetches_total", "fetch attempts", nil).Set(st.Fetches)
+	reg.Counter("rootless_refresher_failures_total", "failed fetch/verify/install attempts", nil).Set(st.Failures)
+	reg.Counter("rootless_refresher_installs_total", "verified zones installed", nil).Set(st.Installs)
+	fresh := 0.0
+	if st.Fresh {
+		fresh = 1
+	}
+	reg.Gauge("rootless_refresher_fresh", "1 while the copy is younger than Expiry", nil).Set(fresh)
+	reg.Gauge("rootless_refresher_zone_serial", "serial of the installed copy", nil).Set(float64(st.Serial))
+	if st.HaveZone {
+		reg.Gauge("rootless_refresher_zone_age_seconds", "staleness age of the installed copy", nil).
+			Set(st.Age.Seconds())
+	}
+}
+
 // Due reports whether Tick would attempt a fetch now.
 func (r *Refresher) Due() bool {
-	return !r.haveZone || !r.cfg.Clock().Before(r.nextTry)
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.haveZone || !now.Before(r.nextTry)
 }
 
 // Tick attempts a fetch if one is due. It returns true if a new zone was
-// installed.
+// installed. The fetch itself runs unlocked; only state updates are
+// serialised (one Run loop drives Tick, scrapes read concurrently).
 func (r *Refresher) Tick(ctx context.Context) bool {
 	now := r.cfg.Clock()
+	r.mu.Lock()
 	if r.haveZone && now.Before(r.nextTry) {
+		r.mu.Unlock()
 		return false
 	}
 	r.fetches++
+	r.mu.Unlock()
 	bundle, err := r.cfg.Source.Fetch(ctx)
 	if err != nil {
 		r.fail(now, err)
@@ -135,19 +167,23 @@ func (r *Refresher) Tick(ctx context.Context) bool {
 		r.fail(now, err)
 		return false
 	}
+	r.mu.Lock()
 	r.installs++
 	r.lastErr = nil
 	r.obtained = now
 	r.serial = bundle.Serial
 	r.haveZone = true
 	r.nextTry = now.Add(r.cfg.Refresh)
+	r.mu.Unlock()
 	return true
 }
 
 func (r *Refresher) fail(now time.Time, err error) {
+	r.mu.Lock()
 	r.failures++
 	r.lastErr = err
 	r.nextTry = now.Add(r.cfg.Retry)
+	r.mu.Unlock()
 }
 
 // Run drives Tick on real time until ctx is cancelled. Experiments use
@@ -155,7 +191,10 @@ func (r *Refresher) fail(now time.Time, err error) {
 func (r *Refresher) Run(ctx context.Context) {
 	for {
 		r.Tick(ctx)
-		wait := r.nextTry.Sub(r.cfg.Clock())
+		r.mu.Lock()
+		next := r.nextTry
+		r.mu.Unlock()
+		wait := next.Sub(r.cfg.Clock())
 		if wait < time.Second {
 			wait = time.Second
 		}

@@ -9,31 +9,23 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a concurrency-safe monotonic counter.
+// Counter is a concurrency-safe monotonic counter (lock-free).
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by d.
-func (c *Counter) Add(d int64) {
-	c.mu.Lock()
-	c.n += d
-	c.mu.Unlock()
-}
+func (c *Counter) Add(d int64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Histogram collects float64 observations and reports order statistics.
 // It stores raw samples; experiments here are small enough that exact
@@ -79,8 +71,14 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank; 0 with no samples.
+// nearest-rank; 0 with no samples or p out of range. Note p <= 0 is
+// rejected rather than mapped to the minimum: nearest-rank rounds a tiny
+// p to rank 1, which stops being the smallest sample once n exceeds
+// 100/p — use Min instead.
 func (h *Histogram) Percentile(p float64) float64 {
+	if p <= 0 || p > 100 {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
@@ -101,10 +99,36 @@ func (h *Histogram) Percentile(p float64) float64 {
 }
 
 // Min returns the smallest sample (0 with no samples).
-func (h *Histogram) Min() float64 { return h.Percentile(0.0001) }
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	min := h.samples[0]
+	for _, v := range h.samples[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
 
 // Max returns the largest sample (0 with no samples).
-func (h *Histogram) Max() float64 { return h.Percentile(100) }
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	max := h.samples[0]
+	for _, v := range h.samples[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
 
 // Summary formats count/mean/p50/p95/p99 on one line.
 func (h *Histogram) Summary() string {

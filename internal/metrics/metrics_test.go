@@ -134,3 +134,48 @@ func TestSeries(t *testing.T) {
 	flat.Append(1, 5)
 	_ = flat.AsciiPlot(10, 3)
 }
+
+// TestMinLargeSampleCount is the regression test for the old
+// Min-via-Percentile(0.0001) implementation: nearest-rank maps p=0.0001
+// to rank 2 once n exceeds 10⁶, silently returning the wrong sample.
+func TestMinLargeSampleCount(t *testing.T) {
+	var h Histogram
+	const n = 1_000_001
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i) + 10)
+	}
+	h.Observe(-3) // the true minimum, observed last
+	if got := h.Min(); got != -3 {
+		t.Errorf("Min = %f, want -3", got)
+	}
+	if got := h.Max(); got != float64(n-1)+10 {
+		t.Errorf("Max = %f, want %f", got, float64(n-1)+10)
+	}
+}
+
+func TestPercentileRejectsOutOfRange(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(2)
+	for _, p := range []float64{0, -1, 0.0, 100.0001, 200} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("Percentile(%f) = %f, want 0 (rejected)", p, got)
+		}
+	}
+	if got := h.Percentile(100); got != 2 {
+		t.Errorf("Percentile(100) = %f", got)
+	}
+}
+
+func TestMinMaxAfterMixedObservations(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, -2, 7, 0} {
+		h.Observe(v)
+	}
+	_ = h.Percentile(50) // sort, then observe more (must not stale Min/Max)
+	h.Observe(-9)
+	h.Observe(99)
+	if h.Min() != -9 || h.Max() != 99 {
+		t.Errorf("min/max = %f/%f", h.Min(), h.Max())
+	}
+}

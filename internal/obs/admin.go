@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Admin serves the operational endpoints every daemon exposes behind the
+// -admin flag:
+//
+//	GET /metrics   registry in Prometheus text format (?format=json for JSON)
+//	GET /healthz   "ok" (503 + error text when the Health check fails)
+//	GET /tracez    recent slow-query traces (?format=json for JSON)
+//	GET /statusz   daemon status document (root mode, serial, staleness, ...)
+type Admin struct {
+	Registry *Registry
+	Tracer   *Tracer // optional
+	// Health reports readiness; nil means always healthy.
+	Health func() error
+	// Status supplies the /statusz document; nil serves {}.
+	Status func() map[string]any
+}
+
+// Handler returns the admin mux.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.serveMetrics)
+	mux.HandleFunc("/healthz", a.serveHealth)
+	mux.HandleFunc("/tracez", a.serveTraces)
+	mux.HandleFunc("/statusz", a.serveStatus)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "rootless admin endpoints: /metrics /healthz /tracez /statusz\n")
+	})
+	return mux
+}
+
+func (a *Admin) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if a.Registry == nil {
+		http.Error(w, "no registry", http.StatusServiceUnavailable)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = a.Registry.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.Registry.WritePrometheus(w)
+}
+
+func (a *Admin) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	if a.Health != nil {
+		if err := a.Health(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *Admin) serveTraces(w http.ResponseWriter, r *http.Request) {
+	if a.Tracer == nil {
+		http.Error(w, "tracing not configured", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = a.Tracer.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !a.Tracer.Enabled() {
+		fmt.Fprintln(w, "tracer disabled (start the daemon with -trace)")
+	}
+	_ = a.Tracer.WriteText(w)
+}
+
+func (a *Admin) serveStatus(w http.ResponseWriter, _ *http.Request) {
+	doc := map[string]any{}
+	if a.Status != nil {
+		doc = a.Status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// encoding/json sorts map keys, so output is deterministic.
+	_ = enc.Encode(doc)
+}
+
+// ListenAndServe runs the admin server on addr until ctx ends. It returns
+// once the listener closes; the bound address is logged through logger
+// (useful with ":0").
+func (a *Admin) ListenAndServe(ctx context.Context, addr string, logger *slog.Logger) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if logger != nil {
+		logger.Info("admin endpoint listening", "addr", l.Addr().String())
+	}
+	srv := &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		_ = srv.Close()
+	}()
+	if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// RegisterProcessMetrics adds goroutine, heap, and uptime gauges.
+func RegisterProcessMetrics(r *Registry, start time.Time) {
+	r.GaugeFunc("rootless_process_goroutines", "live goroutines", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("rootless_process_heap_bytes", "heap in use", nil, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("rootless_process_uptime_seconds", "seconds since start", nil,
+		func() float64 { return time.Since(start).Seconds() })
+}

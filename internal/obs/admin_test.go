@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminFixture() *Admin {
+	reg := NewRegistry()
+	reg.Counter("rootless_test_queries_total", "queries", nil).Set(5)
+	tc := NewTracer(4, 0)
+	tc.SetEnabled(true)
+	tr := tc.Begin("slow.example.", "A")
+	tr.Eventf("cache", "miss")
+	tr.Finish("NOERROR", 80*time.Millisecond, 4, nil)
+	return &Admin{
+		Registry: reg,
+		Tracer:   tc,
+		Status: func() map[string]any {
+			return map[string]any{"mode": "lookaside", "zone_serial": 2019060700}
+		},
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminMetrics(t *testing.T) {
+	a := adminFixture()
+	code, body := get(t, a.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "rootless_test_queries_total 5") ||
+		!strings.Contains(body, "# TYPE rootless_test_queries_total counter") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+	code, body = get(t, a.Handler(), "/metrics?format=json")
+	if code != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Errorf("json metrics: status %d body %q", code, body)
+	}
+}
+
+func TestAdminHealth(t *testing.T) {
+	a := adminFixture()
+	if code, body := get(t, a.Handler(), "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	a.Health = func() error { return errors.New("zone copy expired") }
+	if code, body := get(t, a.Handler(), "/healthz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "zone copy expired") {
+		t.Errorf("unhealthy = %d %q", code, body)
+	}
+}
+
+func TestAdminTracez(t *testing.T) {
+	a := adminFixture()
+	code, body := get(t, a.Handler(), "/tracez")
+	if code != http.StatusOK || !strings.Contains(body, "slow.example. A") {
+		t.Errorf("tracez = %d %q", code, body)
+	}
+	code, body = get(t, a.Handler(), "/tracez?format=json")
+	if code != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Errorf("tracez json = %d %q", code, body)
+	}
+	a.Tracer = nil
+	if code, _ := get(t, a.Handler(), "/tracez"); code != http.StatusNotFound {
+		t.Errorf("tracez without tracer = %d", code)
+	}
+}
+
+func TestAdminStatusz(t *testing.T) {
+	a := adminFixture()
+	code, body := get(t, a.Handler(), "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if doc["mode"] != "lookaside" {
+		t.Errorf("statusz = %v", doc)
+	}
+}
+
+func TestProcessMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg, time.Now().Add(-time.Minute))
+	samples := reg.Snapshot()
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Name] = s.Value
+	}
+	if byName["rootless_process_goroutines"] < 1 {
+		t.Error("no goroutines reported")
+	}
+	if byName["rootless_process_heap_bytes"] <= 0 {
+		t.Error("no heap reported")
+	}
+	if byName["rootless_process_uptime_seconds"] < 59 {
+		t.Errorf("uptime = %f", byName["rootless_process_uptime_seconds"])
+	}
+}

@@ -1,0 +1,142 @@
+// Coverage tests live in an external package so they can import the
+// instrumented components (which themselves import obs) and pin the
+// contract that every exported counter field of every Stats struct in the
+// system shows up in a scrape — exactly once, under the expected prefix.
+// Adding a field to any Stats struct passes automatically (reflection
+// exports it); renaming a metric or forgetting a Collect wire-up fails.
+package obs_test
+
+import (
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rootless/internal/authserver"
+	"rootless/internal/cache"
+	"rootless/internal/dist"
+	"rootless/internal/dnswire"
+	"rootless/internal/obs"
+	"rootless/internal/resolver"
+	"rootless/internal/zone"
+)
+
+// stubTransport satisfies resolver.Transport without a network.
+type stubTransport struct{}
+
+func (stubTransport) Exchange(netip.Addr, *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return nil, 0, dnswire.ErrMessageTruncated
+}
+
+const testZoneSrc = `
+. 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. 2019041100 1800 900 604800 3600
+. 518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 198.41.0.4
+`
+
+func testZone(t *testing.T) *zone.Zone {
+	t.Helper()
+	z, err := zone.Parse(strings.NewReader(testZoneSrc), dnswire.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+// expectCounters verifies that scraping collector yields exactly one
+// sample for every exported integer field of stats under prefix, by
+// comparing against what SetCountersFromStruct itself would emit.
+func expectCounters(t *testing.T, collector obs.Collector, prefix string, stats any) {
+	t.Helper()
+	scratch := obs.NewRegistry()
+	obs.SetCountersFromStruct(scratch, prefix, "want", nil, stats)
+	want := scratch.Snapshot()
+
+	// Every exported int field must have produced a scratch sample —
+	// guards against SetCountersFromStruct silently skipping fields.
+	sv := reflect.ValueOf(stats)
+	intFields := 0
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Type().Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			intFields++
+		}
+	}
+	if len(want) != intFields {
+		t.Fatalf("%s: SetCountersFromStruct emitted %d samples for %d int fields",
+			prefix, len(want), intFields)
+	}
+
+	reg := obs.NewRegistry()
+	collector.Collect(reg)
+	got := reg.Snapshot()
+	for _, w := range want {
+		n := 0
+		for _, g := range got {
+			if g.Name == w.Name {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("%s: scrape has %d samples named %s, want exactly 1", prefix, n, w.Name)
+		}
+	}
+}
+
+func TestEveryStatsFieldIsExported(t *testing.T) {
+	r := resolver.New(resolver.Config{
+		Mode:      resolver.RootModeHints,
+		Transport: stubTransport{},
+	})
+	expectCounters(t, r, "rootless_resolver", r.Stats())
+	// Resolver.Collect also republishes its cache.
+	expectCounters(t, r, "rootless_cache", r.Cache().Stats())
+
+	c := cache.New(64, time.Now)
+	expectCounters(t, c, "rootless_cache", c.Stats())
+
+	srv := authserver.New(testZone(t))
+	expectCounters(t, srv, "rootless_authserver", srv.Stats())
+
+	m := dist.NewMirror(nil, 4)
+	expectCounters(t, m, "rootless_mirror", m.Stats())
+
+	g := dist.NewGossip(3, 1)
+	expectCounters(t, g, "rootless_gossip", g.Stats())
+}
+
+// TestRefresherCollectNames pins the refresher's hand-named series (its
+// counters live in unexported fields, so they are named explicitly rather
+// than reflected).
+func TestRefresherCollectNames(t *testing.T) {
+	ref, err := dist.NewRefresher(dist.RefresherConfig{
+		Source:  dist.SourceFunc(nil),
+		Install: func(*zone.Zone) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ref.Collect(reg)
+	names := map[string]bool{}
+	for _, s := range reg.Snapshot() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"rootless_refresher_fetches_total",
+		"rootless_refresher_failures_total",
+		"rootless_refresher_installs_total",
+		"rootless_refresher_fresh",
+		"rootless_refresher_zone_serial",
+	} {
+		if !names[want] {
+			t.Errorf("refresher scrape missing %s", want)
+		}
+	}
+}

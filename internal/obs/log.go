@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds the structured logger the daemons share: text handler,
+// component attribute, level parsed from a -log-level style string
+// (debug, info, warn, error; unknown strings mean info).
+func NewLogger(w io.Writer, component, level string) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: ParseLevel(level)})
+	return slog.New(h).With("component", component)
+}
+
+// ParseLevel maps a string to a slog level, defaulting to info.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

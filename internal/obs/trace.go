@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records per-query resolution traces into a bounded ring of the
+// most recent slow queries. The disabled path costs one atomic load in
+// Begin plus nil-receiver no-ops for every event, so it can stay compiled
+// into the hot path permanently.
+type Tracer struct {
+	enabled   atomic.Bool
+	slowNanos atomic.Int64 // keep only traces at least this slow (0 = all)
+	ringSize  int
+
+	mu   sync.Mutex
+	ring []*Trace // oldest first
+	seen int64    // total finished traces (kept or not)
+}
+
+// NewTracer creates a disabled tracer retaining the last ringSize traces
+// whose wall time is ≥ slow (slow = 0 keeps every trace).
+func NewTracer(ringSize int, slow time.Duration) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 128
+	}
+	t := &Tracer{ringSize: ringSize}
+	t.slowNanos.Store(int64(slow))
+	return t
+}
+
+// SetEnabled switches tracing on or off. Nil-safe.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether traces are being recorded. Nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetSlowThreshold changes the keep threshold. Nil-safe.
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t != nil {
+		t.slowNanos.Store(int64(d))
+	}
+}
+
+// Begin starts a trace for one resolution, or returns nil when tracing is
+// off (every Trace method is a no-op on a nil receiver).
+func (t *Tracer) Begin(qname, qtype string) *Trace {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return &Trace{tracer: t, Qname: qname, Qtype: qtype, Start: time.Now()}
+}
+
+// record files a finished trace into the ring.
+func (t *Tracer) record(tr *Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seen++
+	if tr.Wall < time.Duration(t.slowNanos.Load()) {
+		return
+	}
+	if len(t.ring) >= t.ringSize {
+		copy(t.ring, t.ring[1:])
+		t.ring = t.ring[:len(t.ring)-1]
+	}
+	t.ring = append(t.ring, tr)
+}
+
+// Recent returns the retained traces, oldest first. Nil-safe.
+func (t *Tracer) Recent() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Trace(nil), t.ring...)
+}
+
+// Seen returns how many traces finished (kept or not). Nil-safe.
+func (t *Tracer) Seen() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seen
+}
+
+// WriteJSON dumps the retained traces as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Recent())
+}
+
+// WriteText dumps the retained traces as human-readable trace trees.
+func (t *Tracer) WriteText(w io.Writer) error {
+	traces := t.Recent()
+	if len(traces) == 0 {
+		_, err := io.WriteString(w, "no traces recorded\n")
+		return err
+	}
+	for i, tr := range traces {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, tr.Tree()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect implements Collector: tracer occupancy metrics.
+func (t *Tracer) Collect(r *Registry) {
+	en := 0.0
+	if t.Enabled() {
+		en = 1
+	}
+	r.Gauge("rootless_tracer_enabled", "whether query tracing is on", nil).Set(en)
+	r.Counter("rootless_tracer_traces_total", "finished traces since start", nil).Set(t.Seen())
+	r.Gauge("rootless_tracer_ring_occupancy", "slow traces currently retained", nil).Set(float64(len(t.Recent())))
+}
+
+// Event is one step of a resolution's iterative walk.
+type Event struct {
+	At     time.Duration `json:"at"`    // offset from trace start
+	Depth  int           `json:"depth"` // referral / glue-chase depth
+	Kind   string        `json:"kind"`  // cache-hit, referral, send, timeout, ...
+	Detail string        `json:"detail"`
+}
+
+// Trace is one resolution's span: qname/qtype, outcome, and the ordered
+// events of the iterative walk. All methods are nil-receiver-safe so
+// instrumented code needs no enabled checks.
+type Trace struct {
+	tracer *Tracer
+	Qname  string    `json:"qname"`
+	Qtype  string    `json:"qtype"`
+	Start  time.Time `json:"start"`
+	// Rcode and Err describe the outcome (set by Finish).
+	Rcode string `json:"rcode"`
+	Err   string `json:"err,omitempty"`
+	// Latency is the (possibly virtual) network time the resolution
+	// reported; Wall is real elapsed time; Queries counts network sends.
+	Latency time.Duration `json:"latency"`
+	Wall    time.Duration `json:"wall"`
+	Queries int           `json:"queries"`
+
+	mu     sync.Mutex
+	depth  int
+	Events []Event `json:"events"`
+}
+
+// Eventf appends a formatted event at the current depth.
+func (tr *Trace) Eventf(kind, format string, args ...any) {
+	if tr == nil {
+		return
+	}
+	at := time.Since(tr.Start)
+	tr.mu.Lock()
+	tr.Events = append(tr.Events, Event{At: at, Depth: tr.depth, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	tr.mu.Unlock()
+}
+
+// Push increases the depth (entering a referral hop or glue chase).
+func (tr *Trace) Push() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.depth++
+	tr.mu.Unlock()
+}
+
+// Pop decreases the depth.
+func (tr *Trace) Pop() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.depth > 0 {
+		tr.depth--
+	}
+	tr.mu.Unlock()
+}
+
+// Finish closes the trace with the resolution outcome and files it with
+// the tracer.
+func (tr *Trace) Finish(rcode string, latency time.Duration, queries int, err error) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.Rcode = rcode
+	tr.Latency = latency
+	tr.Queries = queries
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	tr.Wall = time.Since(tr.Start)
+	tr.mu.Unlock()
+	tr.tracer.record(tr)
+}
+
+// Tree renders the trace as an indented, human-readable walk.
+func (tr *Trace) Tree() string {
+	if tr == nil {
+		return ""
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s rcode=%s latency=%v queries=%d wall=%v",
+		tr.Qname, tr.Qtype, tr.Rcode, tr.Latency, tr.Queries, tr.Wall)
+	if tr.Err != "" {
+		fmt.Fprintf(&sb, " err=%q", tr.Err)
+	}
+	sb.WriteByte('\n')
+	for _, e := range tr.Events {
+		fmt.Fprintf(&sb, "  %s%-10s +%-8v %s\n",
+			strings.Repeat("  ", e.Depth), "["+e.Kind+"]", e.At.Round(time.Microsecond), e.Detail)
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerReturnsNil(t *testing.T) {
+	tr := NewTracer(4, 0)
+	if got := tr.Begin("example.com.", "A"); got != nil {
+		t.Fatal("disabled tracer must hand out nil traces")
+	}
+	// A nil tracer is also fully usable.
+	var none *Tracer
+	if none.Enabled() || none.Begin("x.", "A") != nil || none.Recent() != nil || none.Seen() != 0 {
+		t.Error("nil tracer must be inert")
+	}
+	none.SetEnabled(true)
+	none.SetSlowThreshold(time.Second)
+}
+
+func TestNilTraceMethodsAreNoOps(t *testing.T) {
+	var tr *Trace
+	tr.Eventf("cache", "miss %s", "a.")
+	tr.Push()
+	tr.Pop()
+	tr.Finish("NOERROR", time.Millisecond, 1, nil)
+	if tr.Tree() != "" {
+		t.Error("nil trace tree should be empty")
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	tc := NewTracer(4, 0)
+	tc.SetEnabled(true)
+	tr := tc.Begin("www.example.com.", "A")
+	if tr == nil {
+		t.Fatal("enabled tracer returned nil trace")
+	}
+	tr.Eventf("cache", "miss %s A", "www.example.com.")
+	tr.Push()
+	tr.Eventf("referral", "zone=com. servers=2")
+	tr.Pop()
+	tr.Finish("NOERROR", 42*time.Millisecond, 3, nil)
+
+	recent := tc.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("ring has %d traces", len(recent))
+	}
+	tree := recent[0].Tree()
+	for _, want := range []string{"www.example.com. A", "rcode=NOERROR", "queries=3", "[cache]", "[referral]"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	if tc.Seen() != 1 {
+		t.Errorf("seen = %d", tc.Seen())
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tc := NewTracer(2, 0)
+	tc.SetEnabled(true)
+	for i, name := range []string{"a.", "b.", "c."} {
+		tr := tc.Begin(name, "A")
+		tr.Finish("NOERROR", time.Duration(i)*time.Millisecond, 1, nil)
+	}
+	recent := tc.Recent()
+	if len(recent) != 2 || recent[0].Qname != "b." || recent[1].Qname != "c." {
+		t.Errorf("ring = %v", []string{recent[0].Qname, recent[1].Qname})
+	}
+	if tc.Seen() != 3 {
+		t.Errorf("seen = %d", tc.Seen())
+	}
+}
+
+func TestSlowThresholdFilters(t *testing.T) {
+	tc := NewTracer(8, 10*time.Millisecond)
+	tc.SetEnabled(true)
+	fast := tc.Begin("fast.", "A")
+	fast.Finish("NOERROR", 0, 1, nil) // wall ≈ 0 < threshold
+	if len(tc.Recent()) != 0 {
+		t.Error("fast trace should not be retained")
+	}
+	slow := tc.Begin("slow.", "A")
+	slow.Start = slow.Start.Add(-time.Second) // simulate a 1 s resolution
+	slow.Finish("NOERROR", time.Second, 9, nil)
+	if len(tc.Recent()) != 1 {
+		t.Error("slow trace should be retained")
+	}
+}
+
+func TestTraceJSONDump(t *testing.T) {
+	tc := NewTracer(4, 0)
+	tc.SetEnabled(true)
+	tr := tc.Begin("x.example.", "AAAA")
+	tr.Eventf("send", "to 192.0.2.1 srtt=30ms")
+	tr.Finish("SERVFAIL", 5*time.Millisecond, 2, nil)
+	var buf bytes.Buffer
+	if err := tc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		Qname  string `json:"qname"`
+		Rcode  string `json:"rcode"`
+		Events []struct {
+			Kind   string `json:"kind"`
+			Detail string `json:"detail"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].Qname != "x.example." || got[0].Rcode != "SERVFAIL" ||
+		len(got[0].Events) != 1 || got[0].Events[0].Kind != "send" {
+		t.Errorf("decoded = %+v", got)
+	}
+}
+
+func TestTracerCollect(t *testing.T) {
+	tc := NewTracer(4, 0)
+	tc.SetEnabled(true)
+	tc.Begin("a.", "A").Finish("NOERROR", 0, 1, nil)
+	r := NewRegistry()
+	r.AddCollector(tc)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rootless_tracer_enabled 1", "rootless_tracer_traces_total 1", "rootless_tracer_ring_occupancy 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}

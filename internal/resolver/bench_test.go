@@ -1,0 +1,42 @@
+package resolver
+
+import (
+	"testing"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/obs"
+)
+
+// BenchmarkResolve measures a cache-warm resolution — the hot path an
+// always-on tracer check would tax. The three variants document the
+// acceptance bar that a disabled tracer stays within noise of no tracer
+// at all (the enabled variant shows what turning it on costs).
+func BenchmarkResolve(b *testing.B) {
+	run := func(b *testing.B, setup func(*Resolver)) {
+		tp := newTopo(b)
+		r := tp.resolver(b, RootModeHints)
+		if setup != nil {
+			setup(r)
+		}
+		if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("NoTracer", func(b *testing.B) { run(b, nil) })
+	b.Run("TracerDisabled", func(b *testing.B) {
+		run(b, func(r *Resolver) { r.SetTracer(obs.NewTracer(128, 0)) })
+	})
+	b.Run("TracerEnabled", func(b *testing.B) {
+		run(b, func(r *Resolver) {
+			tr := obs.NewTracer(128, 0)
+			tr.SetEnabled(true)
+			r.SetTracer(tr)
+		})
+	})
+}

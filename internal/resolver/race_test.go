@@ -1,0 +1,134 @@
+package resolver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sync"
+	"testing"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/obs"
+)
+
+// TestConcurrentResolveAndScrape hammers one Resolver from many goroutines
+// the way resolverd's UDP server does (one goroutine per query) while
+// other goroutines scrape Stats, Collect, and the tracer — the exact
+// interleaving an admin /metrics scrape produces in production. Run with
+// -race; it pins the "Safe for concurrent use" claim on Resolver.
+func TestConcurrentResolveAndScrape(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeHints)
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	tr := obs.NewTracer(16, 0)
+	tr.SetEnabled(true)
+	r.SetTracer(tr)
+
+	names := []dnswire.Name{
+		"www.example.com.", "alias.example.com.", "text.example.com.",
+		"deep.sub.example.com.", "nope.example.com.", "example.com.",
+	}
+	const workers = 8
+	const perWorker = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				qname := names[(w+i)%len(names)]
+				qtype := dnswire.TypeA
+				if qname == "text.example.com." {
+					qtype = dnswire.TypeTXT
+				}
+				_, _ = r.Resolve(qname, qtype)
+			}
+		}(w)
+	}
+	// Scrapers run concurrently with the resolvers.
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = r.Stats()
+				_ = r.SRTTStateSize()
+				_, _, _ = r.LocalZoneStatus()
+				scrapeReg := obs.NewRegistry()
+				r.Collect(scrapeReg)
+				_ = tr.Recent()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	st := r.Stats()
+	if st.Resolutions < workers*perWorker {
+		t.Fatalf("Resolutions = %d, want >= %d", st.Resolutions, workers*perWorker)
+	}
+	if tr.Seen() == 0 {
+		t.Fatal("tracer saw no resolutions")
+	}
+}
+
+// TestAllCounterWritesUseCount parses resolver.go and verifies every
+// access to the stats field goes through count() or the Stats() snapshot —
+// the single-mutation-path rule that makes the Stats struct safe to grow
+// without auditing lock sites.
+func TestAllCounterWritesUseCount(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "resolver.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{"Stats": true, "count": true}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "stats" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "r" {
+				return true
+			}
+			if !allowed[fd.Name.Name] {
+				pos := fset.Position(sel.Pos())
+				t.Errorf("%s accesses r.stats directly at %s; route it through count()",
+					fd.Name.Name, pos)
+			}
+			return true
+		})
+	}
+}
+
+// TestSRTTUpdatesCounted pins the audit fix: updateSRTT must bump
+// SRTTUpdates through count(), so concurrent scrapes never see a torn
+// counter and the increment shows up in Stats.
+func TestSRTTUpdatesCounted(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeHints)
+	if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.SRTTUpdates == 0 {
+		t.Fatal("SRTTUpdates not incremented by a resolution that sent queries")
+	}
+	if st.SRTTUpdates < int64(r.SRTTStateSize()) {
+		t.Fatalf("SRTTUpdates = %d < srtt entries %d", st.SRTTUpdates, r.SRTTStateSize())
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"rootless/internal/cache"
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 	"rootless/internal/zone"
 )
 
@@ -132,17 +133,25 @@ var (
 )
 
 // Resolver is an iterative resolver with a shared cache. Safe for
-// sequential use; the experiments run one goroutine per resolver.
+// concurrent use: the daemon's UDP server runs one goroutine per query
+// against a single shared resolver.
 type Resolver struct {
 	cfg   Config
 	cache *cache.Cache
-	rng   *rand.Rand
 
-	mu        sync.Mutex
-	stats     Stats
-	srtt      map[netip.Addr]time.Duration
-	rootAddrs map[netip.Addr]bool
-	inflight  map[dnswire.Name]bool // glue chases underway (loop guard)
+	// tracer records per-query walk traces when enabled; nil or disabled
+	// costs one atomic load per resolution. latency is the hot-path
+	// fixed-bucket histogram wired in by Instrument (nil until then).
+	tracer  *obs.Tracer
+	latency *obs.Histogram
+
+	mu         sync.Mutex
+	rng        *rand.Rand // guarded by mu: Resolve runs concurrently
+	stats      Stats
+	srtt       map[netip.Addr]time.Duration
+	rootAddrs  map[netip.Addr]bool
+	inflight   map[dnswire.Name]bool // glue chases underway (loop guard)
+	zoneLoaded time.Time             // when cfg.LocalZone was installed (staleness age)
 }
 
 // New creates a resolver. It panics if cfg.Transport is nil and the mode
@@ -173,6 +182,9 @@ func New(cfg Config) *Resolver {
 			r.rootAddrs[d.Addr] = true
 		}
 	}
+	if cfg.LocalZone != nil {
+		r.zoneLoaded = cfg.Clock()
+	}
 	if cfg.Mode == RootModePreload && cfg.LocalZone != nil {
 		r.PreloadRootZone(cfg.LocalZone)
 	}
@@ -197,10 +209,54 @@ func (r *Resolver) Mode() RootMode { return r.cfg.Mode }
 func (r *Resolver) SetLocalZone(z *zone.Zone) {
 	r.mu.Lock()
 	r.cfg.LocalZone = z
+	r.zoneLoaded = r.cfg.Clock()
 	r.mu.Unlock()
 	if r.cfg.Mode == RootModePreload {
 		r.PreloadRootZone(z)
 	}
+}
+
+// LocalZoneStatus reports the local root zone copy's serial and staleness
+// age — the §5.3 freshness metric /statusz surfaces. ok is false when the
+// mode carries no local zone.
+func (r *Resolver) LocalZoneStatus() (serial uint32, age time.Duration, ok bool) {
+	r.mu.Lock()
+	lz := r.cfg.LocalZone
+	loaded := r.zoneLoaded
+	r.mu.Unlock()
+	if lz == nil {
+		return 0, 0, false
+	}
+	return lz.Serial(), r.cfg.Clock().Sub(loaded), true
+}
+
+// SetTracer installs a query tracer. Call before serving; a nil or
+// disabled tracer leaves only an atomic load on the resolution path.
+func (r *Resolver) SetTracer(t *obs.Tracer) { r.tracer = t }
+
+// Instrument wires the resolver into reg: a scrape-time collector
+// republishes the Stats counters, cache statistics and SRTT state size,
+// and a fixed-bucket histogram observes per-resolution latency on the
+// hot path.
+func (r *Resolver) Instrument(reg *obs.Registry) {
+	r.latency = reg.Histogram("rootless_resolver_resolution_seconds",
+		"total (possibly virtual) network latency per resolution", nil, nil)
+	reg.AddCollector(r)
+}
+
+// Collect implements obs.Collector.
+func (r *Resolver) Collect(reg *obs.Registry) {
+	labels := obs.Labels{"mode": r.cfg.Mode.String()}
+	obs.SetCountersFromStruct(reg, "rootless_resolver", "resolver activity", labels, r.Stats())
+	reg.Gauge("rootless_resolver_srtt_entries",
+		"per-server timing entries held (the §4 complexity metric)", labels).
+		Set(float64(r.SRTTStateSize()))
+	if serial, age, ok := r.LocalZoneStatus(); ok {
+		reg.Gauge("rootless_zone_serial", "local root zone serial", nil).Set(float64(serial))
+		reg.Gauge("rootless_zone_age_seconds", "staleness age of the local root zone copy", nil).
+			Set(age.Seconds())
+	}
+	r.cache.Collect(reg)
 }
 
 // PreloadRootZone loads every RRset of z into the cache as pinned entries
@@ -215,14 +271,46 @@ func (r *Resolver) PreloadRootZone(z *zone.Zone) {
 	}
 }
 
+// count is the single mutation path for Stats: every counter write in the
+// package goes through here (pinned by TestAllCounterWritesUseCount), so
+// Stats() snapshots can never observe a torn or unsynchronised update.
 func (r *Resolver) count(f func(*Stats)) {
 	r.mu.Lock()
 	f(&r.stats)
 	r.mu.Unlock()
 }
 
+// randID draws a query ID under the lock: Resolve runs concurrently and
+// math/rand.Rand is not goroutine-safe.
+func (r *Resolver) randID() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return uint16(r.rng.Intn(1 << 16))
+}
+
+// srttFor reads one server's smoothed RTT estimate (0 when unknown).
+func (r *Resolver) srttFor(addr netip.Addr) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srtt[addr]
+}
+
 // Resolve performs a full iterative resolution of (qname, qtype).
 func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	tr := r.tracer.Begin(string(qname), qtype.String())
+	res, err := r.resolve(qname, qtype, tr)
+	if tr != nil {
+		tr.Finish(res.Rcode.String(), res.Latency, res.Queries, err)
+	}
+	if r.latency != nil {
+		r.latency.Observe(res.Latency.Seconds())
+	}
+	return res, err
+}
+
+// resolve is the trace-carrying resolution core (glue chases re-enter
+// here so their events land in the parent's trace).
+func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace) (*Result, error) {
 	r.count(func(s *Stats) { s.Resolutions++ })
 	res := &Result{Rcode: dnswire.RcodeServFail}
 	budget := r.cfg.MaxQueries
@@ -230,9 +318,10 @@ func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, err
 	target := qname
 	var chain []dnswire.RR
 	for depth := 0; depth < 9; depth++ {
-		rcode, rrs, err := r.iterate(target, qtype, res, &budget)
+		rcode, rrs, err := r.iterate(target, qtype, res, &budget, tr)
 		if err != nil {
 			r.count(func(s *Stats) { s.Failures++ })
+			tr.Eventf("fail", "%s: %v", target, err)
 			return res, err
 		}
 		res.Rcode = rcode
@@ -242,6 +331,7 @@ func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, err
 				chain = append(chain, rrs...)
 				target = cn
 				r.count(func(s *Stats) { s.CNAMEChases++ })
+				tr.Eventf("cname", "chasing %s -> %s", qname, cn)
 				continue
 			}
 		}
@@ -282,38 +372,55 @@ type nsSet struct {
 }
 
 // iterate resolves one name without following CNAMEs.
-func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int) (dnswire.Rcode, []dnswire.RR, error) {
-	// Full answer from cache?
+func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int, tr *obs.Trace) (dnswire.Rcode, []dnswire.RR, error) {
+	// Full answer from cache? The Eventf calls here sit on the cache-hit
+	// fast path, so they are guarded: a nil-trace Eventf is itself free,
+	// but evaluating its variadic arguments is not.
 	if hit, ok := r.cache.Get(qname, qtype); ok {
 		if hit.Negative {
 			r.count(func(s *Stats) { s.NegCacheAnswers++; s.CacheAnswers++ })
+			if tr != nil {
+				tr.Eventf("cache-hit", "negative %s %s", qname, qtype)
+			}
 			return dnswire.RcodeNXDomain, nil, nil
 		}
 		r.count(func(s *Stats) { s.CacheAnswers++ })
+		if tr != nil {
+			tr.Eventf("cache-hit", "%s %s (%d RRs)", qname, qtype, len(hit.RRs))
+		}
 		return dnswire.RcodeSuccess, hit.RRs, nil
 	}
 	// Cached CNAME at the name also answers.
 	if qtype != dnswire.TypeCNAME {
 		if hit, ok := r.cache.Get(qname, dnswire.TypeCNAME); ok && !hit.Negative {
 			r.count(func(s *Stats) { s.CacheAnswers++ })
+			if tr != nil {
+				tr.Eventf("cache-hit", "%s CNAME", qname)
+			}
 			return dnswire.RcodeSuccess, hit.RRs, nil
 		}
+	}
+	if tr != nil {
+		tr.Eventf("cache-miss", "%s %s", qname, qtype)
 	}
 
 	cur := r.closestNameservers(qname)
 	for hop := 0; hop < 24; hop++ {
 		if cur.local {
+			tr.Eventf("local-root", "consulting local zone for %s %s", qname, qtype)
 			next, rcode, rrs, done := r.consultLocalRoot(qname, qtype)
 			if done {
 				return rcode, rrs, nil
 			}
+			tr.Eventf("referral", "local zone -> %s (%d servers)", next.zone, len(next.hosts))
 			cur = next
 			continue
 		}
 
-		resp, err := r.queryZoneServers(cur, qname, qtype, res, budget)
+		resp, err := r.queryZoneServers(cur, qname, qtype, res, budget, tr)
 		if err != nil {
 			if rrs, ok := r.staleAnswer(qname, qtype); ok {
+				tr.Eventf("stale", "served %s %s from expired cache", qname, qtype)
 				return dnswire.RcodeSuccess, rrs, nil
 			}
 			return dnswire.RcodeServFail, nil, err
@@ -323,6 +430,7 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 		if done {
 			return rcode, rrs, nil
 		}
+		tr.Eventf("referral", "hop=%d %s -> %s (%d servers)", hop+1, cur.zone, next.zone, len(next.hosts))
 		cur = next
 	}
 	return dnswire.RcodeServFail, nil, ErrLame
@@ -436,7 +544,7 @@ func (r *Resolver) rootSet() nsSet {
 
 // serverAddrs resolves a delegation's nameserver hosts to addresses using
 // hints, cached glue, and (if allowed) glue-chasing sub-resolutions.
-func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool) []netip.Addr {
+func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool, tr *obs.Trace) []netip.Addr {
 	var addrs []netip.Addr
 	seen := make(map[netip.Addr]bool)
 	add := func(a netip.Addr) {
@@ -486,7 +594,10 @@ func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool) 
 			continue // a chase for this host encloses us; avoid the loop
 		}
 		r.count(func(s *Stats) { s.GlueChases++ })
-		sub, err := r.Resolve(host, dnswire.TypeA)
+		tr.Eventf("glue-chase", "resolving %s A out of band", host)
+		tr.Push()
+		sub, err := r.resolve(host, dnswire.TypeA, tr)
+		tr.Pop()
 		r.mu.Lock()
 		delete(r.inflight, host)
 		r.mu.Unlock()
@@ -510,30 +621,37 @@ func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool) 
 
 // queryZoneServers sends the (possibly minimised) query to the best
 // servers of the current delegation until one answers.
-func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int) (*dnswire.Message, error) {
+func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int, tr *obs.Trace) (*dnswire.Message, error) {
 	sendName, sendType := qname, qtype
 	if r.cfg.QNameMinimisation {
 		sendName, sendType = minimise(set.zone, qname, qtype)
 	}
 
-	addrs := r.serverAddrs(set, res, budget, true)
+	addrs := r.serverAddrs(set, res, budget, true, tr)
 	if len(addrs) == 0 {
 		return nil, ErrAllServersFail
 	}
 	r.orderBySRTT(addrs)
 	if len(addrs) > 1 {
 		r.count(func(s *Stats) { s.ServerSelections++ })
+		if tr != nil { // srttFor takes the lock; skip entirely when not tracing
+			tr.Eventf("select", "zone=%s picked %s by SRTT (%v) of %d servers",
+				set.zone, addrs[0], r.srttFor(addrs[0]), len(addrs))
+		}
 	}
 
 	var lastErr error
-	for _, addr := range addrs {
+	for attempt, addr := range addrs {
 		if *budget <= 0 {
 			return nil, ErrBudgetExceeded
 		}
 		*budget--
-		q := dnswire.NewQuery(uint16(r.rng.Intn(1<<16)), sendName, sendType)
+		q := dnswire.NewQuery(r.randID(), sendName, sendType)
 		q.RecursionDesired = false
 		q.SetEDNS(dnswire.DefaultEDNSSize, true)
+		if attempt > 0 {
+			tr.Eventf("retry", "attempt=%d trying %s", attempt+1, addr)
+		}
 
 		r.count(func(s *Stats) {
 			s.TotalQueries++
@@ -549,20 +667,25 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 			}
 		})
 
+		tr.Eventf("send", "%s %s -> %s (zone %s)", sendName, sendType, addr, set.zone)
 		resp, rtt, err := r.cfg.Transport.Exchange(addr, q)
 		res.Queries++
 		res.Latency += rtt
 		if err != nil {
 			r.count(func(s *Stats) { s.Timeouts++ })
 			r.updateSRTT(addr, rtt, true)
+			tr.Eventf("timeout", "%s after %v: %v", addr, rtt, err)
 			lastErr = err
 			continue
 		}
 		r.updateSRTT(addr, rtt, false)
 		if resp.Rcode == dnswire.RcodeServFail || resp.Rcode == dnswire.RcodeRefused {
+			tr.Eventf("lame", "%s from %s", resp.Rcode, addr)
 			lastErr = fmt.Errorf("resolver: %s from %s", resp.Rcode, addr)
 			continue
 		}
+		tr.Eventf("recv", "%s rtt=%v rcode=%s ans=%d auth=%d",
+			addr, rtt, resp.Rcode, len(resp.Answers), len(resp.Authority))
 		return resp, nil
 	}
 	if lastErr == nil {
@@ -739,9 +862,9 @@ func (r *Resolver) orderBySRTT(addrs []netip.Addr) {
 // updateSRTT folds a measurement into the per-server estimate (EWMA with
 // BIND-style decay; timeouts penalize multiplicatively).
 func (r *Resolver) updateSRTT(addr netip.Addr, rtt time.Duration, timedOut bool) {
+	r.count(func(s *Stats) { s.SRTTUpdates++ })
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.stats.SRTTUpdates++
 	old, ok := r.srtt[addr]
 	switch {
 	case timedOut && ok:

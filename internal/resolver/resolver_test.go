@@ -66,7 +66,7 @@ type topo struct {
 	start    time.Time
 }
 
-func mustZone(t *testing.T, src string, origin dnswire.Name) *zone.Zone {
+func mustZone(t testing.TB, src string, origin dnswire.Name) *zone.Zone {
 	t.Helper()
 	z, err := zone.Parse(strings.NewReader(src), origin)
 	if err != nil {
@@ -75,7 +75,7 @@ func mustZone(t *testing.T, src string, origin dnswire.Name) *zone.Zone {
 	return z
 }
 
-func newTopo(t *testing.T) *topo {
+func newTopo(t testing.TB) *topo {
 	t.Helper()
 	start := time.Unix(1555000000, 0)
 	n := netsim.New(1, start)
@@ -104,7 +104,7 @@ func testHints() []dnswire.RR {
 	}
 }
 
-func (tp *topo) resolver(t *testing.T, mode RootMode, opts ...func(*Config)) *Resolver {
+func (tp *topo) resolver(t testing.TB, mode RootMode, opts ...func(*Config)) *Resolver {
 	t.Helper()
 	cfg := Config{
 		Mode:      mode,
