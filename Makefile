@@ -1,8 +1,9 @@
 # Verification tiers. Tier 1 is the build gate; tier 2 adds static
 # checks and the race detector (backed by the concurrent-resolve hammer
-# test in internal/resolver).
+# test in internal/resolver). The t_chaos smoke runs as part of the
+# experiments tests in tier 1 (TestChaos).
 
-.PHONY: verify verify-race bench
+.PHONY: verify verify-race bench fuzz-short
 
 verify:
 	go build ./... && go test ./...
@@ -12,3 +13,8 @@ verify-race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Short coverage-guided fuzz pass over the wire codec (~10s per target).
+fuzz-short:
+	go test ./internal/dnswire -run='^$$' -fuzz=FuzzMessageUnpack -fuzztime=10s
+	go test ./internal/dnswire -run='^$$' -fuzz=FuzzNameParse -fuzztime=10s

@@ -42,6 +42,7 @@ func main() {
 	udpAddr := flag.String("udp", "127.0.0.1:5300", "UDP listen address (empty to disable)")
 	tcpAddr := flag.String("tcp", "127.0.0.1:5300", "TCP listen address (empty to disable)")
 	ixfr := flag.Int("ixfr", 8, "IXFR journal window in zone versions (0 to disable)")
+	tcpTimeout := flag.Duration("tcp-timeout", 0, "per-read/write TCP deadline, also bounds AXFR/IXFR stream writes (0 = default 30s)")
 	primaryAddr := flag.String("primary", "", "run as a secondary: AXFR/IXFR from this primary (host:port, TCP)")
 	notifyAddr := flag.String("notify", "", "secondary mode: UDP address to receive NOTIFY pushes on")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9154; empty to disable)")
@@ -75,6 +76,7 @@ func main() {
 	}
 
 	srv := authserver.New(z)
+	srv.TCPTimeout = *tcpTimeout
 	if *ixfr > 0 {
 		srv.EnableIXFR(*ixfr)
 	}

@@ -55,6 +55,9 @@ func main() {
 	stale := flag.Bool("serve-stale", false, "serve expired cache entries when upstreams fail (RFC 8767)")
 	cacheCap := flag.Int("cache", 0, "cache capacity in RRsets (0 = unlimited)")
 	timeout := flag.Duration("timeout", 3*time.Second, "upstream query timeout")
+	retryBudget := flag.Int("retry-budget", 0, "failed upstream attempts allowed per resolution (0 = default 16, negative = unlimited)")
+	holdDownAfter := flag.Int("holddown-after", 0, "consecutive failures before a server is held down (0 = default 3, negative disables health tracking)")
+	holdDown := flag.Duration("holddown", 0, "base hold-down period for a tripped server (0 = default 30s)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /tracez, /statusz (e.g. 127.0.0.1:9153; empty to disable)")
 	traceOn := flag.Bool("trace", false, "record per-query resolution traces")
 	traceSlow := flag.Duration("trace-slow", 0, "retain only traces at least this slow (0 = all)")
@@ -85,6 +88,9 @@ func main() {
 		QNameMinimisation: *qmin,
 		ServeStale:        *stale,
 		CacheCapacity:     *cacheCap,
+		RetryBudget:       *retryBudget,
+		HoldDownAfter:     *holdDownAfter,
+		HoldDown:          *holdDown,
 	}
 
 	// Hints: from file, or the built-in 13-letter set.

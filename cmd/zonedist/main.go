@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -172,9 +173,11 @@ func serve(args []string) {
 
 func fetch(args []string) {
 	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
-	mirrorURL := fs.String("mirror", "http://127.0.0.1:8053", "mirror base URL")
+	mirrorURL := fs.String("mirror", "http://127.0.0.1:8053", "mirror base URL; may list fallbacks comma-separated, tried in order")
 	pubPath := fs.String("pub", "", "public KSK file for verification (required)")
 	out := fs.String("o", "root.zone", "where to store the verified zone")
+	retries := fs.Int("retries", 0, "extra attempts over the mirror list after a failed pass")
+	retryWait := fs.Duration("retry-wait", 2*time.Second, "base pause between retry passes (decorrelated jitter on top)")
 	_ = fs.Parse(args)
 
 	if *pubPath == "" {
@@ -190,22 +193,49 @@ func fetch(args []string) {
 		fatal("%v", err)
 	}
 
-	ctx, cancelTO := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancelTO()
-	client := dist.NewHTTPClient(*mirrorURL)
-	bundle, err := client.Fetch(ctx)
-	if err != nil {
-		fatal("fetch: %v", err)
-	}
-	z, err := bundle.Verify(ksk)
-	if err != nil {
-		fatal("VERIFICATION FAILED: %v", err)
+	// One verified fetch attempt per mirror per pass; a failing pass
+	// backs off with decorrelated jitter so a fleet of cron-driven
+	// fetchers does not retry in lockstep.
+	mirrors := strings.Split(*mirrorURL, ",")
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	delay := *retryWait
+	var z *zone.Zone
+	var fetched int64
+	for pass := 0; ; pass++ {
+		var lastErr error
+		for _, m := range mirrors {
+			ctx, cancelTO := context.WithTimeout(context.Background(), 30*time.Second)
+			client := dist.NewHTTPClient(strings.TrimSpace(m))
+			bundle, err := client.Fetch(ctx)
+			cancelTO()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if z, err = bundle.Verify(ksk); err != nil {
+				lastErr = fmt.Errorf("VERIFICATION FAILED via %s: %w", m, err)
+				continue
+			}
+			fetched = client.BytesFetched()
+			break
+		}
+		if z != nil {
+			break
+		}
+		if pass >= *retries {
+			fatal("fetch: %v", lastErr)
+		}
+		fmt.Fprintf(os.Stderr, "zonedist: pass %d failed (%v), retrying in %v\n", pass+1, lastErr, delay)
+		time.Sleep(delay)
+		if span := 3*delay - *retryWait; span > 0 {
+			delay = *retryWait + time.Duration(rng.Int63n(int64(span)+1))
+		}
 	}
 	if err := os.WriteFile(*out, []byte(zone.Text(z)), 0o644); err != nil {
 		fatal("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "zonedist: verified serial %d (%d records, %d bytes fetched) -> %s\n",
-		z.Serial(), z.Len(), client.BytesFetched(), *out)
+		z.Serial(), z.Len(), fetched, *out)
 }
 
 func fatal(format string, args ...interface{}) {

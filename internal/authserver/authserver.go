@@ -8,6 +8,7 @@ package authserver
 import (
 	"net/netip"
 	"sync"
+	"time"
 
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
@@ -32,6 +33,11 @@ type Stats struct {
 // Server answers queries for one zone. The zone may be swapped atomically
 // while serving (SetZone), which is how a local root instance refreshes.
 type Server struct {
+	// TCPTimeout bounds each individual TCP read and write (default
+	// 30 s), so a stalled peer can never park a connection goroutine —
+	// or an AXFR/IXFR stream — forever. Set before serving.
+	TCPTimeout time.Duration
+
 	mu      sync.RWMutex
 	zone    *zone.Zone
 	stats   Stats

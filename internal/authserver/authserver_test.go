@@ -231,3 +231,33 @@ func TestServeTCPAndAXFR(t *testing.T) {
 		t.Errorf("ServeTCP: %v", err)
 	}
 }
+
+// TestTCPWriteDeadlineUnsticksStalledClient pins the per-write deadline:
+// a client that sends an AXFR question and then never reads the stream
+// must not park the connection goroutine forever.
+func TestTCPWriteDeadlineUnsticksStalledClient(t *testing.T) {
+	s := testServer(t)
+	s.TCPTimeout = 50 * time.Millisecond
+	client, server := net.Pipe()
+	defer client.Close()
+
+	handlerDone := make(chan struct{})
+	go func() {
+		s.serveTCPConn(server)
+		close(handlerDone)
+	}()
+
+	// The query write is synchronous on a net.Pipe, so the handler has
+	// read it once this returns; after that the client goes silent.
+	if err := WriteTCPMessage(client, query(dnswire.Root, dnswire.TypeAXFR)); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-handlerDone:
+		// The write deadline fired and the handler gave up on the stalled
+		// client instead of blocking on the pipe forever.
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler still blocked writing to a client that never reads")
+	}
+}

@@ -62,31 +62,54 @@ func (s *Server) ServeTCP(ctx context.Context, l net.Listener) error {
 	}
 }
 
+// tcpTimeout returns the per-I/O deadline for TCP connections.
+func (s *Server) tcpTimeout() time.Duration {
+	if s.TCPTimeout > 0 {
+		return s.TCPTimeout
+	}
+	return 30 * time.Second
+}
+
+// deadlineWriter refreshes the write deadline before every Write, so a
+// peer that accepts a connection but stops reading cannot park the
+// handler goroutine — including mid-AXFR/IXFR stream — indefinitely.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d deadlineWriter) Write(p []byte) (int, error) {
+	_ = d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+	return d.conn.Write(p)
+}
+
 func (s *Server) serveTCPConn(conn net.Conn) {
 	defer conn.Close()
+	timeout := s.tcpTimeout()
+	w := deadlineWriter{conn: conn, timeout: timeout}
 	for {
-		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		_ = conn.SetReadDeadline(time.Now().Add(timeout))
 		q, err := ReadTCPMessage(conn)
 		if err != nil {
 			return
 		}
 		if len(q.Questions) == 1 && q.Questions[0].Type == dnswire.TypeAXFR {
 			s.count(func(st *Stats) { st.AXFRs++; st.Queries++ })
-			if err := s.streamAXFR(conn, q); err != nil {
+			if err := s.streamAXFR(w, q); err != nil {
 				return
 			}
 			continue
 		}
 		if len(q.Questions) == 1 && q.Questions[0].Type == dnswire.TypeIXFR {
 			s.count(func(st *Stats) { st.IXFRs++; st.Queries++ })
-			if err := s.streamIXFR(conn, q); err != nil {
+			if err := s.streamIXFR(w, q); err != nil {
 				return
 			}
 			continue
 		}
 		resp := s.Handle(q, netip.Addr{})
 		resp.Truncated = false // no truncation over TCP
-		if err := WriteTCPMessage(conn, resp); err != nil {
+		if err := WriteTCPMessage(w, resp); err != nil {
 			return
 		}
 	}
@@ -181,8 +204,14 @@ func AXFR(ctx context.Context, addr string, origin dnswire.Name) (*zone.Zone, er
 		return nil, err
 	}
 	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
+	// With a ctx deadline the whole transfer is bounded by it; without
+	// one, fall back to a rolling per-message deadline so a stalled
+	// server still cannot hang the client forever.
+	deadline, bounded := ctx.Deadline()
+	if bounded {
 		_ = conn.SetDeadline(deadline)
+	} else {
+		_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	}
 
 	q := &dnswire.Message{
@@ -197,6 +226,9 @@ func AXFR(ctx context.Context, addr string, origin dnswire.Name) (*zone.Zone, er
 	z := zone.New(origin)
 	soaSeen := 0
 	for soaSeen < 2 {
+		if !bounded {
+			_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		}
 		m, err := ReadTCPMessage(conn)
 		if err != nil {
 			return nil, fmt.Errorf("authserver: AXFR stream: %w", err)

@@ -50,6 +50,10 @@ const (
 type Config struct {
 	// Source supplies root zone bundles; required.
 	Source dist.Source
+	// Fallbacks are alternative bundle sources (gossip peers, secondary
+	// mirrors) tried in order when Source fails. Every fallback's bundle
+	// passes the same verification pipeline as the primary's.
+	Fallbacks []dist.Source
 	// KSK is the publisher's key-signing key (detached verification).
 	KSK dnswire.DNSKEY
 	// Anchor is the DS trust anchor (full DNSSEC verification).
@@ -65,10 +69,14 @@ type Config struct {
 	AuthServer *authserver.Server
 
 	// Refresh/Retry/Expiry tune the schedule; zero values take the
-	// paper's defaults (42 h / 1 h / 48 h).
-	Refresh time.Duration
-	Retry   time.Duration
-	Expiry  time.Duration
+	// paper's defaults (42 h / 1 h / 48 h). Failed refreshes back off
+	// with decorrelated jitter up to RetryCap (default Expiry); Seed
+	// makes that jitter deterministic in experiments.
+	Refresh  time.Duration
+	Retry    time.Duration
+	RetryCap time.Duration
+	Expiry   time.Duration
+	Seed     int64
 
 	// AdditionsSource, when set, is polled between full refreshes for
 	// the §5.3 "recent additions" supplement, so TLDs added to the root
@@ -125,14 +133,21 @@ func New(cfg Config) (*LocalRoot, error) {
 	// The refresher's Source wrapper layers the selected verification on
 	// top of the raw fetch; dist.Refresher itself always checks the
 	// detached signature, so full-DNSSEC modes verify here first.
+	var fallbacks []dist.Source
+	for _, src := range cfg.Fallbacks {
+		fallbacks = append(fallbacks, lr.verifying(src))
+	}
 	r, err := dist.NewRefresher(dist.RefresherConfig{
-		Source:  dist.SourceFunc(lr.fetchVerified),
-		KSK:     cfg.KSK,
-		Install: lr.install,
-		Refresh: cfg.Refresh,
-		Retry:   cfg.Retry,
-		Expiry:  cfg.Expiry,
-		Clock:   cfg.Clock,
+		Source:    lr.verifying(cfg.Source),
+		KSK:       cfg.KSK,
+		Install:   lr.install,
+		Refresh:   cfg.Refresh,
+		Retry:     cfg.Retry,
+		RetryCap:  cfg.RetryCap,
+		Expiry:    cfg.Expiry,
+		Fallbacks: fallbacks,
+		Seed:      cfg.Seed,
+		Clock:     cfg.Clock,
 	})
 	if err != nil {
 		return nil, err
@@ -141,19 +156,22 @@ func New(cfg Config) (*LocalRoot, error) {
 	return lr, nil
 }
 
-// fetchVerified pulls a bundle and applies full-DNSSEC validation when
-// configured; detached-signature validation always runs in the refresher.
-func (lr *LocalRoot) fetchVerified(ctx context.Context) (*dist.Bundle, error) {
-	b, err := lr.cfg.Source.Fetch(ctx)
-	if err != nil {
-		return nil, err
-	}
-	if lr.cfg.Verify == VerifyFullDNSSEC || lr.cfg.Verify == VerifyBoth {
-		if _, err := b.VerifyFull(lr.cfg.Anchor, lr.cfg.Clock()); err != nil {
-			return nil, fmt.Errorf("core: full DNSSEC validation: %w", err)
+// verifying wraps a source with full-DNSSEC validation when configured;
+// detached-signature validation always runs in the refresher, and every
+// source — primary or fallback — goes through the same pipeline.
+func (lr *LocalRoot) verifying(src dist.Source) dist.Source {
+	return dist.SourceFunc(func(ctx context.Context) (*dist.Bundle, error) {
+		b, err := src.Fetch(ctx)
+		if err != nil {
+			return nil, err
 		}
-	}
-	return b, nil
+		if lr.cfg.Verify == VerifyFullDNSSEC || lr.cfg.Verify == VerifyBoth {
+			if _, err := b.VerifyFull(lr.cfg.Anchor, lr.cfg.Clock()); err != nil {
+				return nil, fmt.Errorf("core: full DNSSEC validation: %w", err)
+			}
+		}
+		return b, nil
+	})
 }
 
 // install pushes a verified zone into the configured serving paths.

@@ -413,10 +413,12 @@ func TestRefresherHappyPath(t *testing.T) {
 
 func TestRefresherRetryWindow(t *testing.T) {
 	// The paper's robustness arithmetic: fetch at X, refresh attempt at
-	// X+42 h fails, hourly retries run; if the source recovers within the
-	// 6-hour window the copy never goes stale.
+	// X+42 h fails, jittered retries follow; no retry is ever scheduled
+	// past X+48 h, so if the source recovers inside the 6-hour window the
+	// copy never goes stale.
 	s := testSigner(t)
-	clk := &vclock{t: time.Unix(1555000000, 0)}
+	t0 := time.Unix(1555000000, 0)
+	clk := &vclock{t: t0}
 	failing := true
 	src := SourceFunc(func(context.Context) (*Bundle, error) {
 		if failing {
@@ -439,24 +441,166 @@ func TestRefresherRetryWindow(t *testing.T) {
 	}
 	failing = true
 
-	// At X+42h the refresh fails; retries every hour; copy stays fresh
-	// through hour 47.
-	clk.advance(42 * time.Hour)
-	for h := 0; h < 5; h++ {
+	// At X+42h the refresh fails. Walk the retry schedule: every attempt
+	// must land at or before the X+48h expiry moment, and the copy stays
+	// fresh throughout.
+	exp := t0.Add(48 * time.Hour)
+	clk.t = t0.Add(42 * time.Hour)
+	retries := 0
+	for clk.t.Before(exp) {
 		r.Tick(context.Background())
 		if st := r.State(); !st.Fresh {
-			t.Fatalf("copy went stale at hour %d: %+v", 42+h, st)
+			t.Fatalf("copy went stale at %v (age %v): %+v", clk.t.Sub(t0), st.Age, st)
 		}
-		clk.advance(time.Hour)
+		r.mu.Lock()
+		next := r.nextTry
+		r.mu.Unlock()
+		if next.After(exp) {
+			t.Fatalf("retry scheduled at %v, past the expiry window end %v",
+				next.Sub(t0), exp.Sub(t0))
+		}
+		clk.t = next
+		retries++
+		if retries > 100 {
+			t.Fatal("retry schedule did not reach the expiry window end")
+		}
 	}
-	// Source recovers inside the window: freshness restored without any
-	// stale period.
+	if retries < 2 {
+		t.Fatalf("only %d retries fit in the 6-hour window", retries)
+	}
+	// Source recovers for the final attempt, which lands exactly at the
+	// expiry moment: freshness restored without any stale period.
 	failing = false
 	if !r.Tick(context.Background()) {
 		t.Fatal("recovery fetch failed")
 	}
-	if st := r.State(); !st.Fresh || st.Failures == 0 {
+	if st := r.State(); !st.Fresh || st.Failures == 0 || st.RetryDelay != 0 {
 		t.Fatalf("state after recovery: %+v", st)
+	}
+}
+
+func TestRefresherBackoffJitter(t *testing.T) {
+	// Retry delays follow decorrelated jitter: each within [Retry,
+	// RetryCap], growing from the base, and reproducible from the seed.
+	delaySeq := func(seed int64) []time.Duration {
+		s := testSigner(t)
+		clk := &vclock{t: time.Unix(1555000000, 0)}
+		failing := false
+		src := SourceFunc(func(context.Context) (*Bundle, error) {
+			if failing {
+				return nil, errors.New("mirror unreachable")
+			}
+			return MakeBundle(testZone(t, 1, ""), s)
+		})
+		r, err := NewRefresher(RefresherConfig{
+			Source:   src,
+			KSK:      s.KSK.DNSKEY,
+			Install:  func(*zone.Zone) error { return nil },
+			Expiry:   1000 * time.Hour, // keep the expiry clamp out of the way
+			RetryCap: 8 * time.Hour,
+			Seed:     seed,
+			Clock:    clk.now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Tick(context.Background()) {
+			t.Fatal("bootstrap failed")
+		}
+		failing = true
+		clk.advance(42 * time.Hour)
+		var seq []time.Duration
+		for i := 0; i < 10; i++ {
+			before := clk.t
+			r.Tick(context.Background())
+			r.mu.Lock()
+			next := r.nextTry
+			r.mu.Unlock()
+			seq = append(seq, next.Sub(before))
+			clk.t = next
+		}
+		return seq
+	}
+
+	seq := delaySeq(42)
+	for i, d := range seq {
+		if d < time.Hour || d > 8*time.Hour {
+			t.Errorf("delay[%d] = %v, want within [1h, 8h]", i, d)
+		}
+	}
+	grew := false
+	for _, d := range seq {
+		if d > time.Hour {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Errorf("backoff never grew past the base: %v", seq)
+	}
+
+	// Determinism: same seed, same schedule; different seed diverges.
+	same := delaySeq(42)
+	for i := range seq {
+		if seq[i] != same[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, seq[i], same[i])
+		}
+	}
+	other := delaySeq(1)
+	diverged := false
+	for i := range seq {
+		if seq[i] != other[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestRefresherFallbackSources(t *testing.T) {
+	// When the primary channel fails, the refresher fails over to its
+	// fallback sources (gossip peers) — and the fallback's bundle still
+	// has to verify against the KSK.
+	s := testSigner(t)
+	clk := &vclock{t: time.Unix(1555000000, 0)}
+	primary := SourceFunc(func(context.Context) (*Bundle, error) {
+		return nil, errors.New("mirror unreachable")
+	})
+	evil, err := dnssec.NewSigner(dnswire.Root, detRand{rand.New(rand.NewSource(99))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPeer := SourceFunc(func(context.Context) (*Bundle, error) {
+		// Signed with the wrong key: the bundle must be rejected even
+		// though the peer is reachable.
+		return MakeBundle(testZone(t, 9, ""), evil)
+	})
+	goodPeer := SourceFunc(func(context.Context) (*Bundle, error) {
+		return MakeBundle(testZone(t, 3, ""), s)
+	})
+	var installed []uint32
+	r, err := NewRefresher(RefresherConfig{
+		Source: primary,
+		KSK:    s.KSK.DNSKEY,
+		Install: func(z *zone.Zone) error {
+			installed = append(installed, z.Serial())
+			return nil
+		},
+		Fallbacks: []Source{badPeer, goodPeer},
+		Clock:     clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tick(context.Background()) {
+		t.Fatal("fetch did not fail over to the good peer")
+	}
+	st := r.State()
+	if st.Serial != 3 || st.FallbackFetches != 1 {
+		t.Fatalf("state after failover: %+v", st)
+	}
+	if len(installed) != 1 || installed[0] != 3 {
+		t.Fatalf("installed = %v, want the peer's serial 3 only", installed)
 	}
 }
 

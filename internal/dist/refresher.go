@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -35,10 +36,25 @@ type RefresherConfig struct {
 	Install func(*zone.Zone) error
 	// Refresh is the planned interval between fetches (default 42 h).
 	Refresh time.Duration
-	// Retry is the pause between attempts after a failure (default 1 h).
+	// Retry is the base pause after a failure (default 1 h). Successive
+	// failures back off with decorrelated jitter — delay = min(RetryCap,
+	// rand[Retry, 3·previous]) — so a resolver population that lost its
+	// distribution channel does not retry in lockstep (§5.2's load
+	// concern). The retry is never scheduled past the copy's expiry
+	// moment: the last attempt inside the freshness window always runs.
 	Retry time.Duration
+	// RetryCap bounds backoff growth (default Expiry, the 48 h window).
+	RetryCap time.Duration
 	// Expiry is the zone copy's maximum age (default 48 h).
 	Expiry time.Duration
+	// Fallbacks are alternative bundle sources (gossip peers, secondary
+	// mirrors) tried in order when Source fails — §3's organic delivery
+	// forms as failover. Every source's bundle passes the same KSK
+	// verification, so a fallback peer substitutes availability, never
+	// content.
+	Fallbacks []Source
+	// Seed makes the retry jitter deterministic (experiments/tests).
+	Seed int64
 	// Clock supplies time (virtual in experiments); nil = time.Now.
 	Clock func() time.Time
 }
@@ -51,15 +67,18 @@ type RefresherConfig struct {
 type Refresher struct {
 	cfg RefresherConfig
 
-	mu       sync.Mutex
-	obtained time.Time // when the current copy was fetched
-	nextTry  time.Time
-	serial   uint32
-	haveZone bool
-	fetches  int64
-	failures int64
-	installs int64
-	lastErr  error
+	mu         sync.Mutex
+	rng        *rand.Rand // retry jitter; guarded by mu
+	obtained   time.Time  // when the current copy was fetched
+	nextTry    time.Time
+	retryDelay time.Duration // last backoff delay drawn (0 after success)
+	serial     uint32
+	haveZone   bool
+	fetches    int64
+	failures   int64
+	installs   int64
+	fallbacks  int64 // bundles obtained from a fallback source
+	lastErr    error
 }
 
 // NewRefresher validates the config and applies defaults.
@@ -76,10 +95,13 @@ func NewRefresher(cfg RefresherConfig) (*Refresher, error) {
 	if cfg.Expiry == 0 {
 		cfg.Expiry = 48 * time.Hour
 	}
+	if cfg.RetryCap == 0 {
+		cfg.RetryCap = cfg.Expiry
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Refresher{cfg: cfg}, nil
+	return &Refresher{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 
 // State reports the refresher's externally visible condition.
@@ -93,7 +115,12 @@ type State struct {
 	Fetches  int64
 	Failures int64
 	Installs int64
-	LastErr  error
+	// FallbackFetches counts bundles that came from a fallback source
+	// after the primary failed.
+	FallbackFetches int64
+	// RetryDelay is the current backoff delay (0 while healthy).
+	RetryDelay time.Duration
+	LastErr    error
 }
 
 // State returns the current state.
@@ -103,14 +130,16 @@ func (r *Refresher) State() State {
 	defer r.mu.Unlock()
 	age := now.Sub(r.obtained)
 	return State{
-		HaveZone: r.haveZone,
-		Fresh:    r.haveZone && age <= r.cfg.Expiry,
-		Serial:   r.serial,
-		Age:      age,
-		Fetches:  r.fetches,
-		Failures: r.failures,
-		Installs: r.installs,
-		LastErr:  r.lastErr,
+		HaveZone:        r.haveZone,
+		Fresh:           r.haveZone && age <= r.cfg.Expiry,
+		Serial:          r.serial,
+		Age:             age,
+		Fetches:         r.fetches,
+		Failures:        r.failures,
+		Installs:        r.installs,
+		FallbackFetches: r.fallbacks,
+		RetryDelay:      r.retryDelay,
+		LastErr:         r.lastErr,
 	}
 }
 
@@ -121,6 +150,10 @@ func (r *Refresher) Collect(reg *obs.Registry) {
 	reg.Counter("rootless_refresher_fetches_total", "fetch attempts", nil).Set(st.Fetches)
 	reg.Counter("rootless_refresher_failures_total", "failed fetch/verify/install attempts", nil).Set(st.Failures)
 	reg.Counter("rootless_refresher_installs_total", "verified zones installed", nil).Set(st.Installs)
+	reg.Counter("rootless_refresher_fallback_fetches_total",
+		"bundles obtained from a fallback source after the primary failed", nil).Set(st.FallbackFetches)
+	reg.Gauge("rootless_refresher_retry_delay_seconds",
+		"current jittered retry backoff (0 while healthy)", nil).Set(st.RetryDelay.Seconds())
 	fresh := 0.0
 	if st.Fresh {
 		fresh = 1
@@ -153,12 +186,7 @@ func (r *Refresher) Tick(ctx context.Context) bool {
 	}
 	r.fetches++
 	r.mu.Unlock()
-	bundle, err := r.cfg.Source.Fetch(ctx)
-	if err != nil {
-		r.fail(now, err)
-		return false
-	}
-	z, err := bundle.Verify(r.cfg.KSK)
+	bundle, z, err := r.fetchVerify(ctx)
 	if err != nil {
 		r.fail(now, err)
 		return false
@@ -174,16 +202,64 @@ func (r *Refresher) Tick(ctx context.Context) bool {
 	r.serial = bundle.Serial
 	r.haveZone = true
 	r.nextTry = now.Add(r.cfg.Refresh)
+	r.retryDelay = 0
 	r.mu.Unlock()
 	return true
 }
 
+// fetchVerify tries the primary source, then each fallback in order,
+// until a bundle both fetches and verifies. The first error is reported
+// (the primary's failure is the interesting one; fallbacks are the
+// workaround).
+func (r *Refresher) fetchVerify(ctx context.Context) (*Bundle, *zone.Zone, error) {
+	var firstErr error
+	for i, src := range append([]Source{r.cfg.Source}, r.cfg.Fallbacks...) {
+		bundle, err := src.Fetch(ctx)
+		if err == nil {
+			var z *zone.Zone
+			if z, err = bundle.Verify(r.cfg.KSK); err == nil {
+				if i > 0 {
+					r.mu.Lock()
+					r.fallbacks++
+					r.mu.Unlock()
+				}
+				return bundle, z, nil
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, nil, firstErr
+}
+
 func (r *Refresher) fail(now time.Time, err error) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.failures++
 	r.lastErr = err
-	r.nextTry = now.Add(r.cfg.Retry)
-	r.mu.Unlock()
+	// Decorrelated jitter: delay = min(RetryCap, rand[Retry, 3·previous]).
+	base, ceil := r.cfg.Retry, r.cfg.RetryCap
+	prev := r.retryDelay
+	if prev < base {
+		prev = base
+	}
+	d := base
+	if span := 3*prev - base; span > 0 {
+		d = base + time.Duration(r.rng.Int63n(int64(span)+1))
+	}
+	if d > ceil {
+		d = ceil
+	}
+	// Never schedule the retry past the copy's expiry: the final attempt
+	// inside the freshness window always happens.
+	if r.haveZone {
+		if exp := r.obtained.Add(r.cfg.Expiry); now.Before(exp) && now.Add(d).After(exp) {
+			d = exp.Sub(now)
+		}
+	}
+	r.retryDelay = d
+	r.nextTry = now.Add(d)
 }
 
 // Run drives Tick on real time until ctx is cancelled. Experiments use

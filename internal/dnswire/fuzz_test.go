@@ -1,6 +1,7 @@
 package dnswire
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -26,6 +27,29 @@ func FuzzMessageUnpack(f *testing.F) {
 	f.Add(make([]byte, 12))                                       // bare header
 	f.Add([]byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C}) // self-pointer qname
 	f.Add(append(append([]byte{}, w2...), 0xFF))                  // trailing garbage
+
+	// The golden wire vectors from golden_test.go: byte-exact encodings a
+	// real implementation emits, so mutation starts from realistic bytes.
+	f.Add([]byte{
+		0x12, 0x34, 0x01, 0x00,
+		0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		0x07, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 0x03, 'c', 'o', 'm', 0x00,
+		0x00, 0x01, 0x00, 0x01,
+	})
+	f.Add([]byte{
+		0x00, 0xFF, 0x81, 0x80,
+		0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00,
+		0x07, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 0x03, 'c', 'o', 'm', 0x00,
+		0x00, 0x01, 0x00, 0x01,
+		0xC0, 0x0C, // compression pointer to the qname
+		0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x0E, 0x10,
+		0x00, 0x04, 93, 184, 216, 34,
+	})
+	// Known-nasty shapes around the compression and count machinery.
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0x03, 'a', 'b', 'c', 0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01}) // pointer loop via own label
+	f.Add([]byte{0, 2, 0x80, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // counts claim records absent from the body
+	f.Add([]byte{0, 3, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0xFF})      // pointer past the end
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
@@ -61,6 +85,13 @@ func FuzzNameParse(f *testing.F) {
 	for _, seed := range []string{
 		"", ".", "com", "www.example.com.", `ex\.ample.com`, `a\032b.tld`,
 		`bad\`, "..", "xn--idn00.", "_sip._tcp.example.com.",
+		// Edge cases around the length limits and escape decoder.
+		"a.root-servers.net.", "nstld.verisign-grs.com.",
+		strings.Repeat("a", 63) + ".com.",          // maximum label
+		strings.Repeat("a", 64) + ".com.",          // over-long label
+		strings.Repeat("abcdefg.", 31) + "owner.",  // near the 255-octet name cap
+		`\000.com.`, `\255.`, `\999.`, `a\`, `\04`, // escape-decoder edges
+		"*.example.com.", "-lead.trail-.dash.",
 	} {
 		f.Add(seed)
 	}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/faults"
+	"rootless/internal/resolver"
+)
+
+// chaosAgg sums the robustness-relevant resolver counters across the
+// cold resolvers of one chaos trial.
+type chaosAgg struct {
+	holdDowns, heldSkips, probes int64
+	lame, timeouts, budgetStops  int64
+	totalQueries                 int64
+}
+
+func (a *chaosAgg) add(st resolver.Stats) {
+	a.holdDowns += st.HoldDowns
+	a.heldSkips += st.HeldDownSkips
+	a.probes += st.Probes
+	a.lame += st.LameResponses
+	a.timeouts += st.Timeouts
+	a.budgetStops += st.RetryBudgetStops
+	a.totalQueries += st.TotalQueries
+}
+
+func (a *chaosAgg) merge(b chaosAgg) {
+	a.holdDowns += b.holdDowns
+	a.heldSkips += b.heldSkips
+	a.probes += b.probes
+	a.lame += b.lame
+	a.timeouts += b.timeouts
+	a.budgetStops += b.budgetStops
+	a.totalQueries += b.totalQueries
+}
+
+// Chaos sweeps "fraction of the root infrastructure dark" against root
+// mode — the §4 robustness claim as a degradation curve rather than the
+// all-or-nothing cases of t_robust. Classic hints resolvers on a small
+// retry budget degrade as the outage fraction grows and die at 100%;
+// every local-root mode is flat at 100% success because it never visits
+// the dark infrastructure. The fault set comes from a seeded, replayable
+// faults.Scenario, so the whole sweep is a regression test.
+func Chaos(lookups int) Result {
+	if lookups < 8 {
+		lookups = 8
+	}
+	w, err := buildWorld(9, ditlDate, 4)
+	if err != nil {
+		return Result{ID: "t_chaos", Title: "Degraded-root chaos sweep", Notes: err.Error()}
+	}
+
+	// trial runs n cold-cache resolvers of the given mode against a
+	// scenario darkening fraction of the root addresses. budget caps
+	// retries per resolution (0 = resolver default).
+	trial := func(mode resolver.RootMode, fraction float64, seed int64, budget, n int) (ok int, mean time.Duration, agg chaosAgg) {
+		sc := faults.Scenario{
+			Name: fmt.Sprintf("%d%% of root addresses dark", int(fraction*100+0.5)),
+			Seed: seed,
+		}
+		// An Event with no Addrs and a zero Target would match every host,
+		// so the 0%-dark trial installs no event at all.
+		if down := faults.OutageSample(11, w.rootAddrs, fraction); len(down) > 0 {
+			sc.Events = append(sc.Events, faults.Event{Kind: faults.Outage, Addrs: down})
+		}
+		w.net.SetFaultPolicy(sc.Compile(w.net.Now()))
+		defer w.net.SetFaultPolicy(nil)
+
+		names := w.workloadNames(n, seed)
+		const batches = 4
+		per := (len(names) + batches - 1) / batches
+		t0 := w.net.Now()
+		for b := 0; b*per < len(names); b++ {
+			r := w.newResolver(mode, 10+b, seed+int64(b), func(c *resolver.Config) {
+				c.RetryBudget = budget
+			})
+			hi := (b + 1) * per
+			if hi > len(names) {
+				hi = len(names)
+			}
+			for _, name := range names[b*per : hi] {
+				if res, err := r.Resolve(name, dnswire.TypeA); err == nil && res.Rcode == dnswire.RcodeSuccess {
+					ok++
+				}
+			}
+			agg.add(r.Stats())
+		}
+		mean = w.net.Now().Sub(t0) / time.Duration(len(names))
+		return ok, mean, agg
+	}
+
+	// The sweep: hints-mode success vs outage fraction on a budget of 3
+	// retries per resolution (a resolver that will not wait forever).
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	success := make([]int, len(fractions))
+	means := make([]time.Duration, len(fractions))
+	var swept chaosAgg
+	for i, f := range fractions {
+		var agg chaosAgg
+		success[i], means[i], agg = trial(resolver.RootModeHints, f, 100+int64(i), 3, lookups)
+		swept.merge(agg)
+	}
+
+	// Local-root modes under total root darkness: never visit the roots,
+	// so the outage is invisible.
+	preloadOK, _, _ := trial(resolver.RootModePreload, 1.0, 201, 3, lookups)
+	lookasideOK, _, _ := trial(resolver.RootModeLookaside, 1.0, 202, 3, lookups)
+	localauthOK, _, _ := trial(resolver.RootModeLocalAuth, 1.0, 203, 3, lookups)
+
+	// Hold-down engagement: total darkness on the resolver's default
+	// budget trips the per-server breakers and later resolutions probe
+	// instead of burning a timeout per dead server.
+	var holdAgg chaosAgg
+	{
+		sc := faults.Scenario{
+			Name:   "all roots dark (hold-down)",
+			Seed:   5,
+			Events: []faults.Event{{Kind: faults.Outage, Addrs: w.rootAddrs}},
+		}
+		w.net.SetFaultPolicy(sc.Compile(w.net.Now()))
+		r := w.newResolver(resolver.RootModeHints, 17, 300)
+		for _, name := range w.workloadNames(5, 300) {
+			_, _ = r.Resolve(name, dnswire.TypeA)
+		}
+		holdAgg.add(r.Stats())
+		w.net.SetFaultPolicy(nil)
+	}
+
+	// Lame letters: a chunk of the root addresses answer upward referrals
+	// (the classic broken-secondary failure) instead of going dark. The
+	// resolver classifies them as lame and fails over — full success.
+	lameOK, lameTotal := 0, lookups
+	var lameAgg chaosAgg
+	{
+		bad := faults.OutageSample(13, w.rootAddrs, 0.4)
+		sc := faults.Scenario{
+			Name:   "lame root letters",
+			Seed:   6,
+			Events: []faults.Event{{Kind: faults.LameDelegation, Addrs: bad}},
+		}
+		w.net.SetFaultPolicy(sc.Compile(w.net.Now()))
+		r := w.newResolver(resolver.RootModeHints, 23, 400)
+		for _, name := range w.workloadNames(lameTotal, 400) {
+			if res, err := r.Resolve(name, dnswire.TypeA); err == nil && res.Rcode == dnswire.RcodeSuccess {
+				lameOK++
+			}
+		}
+		lameAgg.add(r.Stats())
+		w.net.SetFaultPolicy(nil)
+	}
+
+	// Serve-stale under a TLD outage: a warmed RFC 8767 resolver keeps
+	// answering previously-seen names from expired cache while the whole
+	// TLD fabric is dark — the rescue is orthogonal to the root question.
+	staleOK, staleTotal, staleAnswers := 0, lookups, int64(0)
+	{
+		r := w.newResolverStale(12, 9)
+		seen := w.workloadNames(staleTotal, 500)
+		for _, name := range seen {
+			_, _ = r.Resolve(name, dnswire.TypeA)
+		}
+		w.net.Advance(72 * time.Hour) // beyond the 2-day TLD TTLs
+		sc := faults.Scenario{
+			Name:   "TLD fabric dark",
+			Seed:   7,
+			Events: []faults.Event{{Kind: faults.Outage, Target: faults.Target{NamePrefix: "tld:"}}},
+		}
+		w.net.SetFaultPolicy(sc.Compile(w.net.Now()))
+		for _, name := range seen {
+			if res, err := r.Resolve(name, dnswire.TypeA); err == nil && res.Rcode == dnswire.RcodeSuccess {
+				staleOK++
+			}
+		}
+		staleAnswers = r.Stats().StaleAnswers
+		w.net.SetFaultPolicy(nil)
+	}
+
+	// Determinism: the same (world seed, scenario seed, workload) replayed
+	// in a fresh world produces identical outcomes — success count and
+	// even the exact number of queries sent.
+	replay := func() (ok int, queries int64) {
+		wd, err := buildWorld(7, ditlDate, 4)
+		if err != nil {
+			return -1, -1
+		}
+		sc := faults.Scenario{
+			Name:   "replayed half-dark roots",
+			Seed:   5,
+			Events: []faults.Event{{Kind: faults.Outage, Addrs: faults.OutageSample(11, wd.rootAddrs, 0.5)}},
+		}
+		wd.net.SetFaultPolicy(sc.Compile(wd.net.Now()))
+		r := wd.newResolver(resolver.RootModeHints, 8, 21, func(c *resolver.Config) {
+			c.RetryBudget = 3
+		})
+		for _, name := range wd.workloadNames(lookups/2, 600) {
+			if res, err := r.Resolve(name, dnswire.TypeA); err == nil && res.Rcode == dnswire.RcodeSuccess {
+				ok++
+			}
+		}
+		return ok, r.Stats().TotalQueries
+	}
+	ok1, q1 := replay()
+	ok2, q2 := replay()
+
+	monotone := true
+	for i := 1; i < len(success); i++ {
+		if success[i] > success[i-1] {
+			monotone = false
+		}
+	}
+	last := len(fractions) - 1
+
+	return Result{
+		ID:    "t_chaos",
+		Title: "Degraded-root chaos sweep (fraction dark × root mode)",
+		Rows: []Row{
+			row("hints, 0% dark", "works", "%d/%d", success[0], lookups)(success[0] == lookups),
+			row("hints success vs fraction dark", "monotone degradation",
+				fmt.Sprintf("%v at %v", success, fractions))(monotone && success[last] < success[0]),
+			row("hints, 100% dark", "fails", "%d/%d", success[last], lookups)(success[last] == 0),
+			row("hints latency vs fraction dark", "grows with outages",
+				fmt.Sprintf("%v → %v mean", means[0].Round(time.Millisecond), means[last].Round(time.Millisecond)))(
+				means[last] > means[0]),
+			row("preload, 100% dark", "works", "%d/%d", preloadOK, lookups)(preloadOK == lookups),
+			row("lookaside, 100% dark", "works", "%d/%d", lookasideOK, lookups)(lookasideOK == lookups),
+			row("RFC7706, 100% dark", "works", "%d/%d", localauthOK, lookups)(localauthOK == lookups),
+			row("hold-down under total darkness", "breakers trip, probes replace timeouts",
+				fmt.Sprintf("%d trips, %d skips, %d probes", holdAgg.holdDowns, holdAgg.heldSkips, holdAgg.probes))(
+				holdAgg.holdDowns > 0 && holdAgg.heldSkips > 0),
+			row("lame root letters (40%)", "failover rides over lame referrals",
+				fmt.Sprintf("%d/%d, %d lame answers", lameOK, lameTotal, lameAgg.lame))(
+				lameOK == lameTotal && lameAgg.lame > 0),
+			row("serve-stale through TLD outage", "seen names survive on stale cache",
+				fmt.Sprintf("%d/%d, %d stale answers", staleOK, staleTotal, staleAnswers))(
+				staleOK == staleTotal && staleAnswers > 0),
+			row("deterministic replay", "identical outcome from the same seeds",
+				fmt.Sprintf("%d/%d ok, %d/%d queries", ok1, ok2, q1, q2))(
+				ok1 >= 0 && ok1 == ok2 && q1 == q2),
+		},
+		Notes: fmt.Sprintf("cold resolvers, retry budget 3; sweep sent %d queries, %d timeouts, %d budget stops",
+			swept.totalQueries, swept.timeouts, swept.budgetStops),
+	}
+}

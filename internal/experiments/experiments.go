@@ -109,6 +109,7 @@ func All() []Result {
 		NewTLDLag(),
 		ResolutionLatency(400),
 		Robustness(),
+		Chaos(40),
 		Attack(150),
 		Privacy(300),
 		Complexity(200),

@@ -87,6 +87,10 @@ func TestRobustness(t *testing.T) {
 	checkResult(t, Robustness())
 }
 
+func TestChaos(t *testing.T) {
+	checkResult(t, Chaos(16))
+}
+
 func TestAttack(t *testing.T) {
 	checkResult(t, Attack(40))
 }

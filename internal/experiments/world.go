@@ -141,8 +141,9 @@ func (f *fabricHandler) Handle(q *dnswire.Message, _ netip.Addr) *dnswire.Messag
 }
 
 // newResolver builds a resolver of the requested mode for a client at a
-// city, wiring local-root machinery as needed.
-func (w *world) newResolver(mode resolver.RootMode, city int, seed int64) *resolver.Resolver {
+// city, wiring local-root machinery as needed; opts tweak the config
+// (retry budgets, hold-down tuning) before construction.
+func (w *world) newResolver(mode resolver.RootMode, city int, seed int64, opts ...func(*resolver.Config)) *resolver.Resolver {
 	loc := anycast.CityLocation(city)
 	cfg := resolver.Config{
 		Mode:      mode,
@@ -159,6 +160,9 @@ func (w *world) newResolver(mode resolver.RootMode, city int, seed int64) *resol
 		addr := netip.AddrFrom4([4]byte{127, 10, byte(w.nextLoop >> 8), byte(1 + w.nextLoop%250)})
 		cfg.LocalAuthAddr = addr
 		w.net.AddHost(fmt.Sprintf("localroot%d", w.nextLoop), addr, loc, authserver.New(w.rootZone))
+	}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	return resolver.New(cfg)
 }

@@ -1,0 +1,311 @@
+// Package faults is a composable fault-injection layer for the simulated
+// network: scheduled outage windows, per-host loss and latency, broken
+// responders (SERVFAIL/REFUSED, lame delegations, truncation), and
+// network partitions. An Injector implements netsim.FaultPolicy, so a
+// single SetFaultPolicy call puts a whole failure scenario on the wire.
+// All randomness comes from one seeded generator, so a chaos run is
+// deterministic and replayable from (seed, scenario) alone — the property
+// the §4 robustness experiments need to be regression tests rather than
+// anecdotes.
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rootless/internal/anycast"
+	"rootless/internal/dnswire"
+	"rootless/internal/netsim"
+	"rootless/internal/obs"
+)
+
+// Kind enumerates fault behaviours.
+type Kind int
+
+// Fault kinds.
+const (
+	// Outage withdraws the targeted hosts entirely: anycast routing skips
+	// them, and an address with no surviving instance times out.
+	Outage Kind = iota
+	// Partition drops queries from clients inside From to the target.
+	Partition
+	// Loss drops each query to the target with probability Rate.
+	Loss
+	// Latency adds Extra (plus uniform jitter up to Jitter) to each
+	// exchange with the target.
+	Latency
+	// ServFail makes the target answer SERVFAIL instead of resolving.
+	ServFail
+	// Refused makes the target answer REFUSED.
+	Refused
+	// LameDelegation makes the target answer with a non-descending
+	// referral — the classic misconfigured-secondary failure.
+	LameDelegation
+	// Truncate delivers real replies with TC set and sections stripped.
+	Truncate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Outage:
+		return "outage"
+	case Partition:
+		return "partition"
+	case Loss:
+		return "loss"
+	case Latency:
+		return "latency"
+	case ServFail:
+		return "servfail"
+	case Refused:
+		return "refused"
+	case LameDelegation:
+		return "lame"
+	case Truncate:
+		return "truncate"
+	}
+	return "unknown"
+}
+
+// Target selects the hosts a rule applies to. Zero fields match
+// everything, so Target{} is "the whole network".
+type Target struct {
+	// Addr matches one service address (all anycast instances of it).
+	Addr netip.Addr
+	// NamePrefix matches hosts whose name starts with the prefix (e.g.
+	// "a.root" for every instance of one letter).
+	NamePrefix string
+}
+
+func (t Target) matches(h *netsim.Host) bool {
+	if t.Addr.IsValid() && h.Addr != t.Addr {
+		return false
+	}
+	if t.NamePrefix != "" && !strings.HasPrefix(h.Name, t.NamePrefix) {
+		return false
+	}
+	return true
+}
+
+// Region is a latitude/longitude bounding box; partitions use it to
+// select the client side of a cut.
+type Region struct {
+	MinLat, MaxLat float64
+	MinLon, MaxLon float64
+}
+
+func (r Region) contains(p anycast.GeoPoint) bool {
+	return p.Lat >= r.MinLat && p.Lat <= r.MaxLat &&
+		p.Lon >= r.MinLon && p.Lon <= r.MaxLon
+}
+
+// Window is a virtual-time interval; a zero To leaves the fault active
+// forever (an unrepaired failure).
+type Window struct {
+	From, To time.Time
+}
+
+func (w Window) contains(now time.Time) bool {
+	if !w.From.IsZero() && now.Before(w.From) {
+		return false
+	}
+	if !w.To.IsZero() && !now.Before(w.To) {
+		return false
+	}
+	return true
+}
+
+// Rule applies one fault Kind to a Target during a Window.
+type Rule struct {
+	Target Target
+	Kind   Kind
+	Window Window
+	// Rate is the per-query probability for probabilistic kinds (Loss);
+	// 0 means 1.0 for the deterministic response kinds.
+	Rate float64
+	// Extra and Jitter parameterise Latency.
+	Extra  time.Duration
+	Jitter time.Duration
+	// From restricts Partition to clients inside the region; nil
+	// partitions every client from the target.
+	From *Region
+}
+
+// Stats counts injected faults by effect.
+type Stats struct {
+	OutageSkips    int64 // host-selection verdicts that withdrew a host
+	Drops          int64 // queries lost (Loss)
+	PartitionDrops int64 // queries lost (Partition)
+	Delays         int64 // exchanges with added latency
+	ServFails      int64
+	Refusals       int64
+	LameReferrals  int64
+	Truncations    int64
+}
+
+// Injector holds the active rule set and implements netsim.FaultPolicy.
+// Safe for concurrent use; never calls back into the Network.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []Rule
+	stats Stats
+}
+
+// NewInjector creates an empty injector whose probabilistic faults draw
+// from a deterministic seeded generator.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add installs a rule.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	in.rules = append(in.rules, r)
+	in.mu.Unlock()
+}
+
+// Clear removes every rule (stats are kept).
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Collect implements obs.Collector so chaos runs can scrape what was
+// actually injected next to what the resolver survived.
+func (in *Injector) Collect(reg *obs.Registry) {
+	obs.SetCountersFromStruct(reg, "rootless_faults", "injected fault effects", nil, in.Stats())
+	in.mu.Lock()
+	active := len(in.rules)
+	in.mu.Unlock()
+	reg.Gauge("rootless_faults_rules", "installed fault rules", nil).Set(float64(active))
+}
+
+// HostAvailable implements netsim.FaultPolicy: false while an Outage rule
+// covers the host.
+func (in *Injector) HostAvailable(now time.Time, from anycast.GeoPoint, h *netsim.Host) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Kind == Outage && r.Window.contains(now) && r.Target.matches(h) {
+			in.stats.OutageSkips++
+			return false
+		}
+	}
+	return true
+}
+
+// QueryFault implements netsim.FaultPolicy: the combined verdict of every
+// active rule matching the exchange. Drops win over replies; among reply
+// faults the first matching rule wins; latency accumulates.
+func (in *Injector) QueryFault(now time.Time, from anycast.GeoPoint, h *netsim.Host, q *dnswire.Message) netsim.Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var f netsim.Fault
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.Window.contains(now) || !r.Target.matches(h) {
+			continue
+		}
+		switch r.Kind {
+		case Partition:
+			if r.From == nil || r.From.contains(from) {
+				in.stats.PartitionDrops++
+				f.Drop = true
+			}
+		case Loss:
+			if in.rng.Float64() < r.Rate {
+				in.stats.Drops++
+				f.Drop = true
+			}
+		case Latency:
+			extra := r.Extra
+			if r.Jitter > 0 {
+				extra += time.Duration(in.rng.Int63n(int64(r.Jitter)))
+			}
+			in.stats.Delays++
+			f.ExtraRTT += extra
+		case ServFail:
+			if f.Reply == nil {
+				in.stats.ServFails++
+				f.Reply = rcodeReply(q, dnswire.RcodeServFail)
+			}
+		case Refused:
+			if f.Reply == nil {
+				in.stats.Refusals++
+				f.Reply = rcodeReply(q, dnswire.RcodeRefused)
+			}
+		case LameDelegation:
+			if f.Reply == nil {
+				in.stats.LameReferrals++
+				f.Reply = lameReferral(q)
+			}
+		case Truncate:
+			in.stats.Truncations++
+			f.TruncateReply = true
+		}
+	}
+	if f.Drop {
+		f.Reply = nil
+		f.TruncateReply = false
+	}
+	return f
+}
+
+// rcodeReply builds an empty response with the given rcode.
+func rcodeReply(q *dnswire.Message, rcode dnswire.Rcode) *dnswire.Message {
+	return &dnswire.Message{
+		ID:        q.ID,
+		Response:  true,
+		Rcode:     rcode,
+		Questions: q.Questions,
+	}
+}
+
+// lameReferral builds a referral that does not descend toward the query
+// name — the resolver must classify it as lame rather than follow it.
+func lameReferral(q *dnswire.Message) *dnswire.Message {
+	return &dnswire.Message{
+		ID:        q.ID,
+		Response:  true,
+		Questions: q.Questions,
+		Authority: []dnswire.RR{
+			dnswire.NewRR(dnswire.Root, 86400, dnswire.NS{Host: "ns.lame.invalid."}),
+		},
+	}
+}
+
+// OutageSample deterministically picks ⌈fraction·len(addrs)⌉ addresses
+// from the pool — the "this fraction of the infrastructure is down"
+// primitive chaos sweeps are built on. The same (seed, pool, fraction)
+// always yields the same subset, and growing the fraction only adds
+// victims (a nested failure set), so sweeps are monotone by construction.
+func OutageSample(seed int64, addrs []netip.Addr, fraction float64) []netip.Addr {
+	if fraction <= 0 || len(addrs) == 0 {
+		return nil
+	}
+	pool := append([]netip.Addr(nil), addrs...)
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Less(pool[j]) })
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	k := int(math.Ceil(fraction * float64(len(pool))))
+	if k > len(pool) {
+		k = len(pool)
+	}
+	return pool[:k]
+}

@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rootless/internal/anycast"
+	"rootless/internal/dnswire"
+	"rootless/internal/netsim"
+	"rootless/internal/obs"
+)
+
+var (
+	vaddr  = netip.MustParseAddr("192.0.2.1")
+	vaddr2 = netip.MustParseAddr("192.0.2.2")
+	london = anycast.GeoPoint{Lat: 51.5, Lon: -0.1}
+	tokyo  = anycast.GeoPoint{Lat: 35.7, Lon: 139.7}
+	sydney = anycast.GeoPoint{Lat: -33.9, Lon: 151.2}
+)
+
+func okHandler() netsim.Handler {
+	return netsim.HandlerFunc(func(q *dnswire.Message, _ netip.Addr) *dnswire.Message {
+		return &dnswire.Message{
+			ID: q.ID, Response: true, Authoritative: true,
+			Questions: q.Questions,
+			Answers: []dnswire.RR{dnswire.NewRR(q.Questions[0].Name, 60,
+				dnswire.A{Addr: netip.MustParseAddr("203.0.113.9")})},
+		}
+	})
+}
+
+func testNet(t *testing.T) *netsim.Network {
+	t.Helper()
+	n := netsim.New(1, time.Unix(1555000000, 0))
+	n.AddHost("v1.example", vaddr, london, okHandler())
+	n.AddHost("v2.example", vaddr2, tokyo, okHandler())
+	return n
+}
+
+func query(t *testing.T) *dnswire.Message {
+	t.Helper()
+	q := dnswire.NewQuery(42, "www.example.", dnswire.TypeA)
+	q.RecursionDesired = false
+	return q
+}
+
+func TestOutageWindow(t *testing.T) {
+	n := testNet(t)
+	in := NewInjector(7)
+	start := n.Now()
+	in.Add(Rule{
+		Target: Target{Addr: vaddr},
+		Kind:   Outage,
+		Window: Window{From: start.Add(time.Hour), To: start.Add(2 * time.Hour)},
+	})
+	n.SetFaultPolicy(in)
+
+	if _, _, err := n.Exchange(london, vaddr, query(t)); err != nil {
+		t.Fatalf("before window: %v", err)
+	}
+	n.Advance(time.Hour)
+	if _, _, err := n.Exchange(london, vaddr, query(t)); !errors.Is(err, netsim.ErrTimeout) {
+		t.Fatalf("inside window: err = %v, want timeout", err)
+	}
+	// The timeout itself advanced the clock 3 s; jump past the window end.
+	n.Advance(time.Hour)
+	if _, _, err := n.Exchange(london, vaddr, query(t)); err != nil {
+		t.Fatalf("after window: %v", err)
+	}
+	if st := in.Stats(); st.OutageSkips == 0 {
+		t.Error("OutageSkips not counted")
+	}
+}
+
+func TestOutageWithdrawsAnycastInstance(t *testing.T) {
+	n := netsim.New(1, time.Unix(1555000000, 0))
+	n.AddHost("x.near", vaddr, london, okHandler())
+	n.AddHost("x.far", vaddr, sydney, okHandler())
+	in := NewInjector(7)
+	in.Add(Rule{Target: Target{NamePrefix: "x.near"}, Kind: Outage})
+	n.SetFaultPolicy(in)
+
+	// The near instance is withdrawn, so the exchange succeeds via the far
+	// one at a visibly larger RTT.
+	_, rtt, err := n.Exchange(london, vaddr, query(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < anycast.RTT(london, sydney) {
+		t.Errorf("rtt %v: near instance not withdrawn", rtt)
+	}
+}
+
+func TestLossAndDeterminism(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		n := testNet(t)
+		in := NewInjector(seed)
+		in.Add(Rule{Target: Target{Addr: vaddr}, Kind: Loss, Rate: 0.5})
+		n.SetFaultPolicy(in)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, _, err := n.Exchange(london, vaddr, query(t))
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(3), outcomes(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at exchange %d", i)
+		}
+	}
+	drops := 0
+	for _, ok := range a {
+		if !ok {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Errorf("loss 0.5 dropped %d/%d", drops, len(a))
+	}
+}
+
+func TestLatencyFault(t *testing.T) {
+	n := testNet(t)
+	base := anycast.RTT(london, london)
+	in := NewInjector(7)
+	in.Add(Rule{Target: Target{Addr: vaddr}, Kind: Latency, Extra: 250 * time.Millisecond})
+	n.SetFaultPolicy(in)
+	_, rtt, err := n.Exchange(london, vaddr, query(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rtt - base; got < 250*time.Millisecond {
+		t.Errorf("extra rtt = %v, want >= 250ms", got)
+	}
+}
+
+func TestResponseFaults(t *testing.T) {
+	for _, tc := range []struct {
+		kind Kind
+		want dnswire.Rcode
+	}{
+		{ServFail, dnswire.RcodeServFail},
+		{Refused, dnswire.RcodeRefused},
+	} {
+		n := testNet(t)
+		in := NewInjector(7)
+		in.Add(Rule{Target: Target{Addr: vaddr}, Kind: tc.kind})
+		n.SetFaultPolicy(in)
+		resp, _, err := n.Exchange(london, vaddr, query(t))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if resp.Rcode != tc.want {
+			t.Errorf("%s: rcode = %s, want %s", tc.kind, resp.Rcode, tc.want)
+		}
+		if resp.ID != 42 {
+			t.Errorf("%s: reply ID %d not matched to query", tc.kind, resp.ID)
+		}
+	}
+}
+
+func TestLameDelegationFault(t *testing.T) {
+	n := testNet(t)
+	in := NewInjector(7)
+	in.Add(Rule{Target: Target{Addr: vaddr}, Kind: LameDelegation})
+	n.SetFaultPolicy(in)
+	resp, _, err := n.Exchange(london, vaddr, query(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Authoritative || len(resp.Answers) != 0 || len(resp.Authority) == 0 {
+		t.Fatalf("not a referral shape: %+v", resp)
+	}
+	if resp.Authority[0].Type != dnswire.TypeNS {
+		t.Errorf("authority type = %v, want NS", resp.Authority[0].Type)
+	}
+}
+
+func TestTruncateFault(t *testing.T) {
+	n := testNet(t)
+	in := NewInjector(7)
+	in.Add(Rule{Target: Target{Addr: vaddr}, Kind: Truncate})
+	n.SetFaultPolicy(in)
+	resp, _, err := n.Exchange(london, vaddr, query(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated || len(resp.Answers) != 0 {
+		t.Errorf("want truncated empty reply, got TC=%v answers=%d", resp.Truncated, len(resp.Answers))
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := testNet(t)
+	in := NewInjector(7)
+	europe := &Region{MinLat: 35, MaxLat: 70, MinLon: -10, MaxLon: 40}
+	in.Add(Rule{Target: Target{Addr: vaddr}, Kind: Partition, From: europe})
+	n.SetFaultPolicy(in)
+	if _, _, err := n.Exchange(london, vaddr, query(t)); !errors.Is(err, netsim.ErrTimeout) {
+		t.Fatalf("partitioned client: err = %v, want timeout", err)
+	}
+	if _, _, err := n.Exchange(sydney, vaddr, query(t)); err != nil {
+		t.Fatalf("unpartitioned client: %v", err)
+	}
+	if st := in.Stats(); st.PartitionDrops != 1 {
+		t.Errorf("PartitionDrops = %d, want 1", st.PartitionDrops)
+	}
+}
+
+func TestScenarioCompile(t *testing.T) {
+	start := time.Unix(1555000000, 0)
+	sc := Scenario{
+		Name: "tld-brownout",
+		Seed: 11,
+		Events: []Event{
+			{At: time.Hour, For: time.Hour, Kind: Outage, Addrs: []netip.Addr{vaddr, vaddr2}},
+			{Kind: Latency, Target: Target{Addr: vaddr2}, Extra: 100 * time.Millisecond},
+		},
+	}
+	in := sc.Compile(start)
+	h := &netsim.Host{Name: "v1.example", Addr: vaddr}
+	if !in.HostAvailable(start, london, h) {
+		t.Error("outage active before At")
+	}
+	if in.HostAvailable(start.Add(90*time.Minute), london, h) {
+		t.Error("outage inactive inside window")
+	}
+	if !in.HostAvailable(start.Add(3*time.Hour), london, h) {
+		t.Error("outage active after window")
+	}
+	f := in.QueryFault(start, london, &netsim.Host{Name: "v2", Addr: vaddr2}, query(t))
+	if f.ExtraRTT < 100*time.Millisecond {
+		t.Errorf("open-ended latency event not active at start: %+v", f)
+	}
+}
+
+func TestOutageSample(t *testing.T) {
+	var pool []netip.Addr
+	for i := 1; i <= 13; i++ {
+		pool = append(pool, netip.AddrFrom4([4]byte{198, 41, 0, byte(i)}))
+	}
+	a := OutageSample(99, pool, 0.5)
+	b := OutageSample(99, pool, 0.5)
+	if len(a) != 7 { // ceil(0.5 * 13)
+		t.Fatalf("len = %d, want 7", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	// Monotone: a smaller fraction is a prefix of a larger one.
+	small := OutageSample(99, pool, 0.25)
+	for i := range small {
+		if small[i] != a[i] {
+			t.Fatal("failure sets are not nested across fractions")
+		}
+	}
+	if got := OutageSample(99, pool, 1.0); len(got) != len(pool) {
+		t.Errorf("fraction 1.0 sampled %d of %d", len(got), len(pool))
+	}
+	if got := OutageSample(99, pool, 0); got != nil {
+		t.Errorf("fraction 0 sampled %d", len(got))
+	}
+}
+
+func TestInjectorCollect(t *testing.T) {
+	in := NewInjector(1)
+	in.Add(Rule{Kind: Loss, Rate: 1})
+	reg := obs.NewRegistry()
+	in.Collect(reg)
+	names := map[string]bool{}
+	for _, s := range reg.Snapshot() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"rootless_faults_drops_total", "rootless_faults_rules"} {
+		if !names[want] {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+}

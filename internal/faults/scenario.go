@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Event is one timed fault in a scenario: Kind applied to Target from
+// offset At for duration For (0 = until the end of the run).
+type Event struct {
+	At   time.Duration
+	For  time.Duration
+	Kind Kind
+	// Target/Addrs select the victims; Addrs expands to one rule per
+	// address (convenient with OutageSample).
+	Target Target
+	Addrs  []netip.Addr
+	// Rate, Extra, Jitter and From parameterise the kind as in Rule.
+	Rate   float64
+	Extra  time.Duration
+	Jitter time.Duration
+	From   *Region
+}
+
+// Scenario is a deterministic, replayable chaos script: a seed for every
+// probabilistic decision plus an ordered list of timed events. Compiling
+// the same scenario against the same start time always produces the same
+// injector behaviour, so a chaos run is a regression test.
+type Scenario struct {
+	Name   string
+	Seed   int64
+	Events []Event
+}
+
+// Compile materialises the scenario against a start time (usually the
+// network's virtual clock) and returns a fresh injector carrying it.
+func (s Scenario) Compile(start time.Time) *Injector {
+	in := NewInjector(s.Seed)
+	for _, e := range s.Events {
+		w := Window{From: start.Add(e.At)}
+		if e.For > 0 {
+			w.To = start.Add(e.At + e.For)
+		}
+		base := Rule{
+			Kind:   e.Kind,
+			Window: w,
+			Rate:   e.Rate,
+			Extra:  e.Extra,
+			Jitter: e.Jitter,
+			From:   e.From,
+		}
+		if len(e.Addrs) == 0 {
+			base.Target = e.Target
+			in.Add(base)
+			continue
+		}
+		for _, a := range e.Addrs {
+			r := base
+			r.Target = Target{Addr: a, NamePrefix: e.Target.NamePrefix}
+			in.Add(r)
+		}
+	}
+	return in
+}

@@ -61,6 +61,33 @@ type Observer func(from anycast.GeoPoint, dst netip.Addr, query *dnswire.Message
 // lets the query through.
 type Interceptor func(from anycast.GeoPoint, dst netip.Addr, query *dnswire.Message) (*dnswire.Message, bool)
 
+// Fault is a per-exchange verdict from a FaultPolicy: drop the query,
+// inflate its round trip, substitute a synthesized reply (SERVFAIL, lame
+// referral, ...), or truncate the real one. The zero value means "no
+// fault".
+type Fault struct {
+	// Drop loses the query; the client sees a timeout.
+	Drop bool
+	// ExtraRTT is added to the exchange's round-trip cost.
+	ExtraRTT time.Duration
+	// Reply, when non-nil, is returned instead of asking the host's
+	// handler (its ID is corrected to match the query).
+	Reply *dnswire.Message
+	// TruncateReply delivers the real reply with TC set and its record
+	// sections stripped, as a UDP server over-size response would.
+	TruncateReply bool
+}
+
+// FaultPolicy lets a fault-injection layer (internal/faults) steer the
+// network: HostAvailable withdraws hosts for scheduled outages (consulted
+// during anycast instance selection), QueryFault perturbs individual
+// exchanges. Implementations must not call back into the Network — they
+// may be invoked with its lock held.
+type FaultPolicy interface {
+	HostAvailable(now time.Time, from anycast.GeoPoint, h *Host) bool
+	QueryFault(now time.Time, from anycast.GeoPoint, h *Host, query *dnswire.Message) Fault
+}
+
 // Network is the simulated internet.
 type Network struct {
 	mu          sync.Mutex
@@ -70,6 +97,7 @@ type Network struct {
 	rng         *rand.Rand
 	observers   []Observer
 	interceptor Interceptor
+	faults      FaultPolicy
 
 	// Stats.
 	exchanges int64
@@ -150,6 +178,14 @@ func (n *Network) SetInterceptor(i Interceptor) {
 	n.mu.Unlock()
 }
 
+// SetFaultPolicy installs (or clears, with nil) the fault-injection
+// policy consulted on every exchange.
+func (n *Network) SetFaultPolicy(p FaultPolicy) {
+	n.mu.Lock()
+	n.faults = p
+	n.mu.Unlock()
+}
+
 // Stats reports network-level counters.
 type Stats struct {
 	Exchanges int64
@@ -172,6 +208,9 @@ func (n *Network) nearestLive(addr netip.Addr, from anycast.GeoPoint) *Host {
 	bestD := 0.0
 	for _, h := range n.hosts[addr] {
 		if h.down {
+			continue
+		}
+		if n.faults != nil && !n.faults.HostAvailable(n.clock, from, h) {
 			continue
 		}
 		d := from.DistanceKm(h.Location)
@@ -197,6 +236,8 @@ func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.
 	n.bytesUp += int64(len(wire))
 	observers := n.observers
 	interceptor := n.interceptor
+	policy := n.faults
+	now := n.clock
 	dropped := n.lossRate > 0 && n.rng.Float64() < n.lossRate
 	target := n.nearestLive(dst, loc)
 	n.mu.Unlock()
@@ -217,7 +258,12 @@ func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.
 		}
 	}
 
-	if dropped || target == nil || target.Handler == nil {
+	var fault Fault
+	if policy != nil && target != nil {
+		fault = policy.QueryFault(now, loc, target, &parsed)
+	}
+
+	if dropped || fault.Drop || target == nil || target.Handler == nil {
 		n.mu.Lock()
 		n.timeouts++
 		n.clock = n.clock.Add(QueryTimeout)
@@ -228,6 +274,15 @@ func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.
 		return nil, QueryTimeout, ErrTimeout
 	}
 
+	if fault.Reply != nil {
+		// A misbehaving server still answers over the real path, so the
+		// synthesized reply costs the geographic round trip.
+		rtt := anycast.RTT(loc, target.Location) + fault.ExtraRTT
+		fault.Reply.ID = parsed.ID
+		n.account(fault.Reply, rtt)
+		return fault.Reply, rtt, nil
+	}
+
 	reply := target.Handler.Handle(&parsed, netip.Addr{})
 	if reply == nil {
 		n.mu.Lock()
@@ -236,7 +291,7 @@ func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.
 		n.mu.Unlock()
 		return nil, QueryTimeout, ErrTimeout
 	}
-	rtt := anycast.RTT(loc, target.Location)
+	rtt := anycast.RTT(loc, target.Location) + fault.ExtraRTT
 	// Round-trip the reply through the codec too.
 	replyWire, err := reply.Pack()
 	if err != nil {
@@ -245,6 +300,12 @@ func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.
 	var replyParsed dnswire.Message
 	if err := replyParsed.Unpack(replyWire); err != nil {
 		return nil, rtt, fmt.Errorf("%w: server reply: %v", ErrMalformed, err)
+	}
+	if fault.TruncateReply {
+		replyParsed.Truncated = true
+		replyParsed.Answers = nil
+		replyParsed.Authority = nil
+		replyParsed.Additional = nil
 	}
 	n.mu.Lock()
 	n.bytesDown += int64(len(replyWire))

@@ -17,6 +17,7 @@ import (
 	"rootless/internal/cache"
 	"rootless/internal/dist"
 	"rootless/internal/dnswire"
+	"rootless/internal/faults"
 	"rootless/internal/obs"
 	"rootless/internal/resolver"
 	"rootless/internal/zone"
@@ -109,6 +110,9 @@ func TestEveryStatsFieldIsExported(t *testing.T) {
 
 	g := dist.NewGossip(3, 1)
 	expectCounters(t, g, "rootless_gossip", g.Stats())
+
+	in := faults.NewInjector(1)
+	expectCounters(t, in, "rootless_faults", in.Stats())
 }
 
 // TestRefresherCollectNames pins the refresher's hand-named series (its
@@ -132,6 +136,8 @@ func TestRefresherCollectNames(t *testing.T) {
 		"rootless_refresher_fetches_total",
 		"rootless_refresher_failures_total",
 		"rootless_refresher_installs_total",
+		"rootless_refresher_fallback_fetches_total",
+		"rootless_refresher_retry_delay_seconds",
 		"rootless_refresher_fresh",
 		"rootless_refresher_zone_serial",
 	} {

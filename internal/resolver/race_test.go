@@ -4,8 +4,11 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io/fs"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
@@ -81,37 +84,118 @@ func TestConcurrentResolveAndScrape(t *testing.T) {
 	}
 }
 
-// TestAllCounterWritesUseCount parses resolver.go and verifies every
-// access to the stats field goes through count() or the Stats() snapshot —
-// the single-mutation-path rule that makes the Stats struct safe to grow
-// without auditing lock sites.
+// TestAllCounterWritesUseCount parses every non-test file in the package
+// and verifies every access to the stats field goes through count() or
+// the Stats() snapshot — the single-mutation-path rule that makes the
+// Stats struct safe to grow without auditing lock sites.
 func TestAllCounterWritesUseCount(t *testing.T) {
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "resolver.go", nil, 0)
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	allowed := map[string]bool{"Stats": true, "count": true}
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "stats" {
+						return true
+					}
+					if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "r" {
+						return true
+					}
+					if !allowed[fd.Name.Name] {
+						pos := fset.Position(sel.Pos())
+						t.Errorf("%s accesses r.stats directly at %s; route it through count()",
+							fd.Name.Name, pos)
+					}
+					return true
+				})
+			}
 		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "stats" {
-				return true
+	}
+}
+
+// TestConcurrentHealthState hammers the per-server backoff/hold-down
+// machinery: workers resolve against a half-dead topology (every failure
+// mutates health state) while others flap the dead servers and scrapers
+// read HealthCounts/Collect. Run with -race; it pins the concurrency
+// safety of the circuit-breaker state.
+func TestConcurrentHealthState(t *testing.T) {
+	tp := newTopo(t)
+	tp.net.SetAddrDown(rootV4, true)
+	r := tp.resolver(t, RootModeHints, func(c *Config) {
+		c.HoldDown = 5 * time.Second // short, so trips and probes interleave
+	})
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+
+	names := []dnswire.Name{
+		"www.example.com.", "alias.example.com.", "nope.example.com.",
+		"example.com.", "deep.sub.example.com.",
+	}
+	const workers = 8
+	const perWorker = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, _ = r.Resolve(names[(w+i)%len(names)], dnswire.TypeA)
 			}
-			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "r" {
-				return true
+		}(w)
+	}
+	done := make(chan struct{})
+	var auxWG sync.WaitGroup
+	auxWG.Add(1)
+	go func() { // flap the second root so successes and failures interleave
+		defer auxWG.Done()
+		down := true
+		for {
+			select {
+			case <-done:
+				return
+			default:
 			}
-			if !allowed[fd.Name.Name] {
-				pos := fset.Position(sel.Pos())
-				t.Errorf("%s accesses r.stats directly at %s; route it through count()",
-					fd.Name.Name, pos)
+			tp.net.SetAddrDown(root2V4, down)
+			down = !down
+		}
+	}()
+	for s := 0; s < 2; s++ {
+		auxWG.Add(1)
+		go func() {
+			defer auxWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_, _ = r.HealthCounts()
+				scrapeReg := obs.NewRegistry()
+				r.Collect(scrapeReg)
 			}
-			return true
-		})
+		}()
+	}
+	wg.Wait()
+	close(done)
+	auxWG.Wait()
+
+	st := r.Stats()
+	if st.Resolutions < workers*perWorker {
+		t.Fatalf("Resolutions = %d, want >= %d", st.Resolutions, workers*perWorker)
+	}
+	if st.Timeouts == 0 {
+		t.Fatal("expected timeouts against the dead root")
 	}
 }
 

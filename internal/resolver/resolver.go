@@ -88,6 +88,21 @@ type Config struct {
 	// how old a stale answer may be (default 24 h).
 	ServeStale bool
 	StaleLimit time.Duration
+	// RetryBudget bounds failed attempts (timeouts and lame responses)
+	// per resolution, independently of MaxQueries: a resolution may be
+	// allowed 64 queries yet should not burn them all waiting out dead
+	// servers. 0 = default 16; negative disables the budget.
+	RetryBudget int
+	// HoldDownAfter is how many consecutive failures trip a server's
+	// hold-down circuit breaker (0 = default 3; negative disables all
+	// per-server health tracking). HoldDown is the initial hold period
+	// (default 30 s), doubling on each failed re-admission probe.
+	HoldDownAfter int
+	HoldDown      time.Duration
+	// BackoffBase and BackoffCap bound the per-server decorrelated-jitter
+	// backoff applied after each failure (defaults 500 ms / 30 s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
 	// Seed makes server tie-breaking deterministic.
 	Seed int64
 }
@@ -105,11 +120,16 @@ type Stats struct {
 	TLDQueries        int64 // sent to TLD servers
 	OtherQueries      int64
 	Timeouts          int64
+	LameResponses     int64 // SERVFAIL/REFUSED answers from upstreams
 	GlueChases        int64 // sub-resolutions for nameserver addresses
 	StaleAnswers      int64 // resolutions served from expired cache entries
 	ServerSelections  int64 // SRTT-based choices among multiple servers
 	SRTTUpdates       int64
 	CNAMEChases       int64
+	HoldDowns         int64 // circuit-breaker trips (server held down)
+	HeldDownSkips     int64 // candidate servers skipped while held down
+	Probes            int64 // re-admission attempts after a hold-down
+	RetryBudgetStops  int64 // resolutions aborted by the retry budget
 }
 
 // Result is the outcome of one resolution.
@@ -124,12 +144,16 @@ type Result struct {
 	FromCache bool
 }
 
-// Errors.
+// Errors. ErrAllServersFail wraps the last per-server cause, so callers
+// can distinguish dead infrastructure from misconfigured infrastructure:
+// errors.Is(err, ErrTimeout) vs errors.Is(err, ErrLame).
 var (
 	ErrBudgetExceeded = errors.New("resolver: query budget exceeded")
 	ErrAllServersFail = errors.New("resolver: all nameservers failed")
 	ErrNoRootConfig   = errors.New("resolver: no usable root configuration")
 	ErrLame           = errors.New("resolver: lame or malformed delegation")
+	ErrTimeout        = errors.New("resolver: upstream query timed out")
+	ErrRetryBudget    = errors.New("resolver: retry budget exhausted")
 )
 
 // Resolver is an iterative resolver with a shared cache. Safe for
@@ -149,6 +173,7 @@ type Resolver struct {
 	rng        *rand.Rand // guarded by mu: Resolve runs concurrently
 	stats      Stats
 	srtt       map[netip.Addr]time.Duration
+	health     map[netip.Addr]*serverHealth // backoff/hold-down state
 	rootAddrs  map[netip.Addr]bool
 	inflight   map[dnswire.Name]bool // glue chases underway (loop guard)
 	zoneLoaded time.Time             // when cfg.LocalZone was installed (staleness age)
@@ -171,6 +196,7 @@ func New(cfg Config) *Resolver {
 		cache:     cache.New(cfg.CacheCapacity, cfg.Clock),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		srtt:      make(map[netip.Addr]time.Duration),
+		health:    make(map[netip.Addr]*serverHealth),
 		rootAddrs: make(map[netip.Addr]bool),
 		inflight:  make(map[dnswire.Name]bool),
 	}
@@ -251,6 +277,13 @@ func (r *Resolver) Collect(reg *obs.Registry) {
 	reg.Gauge("rootless_resolver_srtt_entries",
 		"per-server timing entries held (the §4 complexity metric)", labels).
 		Set(float64(r.SRTTStateSize()))
+	held, backing := r.HealthCounts()
+	reg.Gauge("rootless_resolver_held_down_servers",
+		"servers currently held down by the circuit breaker", labels).
+		Set(float64(held))
+	reg.Gauge("rootless_resolver_backoff_servers",
+		"servers currently in failure backoff", labels).
+		Set(float64(backing))
 	if serial, age, ok := r.LocalZoneStatus(); ok {
 		reg.Gauge("rootless_zone_serial", "local root zone serial", nil).Set(float64(serial))
 		reg.Gauge("rootless_zone_age_seconds", "staleness age of the local root zone copy", nil).
@@ -314,11 +347,12 @@ func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace
 	r.count(func(s *Stats) { s.Resolutions++ })
 	res := &Result{Rcode: dnswire.RcodeServFail}
 	budget := r.cfg.MaxQueries
+	retries := r.retryBudget()
 
 	target := qname
 	var chain []dnswire.RR
 	for depth := 0; depth < 9; depth++ {
-		rcode, rrs, err := r.iterate(target, qtype, res, &budget, tr)
+		rcode, rrs, err := r.iterate(target, qtype, res, &budget, &retries, tr)
 		if err != nil {
 			r.count(func(s *Stats) { s.Failures++ })
 			tr.Eventf("fail", "%s: %v", target, err)
@@ -372,7 +406,7 @@ type nsSet struct {
 }
 
 // iterate resolves one name without following CNAMEs.
-func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int, tr *obs.Trace) (dnswire.Rcode, []dnswire.RR, error) {
+func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget, retries *int, tr *obs.Trace) (dnswire.Rcode, []dnswire.RR, error) {
 	// Full answer from cache? The Eventf calls here sit on the cache-hit
 	// fast path, so they are guarded: a nil-trace Eventf is itself free,
 	// but evaluating its variadic arguments is not.
@@ -417,7 +451,7 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			continue
 		}
 
-		resp, err := r.queryZoneServers(cur, qname, qtype, res, budget, tr)
+		resp, err := r.queryZoneServers(cur, qname, qtype, res, budget, retries, tr)
 		if err != nil {
 			if rrs, ok := r.staleAnswer(qname, qtype); ok {
 				tr.Eventf("stale", "served %s %s from expired cache", qname, qtype)
@@ -620,8 +654,12 @@ func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool, 
 }
 
 // queryZoneServers sends the (possibly minimised) query to the best
-// servers of the current delegation until one answers.
-func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire.Type, res *Result, budget *int, tr *obs.Trace) (*dnswire.Message, error) {
+// servers of the current delegation until one answers. Server order is
+// SRTT with health overlaid: backing-off servers are demoted, held-down
+// servers are skipped (or probed, once the hold-down expires). Each
+// timeout or lame answer consumes one unit of the resolution's retry
+// budget and feeds the server's backoff/hold-down state.
+func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire.Type, res *Result, budget, retries *int, tr *obs.Trace) (*dnswire.Message, error) {
 	sendName, sendType := qname, qtype
 	if r.cfg.QNameMinimisation {
 		sendName, sendType = minimise(set.zone, qname, qtype)
@@ -632,16 +670,23 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 		return nil, ErrAllServersFail
 	}
 	r.orderBySRTT(addrs)
-	if len(addrs) > 1 {
+	candidates, heldCount, probes := r.planAttempts(addrs, r.cfg.Clock())
+	if heldCount > 0 {
+		r.count(func(s *Stats) { s.HeldDownSkips += int64(heldCount) })
+		if tr != nil {
+			tr.Eventf("hold-down", "zone=%s skipping %d held-down servers", set.zone, heldCount)
+		}
+	}
+	if len(candidates) > 1 {
 		r.count(func(s *Stats) { s.ServerSelections++ })
 		if tr != nil { // srttFor takes the lock; skip entirely when not tracing
 			tr.Eventf("select", "zone=%s picked %s by SRTT (%v) of %d servers",
-				set.zone, addrs[0], r.srttFor(addrs[0]), len(addrs))
+				set.zone, candidates[0], r.srttFor(candidates[0]), len(candidates))
 		}
 	}
 
 	var lastErr error
-	for attempt, addr := range addrs {
+	for attempt, addr := range candidates {
 		if *budget <= 0 {
 			return nil, ErrBudgetExceeded
 		}
@@ -651,6 +696,10 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 		q.SetEDNS(dnswire.DefaultEDNSSize, true)
 		if attempt > 0 {
 			tr.Eventf("retry", "attempt=%d trying %s", attempt+1, addr)
+		}
+		if probes[addr] {
+			r.count(func(s *Stats) { s.Probes++ })
+			tr.Eventf("probe", "re-admitting %s after hold-down", addr)
 		}
 
 		r.count(func(s *Stats) {
@@ -675,23 +724,80 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 			r.count(func(s *Stats) { s.Timeouts++ })
 			r.updateSRTT(addr, rtt, true)
 			tr.Eventf("timeout", "%s after %v: %v", addr, rtt, err)
-			lastErr = err
+			lastErr = fmt.Errorf("%w: %v", ErrTimeout, err)
+			if err := r.recordFailure(addr, retries, tr); err != nil {
+				return nil, fmt.Errorf("%w: %w", err, lastErr)
+			}
 			continue
 		}
 		r.updateSRTT(addr, rtt, false)
 		if resp.Rcode == dnswire.RcodeServFail || resp.Rcode == dnswire.RcodeRefused {
+			r.count(func(s *Stats) { s.LameResponses++ })
 			tr.Eventf("lame", "%s from %s", resp.Rcode, addr)
-			lastErr = fmt.Errorf("resolver: %s from %s", resp.Rcode, addr)
+			lastErr = fmt.Errorf("%w: %s from %s", ErrLame, resp.Rcode, addr)
+			if err := r.recordFailure(addr, retries, tr); err != nil {
+				return nil, fmt.Errorf("%w: %w", err, lastErr)
+			}
 			continue
 		}
+		if nonDescendingReferral(set.zone, resp) {
+			// A lame referral burns the server, not the resolution: fail
+			// over to the next candidate like any other lame answer.
+			r.count(func(s *Stats) { s.LameResponses++ })
+			tr.Eventf("lame", "non-descending referral from %s", addr)
+			lastErr = fmt.Errorf("%w: non-descending referral from %s", ErrLame, addr)
+			if err := r.recordFailure(addr, retries, tr); err != nil {
+				return nil, fmt.Errorf("%w: %w", err, lastErr)
+			}
+			continue
+		}
+		r.noteSuccess(addr)
 		tr.Eventf("recv", "%s rtt=%v rcode=%s ans=%d auth=%d",
 			addr, rtt, resp.Rcode, len(resp.Answers), len(resp.Authority))
 		return resp, nil
 	}
 	if lastErr == nil {
-		lastErr = ErrAllServersFail
+		lastErr = ErrTimeout
 	}
-	return nil, fmt.Errorf("%w: %v", ErrAllServersFail, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrAllServersFail, lastErr)
+}
+
+// recordFailure feeds one failed attempt into the server's health state
+// and the resolution's retry budget. A non-nil return (ErrRetryBudget)
+// aborts the resolution.
+func (r *Resolver) recordFailure(addr netip.Addr, retries *int, tr *obs.Trace) error {
+	backoff, hold := r.noteFailure(addr, r.cfg.Clock())
+	if hold > 0 {
+		r.count(func(s *Stats) { s.HoldDowns++ })
+		tr.Eventf("hold-down", "tripped %s for %v", addr, hold)
+	} else if backoff > 0 && tr != nil {
+		tr.Eventf("backoff", "%s backing off %v", addr, backoff)
+	}
+	*retries--
+	if *retries > 0 {
+		return nil
+	}
+	r.count(func(s *Stats) { s.RetryBudgetStops++ })
+	tr.Eventf("retry-budget", "exhausted at %s", addr)
+	return ErrRetryBudget
+}
+
+// nonDescendingReferral reports whether resp is a referral whose target
+// zone does not properly descend from the queried zone — the classic
+// misconfigured-secondary answer. Mirrors processResponse's terminal
+// check, but detecting it per-server lets queryZoneServers fail over.
+func nonDescendingReferral(zoneName dnswire.Name, resp *dnswire.Message) bool {
+	if !isReferral(resp) {
+		return false
+	}
+	var next dnswire.Name
+	for _, rr := range resp.Authority {
+		if rr.Type == dnswire.TypeNS {
+			next = rr.Name
+			break
+		}
+	}
+	return next == "" || next == zoneName || !next.IsSubdomainOf(zoneName)
 }
 
 // minimise computes the QNAME-minimised (name, type) to send to servers

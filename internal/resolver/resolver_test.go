@@ -548,6 +548,17 @@ func TestServeStaleRobustness(t *testing.T) {
 		t.Error("unseen name should fail with everything down")
 	}
 
+	// StaleLimit is honored: once the entry has been expired for longer
+	// than the limit, serve-stale refuses it and the resolution fails.
+	staleBefore := r.Stats().StaleAnswers
+	tp.net.Advance(25 * time.Hour)
+	if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err == nil {
+		t.Error("expected failure once the entry outlived StaleLimit")
+	}
+	if r.Stats().StaleAnswers != staleBefore {
+		t.Error("stale answer served beyond StaleLimit")
+	}
+
 	// Without ServeStale the same situation fails outright.
 	tp2 := newTopo(t)
 	r2 := tp2.resolver(t, RootModeHints)
