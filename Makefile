@@ -1,12 +1,13 @@
-# Verification tiers. Tier 1 is the build gate; tier 2 adds static
-# checks and the race detector (backed by the concurrent-resolve hammer
-# test in internal/resolver). The t_chaos smoke runs as part of the
-# experiments tests in tier 1 (TestChaos).
+# Verification tiers. Tier 1 is the build gate: build, vet, and the full
+# test suite — which includes the t_chaos and t_overload experiment
+# smokes (TestChaos, TestOverload). Tier 2 adds the race detector,
+# backed by the concurrent-resolve and coalescing hammer tests in
+# internal/resolver and the overload-primitive races in internal/overload.
 
 .PHONY: verify verify-race bench fuzz-short
 
 verify:
-	go build ./... && go test ./...
+	go build ./... && go vet ./... && go test ./...
 
 verify-race:
 	go vet ./... && go test -race ./...

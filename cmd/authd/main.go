@@ -13,6 +13,18 @@
 //	authd -zone root.zone -origin . -udp 127.0.0.1:5300 -tcp 127.0.0.1:5300
 //	authd -primary 127.0.0.1:5300 -origin . -udp 127.0.0.1:5310 -notify 127.0.0.1:5311
 //
+// Overload protection:
+//
+//	-max-inflight 512       concurrent queries admitted; 0 = unlimited
+//	-queue-deadline 20ms    how long an over-capacity query may wait for a
+//	                        slot before being dropped (0 = fail fast)
+//	-per-client-qps 0       token-bucket each client address (0 = unlimited)
+//	-rrl-rate 0             response-rate-limit identical responses per
+//	                        second per client /24 (0 = disabled)
+//	-rrl-slip 2             let every Nth RRL-suppressed response out
+//	                        truncated so real clients can retry over TCP
+//	                        (0 = drop all suppressed responses)
+//
 // Observability:
 //
 //	-admin 127.0.0.1:9154   HTTP admin endpoint: /metrics, /healthz, /statusz
@@ -45,6 +57,11 @@ func main() {
 	tcpTimeout := flag.Duration("tcp-timeout", 0, "per-read/write TCP deadline, also bounds AXFR/IXFR stream writes (0 = default 30s)")
 	primaryAddr := flag.String("primary", "", "run as a secondary: AXFR/IXFR from this primary (host:port, TCP)")
 	notifyAddr := flag.String("notify", "", "secondary mode: UDP address to receive NOTIFY pushes on")
+	maxInflight := flag.Int("max-inflight", 512, "concurrent queries admitted before shedding (0 = unlimited)")
+	queueDeadline := flag.Duration("queue-deadline", 20*time.Millisecond, "max wait for an admission slot before a query is dropped (0 = fail fast)")
+	perClientQPS := flag.Float64("per-client-qps", 0, "token-bucket each client address at this rate (0 = unlimited)")
+	rrlRate := flag.Int("rrl-rate", 0, "response rate limit: identical responses per second per client /24 (0 = disabled)")
+	rrlSlip := flag.Int("rrl-slip", 2, "let every Nth RRL-suppressed response out truncated (0 = drop all)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9154; empty to disable)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
@@ -80,6 +97,18 @@ func main() {
 	if *ixfr > 0 {
 		srv.EnableIXFR(*ixfr)
 	}
+	if *maxInflight > 0 || *perClientQPS > 0 || *rrlRate > 0 {
+		srv.SetOverload(authserver.OverloadConfig{
+			MaxInflight:   *maxInflight,
+			QueueDeadline: *queueDeadline,
+			PerClientQPS:  *perClientQPS,
+			RRLRate:       *rrlRate,
+			RRLSlip:       *rrlSlip,
+		})
+		logger.Info("overload protection enabled",
+			"max_inflight", *maxInflight, "queue_deadline", *queueDeadline,
+			"per_client_qps", *perClientQPS, "rrl_rate", *rrlRate, "rrl_slip", *rrlSlip)
+	}
 	logger.Info("serving zone", "origin", string(origin), "records", z.Len(), "serial", z.Serial())
 
 	if *adminAddr != "" {
@@ -102,6 +131,10 @@ func main() {
 					"referrals":      st.Referrals,
 					"axfrs":          st.AXFRs,
 					"ixfrs":          st.IXFRs,
+					"shed":           st.Shed,
+					"rate_limited":   st.RateLimited,
+					"rrl_dropped":    st.RRLDropped,
+					"rrl_slipped":    st.RRLSlipped,
 					"secondary":      secondary != nil,
 					"uptime_seconds": time.Since(start).Seconds(),
 				}

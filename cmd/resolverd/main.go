@@ -14,6 +14,17 @@
 //	resolverd -listen 127.0.0.1:5301 -mode localauth -localauth 127.0.0.1 -localauth-port 5300
 //	resolverd -listen 127.0.0.1:5301 -mode hints -hints root.hints
 //
+// Overload protection:
+//
+//	-coalesce               share one upstream flight among concurrent
+//	                        identical (qname, qtype) resolutions (default true)
+//	-nxdomain-cut           answer queries under a TLD already proven
+//	                        nonexistent from cache, RFC 8020 (default true)
+//	-max-inflight 256       concurrent resolutions admitted; 0 = unlimited
+//	-queue-deadline 50ms    how long an over-capacity resolution may wait
+//	                        for a slot before being shed (0 = fail fast)
+//	-per-client-qps 0       token-bucket each stub client (0 = unlimited)
+//
 // Observability:
 //
 //	-admin 127.0.0.1:9153   HTTP admin endpoint: /metrics (Prometheus or
@@ -58,6 +69,11 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "failed upstream attempts allowed per resolution (0 = default 16, negative = unlimited)")
 	holdDownAfter := flag.Int("holddown-after", 0, "consecutive failures before a server is held down (0 = default 3, negative disables health tracking)")
 	holdDown := flag.Duration("holddown", 0, "base hold-down period for a tripped server (0 = default 30s)")
+	coalesce := flag.Bool("coalesce", true, "coalesce concurrent identical resolutions into one upstream flight")
+	nxCut := flag.Bool("nxdomain-cut", true, "serve NXDOMAIN from cache for anything under a TLD proven nonexistent (RFC 8020)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent resolutions admitted before shedding (0 = unlimited)")
+	queueDeadline := flag.Duration("queue-deadline", 50*time.Millisecond, "max wait for an admission slot before a resolution is shed (0 = fail fast)")
+	perClientQPS := flag.Float64("per-client-qps", 0, "token-bucket each stub client at this rate (0 = unlimited)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /tracez, /statusz (e.g. 127.0.0.1:9153; empty to disable)")
 	traceOn := flag.Bool("trace", false, "record per-query resolution traces")
 	traceSlow := flag.Duration("trace-slow", 0, "retain only traces at least this slow (0 = all)")
@@ -91,6 +107,10 @@ func main() {
 		RetryBudget:       *retryBudget,
 		HoldDownAfter:     *holdDownAfter,
 		HoldDown:          *holdDown,
+		Coalesce:          *coalesce,
+		NXDomainCut:       *nxCut,
+		MaxInflight:       *maxInflight,
+		QueueDeadline:     *queueDeadline,
 	}
 
 	// Hints: from file, or the built-in 13-letter set.
@@ -133,6 +153,10 @@ func main() {
 
 	r := resolver.New(cfg)
 	srv := resolver.NewServer(r)
+	if *perClientQPS > 0 {
+		srv.SetClientLimit(*perClientQPS, 0)
+		logger.Info("per-client limit enabled", "qps", *perClientQPS)
+	}
 
 	tracer := obs.NewTracer(*traceRing, *traceSlow)
 	tracer.SetEnabled(*traceOn)
@@ -173,6 +197,9 @@ func main() {
 					"cache_answers":    st.CacheAnswers,
 					"upstream_queries": st.TotalQueries,
 					"root_queries":     st.RootQueries,
+					"coalesced":        st.CoalescedResolutions,
+					"shed":             st.ShedResolutions,
+					"nxdomain_cut":     st.NXDomainCutHits,
 					"cache_rrsets":     r.Cache().Len(),
 					"cache_pinned":     r.Cache().PinnedLen(),
 					"srtt_entries":     r.SRTTStateSize(),

@@ -12,6 +12,7 @@ import (
 
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
+	"rootless/internal/overload"
 	"rootless/internal/zone"
 )
 
@@ -28,6 +29,13 @@ type Stats struct {
 	Truncated int64
 	AXFRs     int64
 	IXFRs     int64
+	// Overload-protection outcomes (PR 3): queries dropped by the
+	// per-client limiter, shed at the admission gate, and responses
+	// suppressed or slipped (sent truncated) by response-rate-limiting.
+	RateLimited int64
+	Shed        int64
+	RRLDropped  int64
+	RRLSlipped  int64
 }
 
 // Server answers queries for one zone. The zone may be swapped atomically
@@ -44,6 +52,12 @@ type Server struct {
 	journal *ixfrJournal // non-nil once EnableIXFR is called
 	// secondaries receive a NOTIFY on every zone change.
 	secondaries []string
+	// Overload protection, installed by SetOverload (all nil-tolerant:
+	// a nil gate/limiter/RRL admits everything).
+	gate    *overload.Gate
+	clients *overload.ClientLimiter
+	rrl     *overload.RRL
+	clock   func() time.Time
 }
 
 // New creates a server for z.
@@ -90,12 +104,60 @@ func (s *Server) Collect(reg *obs.Registry) {
 		Set(float64(z.Serial()))
 	reg.Gauge("rootless_authserver_zone_records", "records in the served zone", nil).
 		Set(float64(z.Len()))
+	gate, clients, rrl := s.overloadState()
+	if gate != nil {
+		reg.Gauge("rootless_authserver_gate_in_use", "admission slots currently held", nil).
+			Set(float64(gate.InUse()))
+		reg.Gauge("rootless_authserver_gate_capacity", "admission slot capacity", nil).
+			Set(float64(gate.Capacity()))
+	}
+	if clients != nil {
+		reg.Gauge("rootless_authserver_limited_clients", "client token buckets resident", nil).
+			Set(float64(clients.Tracked()))
+	}
+	if rrl != nil {
+		reg.Gauge("rootless_authserver_rrl_states", "RRL response-class states resident", nil).
+			Set(float64(rrl.Tracked()))
+	}
 }
 
-// Handle implements netsim.Handler: it answers one query message.
-func (s *Server) Handle(q *dnswire.Message, _ netip.Addr) *dnswire.Message {
+// Handle implements netsim.Handler: it answers one query message. A nil
+// return means "send nothing" — the per-client limiter and the admission
+// gate drop over-rate and over-capacity queries silently, and RRL may
+// drop (or slip, truncated) a response after it is built. Transports
+// must treat nil as a dropped packet; netsim charges the querier a
+// timeout. An invalid from address (netsim's anonymous source, TCP)
+// bypasses the per-client and RRL checks but not the gate.
+func (s *Server) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
 	s.count(func(st *Stats) { st.Queries++ })
+	gate, clients, rrl := s.overloadState()
+	var now time.Time
+	if clients != nil || rrl != nil {
+		now = s.now() // one clock read shared by both limiters
+	}
+	if !clients.Allow(from, now) {
+		s.count(func(st *Stats) { st.RateLimited++ })
+		return nil
+	}
+	if !gate.Acquire() {
+		s.count(func(st *Stats) { st.Shed++ })
+		return nil
+	}
+	defer gate.Release()
+	resp := s.answer(q)
+	switch rrl.Decide(from, responseToken(resp), now) {
+	case overload.RRLDrop:
+		s.count(func(st *Stats) { st.RRLDropped++ })
+		return nil
+	case overload.RRLSlip:
+		s.count(func(st *Stats) { st.RRLSlipped++ })
+		return slipResponse(resp)
+	}
+	return resp
+}
 
+// answer builds the response for one already-admitted query.
+func (s *Server) answer(q *dnswire.Message) *dnswire.Message {
 	resp := &dnswire.Message{
 		ID:               q.ID,
 		Response:         true,

@@ -1,0 +1,84 @@
+package authserver
+
+import (
+	"strings"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/overload"
+)
+
+// OverloadConfig wires overload protection into a Server. Zero values
+// disable each mechanism individually, so a partially filled config is
+// fine: a root instance might want RRL only, a TLD secondary the gate.
+type OverloadConfig struct {
+	// MaxInflight bounds concurrently handled queries; over-capacity
+	// queries wait up to QueueDeadline for a slot, then are dropped
+	// (0 = unlimited / drop immediately when full).
+	MaxInflight   int
+	QueueDeadline time.Duration
+	// PerClientQPS token-buckets each client address (0 = unlimited);
+	// PerClientBurst defaults to PerClientQPS.
+	PerClientQPS   float64
+	PerClientBurst float64
+	// RRLRate enables response-rate-limiting at this many identical
+	// responses per second per client network (0 = disabled); every
+	// RRLSlip-th suppressed response goes out truncated instead of
+	// dropped (0 = drop all).
+	RRLRate int
+	RRLSlip int
+	// Clock supplies time for the rate limiters; nil means time.Now.
+	// Experiments pass the simulated network's virtual clock.
+	Clock func() time.Time
+}
+
+// SetOverload installs overload protection. Call before serving; the
+// zero config removes all protection.
+func (s *Server) SetOverload(cfg OverloadConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = overload.NewGate(cfg.MaxInflight, cfg.QueueDeadline)
+	s.clients = overload.NewClientLimiter(cfg.PerClientQPS, cfg.PerClientBurst, 0)
+	s.rrl = overload.NewRRL(cfg.RRLRate, cfg.RRLSlip, 0)
+	s.clock = cfg.Clock
+}
+
+// overloadState snapshots the protection pointers; all are nil-tolerant.
+func (s *Server) overloadState() (*overload.Gate, *overload.ClientLimiter, *overload.RRL) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gate, s.clients, s.rrl
+}
+
+// now reads the configured clock.
+func (s *Server) now() time.Time {
+	s.mu.RLock()
+	clock := s.clock
+	s.mu.RUnlock()
+	if clock != nil {
+		return clock()
+	}
+	return time.Now()
+}
+
+// responseToken classifies a response for RRL accounting: rcode plus
+// query name, so a flood of one spoofed question rate-limits without
+// touching answers for other names.
+func responseToken(resp *dnswire.Message) string {
+	var sb strings.Builder
+	sb.WriteString(resp.Rcode.String())
+	if len(resp.Questions) > 0 {
+		sb.WriteByte('/')
+		sb.WriteString(string(resp.Questions[0].Name))
+	}
+	return sb.String()
+}
+
+// slipResponse turns a response into the RRL "slip": truncated, with
+// every record section stripped, so a legitimate client behind a
+// spoofed source can still fall back to TCP.
+func slipResponse(resp *dnswire.Message) *dnswire.Message {
+	resp.Truncated = true
+	resp.Answers, resp.Authority, resp.Additional = nil, nil, nil
+	return resp
+}

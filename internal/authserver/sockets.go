@@ -35,6 +35,9 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			continue
 		}
 		resp := s.Handle(&q, addrFrom(addr))
+		if resp == nil {
+			continue // dropped by rate limiting or admission control
+		}
 		wire, err := resp.Pack()
 		if err != nil {
 			continue
@@ -107,7 +110,14 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 			}
 			continue
 		}
+		// The zero from-address exempts TCP from per-client limiting and
+		// RRL (the connection already validates the return path), but the
+		// admission gate still applies: a shed query closes the
+		// connection rather than promising an answer that never comes.
 		resp := s.Handle(q, netip.Addr{})
+		if resp == nil {
+			return
+		}
 		resp.Truncated = false // no truncation over TCP
 		if err := WriteTCPMessage(w, resp); err != nil {
 			return

@@ -12,6 +12,12 @@ import (
 	"rootless/internal/obs"
 )
 
+// StaleTTL is the TTL stamped on records served past their expiry by
+// GetStale, per RFC 8767's 30-second recommendation. The resolver's
+// serve-stale path shares this constant so both layers agree on how
+// long a stale answer may be re-used downstream.
+const StaleTTL = 30 * time.Second
+
 // Stats counts cache activity.
 type Stats struct {
 	Hits         int64
@@ -36,6 +42,7 @@ type entry struct {
 	key      dnswire.RRsetKey
 	rrs      []dnswire.RR // nil for negative entries
 	negative bool
+	nxdomain bool        // negative entries: NXDOMAIN (vs NODATA)
 	soa      *dnswire.RR // negative entries carry the SOA for the response
 	expires  time.Time
 	pinned   bool // pinned entries (preloaded root zone) resist eviction
@@ -90,9 +97,11 @@ func (c *Cache) Put(rrs []dnswire.RR, pinned bool) {
 	})
 }
 
-// PutNegative caches a negative answer (NXDOMAIN or NODATA) for (name,
-// type), using the SOA minimum TTL per RFC 2308.
-func (c *Cache) PutNegative(name dnswire.Name, typ dnswire.Type, soa dnswire.RR) {
+// PutNegative caches a negative answer for (name, type), using the SOA
+// minimum TTL per RFC 2308. nxdomain records which kind of negative this
+// was — NXDOMAIN (name does not exist) vs NODATA (name exists, type does
+// not) — so cache hits replay the faithful rcode.
+func (c *Cache) PutNegative(name dnswire.Name, typ dnswire.Type, soa dnswire.RR, nxdomain bool) {
 	ttl := soa.TTL
 	if data, ok := soa.Data.(dnswire.SOA); ok && data.Minimum < ttl {
 		ttl = data.Minimum
@@ -103,9 +112,60 @@ func (c *Cache) PutNegative(name dnswire.Name, typ dnswire.Type, soa dnswire.RR)
 	c.insert(&entry{
 		key:      dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET},
 		negative: true,
+		nxdomain: nxdomain,
 		soa:      &soaCopy,
 		expires:  c.now().Add(time.Duration(ttl) * time.Second),
 	})
+}
+
+// nxCutType is the private sentinel type keying NXDOMAIN-cut entries; it
+// sits in the reserved-for-private-use qtype range so it can never
+// collide with a real RRset key.
+const nxCutType = dnswire.Type(0xFF9F)
+
+// PutNXDomainCut records an RFC 8020 "NXDOMAIN cut" at name: an
+// authoritative NXDOMAIN proved that name (typically a bogus TLD) does
+// not exist, so nothing under it exists either. The entry lives for the
+// SOA negative TTL, like any RFC 2308 negative answer.
+func (c *Cache) PutNXDomainCut(name dnswire.Name, soa dnswire.RR) {
+	ttl := soa.TTL
+	if data, ok := soa.Data.(dnswire.SOA); ok && data.Minimum < ttl {
+		ttl = data.Minimum
+	}
+	soaCopy := soa
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(&entry{
+		key:      dnswire.RRsetKey{Name: name, Type: nxCutType, Class: dnswire.ClassINET},
+		negative: true,
+		nxdomain: true,
+		soa:      &soaCopy,
+		expires:  c.now().Add(time.Duration(ttl) * time.Second),
+	})
+}
+
+// NXDomainCovered reports whether a live NXDOMAIN cut exists at name or
+// any ancestor — if so the whole subtree is known not to exist and the
+// query can be answered NXDOMAIN without touching the network. One lock
+// acquisition walks the ancestor chain.
+func (c *Cache) NXDomainCovered(name dnswire.Name) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for n := name; ; n = n.Parent() {
+		key := dnswire.RRsetKey{Name: n, Type: nxCutType, Class: dnswire.ClassINET}
+		if e, ok := c.entries[key]; ok && e.expires.After(now) {
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			c.stats.NegativeHits++
+			c.stats.Hits++
+			return true
+		}
+		if n.IsRoot() {
+			return false
+		}
+	}
 }
 
 func (c *Cache) insert(e *entry) {
@@ -149,6 +209,9 @@ func (c *Cache) evictOne() bool {
 type Result struct {
 	RRs      []dnswire.RR
 	Negative bool
+	// NXDomain distinguishes a cached NXDOMAIN from a cached NODATA
+	// (both are Negative); only meaningful when Negative is set.
+	NXDomain bool
 	SOA      *dnswire.RR
 }
 
@@ -178,7 +241,7 @@ func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) (Result, bool) {
 	if e.negative {
 		c.stats.NegativeHits++
 		c.stats.Hits++
-		return Result{Negative: true, SOA: e.soa}, true
+		return Result{Negative: true, NXDomain: e.nxdomain, SOA: e.soa}, true
 	}
 	c.stats.Hits++
 	remaining := uint32(e.expires.Sub(now) / time.Second)
@@ -193,9 +256,9 @@ func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) (Result, bool) {
 }
 
 // GetStale returns a cached RRset even if its TTL has run out, for
-// serve-stale operation (RFC 8767). Returned records carry the stale TTL
-// (30 s, per the RFC's recommendation) when expired. The staleLimit
-// bounds how long past expiry an entry may still be served.
+// serve-stale operation (RFC 8767). Returned records carry StaleTTL
+// when expired. The staleLimit bounds how long past expiry an entry may
+// still be served.
 func (c *Cache) GetStale(name dnswire.Name, typ dnswire.Type, staleLimit time.Duration) (Result, bool) {
 	key := dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET}
 	c.mu.Lock()
@@ -213,14 +276,13 @@ func (c *Cache) GetStale(name dnswire.Name, typ dnswire.Type, staleLimit time.Du
 	}
 	out := make([]dnswire.RR, len(e.rrs))
 	copy(out, e.rrs)
-	const staleTTL = 30
 	for i := range out {
 		if remaining := e.expires.Sub(now); remaining > 0 {
 			if out[i].TTL > uint32(remaining/time.Second) {
 				out[i].TTL = uint32(remaining / time.Second)
 			}
 		} else {
-			out[i].TTL = staleTTL
+			out[i].TTL = uint32(StaleTTL / time.Second)
 		}
 	}
 	return Result{RRs: out}, true

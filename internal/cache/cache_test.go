@@ -126,13 +126,18 @@ func TestCacheNegative(t *testing.T) {
 	clk := newClock()
 	c := New(0, clk.now)
 	soa := dnswire.NewRR(".", 86400, dnswire.SOA{MName: "m.", RName: "r.", Serial: 1, Minimum: 60})
-	c.PutNegative("nope.example.", dnswire.TypeA, soa)
+	c.PutNegative("nope.example.", dnswire.TypeA, soa, true)
 	res, ok := c.Get("nope.example.", dnswire.TypeA)
-	if !ok || !res.Negative || res.SOA == nil {
+	if !ok || !res.Negative || !res.NXDomain || res.SOA == nil {
 		t.Fatalf("negative entry: %+v ok=%v", res, ok)
 	}
-	if c.Stats().NegativeHits != 1 {
-		t.Error("negative hit not counted")
+	// NODATA negatives are distinguishable from NXDOMAIN ones.
+	c.PutNegative("nodata.example.", dnswire.TypeAAAA, soa, false)
+	if res, ok := c.Get("nodata.example.", dnswire.TypeAAAA); !ok || !res.Negative || res.NXDomain {
+		t.Fatalf("nodata entry: %+v ok=%v", res, ok)
+	}
+	if c.Stats().NegativeHits != 2 {
+		t.Error("negative hits not counted")
 	}
 	// Negative TTL uses SOA minimum (60), not SOA TTL (86400).
 	clk.advance(61 * time.Second)
@@ -266,7 +271,7 @@ func TestCacheGetStale(t *testing.T) {
 
 	// Negative entries are never served stale.
 	soa := dnswire.NewRR(".", 60, dnswire.SOA{MName: "m.", RName: "r.", Minimum: 60})
-	c.PutNegative("neg.example.", dnswire.TypeA, soa)
+	c.PutNegative("neg.example.", dnswire.TypeA, soa, true)
 	clk.advance(2 * time.Minute)
 	if _, ok := c.GetStale("neg.example.", dnswire.TypeA, time.Hour); ok {
 		t.Fatal("negative entry served stale")

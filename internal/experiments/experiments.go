@@ -110,6 +110,7 @@ func All() []Result {
 		ResolutionLatency(400),
 		Robustness(),
 		Chaos(40),
+		Overload(1200),
 		Attack(150),
 		Privacy(300),
 		Complexity(200),

@@ -91,6 +91,10 @@ func TestChaos(t *testing.T) {
 	checkResult(t, Chaos(16))
 }
 
+func TestOverload(t *testing.T) {
+	checkResult(t, Overload(1200))
+}
+
 func TestAttack(t *testing.T) {
 	checkResult(t, Attack(40))
 }

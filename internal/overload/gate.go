@@ -1,0 +1,103 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// GateStats counts admission outcomes.
+type GateStats struct {
+	Admitted int64 // acquisitions, including those that waited
+	Waited   int64 // acquisitions that had to queue first
+	Shed     int64 // refusals (gate full past the queue deadline)
+}
+
+// Gate is a bounded-concurrency admission gate: at most capacity holders
+// at once, with an optional bounded queue wait before an over-capacity
+// request is shed. A nil *Gate admits everything, so callers can wire it
+// unconditionally.
+type Gate struct {
+	slots    chan struct{}
+	deadline time.Duration
+
+	mu    sync.Mutex
+	stats GateStats
+}
+
+// NewGate builds a gate admitting capacity concurrent holders. A request
+// finding the gate full waits up to queueDeadline for a slot (0 = shed
+// immediately). capacity <= 0 returns nil: unlimited admission.
+func NewGate(capacity int, queueDeadline time.Duration) *Gate {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Gate{slots: make(chan struct{}, capacity), deadline: queueDeadline}
+}
+
+// Acquire claims a slot, reporting false when the request must be shed.
+// Every true return must be paired with exactly one Release.
+func (g *Gate) Acquire() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.count(func(s *GateStats) { s.Admitted++ })
+		return true
+	default:
+	}
+	if g.deadline <= 0 {
+		g.count(func(s *GateStats) { s.Shed++ })
+		return false
+	}
+	t := time.NewTimer(g.deadline)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.count(func(s *GateStats) { s.Admitted++; s.Waited++ })
+		return true
+	case <-t.C:
+		g.count(func(s *GateStats) { s.Shed++ })
+		return false
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire.
+func (g *Gate) Release() {
+	if g == nil {
+		return
+	}
+	<-g.slots
+}
+
+// InUse returns how many slots are currently held (0 for a nil gate).
+func (g *Gate) InUse() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
+// Capacity returns the gate's slot count (0 for a nil gate).
+func (g *Gate) Capacity() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.slots)
+}
+
+// Stats returns a snapshot of the counters (zero for a nil gate).
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+func (g *Gate) count(f func(*GateStats)) {
+	g.mu.Lock()
+	f(&g.stats)
+	g.mu.Unlock()
+}

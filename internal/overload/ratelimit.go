@@ -1,0 +1,136 @@
+package overload
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// bucket is one token-bucket state: tokens at time last.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills the bucket at rate tokens/sec up to burst, then tries to
+// spend one token.
+func (b *bucket) take(now time.Time, rate, burst float64) bool {
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// full reports whether the bucket would be at burst capacity at now —
+// i.e. the client has been idle long enough to forget.
+func (b *bucket) full(now time.Time, rate, burst float64) bool {
+	return b.tokens+now.Sub(b.last).Seconds()*rate >= burst
+}
+
+// ClientLimiterStats counts per-client limiting outcomes.
+type ClientLimiterStats struct {
+	Allowed int64
+	Limited int64
+}
+
+// ClientLimiter rate-limits queries per client address with one token
+// bucket per client. It fails open: invalid addresses and clients beyond
+// the tracking capacity are always allowed — a limiter must never become
+// the denial of service it exists to prevent. A nil *ClientLimiter
+// allows everything.
+type ClientLimiter struct {
+	qps   float64
+	burst float64
+	max   int
+
+	mu      sync.Mutex
+	clients map[netip.Addr]*bucket
+	stats   ClientLimiterStats
+}
+
+// NewClientLimiter builds a limiter allowing qps queries/sec per client
+// with the given burst (<= 0 defaults to qps). maxClients bounds the
+// tracking table (<= 0 defaults to 65536). qps <= 0 returns nil:
+// unlimited.
+func NewClientLimiter(qps, burst float64, maxClients int) *ClientLimiter {
+	if qps <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = qps
+	}
+	if maxClients <= 0 {
+		maxClients = 65536
+	}
+	return &ClientLimiter{
+		qps:     qps,
+		burst:   burst,
+		max:     maxClients,
+		clients: make(map[netip.Addr]*bucket),
+	}
+}
+
+// Allow reports whether a query from client at time now is within rate.
+func (l *ClientLimiter) Allow(client netip.Addr, now time.Time) bool {
+	if l == nil || !client.IsValid() {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.clients[client]
+	if !ok {
+		if len(l.clients) >= l.max {
+			l.prune(now)
+		}
+		if len(l.clients) >= l.max {
+			l.stats.Allowed++
+			return true // fail open rather than punish the overflow client
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	if b.take(now, l.qps, l.burst) {
+		l.stats.Allowed++
+		return true
+	}
+	l.stats.Limited++
+	return false
+}
+
+// prune drops buckets whose clients have been idle long enough to refill
+// completely. Called with l.mu held.
+func (l *ClientLimiter) prune(now time.Time) {
+	for a, b := range l.clients {
+		if b.full(now, l.qps, l.burst) {
+			delete(l.clients, a)
+		}
+	}
+}
+
+// Tracked returns how many client buckets are resident.
+func (l *ClientLimiter) Tracked() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}
+
+// Stats returns a snapshot of the counters (zero for a nil limiter).
+func (l *ClientLimiter) Stats() ClientLimiterStats {
+	if l == nil {
+		return ClientLimiterStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

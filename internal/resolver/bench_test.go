@@ -1,7 +1,10 @@
 package resolver
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
@@ -39,4 +42,58 @@ func BenchmarkResolve(b *testing.B) {
 			r.SetTracer(tr)
 		})
 	})
+}
+
+// BenchmarkResolveConcurrent measures the coalescing win: parallel
+// goroutines repeatedly miss on the same fresh name (the name changes
+// every windowSize lookups, so each window opens with a thundering herd
+// of identical cache misses). With Coalesce one flight pays the upstream
+// round trips and everyone else shares it; without it every concurrent
+// miss resolves independently. The headline metric is
+// upstream-queries/op — coalescing exists to shield upstream servers
+// from thundering herds, and it cuts that number by roughly the herd
+// width (≈8× here). Wall time is comparable given GOMAXPROCS > 1; on a
+// single-CPU box scheduler artifacts dominate it, so trust the query
+// counts.
+func BenchmarkResolveConcurrent(b *testing.B) {
+	run := func(b *testing.B, coalesce bool) {
+		tp := newTopo(b)
+		r := tp.resolver(b, RootModeHints, func(c *Config) {
+			// A real 50µs per exchange keeps flights open long enough to
+			// overlap — netsim alone completes in zero wall time.
+			c.Transport = slowTransport{inner: tp.net.Client(locClient), delay: 50 * time.Microsecond}
+			c.Coalesce = coalesce
+		})
+		// Warm the delegation chain so each miss costs one upstream query.
+		if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+		// Everyone chases the frontier window: while its first resolution
+		// is in flight the others pile onto the same name; the CAS advances
+		// the frontier once a miss lands. SetParallelism keeps a real herd
+		// even on a single-CPU machine (sleeps overlap).
+		var window atomic.Int64
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				w := window.Load()
+				name := dnswire.Name(fmt.Sprintf("h%d.example.com.", w))
+				res, err := r.Resolve(name, dnswire.TypeA)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if !res.FromCache {
+					window.CompareAndSwap(w, w+1)
+				}
+			}
+		})
+		b.StopTimer()
+		st := r.Stats()
+		b.ReportMetric(float64(st.TotalQueries)/float64(b.N), "upstream-queries/op")
+		b.ReportMetric(float64(st.CoalescedResolutions)/float64(b.N), "coalesced/op")
+	}
+	b.Run("Coalesce", func(b *testing.B) { run(b, true) })
+	b.Run("NoCoalesce", func(b *testing.B) { run(b, false) })
 }

@@ -1,0 +1,332 @@
+package resolver
+
+import (
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rootless/internal/cache"
+	"rootless/internal/dnswire"
+)
+
+// TestNXDomainCutAbsorbsBogusTLD pins the aggressive-negative-caching
+// satellite: once the root proves a TLD does not exist, every later name
+// under that TLD — not just the exact qname — is answered from cache
+// until the negative TTL runs out. This is what makes the paper's §2.2
+// junk traffic (61% bogus TLDs) absorbable at the resolver.
+func TestNXDomainCutAbsorbsBogusTLD(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeHints, func(c *Config) { c.NXDomainCut = true })
+
+	res, err := r.Resolve("one.invalid-zz.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rcode != dnswire.RcodeNXDomain || res.Queries == 0 {
+		t.Fatalf("first bogus lookup: rcode=%v queries=%d", res.Rcode, res.Queries)
+	}
+
+	// Distinct names under the same bogus TLD must never reach upstream
+	// within the negative TTL — the cut covers the whole subtree.
+	before := r.Stats()
+	for _, name := range []dnswire.Name{"two.invalid-zz.", "a.b.invalid-zz.", "invalid-zz."} {
+		res, err := r.Resolve(name, dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rcode != dnswire.RcodeNXDomain {
+			t.Fatalf("%s: rcode = %v", name, res.Rcode)
+		}
+		if res.Queries != 0 {
+			t.Errorf("%s hit upstream (%d queries) despite NXDOMAIN cut", name, res.Queries)
+		}
+	}
+	after := r.Stats()
+	if after.TotalQueries != before.TotalQueries {
+		t.Errorf("cut-covered lookups sent %d network queries", after.TotalQueries-before.TotalQueries)
+	}
+	if after.NXDomainCutHits != 3 {
+		// All three — including the TLD itself — land on the cut entry.
+		t.Errorf("NXDomainCutHits = %d, want 3", after.NXDomainCutHits)
+	}
+
+	// Real names are untouched by the cut.
+	if res, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("real name after cut: res=%+v err=%v", res, err)
+	}
+
+	// The cut honours the root SOA minimum (3600 s): past it, lookups go
+	// upstream again.
+	tp.net.Advance(2 * time.Hour)
+	pre := r.Stats().TotalQueries
+	res, err = r.Resolve("three.invalid-zz.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("post-expiry rcode = %v", res.Rcode)
+	}
+	if r.Stats().TotalQueries == pre {
+		t.Error("expired NXDOMAIN cut still answered from cache")
+	}
+}
+
+// TestNXDomainCutRequiresRootSOA verifies the RFC 8020 inference is only
+// drawn from the root: an NXDOMAIN whose SOA is a deeper zone (here
+// example.com.) proves nothing about the TLD, so no cut may be cached.
+func TestNXDomainCutRequiresRootSOA(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeHints, func(c *Config) { c.NXDomainCut = true })
+
+	if res, err := r.Resolve("nope.example.com.", dnswire.TypeA); err != nil || res.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	// A different nonexistent sibling must still consult upstream.
+	before := r.Stats()
+	if res, err := r.Resolve("alsonope.example.com.", dnswire.TypeA); err != nil || res.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	after := r.Stats()
+	if after.NXDomainCutHits != 0 {
+		t.Errorf("NXDomainCutHits = %d after non-root NXDOMAIN", after.NXDomainCutHits)
+	}
+	if after.TotalQueries == before.TotalQueries {
+		t.Error("sibling of a non-root NXDOMAIN was wrongly absorbed")
+	}
+	// And the real subtree is intact.
+	if res, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("real name: res=%+v err=%v", res, err)
+	}
+}
+
+// TestNXDomainCutLocalModes: with a local copy of the root zone the cut
+// comes from the local consult, so bogus TLD floods cost zero network
+// queries from the second distinct name onward — and zero root queries
+// always.
+func TestNXDomainCutLocalModes(t *testing.T) {
+	for _, mode := range []RootMode{RootModePreload, RootModeLookaside} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tp := newTopo(t)
+			r := tp.resolver(t, mode, func(c *Config) { c.NXDomainCut = true })
+			names := []dnswire.Name{"a.printer-zz.", "b.printer-zz.", "c.d.printer-zz."}
+			for _, name := range names {
+				res, err := r.Resolve(name, dnswire.TypeA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Rcode != dnswire.RcodeNXDomain || res.Queries != 0 {
+					t.Fatalf("%s: rcode=%v queries=%d", name, res.Rcode, res.Queries)
+				}
+			}
+			st := r.Stats()
+			if st.RootQueries != 0 || st.TotalQueries != 0 {
+				t.Errorf("local mode sent traffic: root=%d total=%d", st.RootQueries, st.TotalQueries)
+			}
+			if st.NXDomainCutHits != 2 {
+				t.Errorf("NXDomainCutHits = %d, want 2", st.NXDomainCutHits)
+			}
+		})
+	}
+}
+
+// blockingTransport parks Exchange for queries about one name until
+// released, letting tests hold the admission gate occupied at a precise
+// point. All other queries pass straight through.
+type blockingTransport struct {
+	inner   Transport
+	name    dnswire.Name
+	started chan struct{} // closed once the blocked query arrives
+	release chan struct{} // close to let it proceed
+	once    sync.Once
+}
+
+func (b *blockingTransport) Exchange(dst netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	if len(q.Questions) == 1 && q.Questions[0].Name == b.name {
+		b.once.Do(func() { close(b.started) })
+		<-b.release
+	}
+	return b.inner.Exchange(dst, q)
+}
+
+// slowTransport adds a fixed real-time delay to every exchange, opening
+// a window in which concurrent identical queries overlap — the condition
+// coalescing and the admission gate exist for. (netsim itself only
+// advances virtual time, so without this everything finishes instantly.)
+type slowTransport struct {
+	inner Transport
+	delay time.Duration
+}
+
+func (s slowTransport) Exchange(dst netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	time.Sleep(s.delay)
+	return s.inner.Exchange(dst, q)
+}
+
+// TestAdmissionGateSheds: with the one admission slot held by an in-flight
+// resolution, a second cache-missing resolution is shed with ErrOverloaded
+// — but cache hits keep flowing, because the gate only guards upstream
+// work.
+func TestAdmissionGateSheds(t *testing.T) {
+	tp := newTopo(t)
+	bt := &blockingTransport{
+		inner:   tp.net.Client(locClient),
+		name:    "hang.example.com.",
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	r := tp.resolver(t, RootModeHints, func(c *Config) {
+		c.Transport = bt
+		c.MaxInflight = 1 // QueueDeadline 0: shed immediately when full
+	})
+	// Warm the delegation chain and one answer.
+	if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := r.Resolve("hang.example.com.", dnswire.TypeA)
+		if err != nil || res.Rcode != dnswire.RcodeNXDomain {
+			t.Errorf("blocked resolution finished res=%+v err=%v", res, err)
+		}
+	}()
+	<-bt.started // the single slot is now held inside Exchange
+
+	// Upstream-needing work is shed...
+	if _, err := r.Resolve("text.example.com.", dnswire.TypeTXT); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	// ...but cache hits never touch the gate.
+	res, err := r.Resolve("www.example.com.", dnswire.TypeA)
+	if err != nil || !res.FromCache {
+		t.Fatalf("cache hit during overload: res=%+v err=%v", res, err)
+	}
+
+	close(bt.release)
+	wg.Wait()
+	st := r.Stats()
+	if st.ShedResolutions != 1 {
+		t.Errorf("ShedResolutions = %d, want 1", st.ShedResolutions)
+	}
+	// The slot was released: upstream work flows again.
+	if _, err := r.Resolve("text.example.com.", dnswire.TypeTXT); err != nil {
+		t.Fatalf("post-overload resolution failed: %v", err)
+	}
+}
+
+// TestShedFallsBackToServeStale pins the RFC 8767 interplay: a shed
+// resolution with an expired cache entry degrades to the stale answer
+// (re-stamped with cache.StaleTTL) instead of failing — load shedding
+// looks like slightly old data, not an outage.
+func TestShedFallsBackToServeStale(t *testing.T) {
+	tp := newTopo(t)
+	bt := &blockingTransport{
+		inner:   tp.net.Client(locClient),
+		name:    "hang.example.com.",
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	r := tp.resolver(t, RootModeHints, func(c *Config) {
+		c.Transport = bt
+		c.MaxInflight = 1
+		c.ServeStale = true
+	})
+	if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	// Let the answer (TTL 3600) expire; the delegations (TTL 172800) stay.
+	tp.net.Advance(2 * time.Hour)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = r.Resolve("hang.example.com.", dnswire.TypeA)
+	}()
+	<-bt.started
+
+	res, err := r.Resolve("www.example.com.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("shed resolution with stale data failed: %v", err)
+	}
+	if res.Rcode != dnswire.RcodeSuccess || len(res.Answers) != 1 {
+		t.Fatalf("stale fallback res = %+v", res)
+	}
+	if got := res.Answers[0].TTL; got != uint32(cache.StaleTTL/time.Second) {
+		t.Errorf("stale answer TTL = %d, want %d", got, uint32(cache.StaleTTL/time.Second))
+	}
+	close(bt.release)
+	wg.Wait()
+	st := r.Stats()
+	if st.StaleAnswers == 0 || st.ShedResolutions == 0 {
+		t.Errorf("StaleAnswers=%d ShedResolutions=%d, want both > 0", st.StaleAnswers, st.ShedResolutions)
+	}
+}
+
+// TestCoalesceSharesOneFlight: concurrent identical queries ride one
+// upstream resolution. The blocking transport guarantees all waiters
+// arrive while the leader is in flight.
+func TestCoalesceSharesOneFlight(t *testing.T) {
+	tp := newTopo(t)
+	bt := &blockingTransport{
+		inner:   tp.net.Client(locClient),
+		name:    "www.example.com.",
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	r := tp.resolver(t, RootModeHints, func(c *Config) {
+		c.Transport = bt
+		c.Coalesce = true
+	})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*Result, callers)
+	resolveOne := func(i int) {
+		defer wg.Done()
+		res, err := r.Resolve("www.example.com.", dnswire.TypeA)
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+			return
+		}
+		results[i] = res
+	}
+	wg.Add(1)
+	go resolveOne(0) // the leader
+	<-bt.started     // leader is parked inside Exchange, flight registered
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go resolveOne(i)
+	}
+	// The flight stays registered while the leader is parked, so every
+	// follower must join it; wait until all have, then let them land.
+	for r.flight.Stats().Waiters < callers-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(bt.release)
+	wg.Wait()
+
+	st := r.Stats()
+	if st.Resolutions != callers {
+		t.Errorf("Resolutions = %d, want %d (waiters count too)", st.Resolutions, callers)
+	}
+	if st.CoalescedResolutions != callers-1 {
+		t.Errorf("CoalescedResolutions = %d, want %d", st.CoalescedResolutions, callers-1)
+	}
+	// Coalescing means exactly one resolution paid for the network.
+	if fs := r.flight.Stats(); fs.Leaders != 1 {
+		t.Errorf("flight leaders = %d, want 1", fs.Leaders)
+	}
+	for i, res := range results {
+		if res == nil || res.Rcode != dnswire.RcodeSuccess {
+			t.Fatalf("caller %d result = %+v", i, res)
+		}
+		if len(res.Answers) != 1 {
+			t.Fatalf("caller %d answers = %+v", i, res.Answers)
+		}
+	}
+}

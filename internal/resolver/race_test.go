@@ -1,6 +1,8 @@
 package resolver
 
 import (
+	"errors"
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -81,6 +83,85 @@ func TestConcurrentResolveAndScrape(t *testing.T) {
 	}
 	if tr.Seen() == 0 {
 		t.Fatal("tracer saw no resolutions")
+	}
+}
+
+// TestConcurrentCoalescedResolve hammers the overload machinery under
+// -race: singleflight coalescing, the admission gate (with queue waits
+// and sheds), the NXDOMAIN cut, and metric scrapes all interleave. A slow
+// transport keeps resolutions overlapping so flights genuinely coalesce
+// and the gate genuinely fills. The invariant: every Resolve call counts
+// exactly one Resolution, whether it led, coalesced, or was shed.
+func TestConcurrentCoalescedResolve(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeHints, func(c *Config) {
+		c.Transport = slowTransport{inner: tp.net.Client(locClient), delay: 200 * time.Microsecond}
+		c.Coalesce = true
+		c.MaxInflight = 4
+		c.QueueDeadline = 50 * time.Millisecond
+		c.NXDomainCut = true
+		c.ServeStale = true
+	})
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+
+	names := []dnswire.Name{
+		"www.example.com.", "alias.example.com.", "text.example.com.",
+		"deep.sub.example.com.", "nope.example.com.",
+		"junk.printer-zz.", // bogus TLD: establishes the NXDOMAIN cut
+	}
+	const workers = 12
+	const perWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				qname := names[(w*3+i)%len(names)]
+				if (w+i)%8 == 7 {
+					// A never-repeated label under the bogus TLD: only the
+					// cut (not the exact-name negative cache) can absorb it.
+					qname = dnswire.Name(fmt.Sprintf("u%d-%d.printer-zz.", w, i))
+				}
+				_, err := r.Resolve(qname, dnswire.TypeA)
+				if err != nil && !errors.Is(err, ErrOverloaded) {
+					t.Errorf("%s: %v", qname, err)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = r.Stats()
+				scrapeReg := obs.NewRegistry()
+				r.Collect(scrapeReg)
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	st := r.Stats()
+	if st.Resolutions != workers*perWorker {
+		t.Fatalf("Resolutions = %d, want exactly %d", st.Resolutions, workers*perWorker)
+	}
+	if st.CoalescedResolutions == 0 {
+		t.Error("overlapping identical queries never coalesced")
+	}
+	if st.NXDomainCutHits == 0 {
+		t.Error("bogus-TLD queries never hit the NXDOMAIN cut")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"rootless/internal/cache"
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
+	"rootless/internal/overload"
 	"rootless/internal/zone"
 )
 
@@ -103,6 +104,25 @@ type Config struct {
 	// backoff applied after each failure (defaults 500 ms / 30 s).
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+	// Coalesce merges concurrent identical (qname, qtype) resolutions:
+	// one leader does the upstream work, everyone else shares its result
+	// — the singleflight defence against thundering herds of cache
+	// misses.
+	Coalesce bool
+	// MaxInflight bounds concurrently admitted upstream resolutions
+	// (0 = unlimited). Cache hits, negative answers, and local root zone
+	// consults are never gated: under a junk flood the resolver keeps
+	// answering what it already knows and sheds only new upstream work.
+	MaxInflight int
+	// QueueDeadline is how long an over-capacity resolution may wait for
+	// an admission slot before being shed (0 = shed immediately). Shed
+	// resolutions still fall back to serve-stale when enabled.
+	QueueDeadline time.Duration
+	// NXDomainCut enables RFC 8020 aggressive negative caching: an
+	// authoritative NXDOMAIN from the root zone proves the whole TLD
+	// undelegated, so every later query under it is answered NXDOMAIN
+	// from cache — the paper's 61 %-bogus workload mostly dies here.
+	NXDomainCut bool
 	// Seed makes server tie-breaking deterministic.
 	Seed int64
 }
@@ -130,6 +150,10 @@ type Stats struct {
 	HeldDownSkips     int64 // candidate servers skipped while held down
 	Probes            int64 // re-admission attempts after a hold-down
 	RetryBudgetStops  int64 // resolutions aborted by the retry budget
+	// Overload-protection outcomes (PR 3).
+	CoalescedResolutions int64 // resolutions that shared another's in-flight result
+	ShedResolutions      int64 // resolutions refused an admission slot
+	NXDomainCutHits      int64 // queries answered by an RFC 8020 NXDOMAIN cut
 }
 
 // Result is the outcome of one resolution.
@@ -154,6 +178,7 @@ var (
 	ErrLame           = errors.New("resolver: lame or malformed delegation")
 	ErrTimeout        = errors.New("resolver: upstream query timed out")
 	ErrRetryBudget    = errors.New("resolver: retry budget exhausted")
+	ErrOverloaded     = errors.New("resolver: shed by admission gate")
 )
 
 // Resolver is an iterative resolver with a shared cache. Safe for
@@ -168,6 +193,12 @@ type Resolver struct {
 	// fixed-bucket histogram wired in by Instrument (nil until then).
 	tracer  *obs.Tracer
 	latency *obs.Histogram
+
+	// flight coalesces concurrent identical resolutions (nil when
+	// Coalesce is off); gate bounds admitted upstream work (nil when
+	// MaxInflight is 0). Both are internally synchronised.
+	flight *overload.Flight
+	gate   *overload.Gate
 
 	mu         sync.Mutex
 	rng        *rand.Rand // guarded by mu: Resolve runs concurrently
@@ -199,6 +230,10 @@ func New(cfg Config) *Resolver {
 		health:    make(map[netip.Addr]*serverHealth),
 		rootAddrs: make(map[netip.Addr]bool),
 		inflight:  make(map[dnswire.Name]bool),
+		gate:      overload.NewGate(cfg.MaxInflight, cfg.QueueDeadline),
+	}
+	if cfg.Coalesce {
+		r.flight = overload.NewFlight()
 	}
 	for _, rr := range cfg.Hints {
 		switch d := rr.Data.(type) {
@@ -284,6 +319,22 @@ func (r *Resolver) Collect(reg *obs.Registry) {
 	reg.Gauge("rootless_resolver_backoff_servers",
 		"servers currently in failure backoff", labels).
 		Set(float64(backing))
+	if r.gate != nil {
+		reg.Gauge("rootless_resolver_gate_in_use",
+			"admission slots currently held by upstream resolutions", labels).
+			Set(float64(r.gate.InUse()))
+		reg.Gauge("rootless_resolver_gate_capacity",
+			"admission slot capacity (Config.MaxInflight)", labels).
+			Set(float64(r.gate.Capacity()))
+		reg.Counter("rootless_resolver_gate_waited_total",
+			"admissions that queued for a slot before proceeding", labels).
+			Set(r.gate.Stats().Waited)
+	}
+	if r.flight != nil {
+		reg.Gauge("rootless_resolver_coalesce_inflight",
+			"distinct (qname,qtype) resolutions currently in flight", labels).
+			Set(float64(r.flight.Inflight()))
+	}
 	if serial, age, ok := r.LocalZoneStatus(); ok {
 		reg.Gauge("rootless_zone_serial", "local root zone serial", nil).Set(float64(serial))
 		reg.Gauge("rootless_zone_age_seconds", "staleness age of the local root zone copy", nil).
@@ -328,10 +379,50 @@ func (r *Resolver) srttFor(addr netip.Addr) time.Duration {
 	return r.srtt[addr]
 }
 
-// Resolve performs a full iterative resolution of (qname, qtype).
+// Resolve performs a full iterative resolution of (qname, qtype). With
+// coalescing enabled, concurrent identical calls collapse onto one
+// leader: it alone does the work, and every waiter shares its result.
 func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	if r.flight == nil {
+		return r.resolveTop(qname, qtype)
+	}
+	v, err, shared := r.flight.Do(flightKey(qname, qtype), func() (any, error) {
+		return r.resolveTop(qname, qtype)
+	})
+	res, _ := v.(*Result)
+	if res == nil {
+		res = &Result{Rcode: dnswire.RcodeServFail}
+	}
+	if !shared {
+		return res, err
+	}
+	// A waiter: count it as its own resolution (every Resolve call is
+	// one) and hand back a copy so callers cannot alias each other.
+	r.count(func(s *Stats) { s.Resolutions++; s.CoalescedResolutions++ })
+	if tr := r.tracer.Begin(string(qname), qtype.String()); tr != nil {
+		tr.Eventf("coalesced", "shared an in-flight resolution (rcode %s, %d RRs)",
+			res.Rcode, len(res.Answers))
+		tr.Finish(res.Rcode.String(), res.Latency, 0, err)
+	}
+	cp := *res
+	return &cp, err
+}
+
+// flightKey keys the singleflight table by question.
+func flightKey(qname dnswire.Name, qtype dnswire.Type) string {
+	return string(qname) + "|" + qtype.String()
+}
+
+// resolveTop runs one top-level resolution: trace lifecycle, admission
+// token, and latency observation. Glue chases re-enter resolve directly,
+// sharing the parent's token and trace.
+func (r *Resolver) resolveTop(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
 	tr := r.tracer.Begin(string(qname), qtype.String())
-	res, err := r.resolve(qname, qtype, tr)
+	var tok gateToken
+	res, err := r.resolve(qname, qtype, tr, &tok)
+	if tok.held {
+		r.gate.Release()
+	}
 	if tr != nil {
 		tr.Finish(res.Rcode.String(), res.Latency, res.Queries, err)
 	}
@@ -341,9 +432,39 @@ func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, err
 	return res, err
 }
 
+// gateToken tracks one top-level resolution's admission slot. The slot
+// is claimed lazily at the first upstream need — cache hits, NXDOMAIN
+// cuts, and local-zone consults never touch the gate — and held across
+// glue chases and referral hops, so one resolution occupies at most one
+// slot (a second claim could deadlock a full gate against its own
+// sub-work). resolveTop releases it.
+type gateToken struct {
+	held bool
+	shed bool // the gate refused; don't ask again this resolution
+}
+
+// admit claims the admission slot before upstream work. ErrOverloaded
+// means this resolution is shed: the caller unwinds to iterate's error
+// path, which still tries the serve-stale fallback (RFC 8767).
+func (r *Resolver) admit(tok *gateToken, tr *obs.Trace) error {
+	if r.gate == nil || tok.held {
+		return nil
+	}
+	if !tok.shed && r.gate.Acquire() {
+		tok.held = true
+		return nil
+	}
+	if !tok.shed {
+		tok.shed = true
+		r.count(func(s *Stats) { s.ShedResolutions++ })
+		tr.Eventf("shed", "admission gate full; shedding upstream work")
+	}
+	return ErrOverloaded
+}
+
 // resolve is the trace-carrying resolution core (glue chases re-enter
 // here so their events land in the parent's trace).
-func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace) (*Result, error) {
+func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace, tok *gateToken) (*Result, error) {
 	r.count(func(s *Stats) { s.Resolutions++ })
 	res := &Result{Rcode: dnswire.RcodeServFail}
 	budget := r.cfg.MaxQueries
@@ -352,7 +473,7 @@ func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace
 	target := qname
 	var chain []dnswire.RR
 	for depth := 0; depth < 9; depth++ {
-		rcode, rrs, err := r.iterate(target, qtype, res, &budget, &retries, tr)
+		rcode, rrs, err := r.iterate(target, qtype, res, &budget, &retries, tr, tok)
 		if err != nil {
 			r.count(func(s *Stats) { s.Failures++ })
 			tr.Eventf("fail", "%s: %v", target, err)
@@ -406,7 +527,7 @@ type nsSet struct {
 }
 
 // iterate resolves one name without following CNAMEs.
-func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget, retries *int, tr *obs.Trace) (dnswire.Rcode, []dnswire.RR, error) {
+func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget, retries *int, tr *obs.Trace, tok *gateToken) (dnswire.Rcode, []dnswire.RR, error) {
 	// Full answer from cache? The Eventf calls here sit on the cache-hit
 	// fast path, so they are guarded: a nil-trace Eventf is itself free,
 	// but evaluating its variadic arguments is not.
@@ -416,7 +537,12 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			if tr != nil {
 				tr.Eventf("cache-hit", "negative %s %s", qname, qtype)
 			}
-			return dnswire.RcodeNXDomain, nil, nil
+			// Replay the faithful rcode: NXDOMAIN if the name was proven
+			// absent, NODATA (Success, no answers) if only the type was.
+			if hit.NXDomain {
+				return dnswire.RcodeNXDomain, nil, nil
+			}
+			return dnswire.RcodeSuccess, nil, nil
 		}
 		r.count(func(s *Stats) { s.CacheAnswers++ })
 		if tr != nil {
@@ -433,6 +559,16 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			}
 			return dnswire.RcodeSuccess, hit.RRs, nil
 		}
+	}
+	// An NXDOMAIN cut at any ancestor (in practice: the TLD) answers the
+	// miss without any upstream work — the aggressive negative cache the
+	// paper's junk-dominated workload rewards.
+	if r.cfg.NXDomainCut && r.cache.NXDomainCovered(qname) {
+		r.count(func(s *Stats) { s.NXDomainCutHits++; s.NegCacheAnswers++; s.CacheAnswers++ })
+		if tr != nil {
+			tr.Eventf("cache-hit", "NXDOMAIN cut covers %s", qname)
+		}
+		return dnswire.RcodeNXDomain, nil, nil
 	}
 	if tr != nil {
 		tr.Eventf("cache-miss", "%s %s", qname, qtype)
@@ -451,7 +587,7 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			continue
 		}
 
-		resp, err := r.queryZoneServers(cur, qname, qtype, res, budget, retries, tr)
+		resp, err := r.queryZoneServers(cur, qname, qtype, res, budget, retries, tr, tok)
 		if err != nil {
 			if rrs, ok := r.staleAnswer(qname, qtype); ok {
 				tr.Eventf("stale", "served %s %s from expired cache", qname, qtype)
@@ -500,7 +636,11 @@ func (r *Resolver) consultLocalRoot(qname dnswire.Name, qtype dnswire.Type) (nsS
 	switch {
 	case ans.Rcode == dnswire.RcodeNXDomain:
 		if len(ans.Authority) > 0 {
-			r.cache.PutNegative(qname, qtype, ans.Authority[0])
+			r.cache.PutNegative(qname, qtype, ans.Authority[0], true)
+			// The local root zone just proved the TLD undelegated.
+			if tld := qname.TLD(); r.cfg.NXDomainCut && !tld.IsRoot() {
+				r.cache.PutNXDomainCut(tld, ans.Authority[0])
+			}
 		}
 		return nsSet{}, dnswire.RcodeNXDomain, nil, true
 	case len(ans.Answer) > 0:
@@ -521,7 +661,7 @@ func (r *Resolver) consultLocalRoot(qname dnswire.Name, qtype dnswire.Type) (nsS
 	default:
 		// NODATA at the root (e.g. TLD apex, wrong type).
 		if len(ans.Authority) > 0 {
-			r.cache.PutNegative(qname, qtype, ans.Authority[0])
+			r.cache.PutNegative(qname, qtype, ans.Authority[0], false)
 		}
 		return nsSet{}, dnswire.RcodeSuccess, nil, true
 	}
@@ -578,7 +718,7 @@ func (r *Resolver) rootSet() nsSet {
 
 // serverAddrs resolves a delegation's nameserver hosts to addresses using
 // hints, cached glue, and (if allowed) glue-chasing sub-resolutions.
-func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool, tr *obs.Trace) []netip.Addr {
+func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool, tr *obs.Trace, tok *gateToken) []netip.Addr {
 	var addrs []netip.Addr
 	seen := make(map[netip.Addr]bool)
 	add := func(a netip.Addr) {
@@ -630,7 +770,7 @@ func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool, 
 		r.count(func(s *Stats) { s.GlueChases++ })
 		tr.Eventf("glue-chase", "resolving %s A out of band", host)
 		tr.Push()
-		sub, err := r.resolve(host, dnswire.TypeA, tr)
+		sub, err := r.resolve(host, dnswire.TypeA, tr, tok)
 		tr.Pop()
 		r.mu.Lock()
 		delete(r.inflight, host)
@@ -659,13 +799,18 @@ func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool, 
 // servers are skipped (or probed, once the hold-down expires). Each
 // timeout or lame answer consumes one unit of the resolution's retry
 // budget and feeds the server's backoff/hold-down state.
-func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire.Type, res *Result, budget, retries *int, tr *obs.Trace) (*dnswire.Message, error) {
+func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire.Type, res *Result, budget, retries *int, tr *obs.Trace, tok *gateToken) (*dnswire.Message, error) {
+	// Everything past this point is upstream work: claim the admission
+	// slot first (held for the rest of the resolution), shed if refused.
+	if err := r.admit(tok, tr); err != nil {
+		return nil, err
+	}
 	sendName, sendType := qname, qtype
 	if r.cfg.QNameMinimisation {
 		sendName, sendType = minimise(set.zone, qname, qtype)
 	}
 
-	addrs := r.serverAddrs(set, res, budget, true, tr)
+	addrs := r.serverAddrs(set, res, budget, true, tr, tok)
 	if len(addrs) == 0 {
 		return nil, ErrAllServersFail
 	}
@@ -834,7 +979,13 @@ func (r *Resolver) processResponse(cur nsSet, qname dnswire.Name, qtype dnswire.
 	case resp.Rcode == dnswire.RcodeNXDomain:
 		soa := findSOA(resp.Authority)
 		if soa != nil {
-			r.cache.PutNegative(sentName, sentType, *soa)
+			r.cache.PutNegative(sentName, sentType, *soa, true)
+			// An NXDOMAIN whose SOA is the root zone's proves the TLD is
+			// not delegated at all (the root would have referred
+			// otherwise), so record an RFC 8020 cut at the TLD.
+			if tld := sentName.TLD(); r.cfg.NXDomainCut && soa.Name.IsRoot() && !tld.IsRoot() {
+				r.cache.PutNXDomainCut(tld, *soa)
+			}
 		}
 		// NXDOMAIN for an ancestor name dooms the full qname too.
 		return dnswire.RcodeNXDomain, nil, nsSet{}, true
@@ -894,7 +1045,7 @@ func (r *Resolver) processResponse(cur nsSet, qname dnswire.Name, qtype dnswire.
 		}
 		soa := findSOA(resp.Authority)
 		if soa != nil {
-			r.cache.PutNegative(sentName, sentType, *soa)
+			r.cache.PutNegative(sentName, sentType, *soa, false)
 		}
 		return dnswire.RcodeSuccess, nil, nsSet{}, true
 	}

@@ -4,18 +4,33 @@ import (
 	"context"
 	"errors"
 	"net"
+	"net/netip"
+	"time"
 
 	"rootless/internal/dnswire"
+	"rootless/internal/overload"
 )
 
 // Server exposes a Resolver as a recursive DNS service over UDP — what a
 // stub resolver (or dig) talks to.
 type Server struct {
 	resolver *Resolver
+	// limiter rate-limits stub clients before any resolution work is
+	// spawned (nil = unlimited). Install with SetClientLimit before
+	// serving.
+	limiter *overload.ClientLimiter
 }
 
 // NewServer wraps a resolver.
 func NewServer(r *Resolver) *Server { return &Server{resolver: r} }
+
+// SetClientLimit token-buckets each stub client at qps queries/sec with
+// the given burst (<= 0 defaults to qps). Over-rate queries are dropped
+// before a resolution goroutine is spawned, so an abusive stub cannot
+// monopolise the resolver. qps <= 0 disables the limit.
+func (s *Server) SetClientLimit(qps, burst float64) {
+	s.limiter = overload.NewClientLimiter(qps, burst, 0)
+}
 
 // ServeUDP answers stub queries on conn until ctx ends or the connection
 // closes. Each query runs its own goroutine: recursion can take many
@@ -34,6 +49,9 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			}
 			return err
 		}
+		if s.limiter != nil && !s.limiter.Allow(clientAddr(addr), time.Now()) {
+			continue // over-rate stub: drop before spending any work
+		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
 		go func(pkt []byte, addr net.Addr) {
@@ -49,6 +67,14 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			_, _ = conn.WriteTo(wire, addr)
 		}(pkt, addr)
 	}
+}
+
+// clientAddr extracts the client IP from a packet source address.
+func clientAddr(a net.Addr) netip.Addr {
+	if ap, err := netip.ParseAddrPort(a.String()); err == nil {
+		return ap.Addr()
+	}
+	return netip.Addr{}
 }
 
 func (s *Server) handle(q *dnswire.Message) *dnswire.Message {
