@@ -4,7 +4,7 @@
 # backed by the concurrent-resolve and coalescing hammer tests in
 # internal/resolver and the overload-primitive races in internal/overload.
 
-.PHONY: verify verify-race bench fuzz-short
+.PHONY: verify verify-race bench bench-full fuzz-short
 
 verify:
 	go build ./... && go vet ./... && go test ./...
@@ -12,7 +12,27 @@ verify:
 verify-race:
 	go vet ./... && go test -race ./...
 
+# Perf-trajectory snapshot: run the key benchmarks with fixed iteration
+# counts (stable comparisons, bounded runtime) and write a schema-stable
+# JSON report, then validate it and diff against the previous committed
+# snapshot if one exists. Set BENCH=BENCH_PR5.json for the next PR; the
+# committed snapshot is regression-checked by TestCommittedSnapshot in
+# internal/benchfmt, which `make verify` runs.
+BENCH ?= BENCH_PR4.json
+
 bench:
+	@set -e; \
+	( go test -run='^$$' -bench='^BenchmarkResolve$$' -benchtime=2000x -count=1 -benchmem ./internal/resolver; \
+	  go test -run='^$$' -bench='^BenchmarkResolveConcurrent$$' -benchtime=200x -count=1 -benchmem ./internal/resolver; \
+	  go test -run='^$$' -bench=. -benchtime=20000x -count=1 -benchmem \
+	    ./internal/obs ./internal/cache ./internal/overload ./internal/dnswire \
+	) | tee /dev/stderr | go run ./cmd/benchreport -write $(BENCH); \
+	go run ./cmd/benchreport -validate $(BENCH) -min 8; \
+	prev=$$(ls BENCH_*.json | grep -v "^$(BENCH)$$" | sort | tail -1 || true); \
+	if [ -n "$$prev" ]; then go run ./cmd/benchreport -diff $$prev $(BENCH); fi
+
+# The unfiltered sweep: every benchmark in the tree, time-based.
+bench-full:
 	go test -bench=. -benchmem ./...
 
 # Short coverage-guided fuzz pass over the wire codec (~10s per target).

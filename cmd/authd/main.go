@@ -28,6 +28,7 @@
 // Observability:
 //
 //	-admin 127.0.0.1:9154   HTTP admin endpoint: /metrics, /healthz, /statusz
+//	-pprof                  mount net/http/pprof at /debug/pprof/ on -admin
 //	-log-level info         debug | info | warn | error
 package main
 
@@ -63,6 +64,7 @@ func main() {
 	rrlRate := flag.Int("rrl-rate", 0, "response rate limit: identical responses per second per client /24 (0 = disabled)")
 	rrlSlip := flag.Int("rrl-slip", 2, "let every Nth RRL-suppressed response out truncated (0 = drop all)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9154; empty to disable)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -118,6 +120,7 @@ func main() {
 		obs.RegisterProcessMetrics(reg, start)
 		admin := &obs.Admin{
 			Registry: reg,
+			Pprof:    *pprofOn,
 			Status: func() map[string]any {
 				st := srv.Stats()
 				cur := srv.Zone()

@@ -1,0 +1,128 @@
+// Command benchreport maintains the repo's perf-trajectory snapshots.
+// It converts `go test -bench` output into a schema-stable BENCH_*.json
+// report, validates committed snapshots, and diffs two snapshots so a
+// PR's benchmark movement is visible at review time.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchreport -write BENCH_PR4.json
+//	benchreport -validate BENCH_PR4.json -min 8
+//	benchreport -diff BENCH_PR3.json BENCH_PR4.json
+//
+// The -write label defaults to the part of the filename between
+// "BENCH_" and ".json" (BENCH_PR4.json → PR4).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"rootless/internal/benchfmt"
+)
+
+func main() {
+	write := flag.String("write", "", "parse `go test -bench` output on stdin and write a report here")
+	label := flag.String("label", "", "report label for -write (default: derived from the filename)")
+	validate := flag.String("validate", "", "validate this report file")
+	min := flag.Int("min", 1, "minimum benchmark count accepted by -validate")
+	diff := flag.Bool("diff", false, "diff two report files given as arguments")
+	flag.Parse()
+
+	switch {
+	case *write != "":
+		doWrite(*write, *label)
+	case *validate != "":
+		doValidate(*validate, *min)
+	case *diff:
+		if flag.NArg() != 2 {
+			fatal("-diff needs exactly two report files")
+		}
+		doDiff(flag.Arg(0), flag.Arg(1))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doWrite(path, label string) {
+	entries, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if label == "" {
+		label = labelFromPath(path)
+	}
+	rep := &benchfmt.Report{
+		Schema:     benchfmt.Schema,
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		Benchmarks: entries,
+		Derived:    benchfmt.Derive(entries),
+	}
+	if err := benchfmt.Validate(rep, 1); err != nil {
+		fatal("refusing to write invalid report: %v", err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks, %d derived figures)\n",
+		path, len(rep.Benchmarks), len(rep.Derived))
+}
+
+func doValidate(path string, min int) {
+	rep := load(path)
+	if err := benchfmt.Validate(rep, min); err != nil {
+		fatal("%s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: %s ok (%s, %d benchmarks)\n",
+		path, rep.Label, len(rep.Benchmarks))
+}
+
+func doDiff(oldPath, newPath string) {
+	oldRep, newRep := load(oldPath), load(newPath)
+	for _, pair := range []struct {
+		path string
+		rep  *benchfmt.Report
+	}{{oldPath, oldRep}, {newPath, newRep}} {
+		if err := benchfmt.Validate(pair.rep, 1); err != nil {
+			fatal("%s: %v", pair.path, err)
+		}
+	}
+	benchfmt.Diff(oldRep, newRep).Render(os.Stdout, oldRep.Label, newRep.Label)
+}
+
+func load(path string) *benchfmt.Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var rep benchfmt.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal("%s: %v", path, err)
+	}
+	return &rep
+}
+
+// labelFromPath derives a label from the snapshot naming convention:
+// BENCH_PR4.json → PR4; anything else falls back to the bare filename.
+func labelFromPath(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	if rest, ok := strings.CutPrefix(base, "BENCH_"); ok && rest != "" {
+		return rest
+	}
+	return base
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -32,6 +32,7 @@
 //	-trace                  record per-query resolution traces (view at /tracez)
 //	-trace-slow 100ms       only keep traces at least this slow (0 = all)
 //	-trace-ring 128         how many recent traces to retain
+//	-pprof                  mount net/http/pprof at /debug/pprof/ on -admin
 //	-log-level info         debug | info | warn | error
 package main
 
@@ -78,6 +79,7 @@ func main() {
 	traceOn := flag.Bool("trace", false, "record per-query resolution traces")
 	traceSlow := flag.Duration("trace-slow", 0, "retain only traces at least this slow (0 = all)")
 	traceRing := flag.Int("trace-ring", 128, "recent traces to retain for /tracez")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -188,6 +190,7 @@ func main() {
 		admin := &obs.Admin{
 			Registry: reg,
 			Tracer:   tracer,
+			Pprof:    *pprofOn,
 			Status: func() map[string]any {
 				st := r.Stats()
 				status := map[string]any{

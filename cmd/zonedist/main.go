@@ -13,6 +13,7 @@
 // Observability (serve mode):
 //
 //	-admin 127.0.0.1:9155   HTTP admin endpoint: /metrics, /healthz, /statusz
+//	-pprof                  mount net/http/pprof at /debug/pprof/ on -admin
 //	-log-level info         debug | info | warn | error
 package main
 
@@ -62,6 +63,7 @@ func serve(args []string) {
 	pubOut := fs.String("pub-out", "", "write the public KSK here for clients")
 	republish := fs.Duration("republish", 0, "re-sign and publish a fresh serial at this interval (0 = once)")
 	adminAddr := fs.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9155; empty to disable)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
 	logLevel := fs.String("log-level", "info", "log level: debug | info | warn | error")
 	_ = fs.Parse(args)
 
@@ -119,6 +121,7 @@ func serve(args []string) {
 		obs.RegisterProcessMetrics(reg, start)
 		admin := &obs.Admin{
 			Registry: reg,
+			Pprof:    *pprofOn,
 			Status: func() map[string]any {
 				st := mirror.Stats()
 				status := map[string]any{

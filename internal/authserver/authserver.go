@@ -129,6 +129,16 @@ func (s *Server) Collect(reg *obs.Registry) {
 // timeout. An invalid from address (netsim's anonymous source, TCP)
 // bypasses the per-client and RRL checks but not the gate.
 func (s *Server) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	return s.HandleTraced(nil, q, from)
+}
+
+// HandleTraced is Handle carrying the querier's trace (netsim's
+// TracedHandler): the auth span covers admission, zone lookup, and RRL,
+// and overload verdicts become trace events so a client-side trace shows
+// *why* a query died server-side. A nil trace costs nothing.
+func (s *Server) HandleTraced(tr *obs.Trace, q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	sp := tr.StartSpan(obs.PhaseAuth, "auth")
+	defer sp.End()
 	s.count(func(st *Stats) { st.Queries++ })
 	gate, clients, rrl := s.overloadState()
 	var now time.Time
@@ -137,10 +147,14 @@ func (s *Server) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
 	}
 	if !clients.Allow(from, now) {
 		s.count(func(st *Stats) { st.RateLimited++ })
+		sp.SetDetail("rate-limited")
+		tr.Eventf("auth-drop", "per-client limit exceeded")
 		return nil
 	}
 	if !gate.Acquire() {
 		s.count(func(st *Stats) { st.Shed++ })
+		sp.SetDetail("shed")
+		tr.Eventf("auth-drop", "server admission gate full")
 		return nil
 	}
 	defer gate.Release()
@@ -148,9 +162,13 @@ func (s *Server) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
 	switch rrl.Decide(from, responseToken(resp), now) {
 	case overload.RRLDrop:
 		s.count(func(st *Stats) { st.RRLDropped++ })
+		sp.SetDetail("rrl-dropped")
+		tr.Eventf("auth-drop", "response rate-limited (dropped)")
 		return nil
 	case overload.RRLSlip:
 		s.count(func(st *Stats) { st.RRLSlipped++ })
+		sp.SetDetail("rrl-slipped")
+		tr.Eventf("auth-slip", "response rate-limited (slipped truncated)")
 		return slipResponse(resp)
 	}
 	return resp

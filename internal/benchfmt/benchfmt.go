@@ -1,0 +1,240 @@
+// Package benchfmt turns `go test -bench` output into a schema-stable
+// JSON report, validates such reports, and diffs two of them — the
+// perf-trajectory pipeline behind `make bench`. Each PR commits a
+// BENCH_<pr>.json snapshot; because the schema is fixed and benchmark
+// names are machine-independent (the -GOMAXPROCS suffix is stripped),
+// successive snapshots diff cleanly and the repo accumulates a latency
+// trajectory alongside the code.
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the report layout. Bump only with a migration path:
+// committed snapshots from earlier PRs must keep validating or Diff
+// loses the trajectory.
+const Schema = "rootless-bench/v1"
+
+// Entry is one benchmark result. Extra carries custom units emitted via
+// testing.B.ReportMetric (e.g. upstream-queries/op), which is how
+// experiment-derived figures travel through the standard bench format.
+type Entry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the committed artifact.
+type Report struct {
+	Schema    string `json:"schema"`
+	Label     string `json:"label"`
+	GoVersion string `json:"go_version"`
+	// Benchmarks are sorted by name so snapshots diff cleanly in git.
+	Benchmarks []Entry `json:"benchmarks"`
+	// Derived holds headline figures computed from the raw entries
+	// (throughputs, overhead deltas) — see Derive.
+	Derived map[string]float64 `json:"derived,omitempty"`
+}
+
+// Parse reads `go test -bench` text output and returns the benchmark
+// entries, sorted by name. Non-benchmark lines (PASS, ok, goos: ...)
+// are ignored, so the output of several packages can be concatenated.
+func Parse(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmarking..." chatter, not a result line
+		}
+		e := Entry{Name: stripProcSuffix(fields[0]), Iterations: iters}
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q on line %q", fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				if e.Extra == nil {
+					e.Extra = make(map[string]float64)
+				}
+				e.Extra[unit] = v
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS from a benchmark
+// name (BenchmarkResolve/NoTracer-8 → BenchmarkResolve/NoTracer) so
+// names are stable across machines.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Validate checks a report's structural invariants: the schema tag, a
+// non-empty label, and well-formed deduplicated entries. min is the
+// smallest acceptable benchmark count (0 to skip the check).
+func Validate(rep *Report, min int) error {
+	if rep.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Label == "" {
+		return fmt.Errorf("benchfmt: empty label")
+	}
+	if len(rep.Benchmarks) < min {
+		return fmt.Errorf("benchfmt: %d benchmarks, want at least %d", len(rep.Benchmarks), min)
+	}
+	seen := make(map[string]bool, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		switch {
+		case e.Name == "" || !strings.HasPrefix(e.Name, "Benchmark"):
+			return fmt.Errorf("benchfmt: bad benchmark name %q", e.Name)
+		case seen[e.Name]:
+			return fmt.Errorf("benchfmt: duplicate benchmark %q (use -count=1)", e.Name)
+		case e.Iterations <= 0:
+			return fmt.Errorf("benchfmt: %s: iterations %d", e.Name, e.Iterations)
+		case e.NsPerOp < 0 || e.BytesPerOp < 0 || e.AllocsPerOp < 0:
+			return fmt.Errorf("benchfmt: %s: negative metric", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	return nil
+}
+
+// Derive computes the headline figures a snapshot is read for: hot-path
+// resolution throughput, the cost of enabling tracing, and the
+// coalescing shield factor. Missing benchmarks simply yield no figure,
+// so Derive works on partial runs too.
+func Derive(entries []Entry) map[string]float64 {
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	d := make(map[string]float64)
+	if e, ok := byName["BenchmarkResolve/NoTracer"]; ok && e.NsPerOp > 0 {
+		d["resolve_ops_per_sec"] = 1e9 / e.NsPerOp
+		if t, ok := byName["BenchmarkResolve/TracerEnabled"]; ok {
+			d["tracing_enabled_overhead_ns_per_op"] = t.NsPerOp - e.NsPerOp
+		}
+		if t, ok := byName["BenchmarkResolve/TracerDisabled"]; ok {
+			d["tracing_disabled_overhead_ns_per_op"] = t.NsPerOp - e.NsPerOp
+		}
+	}
+	if e, ok := byName["BenchmarkResolveConcurrent/Coalesce"]; ok && e.NsPerOp > 0 {
+		d["resolve_concurrent_ops_per_sec"] = 1e9 / e.NsPerOp
+		if q, ok := e.Extra["upstream-queries/op"]; ok {
+			d["coalesce_upstream_queries_per_op"] = q
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+// Delta is one benchmark's movement between two reports.
+type Delta struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	Ratio    float64 // NewNs/OldNs; 1.0 = unchanged, >1 = slower
+	OldAlloc float64
+	NewAlloc float64
+}
+
+// DiffResult pairs up two reports benchmark by benchmark.
+type DiffResult struct {
+	Common  []Delta
+	Added   []string // in new only
+	Removed []string // in old only
+}
+
+// Diff compares two reports. Benchmarks are matched by name; the result
+// is ordered by name within each category.
+func Diff(old, cur *Report) DiffResult {
+	oldBy := make(map[string]Entry, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	var res DiffResult
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		seen[e.Name] = true
+		o, ok := oldBy[e.Name]
+		if !ok {
+			res.Added = append(res.Added, e.Name)
+			continue
+		}
+		d := Delta{Name: e.Name, OldNs: o.NsPerOp, NewNs: e.NsPerOp,
+			OldAlloc: o.AllocsPerOp, NewAlloc: e.AllocsPerOp}
+		if o.NsPerOp > 0 {
+			d.Ratio = e.NsPerOp / o.NsPerOp
+		}
+		res.Common = append(res.Common, d)
+	}
+	for _, e := range old.Benchmarks {
+		if !seen[e.Name] {
+			res.Removed = append(res.Removed, e.Name)
+		}
+	}
+	sort.Slice(res.Common, func(i, j int) bool { return res.Common[i].Name < res.Common[j].Name })
+	sort.Strings(res.Added)
+	sort.Strings(res.Removed)
+	return res
+}
+
+// Render writes a human-readable diff table.
+func (r DiffResult) Render(w io.Writer, oldLabel, newLabel string) {
+	fmt.Fprintf(w, "bench diff: %s → %s\n", oldLabel, newLabel)
+	for _, d := range r.Common {
+		marker := ""
+		switch {
+		case d.Ratio > 1.10:
+			marker = "  (slower)"
+		case d.Ratio != 0 && d.Ratio < 0.90:
+			marker = "  (faster)"
+		}
+		fmt.Fprintf(w, "  %-55s %12.1f → %12.1f ns/op  %5.2fx%s\n",
+			d.Name, d.OldNs, d.NewNs, d.Ratio, marker)
+	}
+	for _, n := range r.Added {
+		fmt.Fprintf(w, "  %-55s new\n", n)
+	}
+	for _, n := range r.Removed {
+		fmt.Fprintf(w, "  %-55s removed\n", n)
+	}
+}

@@ -1,0 +1,150 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rootless/internal/resolver
+cpu: Some CPU @ 2.00GHz
+BenchmarkResolve/NoTracer-8         	  500000	      2050 ns/op	     120 B/op	       3 allocs/op
+BenchmarkResolve/TracerEnabled-8    	  400000	      3100 ns/op	     600 B/op	       9 allocs/op
+BenchmarkResolveConcurrent/Coalesce-8 	     100	     65000 ns/op	         0.131 upstream-queries/op	    2100 B/op	      40 allocs/op
+PASS
+ok  	rootless/internal/resolver	3.210s
+BenchmarkSpan/Disabled-8 	100000000	        12.01 ns/op	       0 B/op	       0 allocs/op
+ok  	rootless/internal/obs	1.402s
+`
+
+func parseSample(t *testing.T) []Entry {
+	t.Helper()
+	entries, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestParse(t *testing.T) {
+	entries := parseSample(t)
+	if len(entries) != 4 {
+		t.Fatalf("got %d entries, want 4: %+v", len(entries), entries)
+	}
+	byName := make(map[string]Entry)
+	for i, e := range entries {
+		if i > 0 && entries[i-1].Name > e.Name {
+			t.Errorf("entries not sorted: %q after %q", e.Name, entries[i-1].Name)
+		}
+		byName[e.Name] = e
+	}
+	r := byName["BenchmarkResolve/NoTracer"]
+	if r.Iterations != 500000 || r.NsPerOp != 2050 || r.BytesPerOp != 120 || r.AllocsPerOp != 3 {
+		t.Errorf("NoTracer entry wrong: %+v", r)
+	}
+	c := byName["BenchmarkResolveConcurrent/Coalesce"]
+	if got := c.Extra["upstream-queries/op"]; got != 0.131 {
+		t.Errorf("custom unit: got %v, want 0.131", got)
+	}
+	if s := byName["BenchmarkSpan/Disabled"]; s.NsPerOp != 12.01 {
+		t.Errorf("fractional ns/op: got %v", s.NsPerOp)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Report{Schema: Schema, Label: "PR4", GoVersion: "go1.22",
+		Benchmarks: []Entry{{Name: "BenchmarkX", Iterations: 1, NsPerOp: 10}}}
+	if err := Validate(good, 1); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "other/v9" }},
+		{"empty label", func(r *Report) { r.Label = "" }},
+		{"bad name", func(r *Report) { r.Benchmarks[0].Name = "TestX" }},
+		{"zero iterations", func(r *Report) { r.Benchmarks[0].Iterations = 0 }},
+		{"negative metric", func(r *Report) { r.Benchmarks[0].NsPerOp = -1 }},
+		{"duplicate", func(r *Report) { r.Benchmarks = append(r.Benchmarks, r.Benchmarks[0]) }},
+	}
+	for _, tc := range bad {
+		rep := &Report{Schema: Schema, Label: "PR4", GoVersion: "go1.22",
+			Benchmarks: []Entry{{Name: "BenchmarkX", Iterations: 1, NsPerOp: 10}}}
+		tc.mutate(rep)
+		if err := Validate(rep, 1); err == nil {
+			t.Errorf("%s: validated but should not", tc.name)
+		}
+	}
+	if err := Validate(good, 5); err == nil {
+		t.Error("min-count check did not fire")
+	}
+}
+
+func TestDerive(t *testing.T) {
+	d := Derive(parseSample(t))
+	if d["resolve_ops_per_sec"] == 0 {
+		t.Error("missing resolve_ops_per_sec")
+	}
+	if got := d["tracing_enabled_overhead_ns_per_op"]; got != 3100-2050 {
+		t.Errorf("tracing overhead: got %v, want %v", got, 3100-2050)
+	}
+	if got := d["coalesce_upstream_queries_per_op"]; got != 0.131 {
+		t.Errorf("coalesce figure: got %v, want 0.131", got)
+	}
+	if Derive(nil) != nil {
+		t.Error("Derive(nil) should be nil")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := &Report{Schema: Schema, Label: "PR3", Benchmarks: []Entry{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkGone", Iterations: 1, NsPerOp: 5},
+	}}
+	cur := &Report{Schema: Schema, Label: "PR4", Benchmarks: []Entry{
+		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 150},
+		{Name: "BenchmarkNew", Iterations: 1, NsPerOp: 7},
+	}}
+	res := Diff(old, cur)
+	if len(res.Common) != 1 || res.Common[0].Ratio != 1.5 {
+		t.Errorf("common: %+v", res.Common)
+	}
+	if len(res.Added) != 1 || res.Added[0] != "BenchmarkNew" {
+		t.Errorf("added: %v", res.Added)
+	}
+	if len(res.Removed) != 1 || res.Removed[0] != "BenchmarkGone" {
+		t.Errorf("removed: %v", res.Removed)
+	}
+	var sb strings.Builder
+	res.Render(&sb, old.Label, cur.Label)
+	for _, want := range []string{"PR3 → PR4", "BenchmarkA", "1.50x", "(slower)", "new", "removed"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered diff missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestCommittedSnapshot is the schema smoke in `make verify`: the
+// snapshot committed at the repo root must parse, validate against the
+// current schema, and carry enough benchmarks to be a useful
+// trajectory point.
+func TestCommittedSnapshot(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_PR4.json")
+	if err != nil {
+		t.Fatalf("committed snapshot missing (run `make bench`): %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(&rep, 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Derived) == 0 {
+		t.Error("snapshot has no derived figures")
+	}
+}

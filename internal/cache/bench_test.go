@@ -1,0 +1,45 @@
+package cache
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// BenchmarkCache covers the two operations on every resolution path: a
+// warm positive Get (the cache-hit fast path attribution calls
+// "cache") and Put of a fresh answer RRset.
+func BenchmarkCache(b *testing.B) {
+	t0 := time.Now()
+	now := func() time.Time { return t0 }
+	addr := netip.MustParseAddr("192.0.2.1")
+
+	b.Run("Get", func(b *testing.B) {
+		c := New(0, now)
+		c.Put([]dnswire.RR{dnswire.NewRR("www.example.com.", 3600, dnswire.A{Addr: addr})}, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.Get("www.example.com.", dnswire.TypeA); !ok {
+				b.Fatal("unexpected miss")
+			}
+		}
+	})
+
+	b.Run("Put", func(b *testing.B) {
+		c := New(4096, now)
+		rrs := make([][]dnswire.RR, 1024)
+		for i := range rrs {
+			name := dnswire.Name(fmt.Sprintf("h%d.example.com.", i))
+			rrs[i] = []dnswire.RR{dnswire.NewRR(name, 3600, dnswire.A{Addr: addr})}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Put(rrs[i%len(rrs)], false)
+		}
+	})
+}

@@ -57,6 +57,10 @@ type RefresherConfig struct {
 	Seed int64
 	// Clock supplies time (virtual in experiments); nil = time.Now.
 	Clock func() time.Time
+	// Tracer, when set and enabled, records one trace per attempted
+	// refresh cycle with fetch/verify/install spans, so zone-distribution
+	// time shows up on /tracez next to resolution traces.
+	Tracer *obs.Tracer
 }
 
 // Refresher drives the periodic fetch → verify → install loop. It is
@@ -186,15 +190,25 @@ func (r *Refresher) Tick(ctx context.Context) bool {
 	}
 	r.fetches++
 	r.mu.Unlock()
-	bundle, z, err := r.fetchVerify(ctx)
+	// The refresh trace uses a pseudo-question: the "query" a refresh
+	// cycle answers is "what is the current root zone bundle".
+	tr := r.cfg.Tracer.Begin("root-zone-refresh.", "BUNDLE")
+	bundle, z, err := r.fetchVerify(ctx, tr)
 	if err != nil {
 		r.fail(now, err)
+		tr.Finish("FAIL", 0, 0, err)
 		return false
 	}
-	if err := r.cfg.Install(z); err != nil {
+	isp := tr.StartSpan(obs.PhaseOther, "install")
+	err = r.cfg.Install(z)
+	isp.End()
+	if err != nil {
 		r.fail(now, err)
+		tr.Finish("FAIL", 0, 0, err)
 		return false
 	}
+	tr.Eventf("installed", "serial %d", bundle.Serial)
+	tr.Finish("OK", 0, 0, nil)
 	r.mu.Lock()
 	r.installs++
 	r.lastErr = nil
@@ -211,13 +225,21 @@ func (r *Refresher) Tick(ctx context.Context) bool {
 // until a bundle both fetches and verifies. The first error is reported
 // (the primary's failure is the interesting one; fallbacks are the
 // workaround).
-func (r *Refresher) fetchVerify(ctx context.Context) (*Bundle, *zone.Zone, error) {
+func (r *Refresher) fetchVerify(ctx context.Context, tr *obs.Trace) (*Bundle, *zone.Zone, error) {
 	var firstErr error
 	for i, src := range append([]Source{r.cfg.Source}, r.cfg.Fallbacks...) {
+		if i > 0 {
+			tr.Eventf("fallback", "primary failed; trying fallback source %d", i)
+		}
+		fsp := tr.StartSpan(obs.PhaseNet, "fetch")
 		bundle, err := src.Fetch(ctx)
+		fsp.End()
 		if err == nil {
 			var z *zone.Zone
-			if z, err = bundle.Verify(r.cfg.KSK); err == nil {
+			vsp := tr.StartSpan(obs.PhaseAuth, "verify")
+			z, err = bundle.Verify(r.cfg.KSK)
+			vsp.End()
+			if err == nil {
 				if i > 0 {
 					r.mu.Lock()
 					r.fallbacks++

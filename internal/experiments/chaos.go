@@ -6,6 +6,7 @@ import (
 
 	"rootless/internal/dnswire"
 	"rootless/internal/faults"
+	"rootless/internal/obs"
 	"rootless/internal/resolver"
 )
 
@@ -15,6 +16,7 @@ type chaosAgg struct {
 	holdDowns, heldSkips, probes int64
 	lame, timeouts, budgetStops  int64
 	totalQueries                 int64
+	attr                         obs.Attribution // trial latency attribution
 }
 
 func (a *chaosAgg) add(st resolver.Stats) {
@@ -35,6 +37,7 @@ func (a *chaosAgg) merge(b chaosAgg) {
 	a.timeouts += b.timeouts
 	a.budgetStops += b.budgetStops
 	a.totalQueries += b.totalQueries
+	a.attr = a.attr.Add(b.attr)
 }
 
 // Chaos sweeps "fraction of the root infrastructure dark" against root
@@ -73,10 +76,12 @@ func Chaos(lookups int) Result {
 		const batches = 4
 		per := (len(names) + batches - 1) / batches
 		t0 := w.net.Now()
+		tracer := attrTracer() // shared across the trial's batch resolvers
 		for b := 0; b*per < len(names); b++ {
 			r := w.newResolver(mode, 10+b, seed+int64(b), func(c *resolver.Config) {
 				c.RetryBudget = budget
 			})
+			r.SetTracer(tracer)
 			hi := (b + 1) * per
 			if hi > len(names) {
 				hi = len(names)
@@ -89,6 +94,7 @@ func Chaos(lookups int) Result {
 			agg.add(r.Stats())
 		}
 		mean = w.net.Now().Sub(t0) / time.Duration(len(names))
+		agg.attr = tracer.AttributionTotals()
 		return ok, mean, agg
 	}
 
@@ -97,10 +103,12 @@ func Chaos(lookups int) Result {
 	fractions := []float64{0, 0.25, 0.5, 0.75, 1.0}
 	success := make([]int, len(fractions))
 	means := make([]time.Duration, len(fractions))
+	attrs := make([]obs.Attribution, len(fractions))
 	var swept chaosAgg
 	for i, f := range fractions {
 		var agg chaosAgg
 		success[i], means[i], agg = trial(resolver.RootModeHints, f, 100+int64(i), 3, lookups)
+		attrs[i] = agg.attr
 		swept.merge(agg)
 	}
 
@@ -224,6 +232,11 @@ func Chaos(lookups int) Result {
 			row("hints latency vs fraction dark", "grows with outages",
 				fmt.Sprintf("%v → %v mean", means[0].Round(time.Millisecond), means[last].Round(time.Millisecond)))(
 				means[last] > means[0]),
+			row("latency attribution vs fraction dark", "backoff share grows with outages",
+				"%.0f%% backoff at 0%% dark → %.0f%% at 50%% dark",
+				100*phaseShare(attrs[0], attrs[0].BackoffNS),
+				100*phaseShare(attrs[2], attrs[2].BackoffNS))(
+				phaseShare(attrs[2], attrs[2].BackoffNS) > phaseShare(attrs[0], attrs[0].BackoffNS)),
 			row("preload, 100% dark", "works", "%d/%d", preloadOK, lookups)(preloadOK == lookups),
 			row("lookaside, 100% dark", "works", "%d/%d", lookasideOK, lookups)(lookasideOK == lookups),
 			row("RFC7706, 100% dark", "works", "%d/%d", localauthOK, lookups)(localauthOK == lookups),

@@ -12,6 +12,7 @@ import (
 	"rootless/internal/authserver"
 	"rootless/internal/ditl"
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 	"rootless/internal/resolver"
 )
 
@@ -29,6 +30,16 @@ func (s slowWire) Exchange(dst netip.Addr, q *dnswire.Message) (*dnswire.Message
 	return s.inner.Exchange(dst, q)
 }
 
+// ExchangeTraced forwards the trace to the inner transport so wrapping
+// does not sever span propagation into netsim and the authserver.
+func (s slowWire) ExchangeTraced(tr *obs.Trace, dst netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	time.Sleep(s.delay)
+	if tt, ok := s.inner.(resolver.TracedTransport); ok {
+		return tt.ExchangeTraced(tr, dst, q)
+	}
+	return s.inner.Exchange(dst, q)
+}
+
 // loadOutcome aggregates one replay trial.
 type loadOutcome struct {
 	legit, legitOK int64 // valid-TLD queries attempted / answered
@@ -38,6 +49,7 @@ type loadOutcome struct {
 	cutHits        int64 // NXDOMAIN-cut cache answers
 	rootQueries    int64
 	p99            time.Duration // over answered legit queries, virtual
+	attr           obs.Attribution // hot-half latency attribution (warm half subtracted)
 }
 
 // goodput is the fraction of legit queries answered.
@@ -130,12 +142,16 @@ func Overload(queries int) Result {
 			c.MaxInflight = capacity
 			c.QueueDeadline = queueDeadline
 		})
+		t := attrTracer()
+		r.SetTracer(t)
 		half := len(trace.Queries) / 2
 		replay(r, trace.Queries[:half], capacity)
 		warm := r.Stats()
+		warmAttr := t.AttributionTotals()
 		legit, legitOK, lats := replay(r, trace.Queries[half:], capacity*mult)
 		st := r.Stats()
 		out := loadOutcome{
+			attr:        t.AttributionTotals().Sub(warmAttr),
 			legit:       legit,
 			legitOK:     legitOK,
 			bogus:       int64(len(trace.Queries)-half) - legit,
@@ -352,6 +368,10 @@ func Overload(queries int) Result {
 			row("serve-stale rescue while shedding", "every answer lands, stale fills the shed gap",
 				"%d/%d ok, %d shed, %d stale", rescueOK, rescueTotal, rescueShed, rescueStale)(
 				rescueOK == rescueTotal && rescueShed > 0 && rescueStale > 0),
+			row("latency attribution at 4× (queued gate)", "overload-wait appears under contention",
+				"net %.0f ms, overload-wait %.1f ms (vs %.1f ms at 1×)",
+				attrMS(at4.attr.NetNS), attrMS(at4.attr.OverloadWaitNS), attrMS(base.attr.OverloadWaitNS))(
+				at4.attr.NetNS > 0 && at4.attr.OverloadWaitNS > base.attr.OverloadWaitNS),
 		},
 		Notes: fmt.Sprintf("capacity %d slots, %v per upstream exchange; offered load = workers/capacity; %d coalesced at 4×",
 			capacity, wireDelay, at4.coalesced),

@@ -8,6 +8,7 @@ import (
 	"rootless/internal/anycast"
 	"rootless/internal/dnswire"
 	"rootless/internal/metrics"
+	"rootless/internal/obs"
 	"rootless/internal/resolver"
 )
 
@@ -33,6 +34,7 @@ func ResolutionLatency(lookups int) Result {
 		cold, warm  metrics.Histogram
 		rootQueries int64
 		failures    int
+		attr        obs.Attribution // per-phase latency attribution, summed over the trial
 	}
 	results := make(map[resolver.RootMode]*modeResult)
 	names := w.workloadNames(lookups, 99)
@@ -41,6 +43,8 @@ func ResolutionLatency(lookups int) Result {
 		mr := &modeResult{}
 		results[mode] = mr
 		r := w.newResolver(mode, 8, 5) // London client
+		t := attrTracer()
+		r.SetTracer(t)
 		seen := make(map[dnswire.Name]bool)
 		for _, name := range names {
 			res, err := r.Resolve(name, dnswire.TypeA)
@@ -56,6 +60,7 @@ func ResolutionLatency(lookups int) Result {
 			}
 		}
 		mr.rootQueries = r.Stats().RootQueries
+		mr.attr = t.AttributionTotals()
 	}
 
 	classic := results[resolver.RootModeHints]
@@ -92,6 +97,21 @@ func ResolutionLatency(lookups int) Result {
 			look.rootQueries, pre.rootQueries, loop.rootQueries)(
 			look.rootQueries == 0 && pre.rootQueries == 0 && loop.rootQueries == 0),
 	}
+
+	// Latency attribution (span tracing): where each mode's time actually
+	// goes. Classic resolution is dominated by network exchanges; dropping
+	// the root transactions shrinks the net phase, and lookaside's root
+	// work reappears as on-box auth time.
+	classicNetShare := phaseShare(classic.attr, classic.attr.NetNS+classic.attr.BackoffNS)
+	rows = append(rows,
+		row("classic attribution", "network-dominated", "%.0f%% net+backoff of %.0f ms attributed",
+			100*classicNetShare, attrMS(classic.attr.Total()))(classicNetShare > 0.5),
+		row("net time, lookaside vs classic", "root RTTs drop out of the net phase", "%.0f ms vs %.0f ms",
+			attrMS(look.attr.NetNS), attrMS(classic.attr.NetNS))(
+			look.attr.NetNS < classic.attr.NetNS),
+		row("lookaside auth time", "root consults move on-box (>0, tiny)", "%.2f ms total",
+			attrMS(look.attr.AuthNS))(look.attr.AuthNS > 0),
+	)
 	return Result{
 		ID:    "t_perf",
 		Title: "Resolution latency by root mode (§4 Performance)",

@@ -11,10 +11,34 @@ import (
 	"rootless/internal/authserver"
 	"rootless/internal/dnswire"
 	"rootless/internal/netsim"
+	"rootless/internal/obs"
 	"rootless/internal/resolver"
 	"rootless/internal/rootzone"
 	"rootless/internal/zone"
 )
+
+// attrTracer returns an enabled tracer tuned for trial aggregation: the
+// one-slot ring with an hour-long slow threshold retains essentially no
+// traces, but the tracer's per-phase attribution totals accumulate for
+// every resolution. Experiments attach one per trial (r.SetTracer) to
+// get latency-attribution columns without holding traces in memory.
+func attrTracer() *obs.Tracer {
+	t := obs.NewTracer(1, time.Hour)
+	t.SetEnabled(true)
+	return t
+}
+
+// phaseShare is the fraction of an attribution's total that ns
+// represents (0 when nothing was attributed).
+func phaseShare(a obs.Attribution, ns int64) float64 {
+	if total := a.Total(); total > 0 {
+		return float64(ns) / float64(total)
+	}
+	return 0
+}
+
+// attrMS converts attributed nanoseconds to milliseconds for display.
+func attrMS(ns int64) float64 { return float64(ns) / 1e6 }
 
 // world is the simulated internet the §4 experiments share: the full
 // anycast root deployment serving the synthetic root zone, a TLD/SLD

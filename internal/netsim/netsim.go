@@ -18,11 +18,19 @@ import (
 
 	"rootless/internal/anycast"
 	"rootless/internal/dnswire"
+	"rootless/internal/obs"
 )
 
 // Handler answers DNS queries at a simulated host.
 type Handler interface {
 	Handle(query *dnswire.Message, from netip.Addr) *dnswire.Message
+}
+
+// TracedHandler is optionally implemented by handlers (authserver does)
+// that can hang their own spans and events — gate and RRL decisions,
+// zone lookup time — off the client's trace when one rides along.
+type TracedHandler interface {
+	HandleTraced(tr *obs.Trace, query *dnswire.Message, from netip.Addr) *dnswire.Message
 }
 
 // HandlerFunc adapts a function to Handler.
@@ -226,6 +234,14 @@ func (n *Network) nearestLive(addr netip.Addr, from anycast.GeoPoint) *Host {
 // through real wire encoding. On timeout the returned duration is
 // QueryTimeout and the error is ErrTimeout.
 func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return n.ExchangeTraced(nil, loc, dst, query)
+}
+
+// ExchangeTraced is Exchange carrying a client-side trace through the
+// simulated wire: a "transit" span covers serialization and the server's
+// handler (which may nest its own auth spans via TracedHandler). A nil
+// trace makes it identical to Exchange.
+func (n *Network) ExchangeTraced(tr *obs.Trace, loc anycast.GeoPoint, dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
 	wire, err := query.Pack()
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
@@ -283,8 +299,21 @@ func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.
 		return fault.Reply, rtt, nil
 	}
 
-	reply := target.Handler.Handle(&parsed, netip.Addr{})
+	// The transit span wraps the server's handler plus the codec round
+	// trips; its wall self-time is serialization overhead while the
+	// handler's own auth span accounts for server-side work.
+	tsp := tr.StartSpan(obs.PhaseNet, "transit")
+	if tsp != nil {
+		tsp.SetDetail(target.Name)
+	}
+	var reply *dnswire.Message
+	if th, ok := target.Handler.(TracedHandler); ok && tr != nil {
+		reply = th.HandleTraced(tr, &parsed, netip.Addr{})
+	} else {
+		reply = target.Handler.Handle(&parsed, netip.Addr{})
+	}
 	if reply == nil {
+		tsp.End()
 		n.mu.Lock()
 		n.timeouts++
 		n.clock = n.clock.Add(QueryTimeout)
@@ -295,12 +324,15 @@ func (n *Network) Exchange(loc anycast.GeoPoint, dst netip.Addr, query *dnswire.
 	// Round-trip the reply through the codec too.
 	replyWire, err := reply.Pack()
 	if err != nil {
+		tsp.End()
 		return nil, rtt, fmt.Errorf("%w: server reply: %v", ErrMalformed, err)
 	}
 	var replyParsed dnswire.Message
 	if err := replyParsed.Unpack(replyWire); err != nil {
+		tsp.End()
 		return nil, rtt, fmt.Errorf("%w: server reply: %v", ErrMalformed, err)
 	}
+	tsp.End()
 	if fault.TruncateReply {
 		replyParsed.Truncated = true
 		replyParsed.Answers = nil
@@ -329,6 +361,12 @@ func (n *Network) Client(loc anycast.GeoPoint) *Client {
 // Exchange sends a query from the client's location.
 func (c *Client) Exchange(dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
 	return c.net.Exchange(c.Loc, dst, query)
+}
+
+// ExchangeTraced sends a query carrying the client's trace across the
+// simulated wire (the resolver's TracedTransport interface).
+func (c *Client) ExchangeTraced(tr *obs.Trace, dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	return c.net.ExchangeTraced(tr, c.Loc, dst, query)
 }
 
 func (n *Network) account(reply *dnswire.Message, rtt time.Duration) {

@@ -7,7 +7,9 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"sort"
 	"time"
 )
 
@@ -18,6 +20,10 @@ import (
 //	GET /healthz   "ok" (503 + error text when the Health check fails)
 //	GET /tracez    recent slow-query traces (?format=json for JSON)
 //	GET /statusz   daemon status document (root mode, serial, staleness, ...)
+//
+// With Pprof set, the net/http/pprof profiling endpoints are mounted at
+// /debug/pprof/ (daemons gate this behind a -pprof flag: profiling
+// handlers can be abused, so they are opt-in).
 type Admin struct {
 	Registry *Registry
 	Tracer   *Tracer // optional
@@ -25,6 +31,8 @@ type Admin struct {
 	Health func() error
 	// Status supplies the /statusz document; nil serves {}.
 	Status func() map[string]any
+	// Pprof mounts /debug/pprof/ (CPU, heap, goroutine, block profiles).
+	Pprof bool
 }
 
 // Handler returns the admin mux.
@@ -34,12 +42,24 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/healthz", a.serveHealth)
 	mux.HandleFunc("/tracez", a.serveTraces)
 	mux.HandleFunc("/statusz", a.serveStatus)
+	endpoints := "rootless admin endpoints: /metrics /healthz /tracez /statusz"
+	if a.Pprof {
+		// The admin server uses its own mux, so the profiling handlers
+		// must be mounted explicitly rather than relying on the side
+		// effects of importing net/http/pprof on DefaultServeMux.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		endpoints += " /debug/pprof/"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "rootless admin endpoints: /metrics /healthz /tracez /statusz\n")
+		fmt.Fprint(w, endpoints+"\n")
 	})
 	return mux
 }
@@ -119,15 +139,46 @@ func (a *Admin) ListenAndServe(ctx context.Context, addr string, logger *slog.Lo
 	return nil
 }
 
-// RegisterProcessMetrics adds goroutine, heap, and uptime gauges.
+// RegisterProcessMetrics adds runtime gauges: goroutines, heap bytes,
+// GC count and pause p99, GOMAXPROCS, and uptime. A single collector
+// reads MemStats once per scrape (ReadMemStats stops the world briefly,
+// so one read serves every gauge).
 func RegisterProcessMetrics(r *Registry, start time.Time) {
 	r.GaugeFunc("rootless_process_goroutines", "live goroutines", nil,
 		func() float64 { return float64(runtime.NumGoroutine()) })
-	r.GaugeFunc("rootless_process_heap_bytes", "heap in use", nil, func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.HeapAlloc)
-	})
+	r.GaugeFunc("rootless_process_gomaxprocs", "GOMAXPROCS", nil,
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
 	r.GaugeFunc("rootless_process_uptime_seconds", "seconds since start", nil,
 		func() float64 { return time.Since(start).Seconds() })
+	heap := r.Gauge("rootless_process_heap_bytes", "heap in use", nil)
+	gcs := r.Counter("rootless_process_gc_total", "completed GC cycles", nil)
+	pause := r.Gauge("rootless_process_gc_pause_p99_seconds",
+		"p99 GC pause over the runtime's recent-pause window", nil)
+	r.AddCollector(CollectorFunc(func(*Registry) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		gcs.Set(int64(ms.NumGC))
+		pause.Set(gcPauseP99(&ms))
+	}))
+}
+
+// gcPauseP99 computes the 99th-percentile GC pause from the MemStats
+// circular pause buffer (the runtime keeps the most recent 256 pauses).
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*n + 99) / 100 // ceil(0.99*n), 1-based rank
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / 1e9
 }

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseHistogramSeries pulls one histogram's cumulative +Inf bucket and
+// _count out of a Prometheus exposition.
+func parseHistogramSeries(t *testing.T, body, name string) (inf, count int64) {
+	t.Helper()
+	inf, count = -1, -1
+	for _, line := range strings.Split(body, "\n") {
+		var target *int64
+		switch {
+		case strings.HasPrefix(line, name+`_bucket{le="+Inf"}`):
+			target = &inf
+		case strings.HasPrefix(line, name+"_count "):
+			target = &count
+		default:
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad exposition line %q: %v", line, err)
+		}
+		*target = v
+	}
+	if inf < 0 || count < 0 {
+		t.Fatalf("histogram %s not found in exposition:\n%s", name, body)
+	}
+	return inf, count
+}
+
+// TestHistogramExpositionTornState is the regression test for the
+// exposition self-check: Observe bumps a bucket before the count, so a
+// scrape can land between the two writes. The writer must derive _count
+// from the bucket sums; emitting the raw count would produce +Inf <
+// _count, which Prometheus rejects as an invalid histogram.
+func TestHistogramExpositionTornState(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rootless_torn_seconds", "torn", nil, []float64{0.1})
+	h.Observe(0.05)
+	// Simulate the torn state directly: a bucket increment whose count
+	// increment has not landed yet.
+	h.counts[0].Add(1)
+	if h.Count() != 1 {
+		t.Fatalf("setup: raw count %d, want the stale 1", h.Count())
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	inf, count := parseHistogramSeries(t, buf.String(), "rootless_torn_seconds")
+	if inf != count {
+		t.Errorf("+Inf bucket %d != _count %d (writer must derive count from buckets)", inf, count)
+	}
+	if inf != 2 {
+		t.Errorf("+Inf bucket %d, want 2 (both bucket increments)", inf)
+	}
+}
+
+// TestHistogramScrapeWhileObserving hammers the same invariant under
+// real concurrency: every scrape taken mid-flight must be internally
+// consistent, +Inf == _count, whatever the writers are doing.
+func TestHistogramScrapeWhileObserving(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rootless_live_seconds", "live", nil, []float64{0.001, 0.1, 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(float64(i%200) / 100)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 300; i++ {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		inf, count := parseHistogramSeries(t, buf.String(), "rootless_live_seconds")
+		if inf != count {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("scrape %d inconsistent: +Inf %d != _count %d", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Settled state agrees with the raw counter again.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	inf, count := parseHistogramSeries(t, buf.String(), "rootless_live_seconds")
+	if inf != count || count != h.Count() {
+		t.Errorf("settled: +Inf %d, _count %d, raw %d", inf, count, h.Count())
+	}
+}
+
+// TestHistogramBucketsAreCumulative guards the other half of Prometheus
+// validity: bucket values must be non-decreasing in le order.
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rootless_cum_seconds", "cum", nil, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	seen := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "rootless_cum_seconds_bucket") {
+			continue
+		}
+		seen++
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket regressed: %q after %d", line, prev)
+		}
+		prev = v
+	}
+	if seen != 4 {
+		t.Errorf("saw %d bucket lines, want 4", seen)
+	}
+	if prev != 5 {
+		t.Errorf("+Inf cumulative %d, want 5", prev)
+	}
+}

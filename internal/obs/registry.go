@@ -118,6 +118,23 @@ func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// exposition returns a self-consistent snapshot for the writers: the
+// per-bucket counts, the emitted sample count, and the sum. The emitted
+// count is the sum of the bucket counts — the exposition self-check —
+// rather than h.count read separately: Observe increments the bucket
+// before the count, so under concurrent writers a bucket scan followed
+// by a later h.Count() read could report _count > the +Inf bucket, an
+// exposition Prometheus rejects. Deriving _count from the buckets keeps
+// sum(buckets) == count true in every scrape by construction.
+func (h *Histogram) exposition() (buckets []int64, count int64, sum float64) {
+	buckets = make([]int64, len(h.counts))
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+		count += buckets[i]
+	}
+	return buckets, count, h.Sum()
+}
+
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
@@ -320,9 +337,10 @@ func (r *Registry) Snapshot() []Sample {
 	for _, f := range r.sortedFamilies() {
 		for _, s := range f.series {
 			if f.kind == KindHistogram && s.histogram != nil {
+				_, count, sum := s.histogram.exposition()
 				out = append(out,
-					Sample{Name: f.name + "_count", Labels: s.labels, Kind: f.kind, Value: float64(s.histogram.Count())},
-					Sample{Name: f.name + "_sum", Labels: s.labels, Kind: f.kind, Value: s.histogram.Sum()})
+					Sample{Name: f.name + "_count", Labels: s.labels, Kind: f.kind, Value: float64(count)},
+					Sample{Name: f.name + "_sum", Labels: s.labels, Kind: f.kind, Value: sum})
 				continue
 			}
 			out = append(out, Sample{Name: f.name, Labels: s.labels, Kind: f.kind, Value: s.value()})
@@ -384,25 +402,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, s := range f.series {
 			if f.kind == KindHistogram && s.histogram != nil {
 				h := s.histogram
+				buckets, count, sum := h.exposition()
 				cum := int64(0)
 				for i, bound := range h.bounds {
-					cum += h.counts[i].Load()
+					cum += buckets[i]
 					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
 						formatLabels(s.labels, "le", formatValue(bound)), cum); err != nil {
 						return err
 					}
 				}
-				cum += h.counts[len(h.bounds)].Load()
+				cum += buckets[len(h.bounds)]
 				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
 					formatLabels(s.labels, "le", "+Inf"), cum); err != nil {
 					return err
 				}
 				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
-					formatLabels(s.labels), formatValue(h.Sum())); err != nil {
+					formatLabels(s.labels), formatValue(sum)); err != nil {
 					return err
 				}
 				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
-					formatLabels(s.labels), h.Count()); err != nil {
+					formatLabels(s.labels), count); err != nil {
 					return err
 				}
 				continue
@@ -456,7 +475,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			}
 			sb.WriteString("},")
 			if f.kind == KindHistogram && s.histogram != nil {
-				fmt.Fprintf(&sb, "\"count\":%d,\"sum\":%s}", s.histogram.Count(), formatValue(s.histogram.Sum()))
+				_, count, sum := s.histogram.exposition()
+				fmt.Fprintf(&sb, "\"count\":%d,\"sum\":%s}", count, formatValue(sum))
 			} else {
 				fmt.Fprintf(&sb, "\"value\":%s}", formatValue(s.value()))
 			}

@@ -19,6 +19,13 @@ type Tracer struct {
 	slowNanos atomic.Int64 // keep only traces at least this slow (0 = all)
 	ringSize  int
 
+	// Per-phase attribution accumulates for every finished trace, even
+	// ones the slow threshold keeps out of the ring, so trial-level
+	// breakdowns are complete.
+	attrNanos  [numPhases]atomic.Int64
+	attrTraces atomic.Int64
+	attrHist   atomic.Pointer[[numPhases]*Histogram]
+
 	mu   sync.Mutex
 	ring []*Trace // oldest first
 	seen int64    // total finished traces (kept or not)
@@ -59,6 +66,61 @@ func (t *Tracer) Begin(qname, qtype string) *Trace {
 		return nil
 	}
 	return &Trace{tracer: t, Qname: qname, Qtype: qtype, Start: time.Now()}
+}
+
+// InstrumentAttribution registers per-phase latency-attribution
+// histograms (rootless_trace_phase_seconds{phase=...}) and routes every
+// finished trace's breakdown into them. Nil-safe.
+func (t *Tracer) InstrumentAttribution(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	var hs [numPhases]*Histogram
+	for _, p := range Phases() {
+		hs[p] = r.Histogram("rootless_trace_phase_seconds",
+			"per-trace latency attribution by phase",
+			Labels{"phase": p.String()}, nil)
+	}
+	t.attrHist.Store(&hs)
+}
+
+// AttributionTotals returns the cumulative per-phase breakdown across
+// every finished trace. Nil-safe. Experiment trials snapshot this
+// before and after a run and Sub the two.
+func (t *Tracer) AttributionTotals() Attribution {
+	var a Attribution
+	if t == nil {
+		return a
+	}
+	for _, p := range Phases() {
+		a.add(p, t.attrNanos[p].Load())
+	}
+	return a
+}
+
+// AttributedTraces returns how many traces contributed to
+// AttributionTotals. Nil-safe.
+func (t *Tracer) AttributedTraces() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.attrTraces.Load()
+}
+
+// recordAttribution folds one trace's breakdown into the totals and, if
+// instrumented, the per-phase histograms.
+func (t *Tracer) recordAttribution(a Attribution) {
+	t.attrTraces.Add(1)
+	hs := t.attrHist.Load()
+	for _, p := range Phases() {
+		ns := a.ByPhase(p)
+		if ns != 0 {
+			t.attrNanos[p].Add(ns)
+		}
+		if hs != nil {
+			hs[p].Observe(float64(ns) / 1e9)
+		}
+	}
 }
 
 // record files a finished trace into the ring.
@@ -159,9 +221,15 @@ type Trace struct {
 	Wall    time.Duration `json:"wall"`
 	Queries int           `json:"queries"`
 
+	// Attr is the per-phase latency breakdown computed by Finish from
+	// the span tree.
+	Attr Attribution `json:"attribution"`
+
 	mu     sync.Mutex
 	depth  int
 	Events []Event `json:"events"`
+	spans  []*Span // top-level spans, in start order
+	cur    *Span   // innermost open span (nesting cursor)
 }
 
 // Eventf appends a formatted event at the current depth.
@@ -211,8 +279,50 @@ func (tr *Trace) Finish(rcode string, latency time.Duration, queries int, err er
 		tr.Err = err.Error()
 	}
 	tr.Wall = time.Since(tr.Start)
+	tr.Attr = tr.computeAttribution(tr.Wall)
+	attr := tr.Attr
 	tr.mu.Unlock()
+	tr.tracer.recordAttribution(attr)
 	tr.tracer.record(tr)
+}
+
+// traceJSON is the locked export form of a Trace; MarshalJSON uses it so
+// concurrent span/event writers never race a /tracez scrape.
+type traceJSON struct {
+	Qname       string        `json:"qname"`
+	Qtype       string        `json:"qtype"`
+	Start       time.Time     `json:"start"`
+	Rcode       string        `json:"rcode"`
+	Err         string        `json:"err,omitempty"`
+	Latency     time.Duration `json:"latency"`
+	Wall        time.Duration `json:"wall"`
+	Queries     int           `json:"queries"`
+	Attribution Attribution   `json:"attribution"`
+	Events      []Event       `json:"events"`
+	Spans       []*SpanJSON   `json:"spans"`
+}
+
+// MarshalJSON snapshots the trace under its lock. Without this, a scrape
+// of a still-running trace races Eventf/StartSpan appends.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	tr.mu.Lock()
+	out := traceJSON{
+		Qname:       tr.Qname,
+		Qtype:       tr.Qtype,
+		Start:       tr.Start,
+		Rcode:       tr.Rcode,
+		Err:         tr.Err,
+		Latency:     tr.Latency,
+		Wall:        tr.Wall,
+		Queries:     tr.Queries,
+		Attribution: tr.Attr,
+		Events:      append([]Event(nil), tr.Events...),
+	}
+	for _, s := range tr.spans {
+		out.Spans = append(out.Spans, s.export())
+	}
+	tr.mu.Unlock()
+	return json.Marshal(out)
 }
 
 // Tree renders the trace as an indented, human-readable walk.
@@ -229,6 +339,18 @@ func (tr *Trace) Tree() string {
 		fmt.Fprintf(&sb, " err=%q", tr.Err)
 	}
 	sb.WriteByte('\n')
+	if tr.Attr != (Attribution{}) {
+		fmt.Fprintf(&sb, "  attribution: cache=%v net=%v auth=%v backoff=%v overload_wait=%v other=%v\n",
+			time.Duration(tr.Attr.CacheNS).Round(time.Microsecond),
+			time.Duration(tr.Attr.NetNS).Round(time.Microsecond),
+			time.Duration(tr.Attr.AuthNS).Round(time.Microsecond),
+			time.Duration(tr.Attr.BackoffNS).Round(time.Microsecond),
+			time.Duration(tr.Attr.OverloadWaitNS).Round(time.Microsecond),
+			time.Duration(tr.Attr.OtherNS).Round(time.Microsecond))
+	}
+	for _, s := range tr.spans {
+		s.writeTree(&sb, 0)
+	}
 	for _, e := range tr.Events {
 		fmt.Fprintf(&sb, "  %s%-10s +%-8v %s\n",
 			strings.Repeat("  ", e.Depth), "["+e.Kind+"]", e.At.Round(time.Microsecond), e.Detail)

@@ -61,6 +61,14 @@ type Transport interface {
 	Exchange(dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error)
 }
 
+// TracedTransport is optionally implemented by transports that can carry
+// a trace to the far side (netsim does), so authoritative-side spans —
+// transit, auth handling, gate/RRL decisions — nest inside the
+// resolver's attempt span. Wrapping transports should forward it.
+type TracedTransport interface {
+	ExchangeTraced(tr *obs.Trace, dst netip.Addr, query *dnswire.Message) (*dnswire.Message, time.Duration, error)
+}
+
 // Config configures a Resolver.
 type Config struct {
 	Mode RootMode
@@ -298,10 +306,12 @@ func (r *Resolver) SetTracer(t *obs.Tracer) { r.tracer = t }
 // Instrument wires the resolver into reg: a scrape-time collector
 // republishes the Stats counters, cache statistics and SRTT state size,
 // and a fixed-bucket histogram observes per-resolution latency on the
-// hot path.
+// hot path. If a tracer is installed, its per-phase attribution
+// histograms are registered too (SetTracer first).
 func (r *Resolver) Instrument(reg *obs.Registry) {
 	r.latency = reg.Histogram("rootless_resolver_resolution_seconds",
 		"total (possibly virtual) network latency per resolution", nil, nil)
+	r.tracer.InstrumentAttribution(reg)
 	reg.AddCollector(r)
 }
 
@@ -386,6 +396,10 @@ func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, err
 	if r.flight == nil {
 		return r.resolveTop(qname, qtype)
 	}
+	var flightStart time.Time
+	if r.tracer.Enabled() {
+		flightStart = time.Now()
+	}
 	v, err, shared := r.flight.Do(flightKey(qname, qtype), func() (any, error) {
 		return r.resolveTop(qname, qtype)
 	})
@@ -400,6 +414,10 @@ func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, err
 	// one) and hand back a copy so callers cannot alias each other.
 	r.count(func(s *Stats) { s.Resolutions++; s.CoalescedResolutions++ })
 	if tr := r.tracer.Begin(string(qname), qtype.String()); tr != nil {
+		// The waiter's whole life was spent blocked on the leader's
+		// flight: charge it to overload_wait in the attribution.
+		wsp := tr.StartSpan(obs.PhaseOverloadWait, "coalesce-wait")
+		wsp.EndWithDuration(time.Since(flightStart))
 		tr.Eventf("coalesced", "shared an in-flight resolution (rcode %s, %d RRs)",
 			res.Rcode, len(res.Answers))
 		tr.Finish(res.Rcode.String(), res.Latency, 0, err)
@@ -450,11 +468,14 @@ func (r *Resolver) admit(tok *gateToken, tr *obs.Trace) error {
 	if r.gate == nil || tok.held {
 		return nil
 	}
-	if !tok.shed && r.gate.Acquire() {
-		tok.held = true
-		return nil
-	}
 	if !tok.shed {
+		wsp := tr.StartSpan(obs.PhaseOverloadWait, "admission")
+		ok := r.gate.Acquire()
+		wsp.End()
+		if ok {
+			tok.held = true
+			return nil
+		}
 		tok.shed = true
 		r.count(func(s *Stats) { s.ShedResolutions++ })
 		tr.Eventf("shed", "admission gate full; shedding upstream work")
@@ -530,13 +551,17 @@ type nsSet struct {
 func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, budget, retries *int, tr *obs.Trace, tok *gateToken) (dnswire.Rcode, []dnswire.RR, error) {
 	// Full answer from cache? The Eventf calls here sit on the cache-hit
 	// fast path, so they are guarded: a nil-trace Eventf is itself free,
-	// but evaluating its variadic arguments is not.
+	// but evaluating its variadic arguments is not. The cache-probe span
+	// covers every probe (positive, CNAME, NXDOMAIN cut) up to the
+	// hit/miss verdict.
+	csp := tr.StartSpan(obs.PhaseCache, "cache-probe")
 	if hit, ok := r.cache.Get(qname, qtype); ok {
 		if hit.Negative {
 			r.count(func(s *Stats) { s.NegCacheAnswers++; s.CacheAnswers++ })
 			if tr != nil {
 				tr.Eventf("cache-hit", "negative %s %s", qname, qtype)
 			}
+			csp.End()
 			// Replay the faithful rcode: NXDOMAIN if the name was proven
 			// absent, NODATA (Success, no answers) if only the type was.
 			if hit.NXDomain {
@@ -548,6 +573,7 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 		if tr != nil {
 			tr.Eventf("cache-hit", "%s %s (%d RRs)", qname, qtype, len(hit.RRs))
 		}
+		csp.End()
 		return dnswire.RcodeSuccess, hit.RRs, nil
 	}
 	// Cached CNAME at the name also answers.
@@ -557,6 +583,7 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			if tr != nil {
 				tr.Eventf("cache-hit", "%s CNAME", qname)
 			}
+			csp.End()
 			return dnswire.RcodeSuccess, hit.RRs, nil
 		}
 	}
@@ -568,8 +595,10 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 		if tr != nil {
 			tr.Eventf("cache-hit", "NXDOMAIN cut covers %s", qname)
 		}
+		csp.End()
 		return dnswire.RcodeNXDomain, nil, nil
 	}
+	csp.End()
 	if tr != nil {
 		tr.Eventf("cache-miss", "%s %s", qname, qtype)
 	}
@@ -578,7 +607,9 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 	for hop := 0; hop < 24; hop++ {
 		if cur.local {
 			tr.Eventf("local-root", "consulting local zone for %s %s", qname, qtype)
+			asp := tr.StartSpan(obs.PhaseAuth, "local-root")
 			next, rcode, rrs, done := r.consultLocalRoot(qname, qtype)
+			asp.End()
 			if done {
 				return rcode, rrs, nil
 			}
@@ -769,9 +800,14 @@ func (r *Resolver) serverAddrs(set nsSet, res *Result, budget *int, chase bool, 
 		}
 		r.count(func(s *Stats) { s.GlueChases++ })
 		tr.Eventf("glue-chase", "resolving %s A out of band", host)
+		gsp := tr.StartSpan(obs.PhaseOther, "glue-chase")
+		if gsp != nil {
+			gsp.SetDetail(string(host))
+		}
 		tr.Push()
 		sub, err := r.resolve(host, dnswire.TypeA, tr, tok)
 		tr.Pop()
+		gsp.End()
 		r.mu.Lock()
 		delete(r.inflight, host)
 		r.mu.Unlock()
@@ -862,10 +898,20 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 		})
 
 		tr.Eventf("send", "%s %s -> %s (zone %s)", sendName, sendType, addr, set.zone)
-		resp, rtt, err := r.cfg.Transport.Exchange(addr, q)
+		// The attempt span is charged the (possibly virtual) RTT rather
+		// than wall time, and reclassified as backoff when the attempt
+		// turns out to be wasted — a timeout or a lame answer is retry
+		// cost, not productive network time.
+		xsp := tr.StartSpan(obs.PhaseNet, "attempt")
+		if xsp != nil {
+			xsp.SetDetail(addr.String() + " zone " + string(set.zone))
+		}
+		resp, rtt, err := r.exchange(tr, addr, q)
 		res.Queries++
 		res.Latency += rtt
 		if err != nil {
+			xsp.SetPhase(obs.PhaseBackoff)
+			xsp.EndWithDuration(rtt)
 			r.count(func(s *Stats) { s.Timeouts++ })
 			r.updateSRTT(addr, rtt, true)
 			tr.Eventf("timeout", "%s after %v: %v", addr, rtt, err)
@@ -877,6 +923,8 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 		}
 		r.updateSRTT(addr, rtt, false)
 		if resp.Rcode == dnswire.RcodeServFail || resp.Rcode == dnswire.RcodeRefused {
+			xsp.SetPhase(obs.PhaseBackoff)
+			xsp.EndWithDuration(rtt)
 			r.count(func(s *Stats) { s.LameResponses++ })
 			tr.Eventf("lame", "%s from %s", resp.Rcode, addr)
 			lastErr = fmt.Errorf("%w: %s from %s", ErrLame, resp.Rcode, addr)
@@ -888,6 +936,8 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 		if nonDescendingReferral(set.zone, resp) {
 			// A lame referral burns the server, not the resolution: fail
 			// over to the next candidate like any other lame answer.
+			xsp.SetPhase(obs.PhaseBackoff)
+			xsp.EndWithDuration(rtt)
 			r.count(func(s *Stats) { s.LameResponses++ })
 			tr.Eventf("lame", "non-descending referral from %s", addr)
 			lastErr = fmt.Errorf("%w: non-descending referral from %s", ErrLame, addr)
@@ -897,6 +947,7 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 			continue
 		}
 		r.noteSuccess(addr)
+		xsp.EndWithDuration(rtt)
 		tr.Eventf("recv", "%s rtt=%v rcode=%s ans=%d auth=%d",
 			addr, rtt, resp.Rcode, len(resp.Answers), len(resp.Authority))
 		return resp, nil
@@ -905,6 +956,18 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 		lastErr = ErrTimeout
 	}
 	return nil, fmt.Errorf("%w: %w", ErrAllServersFail, lastErr)
+}
+
+// exchange sends one query through the transport, forwarding the trace
+// when both ends support it so far-side spans (netsim transit, auth
+// handling) nest inside the caller's attempt span.
+func (r *Resolver) exchange(tr *obs.Trace, dst netip.Addr, q *dnswire.Message) (*dnswire.Message, time.Duration, error) {
+	if tr != nil {
+		if tt, ok := r.cfg.Transport.(TracedTransport); ok {
+			return tt.ExchangeTraced(tr, dst, q)
+		}
+	}
+	return r.cfg.Transport.Exchange(dst, q)
 }
 
 // recordFailure feeds one failed attempt into the server's health state
