@@ -63,6 +63,7 @@ func main() {
 	perClientQPS := flag.Float64("per-client-qps", 0, "token-bucket each client address at this rate (0 = unlimited)")
 	rrlRate := flag.Int("rrl-rate", 0, "response rate limit: identical responses per second per client /24 (0 = disabled)")
 	rrlSlip := flag.Int("rrl-slip", 2, "let every Nth RRL-suppressed response out truncated (0 = drop all)")
+	ansCache := flag.Int("answer-cache", authserver.DefaultAnswerCacheSize, "precompiled-answer cache capacity in entries (0 to disable)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9154; empty to disable)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
@@ -96,6 +97,9 @@ func main() {
 
 	srv := authserver.New(z)
 	srv.TCPTimeout = *tcpTimeout
+	if *ansCache != authserver.DefaultAnswerCacheSize {
+		srv.SetAnswerCache(*ansCache)
+	}
 	if *ixfr > 0 {
 		srv.EnableIXFR(*ixfr)
 	}

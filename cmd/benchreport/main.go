@@ -8,6 +8,7 @@
 //	go test -bench=. -benchmem ./... | benchreport -write BENCH_PR4.json
 //	benchreport -validate BENCH_PR4.json -min 8
 //	benchreport -diff BENCH_PR3.json BENCH_PR4.json
+//	benchreport -check -max-regress 0.15 BENCH_PR4.json BENCH_PR5.json
 //
 // The -write label defaults to the part of the filename between
 // "BENCH_" and ".json" (BENCH_PR4.json → PR4).
@@ -31,6 +32,8 @@ func main() {
 	validate := flag.String("validate", "", "validate this report file")
 	min := flag.Int("min", 1, "minimum benchmark count accepted by -validate")
 	diff := flag.Bool("diff", false, "diff two report files given as arguments")
+	check := flag.Bool("check", false, "like -diff, but exit 1 if any benchmark regressed past -max-regress")
+	maxRegress := flag.Float64("max-regress", 0.15, "allowed ns/op growth fraction for -check (0.15 = 15%)")
 	flag.Parse()
 
 	switch {
@@ -38,11 +41,11 @@ func main() {
 		doWrite(*write, *label)
 	case *validate != "":
 		doValidate(*validate, *min)
-	case *diff:
+	case *diff, *check:
 		if flag.NArg() != 2 {
-			fatal("-diff needs exactly two report files")
+			fatal("-diff/-check need exactly two report files")
 		}
-		doDiff(flag.Arg(0), flag.Arg(1))
+		doDiff(flag.Arg(0), flag.Arg(1), *check, *maxRegress)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -87,7 +90,7 @@ func doValidate(path string, min int) {
 		path, rep.Label, len(rep.Benchmarks))
 }
 
-func doDiff(oldPath, newPath string) {
+func doDiff(oldPath, newPath string, check bool, maxRegress float64) {
 	oldRep, newRep := load(oldPath), load(newPath)
 	for _, pair := range []struct {
 		path string
@@ -98,6 +101,19 @@ func doDiff(oldPath, newPath string) {
 		}
 	}
 	benchfmt.Diff(oldRep, newRep).Render(os.Stdout, oldRep.Label, newRep.Label)
+	if !check {
+		return
+	}
+	regs := benchfmt.Regressions(oldRep, newRep, maxRegress)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no benchmark regressed more than %.0f%%\n", maxRegress*100)
+		return
+	}
+	for _, d := range regs {
+		fmt.Fprintf(os.Stderr, "benchreport: REGRESSION %s: %.1f → %.1f ns/op (%.2fx)\n",
+			d.Name, d.OldNs, d.NewNs, d.Ratio)
+	}
+	os.Exit(1)
 }
 
 func load(path string) *benchfmt.Report {

@@ -66,6 +66,7 @@ func main() {
 	qmin := flag.Bool("qmin", false, "enable QNAME minimisation")
 	stale := flag.Bool("serve-stale", false, "serve expired cache entries when upstreams fail (RFC 8767)")
 	cacheCap := flag.Int("cache", 0, "cache capacity in RRsets (0 = unlimited)")
+	cacheShards := flag.Int("cache-shards", 0, "cache lock shards, rounded down to a power of two (0 = default; 1 = single global LRU)")
 	timeout := flag.Duration("timeout", 3*time.Second, "upstream query timeout")
 	retryBudget := flag.Int("retry-budget", 0, "failed upstream attempts allowed per resolution (0 = default 16, negative = unlimited)")
 	holdDownAfter := flag.Int("holddown-after", 0, "consecutive failures before a server is held down (0 = default 3, negative disables health tracking)")
@@ -106,6 +107,7 @@ func main() {
 		QNameMinimisation: *qmin,
 		ServeStale:        *stale,
 		CacheCapacity:     *cacheCap,
+		CacheShards:       *cacheShards,
 		RetryBudget:       *retryBudget,
 		HoldDownAfter:     *holdDownAfter,
 		HoldDown:          *holdDown,

@@ -1,0 +1,102 @@
+package authserver
+
+import (
+	"sync"
+
+	"rootless/internal/dnswire"
+)
+
+// The packed-answer cache is the NSD/Knot "precompiled answers" trick:
+// for an immutable zone, the full response to (qname, qtype, EDNS mode)
+// never changes, so the server memoizes both the built Message and its
+// packed wire image. A hit serves the stored bytes with only the 2-byte
+// message ID (and the echoed RD bit) rewritten — zero zone lookups,
+// zero DNSSEC assembly, zero Pack calls. SetZone swaps in a fresh cache,
+// which is the entire invalidation story.
+
+// ansKey identifies one precompiled answer. The EDNS mode folds the two
+// response-shaping query attributes into the key: 0 = no OPT, 1 = OPT
+// without DO, 2 = OPT with DO (DNSSEC material attached).
+type ansKey struct {
+	name dnswire.Name
+	typ  dnswire.Type
+	edns uint8
+}
+
+// statClass records which Stats counter a cached answer bumps on every
+// hit, so the per-rcode accounting stays exact whether or not a query
+// was served from the cache.
+type statClass uint8
+
+const (
+	ansAnswer statClass = iota
+	ansReferral
+	ansNXDomain
+	ansNoData
+	ansRefused
+)
+
+func (c statClass) bump(st *Stats) {
+	switch c {
+	case ansAnswer:
+		st.Answers++
+	case ansReferral:
+		st.Referrals++
+	case ansNXDomain:
+		st.NXDomain++
+	case ansNoData:
+		st.NoData++
+	case ansRefused:
+		st.Refused++
+	}
+}
+
+// ansEntry is one precompiled answer. template (ID 0, RD clear) and wire
+// are immutable after insertion; hits copy the struct and patch the copy.
+type ansEntry struct {
+	template dnswire.Message
+	wire     []byte
+	class    statClass
+}
+
+// answerCache is a bounded map of precompiled answers. There is no LRU:
+// entries live until the zone changes (the common case for a root zone)
+// or until capacity pressure evicts an arbitrary entry — cheap, and good
+// enough for a workload where the hot set is a few thousand TLD keys.
+type answerCache struct {
+	capacity int
+	mu       sync.RWMutex
+	entries  map[ansKey]*ansEntry
+}
+
+func newAnswerCache(capacity int) *answerCache {
+	return &answerCache{
+		capacity: capacity,
+		entries:  make(map[ansKey]*ansEntry, capacity/4),
+	}
+}
+
+func (c *answerCache) get(k ansKey) *ansEntry {
+	c.mu.RLock()
+	e := c.entries[k]
+	c.mu.RUnlock()
+	return e
+}
+
+func (c *answerCache) put(k ansKey, e *ansEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[k]; !exists && c.capacity > 0 && len(c.entries) >= c.capacity {
+		for victim := range c.entries { // arbitrary eviction
+			delete(c.entries, victim)
+			break
+		}
+	}
+	c.entries[k] = e
+}
+
+func (c *answerCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

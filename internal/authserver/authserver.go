@@ -8,6 +8,7 @@ package authserver
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rootless/internal/dnswire"
@@ -36,6 +37,12 @@ type Stats struct {
 	Shed        int64
 	RRLDropped  int64
 	RRLSlipped  int64
+	// Packed-answer cache outcomes (PR 5): queries served from the
+	// precompiled-answer cache vs built from the zone, and how many
+	// wire-format Pack calls the server has made (hits make none).
+	PackedHits   int64
+	PackedMisses int64
+	WirePacks    int64
 }
 
 // Server answers queries for one zone. The zone may be swapped atomically
@@ -58,11 +65,42 @@ type Server struct {
 	clients *overload.ClientLimiter
 	rrl     *overload.RRL
 	clock   func() time.Time
+
+	// anscache holds precompiled answers (nil = disabled); packs counts
+	// Pack calls outside the mutex so the truncation loop stays cheap.
+	anscache atomic.Pointer[answerCache]
+	packs    atomic.Int64
 }
 
-// New creates a server for z.
+// DefaultAnswerCacheSize bounds the precompiled-answer cache New installs.
+// The root zone has ~1500 TLDs × a handful of live qtypes × 3 EDNS modes,
+// so 4096 entries cover the realistic hot set.
+const DefaultAnswerCacheSize = 4096
+
+// New creates a server for z with the packed-answer cache enabled at
+// DefaultAnswerCacheSize. Use SetAnswerCache to resize or disable it.
 func New(z *zone.Zone) *Server {
-	return &Server{zone: z}
+	s := &Server{zone: z}
+	s.SetAnswerCache(DefaultAnswerCacheSize)
+	return s
+}
+
+// SetAnswerCache installs a fresh packed-answer cache bounded to capacity
+// entries, discarding any precompiled answers. capacity <= 0 disables
+// answer caching entirely.
+func (s *Server) SetAnswerCache(capacity int) {
+	if capacity <= 0 {
+		s.anscache.Store(nil)
+		return
+	}
+	s.anscache.Store(newAnswerCache(capacity))
+}
+
+// pack is Pack with accounting: Stats.WirePacks is how benchmarks prove
+// the packed-answer hit path never serializes a message.
+func (s *Server) pack(m *dnswire.Message) ([]byte, error) {
+	s.packs.Add(1)
+	return m.Pack()
 }
 
 // Zone returns the currently served zone.
@@ -73,11 +111,16 @@ func (s *Server) Zone() *zone.Zone {
 }
 
 // SetZone atomically replaces the served zone. With IXFR enabled the
-// version is journaled for incremental transfer service.
+// version is journaled for incremental transfer service. Every
+// precompiled answer is invalidated: the packed-answer cache is swapped
+// for an empty one of the same capacity.
 func (s *Server) SetZone(z *zone.Zone) {
 	s.mu.Lock()
 	s.zone = z
 	s.mu.Unlock()
+	if old := s.anscache.Load(); old != nil {
+		s.anscache.Store(newAnswerCache(old.capacity))
+	}
 	s.recordVersion(z)
 	s.notifySecondaries(z)
 }
@@ -85,8 +128,10 @@ func (s *Server) SetZone(z *zone.Zone) {
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	st := s.stats
+	s.mu.RUnlock()
+	st.WirePacks = s.packs.Load()
+	return st
 }
 
 func (s *Server) count(f func(*Stats)) {
@@ -104,6 +149,10 @@ func (s *Server) Collect(reg *obs.Registry) {
 		Set(float64(z.Serial()))
 	reg.Gauge("rootless_authserver_zone_records", "records in the served zone", nil).
 		Set(float64(z.Len()))
+	if ac := s.anscache.Load(); ac != nil {
+		reg.Gauge("rootless_authserver_packed_answers", "precompiled answers resident in the packed-answer cache", nil).
+			Set(float64(ac.len()))
+	}
 	gate, clients, rrl := s.overloadState()
 	if gate != nil {
 		reg.Gauge("rootless_authserver_gate_in_use", "admission slots currently held", nil).
@@ -137,6 +186,15 @@ func (s *Server) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
 // and overload verdicts become trace events so a client-side trace shows
 // *why* a query died server-side. A nil trace costs nothing.
 func (s *Server) HandleTraced(tr *obs.Trace, q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	resp, _ := s.handle(tr, q, from)
+	return resp
+}
+
+// handle runs the full admission/answer/RRL pipeline. The second return
+// is the precompiled wire image for the response — ID zero and RD clear,
+// valid only when non-nil and only for unslipped responses — which lets
+// the UDP transport answer with a byte copy instead of a Pack call.
+func (s *Server) handle(tr *obs.Trace, q *dnswire.Message, from netip.Addr) (*dnswire.Message, []byte) {
 	sp := tr.StartSpan(obs.PhaseAuth, "auth")
 	defer sp.End()
 	s.count(func(st *Stats) { st.Queries++ })
@@ -149,33 +207,35 @@ func (s *Server) HandleTraced(tr *obs.Trace, q *dnswire.Message, from netip.Addr
 		s.count(func(st *Stats) { st.RateLimited++ })
 		sp.SetDetail("rate-limited")
 		tr.Eventf("auth-drop", "per-client limit exceeded")
-		return nil
+		return nil, nil
 	}
 	if !gate.Acquire() {
 		s.count(func(st *Stats) { st.Shed++ })
 		sp.SetDetail("shed")
 		tr.Eventf("auth-drop", "server admission gate full")
-		return nil
+		return nil, nil
 	}
 	defer gate.Release()
-	resp := s.answer(q)
+	resp, wire := s.answer(q)
 	switch rrl.Decide(from, responseToken(resp), now) {
 	case overload.RRLDrop:
 		s.count(func(st *Stats) { st.RRLDropped++ })
 		sp.SetDetail("rrl-dropped")
 		tr.Eventf("auth-drop", "response rate-limited (dropped)")
-		return nil
+		return nil, nil
 	case overload.RRLSlip:
 		s.count(func(st *Stats) { st.RRLSlipped++ })
 		sp.SetDetail("rrl-slipped")
 		tr.Eventf("auth-slip", "response rate-limited (slipped truncated)")
-		return slipResponse(resp)
+		return slipResponse(resp), nil // precompiled wire no longer matches
 	}
-	return resp
+	return resp, wire
 }
 
-// answer builds the response for one already-admitted query.
-func (s *Server) answer(q *dnswire.Message) *dnswire.Message {
+// answer builds the response for one already-admitted query, consulting
+// the packed-answer cache first. The second return is the cached wire
+// image (see handle); it is nil when the answer was built fresh.
+func (s *Server) answer(q *dnswire.Message) (*dnswire.Message, []byte) {
 	resp := &dnswire.Message{
 		ID:               q.ID,
 		Response:         true,
@@ -189,14 +249,49 @@ func (s *Server) answer(q *dnswire.Message) *dnswire.Message {
 		if q.Opcode != dnswire.OpcodeQuery {
 			resp.Rcode = dnswire.RcodeNotImpl
 		}
-		return resp
+		return resp, nil
 	}
 	question := q.Questions[0]
 	if question.Class != dnswire.ClassINET ||
 		question.Type == dnswire.TypeAXFR || question.Type == dnswire.TypeIXFR {
 		s.count(func(st *Stats) { st.Refused++ })
 		resp.Rcode = dnswire.RcodeRefused
-		return resp
+		return resp, nil
+	}
+
+	// The response depends on the question plus two EDNS attributes: the
+	// advertised size (truncation limit) and the DO bit (DNSSEC records).
+	_, size, do := q.EDNS()
+	limit := dnswire.MaxUDPSize
+	if int(size) > limit {
+		limit = int(size)
+	}
+	var ednsMode uint8
+	if size > 0 {
+		ednsMode = 1
+		if do {
+			ednsMode = 2
+		}
+	}
+
+	key := ansKey{name: question.Name, typ: question.Type, edns: ednsMode}
+	ac := s.anscache.Load()
+	if ac != nil {
+		// Cached entries are never truncated, so any entry that fits this
+		// client's limit is exactly what a fresh build would produce; a
+		// client advertising a smaller size falls through to a fresh
+		// (possibly truncated) build without polluting the cache.
+		if e := ac.get(key); e != nil && len(e.wire) <= limit {
+			s.count(func(st *Stats) {
+				st.PackedHits++
+				e.class.bump(st)
+			})
+			m := e.template // struct copy; sections shared and read-only
+			m.ID = q.ID
+			m.RecursionDesired = q.RecursionDesired
+			return &m, e.wire
+		}
+		s.count(func(st *Stats) { st.PackedMisses++ })
 	}
 
 	ans := s.Zone().Query(question.Name, question.Type)
@@ -206,45 +301,52 @@ func (s *Server) answer(q *dnswire.Message) *dnswire.Message {
 	resp.Authority = ans.Authority
 	resp.Additional = ans.Additional
 
+	var class statClass
 	switch {
 	case ans.Rcode == dnswire.RcodeRefused:
-		s.count(func(st *Stats) { st.Refused++ })
+		class = ansRefused
 	case ans.Rcode == dnswire.RcodeNXDomain:
-		s.count(func(st *Stats) { st.NXDomain++ })
+		class = ansNXDomain
 	case len(ans.Answer) > 0:
-		s.count(func(st *Stats) { st.Answers++ })
+		class = ansAnswer
 	case !ans.Authoritative && len(ans.Authority) > 0:
-		s.count(func(st *Stats) { st.Referrals++ })
+		class = ansReferral
 	default:
-		s.count(func(st *Stats) { st.NoData++ })
+		class = ansNoData
 	}
+	s.count(func(st *Stats) { class.bump(st) })
 
 	// Echo EDNS: advertise our own buffer size and respect the client's
 	// for truncation purposes. With the DO bit set, attach DNSSEC proof
 	// material (RRSIGs and NSEC denial records) from the signed zone.
-	limit := dnswire.MaxUDPSize
-	if _, size, do := q.EDNS(); size > 0 {
-		if int(size) > limit {
-			limit = int(size)
-		}
+	if size > 0 {
 		if do {
 			s.addDNSSEC(resp, question)
 		}
 		resp.SetEDNS(dnswire.DefaultEDNSSize, do)
 	}
-	truncateTo(resp, limit)
+	s.truncateTo(resp, limit)
 	if resp.Truncated {
 		s.count(func(st *Stats) { st.Truncated++ })
 	}
-	return resp
+
+	if ac != nil && !resp.Truncated {
+		tmpl := *resp
+		tmpl.ID = 0
+		tmpl.RecursionDesired = false
+		if wire, err := s.pack(&tmpl); err == nil {
+			ac.put(key, &ansEntry{template: tmpl, wire: wire, class: class})
+		}
+	}
+	return resp, nil
 }
 
 // truncateTo marks the message truncated and drops records until the
 // packed size fits limit. Additional goes first, then authority, then
 // answers, per common server practice.
-func truncateTo(m *dnswire.Message, limit int) {
+func (s *Server) truncateTo(m *dnswire.Message, limit int) {
 	for {
-		wire, err := m.Pack()
+		wire, err := s.pack(m)
 		if err != nil || len(wire) <= limit {
 			return
 		}

@@ -24,7 +24,7 @@ b.gtld-servers.net. 172800 IN A 192.33.14.30
 org. 172800 IN NS a0.org.afilias-nst.info.
 `
 
-func testServer(t *testing.T) *Server {
+func testServer(t testing.TB) *Server {
 	t.Helper()
 	z, err := zone.Parse(strings.NewReader(testZoneSrc), dnswire.Root)
 	if err != nil {

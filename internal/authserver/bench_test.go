@@ -1,0 +1,75 @@
+package authserver
+
+import (
+	"net/netip"
+	"testing"
+
+	"rootless/internal/dnswire"
+)
+
+// BenchmarkHandle measures one admitted referral query end to end.
+// PackedHit is the steady state for a hot TLD: the packs/op metric must
+// be zero, proving hits never serialize a message. ColdBuild disables
+// the answer cache to show what every query cost before precompilation.
+func BenchmarkHandle(b *testing.B) {
+	run := func(b *testing.B, s *Server) {
+		q := query("www.example.com.", dnswire.TypeA)
+		s.Handle(q, netip.Addr{}) // warm (a no-op when the cache is off)
+		packs0 := s.Stats().WirePacks
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if resp := s.Handle(q, netip.Addr{}); resp == nil {
+				b.Fatal("no response")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(s.Stats().WirePacks-packs0)/float64(b.N), "packs/op")
+	}
+	b.Run("PackedHit", func(b *testing.B) {
+		run(b, testServer(b))
+	})
+	b.Run("ColdBuild", func(b *testing.B) {
+		s := testServer(b)
+		s.SetAnswerCache(0)
+		run(b, s)
+	})
+}
+
+// BenchmarkServeWire is the full UDP datagram path minus the socket:
+// parse the query with the shared-buffer unpacker, handle it, and
+// produce response bytes — patched from the cached wire on a hit.
+func BenchmarkServeWire(b *testing.B) {
+	s := testServer(b)
+	qwire, err := query("www.example.com.", dnswire.TypeA).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var respBuf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q dnswire.Message
+		if err := q.UnpackShared(qwire); err != nil {
+			b.Fatal(err)
+		}
+		resp, wire := s.handle(nil, &q, netip.Addr{})
+		if resp == nil {
+			b.Fatal("no response")
+		}
+		if wire != nil {
+			respBuf = append(respBuf[:0], wire...)
+			respBuf[0] = byte(q.ID >> 8)
+			respBuf[1] = byte(q.ID)
+			if q.RecursionDesired {
+				respBuf[2] |= 0x01
+			}
+		} else {
+			respBuf, err = resp.AppendPack(respBuf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	_ = respBuf
+}

@@ -22,6 +22,7 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 		conn.Close()
 	}()
 	buf := make([]byte, 64*1024)
+	var respBuf []byte // reused across queries; WriteTo completes before reuse
 	for {
 		n, addr, err := conn.ReadFrom(buf)
 		if err != nil {
@@ -30,19 +31,33 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 			}
 			return err
 		}
+		// UnpackShared aliases buf, which is safe here: the server only
+		// retains Name strings and Question values from the query, never
+		// rdata byte slices, and the response is written before the next
+		// ReadFrom overwrites buf.
 		var q dnswire.Message
-		if err := q.Unpack(buf[:n]); err != nil {
+		if err := q.UnpackShared(buf[:n]); err != nil {
 			continue
 		}
-		resp := s.Handle(&q, addrFrom(addr))
+		resp, wire := s.handle(nil, &q, addrFrom(addr))
 		if resp == nil {
 			continue // dropped by rate limiting or admission control
 		}
-		wire, err := resp.Pack()
-		if err != nil {
-			continue
+		if wire != nil {
+			// Precompiled answer: copy the cached wire (ID 0, RD clear) and
+			// patch the two query-specific header bits in place.
+			respBuf = append(respBuf[:0], wire...)
+			binary.BigEndian.PutUint16(respBuf[0:2], q.ID)
+			if q.RecursionDesired {
+				respBuf[2] |= 0x01
+			}
+		} else {
+			respBuf, err = resp.AppendPack(respBuf[:0])
+			if err != nil {
+				continue
+			}
 		}
-		_, _ = conn.WriteTo(wire, addr)
+		_, _ = conn.WriteTo(respBuf, addr)
 	}
 }
 

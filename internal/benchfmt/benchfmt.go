@@ -135,29 +135,79 @@ func Validate(rep *Report, min int) error {
 	return nil
 }
 
+// NoiseBandFrac is the fraction of the baseline ns/op below which a
+// derived overhead delta is considered measurement noise. Two runs of
+// the same code routinely differ by a few percent; without the clamp a
+// lucky run yields nonsense like a negative tracing overhead.
+const NoiseBandFrac = 0.05
+
 // Derive computes the headline figures a snapshot is read for: hot-path
 // resolution throughput, the cost of enabling tracing, and the
 // coalescing shield factor. Missing benchmarks simply yield no figure,
 // so Derive works on partial runs too.
+//
+// Overhead deltas smaller than NoiseBandFrac of their baseline are
+// clamped to zero and flagged with a companion <key>_within_noise=1
+// entry, so a snapshot never reports a spurious (possibly negative)
+// overhead that a reader might mistake for a real speedup.
 func Derive(entries []Entry) map[string]float64 {
 	byName := make(map[string]Entry, len(entries))
 	for _, e := range entries {
 		byName[e.Name] = e
 	}
 	d := make(map[string]float64)
+	overhead := func(key string, base, with float64) {
+		delta := with - base
+		// A negative overhead is physically impossible — the measured
+		// path strictly includes the baseline's work — so any delta
+		// below the band is noise, not just small-magnitude ones.
+		if delta < NoiseBandFrac*base {
+			d[key] = 0
+			d[key+"_within_noise"] = 1
+			return
+		}
+		d[key] = delta
+	}
 	if e, ok := byName["BenchmarkResolve/NoTracer"]; ok && e.NsPerOp > 0 {
 		d["resolve_ops_per_sec"] = 1e9 / e.NsPerOp
 		if t, ok := byName["BenchmarkResolve/TracerEnabled"]; ok {
-			d["tracing_enabled_overhead_ns_per_op"] = t.NsPerOp - e.NsPerOp
+			overhead("tracing_enabled_overhead_ns_per_op", e.NsPerOp, t.NsPerOp)
 		}
 		if t, ok := byName["BenchmarkResolve/TracerDisabled"]; ok {
-			d["tracing_disabled_overhead_ns_per_op"] = t.NsPerOp - e.NsPerOp
+			overhead("tracing_disabled_overhead_ns_per_op", e.NsPerOp, t.NsPerOp)
 		}
 	}
 	if e, ok := byName["BenchmarkResolveConcurrent/Coalesce"]; ok && e.NsPerOp > 0 {
 		d["resolve_concurrent_ops_per_sec"] = 1e9 / e.NsPerOp
 		if q, ok := e.Extra["upstream-queries/op"]; ok {
 			d["coalesce_upstream_queries_per_op"] = q
+		}
+	}
+	// PR 5 hot-path memory figures: codec allocation counts, the sharded
+	// cache's contention ratio, and the packed-answer cache payoff.
+	if e, ok := byName["BenchmarkMessagePack"]; ok {
+		d["wire_pack_allocs_per_op"] = e.AllocsPerOp
+	}
+	if e, ok := byName["BenchmarkMessageUnpack"]; ok {
+		d["wire_unpack_allocs_per_op"] = e.AllocsPerOp
+	}
+	if e, ok := byName["BenchmarkCache/Get"]; ok {
+		d["cache_get_allocs_per_op"] = e.AllocsPerOp
+	}
+	if par, ok := byName["BenchmarkCache/GetParallel"]; ok && par.NsPerOp > 0 {
+		if single, ok := byName["BenchmarkCache/GetParallelSingleShard"]; ok {
+			// >1 means sharding beats the single-lock design under the
+			// same parallel load. On a single-core runner this hovers
+			// near 1 — lock contention needs real parallelism to hurt.
+			d["cache_shard_speedup"] = single.NsPerOp / par.NsPerOp
+		}
+	}
+	if hit, ok := byName["BenchmarkHandle/PackedHit"]; ok && hit.NsPerOp > 0 {
+		if p, ok := hit.Extra["packs/op"]; ok {
+			d["authserver_packed_hit_packs_per_op"] = p
+		}
+		if cold, ok := byName["BenchmarkHandle/ColdBuild"]; ok {
+			d["authserver_packed_hit_speedup"] = cold.NsPerOp / hit.NsPerOp
 		}
 	}
 	if len(d) == 0 {
@@ -215,6 +265,37 @@ func Diff(old, cur *Report) DiffResult {
 	sort.Strings(res.Added)
 	sort.Strings(res.Removed)
 	return res
+}
+
+// wallClockUnreliable lists benchmarks whose ns/op is a scheduler
+// artifact: parallel herds whose wall time depends on core count and
+// timer granularity, not on the code under test (their own comments say
+// to trust the Extra metrics — upstream-queries/op, the shard-speedup
+// ratio — instead). The regression gate skips their ns/op.
+var wallClockUnreliable = map[string]bool{
+	"BenchmarkResolveConcurrent/Coalesce":   true,
+	"BenchmarkResolveConcurrent/NoCoalesce": true,
+	"BenchmarkCache/GetParallel":            true,
+	"BenchmarkCache/GetParallelSingleShard": true,
+}
+
+// Regressions returns the benchmarks common to both reports whose ns/op
+// grew by more than frac (0.15 = fail anything >15% slower). Added and
+// removed benchmarks are never regressions — new code legitimately
+// reshapes the suite — deltas inside NoiseBandFrac are ignored even
+// when frac is set tighter than the noise band, and benchmarks in
+// wallClockUnreliable are exempt.
+func Regressions(old, cur *Report, frac float64) []Delta {
+	if frac < NoiseBandFrac {
+		frac = NoiseBandFrac
+	}
+	var out []Delta
+	for _, d := range Diff(old, cur).Common {
+		if d.Ratio > 1+frac && !wallClockUnreliable[d.Name] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Render writes a human-readable diff table.

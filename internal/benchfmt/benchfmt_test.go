@@ -3,6 +3,7 @@ package benchfmt
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -100,6 +101,53 @@ func TestDerive(t *testing.T) {
 	}
 }
 
+func TestDeriveNoiseClamp(t *testing.T) {
+	// A "negative overhead" smaller than the noise band is a measurement
+	// artifact and must come out as exactly zero, flagged as noise.
+	entries := []Entry{
+		{Name: "BenchmarkResolve/NoTracer", Iterations: 1, NsPerOp: 385},
+		{Name: "BenchmarkResolve/TracerDisabled", Iterations: 1, NsPerOp: 380},
+	}
+	d := Derive(entries)
+	if got := d["tracing_disabled_overhead_ns_per_op"]; got != 0 {
+		t.Errorf("within-noise overhead = %v, want 0", got)
+	}
+	if d["tracing_disabled_overhead_ns_per_op_within_noise"] != 1 {
+		t.Error("noise flag not set")
+	}
+	// A delta beyond the band passes through un-clamped and un-flagged.
+	entries[1].NsPerOp = 500
+	d = Derive(entries)
+	if got := d["tracing_disabled_overhead_ns_per_op"]; got != 115 {
+		t.Errorf("real overhead = %v, want 115", got)
+	}
+	if _, flagged := d["tracing_disabled_overhead_ns_per_op_within_noise"]; flagged {
+		t.Error("noise flag set on a real overhead")
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	old := &Report{Schema: Schema, Label: "PR4", Benchmarks: []Entry{
+		{Name: "BenchmarkSteady", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkSlower", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkGone", Iterations: 1, NsPerOp: 100},
+	}}
+	cur := &Report{Schema: Schema, Label: "PR5", Benchmarks: []Entry{
+		{Name: "BenchmarkSteady", Iterations: 1, NsPerOp: 110},  // +10%: allowed
+		{Name: "BenchmarkSlower", Iterations: 1, NsPerOp: 140},  // +40%: regression
+		{Name: "BenchmarkBrandNew", Iterations: 1, NsPerOp: 50}, // added: never a regression
+	}}
+	regs := Regressions(old, cur, 0.15)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlower" {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	// A threshold tighter than the noise band is widened to the band, so
+	// +10% still passes under frac=0.01.
+	if regs := Regressions(old, cur, 0.01); len(regs) != 2 {
+		t.Errorf("frac below noise band: %+v", regs)
+	}
+}
+
 func TestDiff(t *testing.T) {
 	old := &Report{Schema: Schema, Label: "PR3", Benchmarks: []Entry{
 		{Name: "BenchmarkA", Iterations: 1, NsPerOp: 100},
@@ -128,23 +176,32 @@ func TestDiff(t *testing.T) {
 	}
 }
 
-// TestCommittedSnapshot is the schema smoke in `make verify`: the
+// TestCommittedSnapshot is the schema smoke in `make verify`: every
 // snapshot committed at the repo root must parse, validate against the
 // current schema, and carry enough benchmarks to be a useful
 // trajectory point.
 func TestCommittedSnapshot(t *testing.T) {
-	data, err := os.ReadFile("../../BENCH_PR4.json")
+	paths, err := filepath.Glob("../../BENCH_*.json")
 	if err != nil {
-		t.Fatalf("committed snapshot missing (run `make bench`): %v", err)
-	}
-	var rep Report
-	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if err := Validate(&rep, 8); err != nil {
-		t.Fatal(err)
+	if len(paths) == 0 {
+		t.Fatal("no committed snapshots (run `make bench`)")
 	}
-	if len(rep.Derived) == 0 {
-		t.Error("snapshot has no derived figures")
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if err := Validate(&rep, 8); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(rep.Derived) == 0 {
+			t.Errorf("%s: snapshot has no derived figures", path)
+		}
 	}
 }

@@ -42,4 +42,38 @@ func BenchmarkCache(b *testing.B) {
 			c.Put(rrs[i%len(rrs)], false)
 		}
 	})
+
+	// The parallel pair is the sharding payoff: GetParallel spreads
+	// readers across shards, GetParallelSingleShard forces them all
+	// through one lock (the pre-sharding design). Run with -cpu=8 to
+	// measure the contention difference.
+	names := make([]dnswire.Name, 512)
+	parallelCache := func(shards int) *Cache {
+		c := NewSharded(0, shards, now)
+		for i := range names {
+			names[i] = dnswire.Name(fmt.Sprintf("h%d.example.com.", i))
+			c.Put([]dnswire.RR{dnswire.NewRR(names[i], 3600, dnswire.A{Addr: addr})}, false)
+		}
+		return c
+	}
+	parallelBody := func(b *testing.B, c *Cache) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, ok := c.Get(names[i&511], dnswire.TypeA); !ok {
+					b.Error("unexpected miss")
+					return
+				}
+				i++
+			}
+		})
+	}
+	b.Run("GetParallel", func(b *testing.B) {
+		parallelBody(b, parallelCache(DefaultShards))
+	})
+	b.Run("GetParallelSingleShard", func(b *testing.B) {
+		parallelBody(b, parallelCache(1))
+	})
 }

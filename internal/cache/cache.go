@@ -1,10 +1,18 @@
 // Package cache implements the recursive resolver's record cache:
 // TTL-honouring, LRU-evicting, with negative caching (RFC 2308) and the
 // hit/occupancy statistics the paper's §5.1 cache analysis needs.
+//
+// The cache is sharded: entries are distributed across power-of-two
+// shards by a hash of their RRset key, each shard behind its own mutex,
+// so concurrent resolves on different names do not contend. LRU order
+// and the capacity bound are per-shard (per-shard capacities sum to the
+// configured total, so the global occupancy bound still holds exactly);
+// use NewSharded with one shard when strict global LRU order matters.
 package cache
 
 import (
 	"container/list"
+	"hash/maphash"
 	"sync"
 	"time"
 
@@ -18,6 +26,11 @@ import (
 // long a stale answer may be re-used downstream.
 const StaleTTL = 30 * time.Second
 
+// DefaultShards is the shard count used by New. Sixteen keeps lock
+// contention negligible up to well past 8 resolver goroutines while the
+// per-shard maps stay large enough to hash well.
+const DefaultShards = 16
+
 // Stats counts cache activity.
 type Stats struct {
 	Hits         int64
@@ -26,6 +39,15 @@ type Stats struct {
 	Evictions    int64
 	Expired      int64
 	Inserts      int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.NegativeHits += o.NegativeHits
+	s.Evictions += o.Evictions
+	s.Expired += o.Expired
+	s.Inserts += o.Inserts
 }
 
 // HitRate returns hits/(hits+misses), 0 when empty.
@@ -40,7 +62,7 @@ func (s Stats) HitRate() float64 {
 // entry is one cached RRset (or negative answer).
 type entry struct {
 	key      dnswire.RRsetKey
-	rrs      []dnswire.RR // nil for negative entries
+	rrs      []dnswire.RR // nil for negative entries; never mutated after insert
 	negative bool
 	nxdomain bool        // negative entries: NXDOMAIN (vs NODATA)
 	soa      *dnswire.RR // negative entries carry the SOA for the response
@@ -49,28 +71,80 @@ type entry struct {
 	elem     *list.Element
 }
 
-// Cache is a TTL+LRU RRset cache. The zero value is not usable; call New.
-type Cache struct {
+// shard is one lock domain: a map, an LRU list, a capacity slice, and
+// its own statistics (summed on demand).
+type shard struct {
 	mu       sync.Mutex
-	capacity int // max RRsets; 0 means unlimited
-	now      func() time.Time
+	capacity int // max RRsets in this shard; 0 means unlimited
 	entries  map[dnswire.RRsetKey]*entry
 	lru      *list.List // front = most recent
 	stats    Stats
 }
 
+// Cache is a TTL+LRU RRset cache. The zero value is not usable; call New.
+type Cache struct {
+	shards []*shard
+	mask   uint64 // len(shards)-1; len is a power of two
+	seed   maphash.Seed
+	now    func() time.Time
+}
+
 // New creates a cache holding at most capacity RRsets (0 = unlimited),
-// reading time from now (nil = time.Now).
+// reading time from now (nil = time.Now), with DefaultShards shards.
 func New(capacity int, now func() time.Time) *Cache {
+	return NewSharded(capacity, DefaultShards, now)
+}
+
+// NewSharded is New with an explicit shard count. The count is rounded
+// down to a power of two, and never exceeds capacity (when bounded) so
+// every shard can hold at least one entry.
+func NewSharded(capacity, shards int, now func() time.Time) *Cache {
 	if now == nil {
 		now = time.Now
 	}
-	return &Cache{
-		capacity: capacity,
-		now:      now,
-		entries:  make(map[dnswire.RRsetKey]*entry),
-		lru:      list.New(),
+	if shards < 1 {
+		shards = 1
 	}
+	if capacity > 0 && shards > capacity {
+		shards = capacity
+	}
+	n := 1
+	for n*2 <= shards {
+		n *= 2
+	}
+	c := &Cache{
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+		now:    now,
+	}
+	for i := range c.shards {
+		sc := 0
+		if capacity > 0 {
+			// Distribute the capacity exactly: the first capacity%n
+			// shards take the extra unit, so per-shard caps sum to
+			// capacity and the global bound is preserved.
+			sc = capacity / n
+			if i < capacity%n {
+				sc++
+			}
+		}
+		c.shards[i] = &shard{
+			capacity: sc,
+			entries:  make(map[dnswire.RRsetKey]*entry),
+			lru:      list.New(),
+		}
+	}
+	return c
+}
+
+// shardFor picks the shard for a key by hashing the owner name and
+// mixing in the type (so a name's A, AAAA, and negative entries spread
+// out too). maphash.String does not allocate.
+func (c *Cache) shardFor(name dnswire.Name, typ dnswire.Type) *shard {
+	h := maphash.String(c.seed, string(name))
+	h ^= uint64(typ) * 0x9E3779B97F4A7C15
+	return c.shards[h&c.mask]
 }
 
 // Put caches an RRset. The TTL is the minimum TTL across the set.
@@ -87,9 +161,10 @@ func (c *Cache) Put(rrs []dnswire.RR, pinned bool) {
 			minTTL = rr.TTL
 		}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.insert(&entry{
+	s := c.shardFor(key.Name, key.Type)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insert(&entry{
 		key:     key,
 		rrs:     append([]dnswire.RR(nil), rrs...),
 		expires: c.now().Add(time.Duration(minTTL) * time.Second),
@@ -107,9 +182,10 @@ func (c *Cache) PutNegative(name dnswire.Name, typ dnswire.Type, soa dnswire.RR,
 		ttl = data.Minimum
 	}
 	soaCopy := soa
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.insert(&entry{
+	s := c.shardFor(name, typ)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insert(&entry{
 		key:      dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET},
 		negative: true,
 		nxdomain: nxdomain,
@@ -133,9 +209,10 @@ func (c *Cache) PutNXDomainCut(name dnswire.Name, soa dnswire.RR) {
 		ttl = data.Minimum
 	}
 	soaCopy := soa
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.insert(&entry{
+	s := c.shardFor(name, nxCutType)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insert(&entry{
 		key:      dnswire.RRsetKey{Name: name, Type: nxCutType, Class: dnswire.ClassINET},
 		negative: true,
 		nxdomain: true,
@@ -146,46 +223,48 @@ func (c *Cache) PutNXDomainCut(name dnswire.Name, soa dnswire.RR) {
 
 // NXDomainCovered reports whether a live NXDOMAIN cut exists at name or
 // any ancestor — if so the whole subtree is known not to exist and the
-// query can be answered NXDOMAIN without touching the network. One lock
-// acquisition walks the ancestor chain.
+// query can be answered NXDOMAIN without touching the network. Each
+// ancestor probe locks only that name's shard.
 func (c *Cache) NXDomainCovered(name dnswire.Name) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.now()
 	for n := name; ; n = n.Parent() {
 		key := dnswire.RRsetKey{Name: n, Type: nxCutType, Class: dnswire.ClassINET}
-		if e, ok := c.entries[key]; ok && e.expires.After(now) {
+		s := c.shardFor(n, nxCutType)
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok && e.expires.After(now) {
 			if e.elem != nil {
-				c.lru.MoveToFront(e.elem)
+				s.lru.MoveToFront(e.elem)
 			}
-			c.stats.NegativeHits++
-			c.stats.Hits++
+			s.stats.NegativeHits++
+			s.stats.Hits++
+			s.mu.Unlock()
 			return true
 		}
+		s.mu.Unlock()
 		if n.IsRoot() {
 			return false
 		}
 	}
 }
 
-func (c *Cache) insert(e *entry) {
-	c.stats.Inserts++
-	if old, ok := c.entries[e.key]; ok {
+func (s *shard) insert(e *entry) {
+	s.stats.Inserts++
+	if old, ok := s.entries[e.key]; ok {
 		if old.elem != nil {
-			c.lru.Remove(old.elem)
+			s.lru.Remove(old.elem)
 		}
-		delete(c.entries, e.key)
+		delete(s.entries, e.key)
 	}
 	// Pinned entries never participate in LRU eviction, so they stay off
 	// the list entirely — evictions then run in O(1) regardless of how
 	// much of the root zone is preloaded.
 	if !e.pinned {
-		e.elem = c.lru.PushFront(e)
+		e.elem = s.lru.PushFront(e)
 	}
-	c.entries[e.key] = e
-	if c.capacity > 0 {
-		for len(c.entries) > c.capacity {
-			if !c.evictOne() {
+	s.entries[e.key] = e
+	if s.capacity > 0 {
+		for len(s.entries) > s.capacity {
+			if !s.evictOne() {
 				break
 			}
 		}
@@ -193,21 +272,29 @@ func (c *Cache) insert(e *entry) {
 }
 
 // evictOne removes the least recently used unpinned entry.
-func (c *Cache) evictOne() bool {
-	el := c.lru.Back()
+func (s *shard) evictOne() bool {
+	el := s.lru.Back()
 	if el == nil {
 		return false
 	}
 	e := el.Value.(*entry)
-	c.lru.Remove(el)
-	delete(c.entries, e.key)
-	c.stats.Evictions++
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.stats.Evictions++
 	return true
 }
 
 // Result is the outcome of a cache lookup.
+//
+// RRs aliases the cache's internal storage and must be treated as
+// read-only; the stored TTLs are the values at insertion time. TTL is
+// the remaining lifetime for every record in the set (insertion used
+// the set's minimum TTL, so a single decayed value is exact). Callers
+// that hand the records to anything that may mutate or retain them
+// should use CopyRRs.
 type Result struct {
 	RRs      []dnswire.RR
+	TTL      uint32
 	Negative bool
 	// NXDomain distinguishes a cached NXDOMAIN from a cached NODATA
 	// (both are Negative); only meaningful when Negative is set.
@@ -215,15 +302,31 @@ type Result struct {
 	SOA      *dnswire.RR
 }
 
-// Get returns the live cached RRset for (name, type). TTLs in the returned
-// records are decayed to the remaining lifetime.
+// CopyRRs returns a fresh copy of the records with TTLs decayed to the
+// remaining lifetime.
+func (r Result) CopyRRs() []dnswire.RR {
+	if len(r.RRs) == 0 {
+		return nil
+	}
+	out := make([]dnswire.RR, len(r.RRs))
+	copy(out, r.RRs)
+	for i := range out {
+		out[i].TTL = r.TTL
+	}
+	return out
+}
+
+// Get returns the live cached RRset for (name, type). The lookup is
+// allocation-free: Result.RRs shares the cached records (read-only, TTLs
+// undecayed) and Result.TTL carries the remaining lifetime.
 func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) (Result, bool) {
 	key := dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shardFor(name, typ)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
-		c.stats.Misses++
+		s.stats.Misses++
 		return Result{}, false
 	}
 	now := c.now()
@@ -231,39 +334,32 @@ func (c *Cache) Get(name dnswire.Name, typ dnswire.Type) (Result, bool) {
 		// Expired entries stay resident (until swept or evicted) so the
 		// serve-stale path (RFC 8767) can fall back to them; a normal
 		// Get never returns them.
-		c.stats.Expired++
-		c.stats.Misses++
+		s.stats.Expired++
+		s.stats.Misses++
 		return Result{}, false
 	}
 	if e.elem != nil {
-		c.lru.MoveToFront(e.elem)
+		s.lru.MoveToFront(e.elem)
 	}
 	if e.negative {
-		c.stats.NegativeHits++
-		c.stats.Hits++
+		s.stats.NegativeHits++
+		s.stats.Hits++
 		return Result{Negative: true, NXDomain: e.nxdomain, SOA: e.soa}, true
 	}
-	c.stats.Hits++
-	remaining := uint32(e.expires.Sub(now) / time.Second)
-	out := make([]dnswire.RR, len(e.rrs))
-	copy(out, e.rrs)
-	for i := range out {
-		if out[i].TTL > remaining {
-			out[i].TTL = remaining
-		}
-	}
-	return Result{RRs: out}, true
+	s.stats.Hits++
+	return Result{RRs: e.rrs, TTL: uint32(e.expires.Sub(now) / time.Second)}, true
 }
 
 // GetStale returns a cached RRset even if its TTL has run out, for
-// serve-stale operation (RFC 8767). Returned records carry StaleTTL
-// when expired. The staleLimit bounds how long past expiry an entry may
-// still be served.
+// serve-stale operation (RFC 8767). Result.TTL is StaleTTL when the
+// entry is expired, the remaining lifetime otherwise. The staleLimit
+// bounds how long past expiry an entry may still be served.
 func (c *Cache) GetStale(name dnswire.Name, typ dnswire.Type, staleLimit time.Duration) (Result, bool) {
 	key := dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shardFor(name, typ)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok || e.negative {
 		return Result{}, false
 	}
@@ -272,57 +368,61 @@ func (c *Cache) GetStale(name dnswire.Name, typ dnswire.Type, staleLimit time.Du
 		return Result{}, false
 	}
 	if e.elem != nil {
-		c.lru.MoveToFront(e.elem)
+		s.lru.MoveToFront(e.elem)
 	}
-	out := make([]dnswire.RR, len(e.rrs))
-	copy(out, e.rrs)
-	for i := range out {
-		if remaining := e.expires.Sub(now); remaining > 0 {
-			if out[i].TTL > uint32(remaining/time.Second) {
-				out[i].TTL = uint32(remaining / time.Second)
-			}
-		} else {
-			out[i].TTL = uint32(StaleTTL / time.Second)
-		}
+	ttl := uint32(StaleTTL / time.Second)
+	if remaining := e.expires.Sub(now); remaining > 0 {
+		ttl = uint32(remaining / time.Second)
 	}
-	return Result{RRs: out}, true
+	return Result{RRs: e.rrs, TTL: ttl}, true
 }
 
 // Peek reports whether a live entry exists without touching LRU order or
 // statistics.
 func (c *Cache) Peek(name dnswire.Name, typ dnswire.Type) bool {
 	key := dnswire.RRsetKey{Name: name, Type: typ, Class: dnswire.ClassINET}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shardFor(name, typ)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	return ok && e.expires.After(c.now())
 }
 
 // Len returns the number of cached RRsets (including expired-but-unswept).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
-
-// PinnedLen returns the number of pinned RRsets.
-func (c *Cache) PinnedLen() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, e := range c.entries {
-		if e.pinned {
-			n++
-		}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// Stats returns a snapshot of the cache statistics.
+// PinnedLen returns the number of pinned RRsets.
+func (c *Cache) PinnedLen() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.entries {
+			if e.pinned {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cache statistics, summed across shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var total Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total.add(s.stats)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Collect implements obs.Collector: the Stats counters plus occupancy
@@ -333,31 +433,37 @@ func (c *Cache) Collect(reg *obs.Registry) {
 		Set(float64(c.Len()))
 	reg.Gauge("rootless_cache_pinned_rrsets", "pinned (preloaded root zone) RRsets", nil).
 		Set(float64(c.PinnedLen()))
+	reg.Gauge("rootless_cache_shards", "lock shards in the RRset cache", nil).
+		Set(float64(len(c.shards)))
 }
 
 // Flush removes every entry (pinned included) and resets nothing else.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[dnswire.RRsetKey]*entry)
-	c.lru.Init()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.entries = make(map[dnswire.RRsetKey]*entry)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
 }
 
 // Sweep removes expired entries proactively and returns how many.
 func (c *Cache) Sweep() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.now()
 	removed := 0
-	for key, e := range c.entries {
-		if !e.expires.After(now) {
-			if e.elem != nil {
-				c.lru.Remove(e.elem)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if !e.expires.After(now) {
+				if e.elem != nil {
+					s.lru.Remove(e.elem)
+				}
+				delete(s.entries, key)
+				s.stats.Expired++
+				removed++
 			}
-			delete(c.entries, key)
-			c.stats.Expired++
-			removed++
 		}
+		s.mu.Unlock()
 	}
 	return removed
 }

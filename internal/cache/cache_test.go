@@ -50,8 +50,11 @@ func TestCacheTTLExpiry(t *testing.T) {
 	if !ok {
 		t.Fatal("should still be live at 299s")
 	}
-	if res.RRs[0].TTL != 1 {
-		t.Errorf("decayed TTL = %d, want 1", res.RRs[0].TTL)
+	if res.TTL != 1 {
+		t.Errorf("decayed TTL = %d, want 1", res.TTL)
+	}
+	if rrs := res.CopyRRs(); rrs[0].TTL != 1 {
+		t.Errorf("CopyRRs TTL = %d, want 1", rrs[0].TTL)
 	}
 	clk.advance(2 * time.Second)
 	if _, ok := c.Get("a.example.", dnswire.TypeA); ok {
@@ -77,7 +80,8 @@ func TestCacheMinTTLOfSet(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	clk := newClock()
-	c := New(3, clk.now)
+	// One shard: the test asserts exact global LRU order.
+	c := NewSharded(3, 1, clk.now)
 	for i := 0; i < 3; i++ {
 		c.Put([]dnswire.RR{aRR(fmt.Sprintf("n%d.example.", i), 300, "192.0.2.1")}, false)
 	}
@@ -102,7 +106,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCachePinnedResistEviction(t *testing.T) {
 	clk := newClock()
-	c := New(2, clk.now)
+	// One shard: eviction order across all three entries must be global.
+	c := NewSharded(2, 1, clk.now)
 	c.Put([]dnswire.RR{aRR("pinned.example.", 300, "192.0.2.1")}, true)
 	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.1")}, false)
 	c.Put([]dnswire.RR{aRR("b.example.", 300, "192.0.2.1")}, false)
@@ -249,8 +254,8 @@ func TestCacheGetStale(t *testing.T) {
 	// Live entry: GetStale returns it with the decayed TTL.
 	clk.advance(100 * time.Second)
 	res, ok := c.GetStale("a.example.", dnswire.TypeA, time.Hour)
-	if !ok || res.RRs[0].TTL != 200 {
-		t.Fatalf("live stale get: ok=%v ttl=%d", ok, res.RRs[0].TTL)
+	if !ok || res.TTL != 200 {
+		t.Fatalf("live stale get: ok=%v ttl=%d", ok, res.TTL)
 	}
 
 	// Expired entry: normal Get misses, GetStale serves with TTL 30.
@@ -259,8 +264,11 @@ func TestCacheGetStale(t *testing.T) {
 		t.Fatal("expired entry returned by Get")
 	}
 	res, ok = c.GetStale("a.example.", dnswire.TypeA, time.Hour)
-	if !ok || res.RRs[0].TTL != 30 {
-		t.Fatalf("expired stale get: ok=%v", ok)
+	if !ok || res.TTL != 30 {
+		t.Fatalf("expired stale get: ok=%v ttl=%d", ok, res.TTL)
+	}
+	if rrs := res.CopyRRs(); rrs[0].TTL != 30 {
+		t.Fatalf("stale CopyRRs TTL = %d, want 30", rrs[0].TTL)
 	}
 
 	// Past the stale limit: gone.

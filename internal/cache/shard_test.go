@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+func TestGetZeroAllocs(t *testing.T) {
+	t0 := time.Now()
+	c := New(0, func() time.Time { return t0 })
+	c.Put([]dnswire.RR{aRR("www.example.com.", 3600, "192.0.2.1")}, false)
+	got := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get("www.example.com.", dnswire.TypeA); !ok {
+			t.Fatal("unexpected miss")
+		}
+	})
+	if got != 0 {
+		t.Errorf("Get: %v allocs/op, want 0", got)
+	}
+	// The miss path is also on every resolution; keep it free too.
+	got = testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get("absent.example.com.", dnswire.TypeA); ok {
+			t.Fatal("unexpected hit")
+		}
+	})
+	if got != 0 {
+		t.Errorf("Get miss: %v allocs/op, want 0", got)
+	}
+}
+
+func TestShardedCapacityExact(t *testing.T) {
+	// Per-shard capacities must sum to the configured total, for any
+	// awkward capacity/shard combination.
+	for _, tc := range []struct{ capacity, shards int }{
+		{10, 16}, {16, 16}, {17, 16}, {1, 16}, {3, 4}, {100, 8}, {5, 1},
+	} {
+		c := NewSharded(tc.capacity, tc.shards, nil)
+		sum := 0
+		for _, s := range c.shards {
+			if tc.capacity > 0 && s.capacity == 0 {
+				t.Errorf("cap=%d shards=%d: shard with unlimited capacity", tc.capacity, tc.shards)
+			}
+			sum += s.capacity
+		}
+		if sum != tc.capacity {
+			t.Errorf("cap=%d shards=%d: shard capacities sum to %d", tc.capacity, tc.shards, sum)
+		}
+		if n := len(c.shards); n&(n-1) != 0 {
+			t.Errorf("cap=%d shards=%d: %d shards, want power of two", tc.capacity, tc.shards, n)
+		}
+	}
+}
+
+func TestShardedGlobalCapacityBound(t *testing.T) {
+	clk := newClock()
+	const capacity = 64
+	c := New(capacity, clk.now)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("n%d.example.", i)
+		c.Put([]dnswire.RR{aRR(name, 300, "192.0.2.1")}, false)
+		if got := c.Len(); got > capacity {
+			t.Fatalf("after %d puts: Len=%d > capacity %d", i+1, got, capacity)
+		}
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// The name hash must actually spread entries: with 4096 random names
+	// over 16 shards no shard should be pathologically hot or empty.
+	c := New(0, nil)
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("h%d.example.com.", i)
+		c.Put([]dnswire.RR{aRR(name, 300, "192.0.2.1")}, false)
+	}
+	for i, s := range c.shards {
+		n := len(s.entries)
+		if n < 64 || n > 1024 {
+			t.Errorf("shard %d holds %d of 4096 entries — hash not spreading", i, n)
+		}
+	}
+}
+
+// TestShardIndependence proves the sharding property directly (wall-clock
+// parallel speedup is unmeasurable on a single-core machine): holding one
+// shard's lock must not block a Get on a name in a different shard.
+func TestShardIndependence(t *testing.T) {
+	c := New(0, nil)
+	c.Put([]dnswire.RR{aRR("a.example.", 300, "192.0.2.1")}, false)
+
+	// Find a name hashing to a different shard than a.example./A.
+	victim := c.shardFor("a.example.", dnswire.TypeA)
+	other := dnswire.Name("")
+	for i := 0; i < 1000; i++ {
+		n := dnswire.Name(fmt.Sprintf("b%d.example.", i))
+		if c.shardFor(n, dnswire.TypeA) != victim {
+			other = n
+			break
+		}
+	}
+	if other == "" {
+		t.Fatal("could not find a name in a different shard")
+	}
+	c.Put([]dnswire.RR{aRR(string(other), 300, "192.0.2.1")}, false)
+
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.Get(other, dnswire.TypeA)
+		done <- ok
+	}()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("unexpected miss")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get blocked behind an unrelated shard's lock")
+	}
+}
+
+// TestShardedConcurrentAccess hammers every public method from many
+// goroutines for the race detector; correctness of each result is
+// covered elsewhere.
+func TestShardedConcurrentAccess(t *testing.T) {
+	c := New(256, nil)
+	soa := dnswire.NewRR("example.", 900, dnswire.SOA{
+		MName: "ns.example.", RName: "hostmaster.example.",
+		Serial: 1, Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 300,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := fmt.Sprintf("n%d.example.", i%64)
+				name := dnswire.Name(s)
+				switch i % 7 {
+				case 0:
+					c.Put([]dnswire.RR{aRR(s, 300, "192.0.2.1")}, i%32 == 0)
+				case 1:
+					c.Get(name, dnswire.TypeA)
+				case 2:
+					c.PutNegative(name, dnswire.TypeAAAA, soa, i%2 == 0)
+				case 3:
+					c.GetStale(name, dnswire.TypeA, time.Hour)
+				case 4:
+					c.NXDomainCovered(name)
+				case 5:
+					c.Stats()
+					c.Len()
+				default:
+					if i%100 == 0 {
+						c.Sweep()
+					} else {
+						c.Peek(name, dnswire.TypeA)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

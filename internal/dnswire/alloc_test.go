@@ -1,0 +1,107 @@
+package dnswire
+
+import "testing"
+
+// The alloc budgets below are the contract behind the pooled codec: the
+// referral-shaped message from bench_test.go must pack in a single
+// allocation (the output buffer) and none at all when the caller reuses
+// one, and unpack in a small constant number (interned names, RData
+// boxes, and the two section slices). Regressions here mean a pool or
+// fast path quietly stopped working.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; alloc counts not meaningful")
+	}
+}
+
+func TestPackAllocs(t *testing.T) {
+	skipUnderRace(t)
+	m := benchReferral()
+	if _, err := m.Pack(); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := m.Pack(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 1 {
+		t.Errorf("Pack: %v allocs/op, want <= 1", got)
+	}
+}
+
+func TestAppendPackReuseAllocs(t *testing.T) {
+	skipUnderRace(t)
+	m := benchReferral()
+	buf := make([]byte, 0, 512)
+	got := testing.AllocsPerRun(200, func() {
+		var err error
+		if buf, err = m.AppendPack(buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("AppendPack with reused buffer: %v allocs/op, want 0", got)
+	}
+}
+
+func TestUnpackAllocs(t *testing.T) {
+	skipUnderRace(t)
+	wire, err := benchReferral().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		unpack func(m *Message, data []byte) error
+		max    float64
+	}{
+		{"Unpack", (*Message).Unpack, 15},
+		{"UnpackShared", (*Message).UnpackShared, 15},
+	} {
+		got := testing.AllocsPerRun(200, func() {
+			var m Message
+			if err := tc.unpack(&m, wire); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > tc.max {
+			t.Errorf("%s: %v allocs/op, want <= %v", tc.name, got, tc.max)
+		}
+	}
+}
+
+func TestUnpackSharedAliasesRData(t *testing.T) {
+	m := &Message{
+		ID:        1,
+		Questions: []Question{{Name: "example.com.", Type: TypeDNSKEY, Class: ClassINET}},
+	}
+	m.Answers = append(m.Answers, NewRR("example.com.", 3600, DNSKEY{
+		Flags: DNSKEYFlagZone, Protocol: 3, Algorithm: AlgEd25519,
+		PublicKey: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}))
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shared Message
+	if err := shared.UnpackShared(wire); err != nil {
+		t.Fatal(err)
+	}
+	key := shared.Answers[0].Data.(DNSKEY).PublicKey
+	if &key[0] != &wire[len(wire)-len(key)] {
+		t.Error("UnpackShared: PublicKey does not alias the input buffer")
+	}
+
+	var copied Message
+	if err := copied.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	key = copied.Answers[0].Data.(DNSKEY).PublicKey
+	if &key[0] == &wire[len(wire)-len(key)] {
+		t.Error("Unpack: PublicKey aliases the input buffer, want a copy")
+	}
+}

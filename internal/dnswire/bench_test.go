@@ -34,6 +34,19 @@ func BenchmarkMessagePack(b *testing.B) {
 	}
 }
 
+func BenchmarkMessageAppendPack(b *testing.B) {
+	m := benchReferral()
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = m.AppendPack(buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMessageUnpack(b *testing.B) {
 	wire, err := benchReferral().Pack()
 	if err != nil {
@@ -44,6 +57,21 @@ func BenchmarkMessageUnpack(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var m Message
 		if err := m.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageUnpackShared(b *testing.B) {
+	wire, err := benchReferral().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m Message
+		if err := m.UnpackShared(wire); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,150 @@
+package dnswire
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// TestCompressedRoundTripProperty generates messages whose names share
+// suffixes — the shape that triggers every compression-pointer case —
+// and checks Unpack(AppendPack(m)) == m for each.
+func TestCompressedRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	suffixes := []Name{"com.", "example.com.", "net.", "gtld-servers.net.", "."}
+	labels := []string{"www", "a", "b", "ns1", "mail", "x0"}
+
+	randName := func() Name {
+		suffix := suffixes[rng.Intn(len(suffixes))]
+		n := Name("")
+		for depth := rng.Intn(3); depth > 0; depth-- {
+			n += Name(labels[rng.Intn(len(labels))]) + "."
+		}
+		if suffix == "." {
+			if n == "" {
+				return Root
+			}
+			return n
+		}
+		return n + suffix
+	}
+	randRR := func() RR {
+		name := randName()
+		switch rng.Intn(5) {
+		case 0:
+			return NewRR(name, 3600, A{Addr: netip.AddrFrom4([4]byte{10, 0, byte(rng.Intn(256)), 1})})
+		case 1:
+			return NewRR(name, 172800, NS{Host: randName()})
+		case 2:
+			return NewRR(name, 300, CNAME{Target: randName()})
+		case 3:
+			return NewRR(name, 60, MX{Preference: uint16(rng.Intn(100)), Host: randName()})
+		default:
+			return NewRR(name, 900, SOA{
+				MName: randName(), RName: randName(),
+				Serial: rng.Uint32(), Refresh: 1800, Retry: 900, Expire: 604800, Minimum: 86400,
+			})
+		}
+	}
+
+	for i := 0; i < 500; i++ {
+		m := &Message{
+			ID:        uint16(rng.Intn(1 << 16)),
+			Response:  true,
+			Questions: []Question{{Name: randName(), Type: TypeA, Class: ClassINET}},
+		}
+		for n := rng.Intn(4); n > 0; n-- {
+			m.Answers = append(m.Answers, randRR())
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			m.Authority = append(m.Authority, randRR())
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			m.Additional = append(m.Additional, randRR())
+		}
+
+		wire, err := m.AppendPack(nil)
+		if err != nil {
+			t.Fatalf("case %d: AppendPack: %v\n%s", i, err, m)
+		}
+		var back Message
+		if err := back.Unpack(wire); err != nil {
+			t.Fatalf("case %d: Unpack: %v\n%s", i, err, m)
+		}
+		if !reflect.DeepEqual(&back, m) {
+			t.Fatalf("case %d: round trip drift:\n got %+v\nwant %+v", i, &back, m)
+		}
+	}
+}
+
+// TestCompressionNeverGrows packs each property-test shape twice — once
+// with compression, once record-by-record without — and checks the
+// compressed message is never larger.
+func TestCompressionNeverGrows(t *testing.T) {
+	m := benchReferral()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uncompressed int
+	uncompressed = 12
+	for _, q := range m.Questions {
+		b, err := appendName(nil, q.Name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncompressed += len(b) + 4
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			b, err := appendRR(nil, rr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uncompressed += len(b)
+		}
+	}
+	if len(wire) >= uncompressed {
+		t.Fatalf("compressed %d >= uncompressed %d", len(wire), uncompressed)
+	}
+}
+
+// TestCompressorPoolReuse hammers Pack from many goroutines so the race
+// detector can see the pooled compressor and unpacker state; each
+// result must still decode to the original message.
+func TestCompressorPoolReuse(t *testing.T) {
+	m := benchReferral()
+	want, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				w, err := m.Pack()
+				if err != nil {
+					done <- err
+					return
+				}
+				if string(w) != string(want) {
+					done <- fmt.Errorf("pack drift under concurrency")
+					return
+				}
+				var back Message
+				if err := back.Unpack(w); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -50,6 +50,21 @@ func FuzzMessageUnpack(f *testing.F) {
 		0x03, 'a', 'b', 'c', 0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01}) // pointer loop via own label
 	f.Add([]byte{0, 2, 0x80, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // counts claim records absent from the body
 	f.Add([]byte{0, 3, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0xFF})      // pointer past the end
+	// Pointer pathologies targeting the memoizing decoder: two names
+	// pointing at each other, a forward pointer (illegal: targets must
+	// precede the pointer), and a chain of pointers to pointers.
+	f.Add([]byte{0, 4, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0,
+		0xC0, 0x12, 0x00, 0x01, 0x00, 0x01, // q1 name points forward at q2's name
+		0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01}) // q2 name points back at q1's — mutual loop
+	f.Add([]byte{0, 5, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xC0, 0x10, 0x00, 0x01, 0x00, 0x01, // forward pointer into own fixed fields
+		0x01, 'x', 0x00})
+	f.Add([]byte{0, 6, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0,
+		0x01, 'a', 0x00, 0x00, 0x01, 0x00, 0x01, // q1: "a."
+		0xC0, 0x15, 0x00, 0x01, 0x00, 0x01, // q2 → trailing pointer → pointer → q1
+		0xC0, 0x0C, 0xC0, 0x13})
+	f.Add([]byte{0, 7, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0x3F, 'a', 0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01}) // label length runs into its own pointer
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message

@@ -3,6 +3,7 @@ package dnswire
 import (
 	"bytes"
 	"net/netip"
+	"reflect"
 	"testing"
 )
 
@@ -78,6 +79,50 @@ func TestGoldenResponseWithCompression(t *testing.T) {
 	}
 	if back.Answers[0].Data.(A).Addr != netip.MustParseAddr("93.184.216.34") {
 		t.Fatal("golden decode mismatch")
+	}
+}
+
+func TestGoldenReferralCompression(t *testing.T) {
+	// A full referral (question + 2 NS + 2 glue A records) exercises every
+	// compression case: owner names via whole-name pointers, an NS target
+	// compressed as a new label plus a suffix pointer, and glue owners
+	// pointing into earlier rdata. 113 bytes versus 161 uncompressed.
+	want := []byte{
+		0x00, '*', 0x80, 0x00, // id 42, QR
+		0x00, 0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x02, // counts
+		0x03, 'w', 'w', 'w', 0x07, 'e', 'x', 'a', 'm', 'p', 'l', 'e',
+		0x03, 'c', 'o', 'm', 0x00, // qname, offset 12
+		0x00, 0x01, 0x00, 0x01, // A IN
+		0xC0, 0x18, // "com." → pointer to qname suffix at offset 24
+		0x00, 0x02, 0x00, 0x01, 0x00, 0x02, 0xA3, 0x00, // NS IN TTL 172800
+		0x00, 0x14, // rdlength 20
+		0x01, 'a', 0x0C, 'g', 't', 'l', 'd', '-', 's', 'e', 'r', 'v', 'e', 'r', 's',
+		0x03, 'n', 'e', 't', 0x00, // a.gtld-servers.net., offset 45
+		0xC0, 0x18, // "com." again
+		0x00, 0x02, 0x00, 0x01, 0x00, 0x02, 0xA3, 0x00,
+		0x00, 0x04, // rdlength 4: label "b" + suffix pointer
+		0x01, 'b', 0xC0, 0x2F, // b + "gtld-servers.net." at offset 47
+		0xC0, 0x2D, // glue owner a.gtld-servers.net. → offset 45
+		0x00, 0x01, 0x00, 0x01, 0x00, 0x02, 0xA3, 0x00,
+		0x00, 0x04, 192, 5, 6, 30,
+		0xC0, 0x4D, // glue owner b.gtld-servers.net. → offset 77
+		0x00, 0x01, 0x00, 0x01, 0x00, 0x02, 0xA3, 0x00,
+		0x00, 0x04, 192, 33, 14, 30,
+	}
+	m := benchReferral()
+	got, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("referral encoding drift:\n got %x\nwant %x", got, want)
+	}
+	var back Message
+	if err := back.Unpack(want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, m) {
+		t.Fatalf("golden referral decode mismatch:\n got %+v\nwant %+v", &back, m)
 	}
 }
 

@@ -107,6 +107,7 @@ func (m *Message) AppendPack(b []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Additional)))
 
 	cmp := newCompressor()
+	defer cmp.release()
 	var err error
 	for _, q := range m.Questions {
 		if b, err = appendName(b, q.Name, cmp); err != nil {
@@ -126,7 +127,23 @@ func (m *Message) AppendPack(b []byte) ([]byte, error) {
 }
 
 // Unpack parses a complete DNS message. Trailing bytes are an error.
+// Byte-slice rdata fields are copied out of data, so the buffer may be
+// reused once Unpack returns.
 func (m *Message) Unpack(data []byte) error {
+	return m.unpack(data, false)
+}
+
+// UnpackShared parses like Unpack, but byte-slice rdata fields (DNSKEY
+// public keys, RRSIG signatures, DS digests, unknown-type payloads, …)
+// alias data instead of copying. The caller must not reuse or mutate
+// data while the message — or any record cached from it — is alive.
+// Transports that allocate a fresh buffer per message (or that drop the
+// message before the next read) use this to skip every rdata copy.
+func (m *Message) UnpackShared(data []byte) error {
+	return m.unpack(data, true)
+}
+
+func (m *Message) unpack(data []byte, shared bool) error {
 	if len(data) < 12 {
 		return ErrMessageTruncated
 	}
@@ -148,11 +165,25 @@ func (m *Message) Unpack(data []byte) error {
 	ns := int(binary.BigEndian.Uint16(data[8:]))
 	ar := int(binary.BigEndian.Uint16(data[10:]))
 
+	// Count sanity before sizing the sections: a question occupies at
+	// least 5 octets on the wire and a record at least 11, so counts
+	// claiming more than the body could hold are rejected up front
+	// rather than driving over-allocation.
+	if qd*5+(an+ns+ar)*11 > len(data)-12 {
+		return ErrMessageTruncated
+	}
+
+	u := newUnpacker()
+	defer u.release()
+
 	off := 12
 	var err error
+	if qd > 0 {
+		m.Questions = make([]Question, 0, qd)
+	}
 	for i := 0; i < qd; i++ {
 		var q Question
-		q.Name, off, err = unpackName(data, off)
+		q.Name, off, err = u.name(data, off)
 		if err != nil {
 			return err
 		}
@@ -164,29 +195,32 @@ func (m *Message) Unpack(data []byte) error {
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	for i := 0; i < an; i++ {
-		var rr RR
-		rr, off, err = unpackRR(data, off)
-		if err != nil {
-			return err
+	// All three record sections share one backing array, sliced with
+	// fixed capacities so a later append to one cannot clobber another.
+	if total := an + ns + ar; total > 0 {
+		rrbuf := make([]RR, total)
+		if an > 0 {
+			m.Answers = rrbuf[0:0:an]
 		}
-		m.Answers = append(m.Answers, rr)
+		if ns > 0 {
+			m.Authority = rrbuf[an : an : an+ns]
+		}
+		if ar > 0 {
+			m.Additional = rrbuf[an+ns : an+ns : total]
+		}
 	}
-	for i := 0; i < ns; i++ {
-		var rr RR
-		rr, off, err = unpackRR(data, off)
-		if err != nil {
-			return err
+	for _, sec := range []struct {
+		n   int
+		dst *[]RR
+	}{{an, &m.Answers}, {ns, &m.Authority}, {ar, &m.Additional}} {
+		for i := 0; i < sec.n; i++ {
+			var rr RR
+			rr, off, err = unpackRR(u, data, off, shared)
+			if err != nil {
+				return err
+			}
+			*sec.dst = append(*sec.dst, rr)
 		}
-		m.Authority = append(m.Authority, rr)
-	}
-	for i := 0; i < ar; i++ {
-		var rr RR
-		rr, off, err = unpackRR(data, off)
-		if err != nil {
-			return err
-		}
-		m.Additional = append(m.Additional, rr)
 	}
 	if off != len(data) {
 		return ErrTrailingBytes

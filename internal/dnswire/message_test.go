@@ -45,7 +45,9 @@ func TestRRRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("appendRR(%s): %v", rr.Type, err)
 		}
-		got, off, err := unpackRR(wire, 0)
+		u := newUnpacker()
+		got, off, err := unpackRR(u, wire, 0, false)
+		u.release()
 		if err != nil {
 			t.Fatalf("unpackRR(%s): %v", rr.Type, err)
 		}

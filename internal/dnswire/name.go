@@ -3,6 +3,7 @@ package dnswire
 import (
 	"errors"
 	"strings"
+	"sync"
 )
 
 // Name is a fully-qualified domain name in canonical presentation form:
@@ -254,17 +255,80 @@ func compareLabels(a, b []byte) int {
 
 // compressor tracks label-suffix offsets while packing a message, so
 // later occurrences of a suffix can be encoded as 14-bit pointers.
+// Compressors are pooled: the suffix map survives between messages and
+// is cleared on release, so a steady-state AppendPack performs no map
+// allocations at all.
 type compressor struct {
 	offsets map[string]int
 }
 
+var compressorPool = sync.Pool{
+	New: func() any { return &compressor{offsets: make(map[string]int, 32)} },
+}
+
 func newCompressor() *compressor {
-	return &compressor{offsets: make(map[string]int)}
+	return compressorPool.Get().(*compressor)
+}
+
+// release clears the suffix table (its keys alias caller-owned Name
+// strings, which must not be retained) and returns the compressor to
+// the pool.
+func (c *compressor) release() {
+	clear(c.offsets)
+	compressorPool.Put(c)
 }
 
 // appendName appends the wire encoding of n to b. If cmp is non-nil the
 // name may be compressed against, and is registered in, cmp's suffix table.
+//
+// The fast path walks canonical names (lowercase, escape-free, absolute)
+// directly: labels are emitted straight from the string, and compression
+// keys are substrings of n, so no intermediate label slices exist. Names
+// that carry escapes, uppercase, or no trailing dot fall back to the
+// label parser, which produces the same bytes and the same (canonical)
+// suffix keys.
 func appendName(b []byte, n Name, cmp *compressor) ([]byte, error) {
+	s := string(n)
+	if s == "" || s == "." {
+		return append(b, 0), nil
+	}
+	if s[len(s)-1] != '.' {
+		return appendNameSlow(b, n, cmp)
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || ('A' <= c && c <= 'Z') {
+			return appendNameSlow(b, n, cmp)
+		}
+	}
+	// Escape-free absolute names occupy exactly len(s)+1 wire octets.
+	if len(s)+1 > 255 {
+		return nil, ErrNameTooLong
+	}
+	for i := 0; i < len(s); {
+		j := strings.IndexByte(s[i:], '.') + i // the trailing dot guarantees a hit
+		if j == i {
+			return nil, ErrEmptyLabel
+		}
+		if j-i > 63 {
+			return nil, ErrLabelTooLong
+		}
+		if cmp != nil {
+			if off, ok := cmp.offsets[s[i:]]; ok {
+				return append(b, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if len(b) < 0x4000 {
+				cmp.offsets[s[i:]] = len(b)
+			}
+		}
+		b = append(b, byte(j-i))
+		b = append(b, s[i:j]...)
+		i = j + 1
+	}
+	return append(b, 0), nil
+}
+
+// appendNameSlow is the label-parsing encoder for non-canonical input.
+func appendNameSlow(b []byte, n Name, cmp *compressor) ([]byte, error) {
 	labels, err := parseLabels(string(n))
 	if err != nil {
 		return nil, err
@@ -285,15 +349,84 @@ func appendName(b []byte, n Name, cmp *compressor) ([]byte, error) {
 	return append(b, 0), nil
 }
 
-// unpackName decodes a possibly-compressed name from msg starting at off.
-// It returns the name and the offset just past the name's encoding at the
-// top level (pointers do not advance the caller's offset past 2 octets).
-func unpackName(msg []byte, off int) (Name, int, error) {
-	var labels [][]byte
+// decodedName is a memoized name decode: the name, the offset just past
+// its top-level encoding, and its uncompressed wire length.
+type decodedName struct {
+	name Name
+	end  int
+	wlen int
+}
+
+// unpacker carries per-message decode state. Compressed messages repeat
+// names heavily (every owner name is usually a pointer to a prior one),
+// so decodes are memoized by start offset: a pointer to an already-seen
+// name costs a map hit instead of a fresh walk and string allocation.
+// Unpackers are pooled; release clears the table.
+type unpacker struct {
+	names map[int]decodedName
+}
+
+var unpackerPool = sync.Pool{
+	New: func() any { return &unpacker{names: make(map[int]decodedName, 16)} },
+}
+
+func newUnpacker() *unpacker {
+	return unpackerPool.Get().(*unpacker)
+}
+
+func (u *unpacker) release() {
+	clear(u.names)
+	unpackerPool.Put(u)
+}
+
+// appendPresentationLabel renders one raw wire label into presentation
+// form (lowercased, escaped), appending to buf.
+func appendPresentationLabel(buf []byte, label []byte) []byte {
+	for _, b := range label {
+		switch {
+		case b == '.' || b == '\\':
+			buf = append(buf, '\\', b)
+		case b < '!' || b > '~':
+			buf = append(buf, '\\', '0'+b/100, '0'+b/10%10, '0'+b%10)
+		default:
+			buf = append(buf, lowerByte(b))
+		}
+	}
+	return buf
+}
+
+// name decodes a possibly-compressed name from msg starting at off,
+// memoizing the result. It returns the name and the offset just past the
+// name's encoding at the top level (pointers do not advance the caller's
+// offset past 2 octets).
+func (u *unpacker) name(msg []byte, off int) (Name, int, error) {
+	start := off
+	// Presentation form accumulates on the stack: 255 wire octets escape
+	// to at most ~1020 presentation bytes.
+	var stack [1024]byte
+	buf := stack[:0]
 	ptrBudget := 127 // defends against pointer loops
 	end := -1        // offset after the name at the original nesting level
-	total := 1
+	wlen := 1
 	for {
+		if d, ok := u.names[off]; ok {
+			// Splice the memoized tail onto the labels walked so far.
+			if wlen-1+d.wlen > 255 {
+				return "", 0, ErrNameTooLong
+			}
+			if end < 0 {
+				end = d.end
+			}
+			var n Name
+			if len(buf) == 0 {
+				n = d.name
+			} else {
+				buf = append(buf, d.name...)
+				n = Name(buf)
+			}
+			u.names[start] = decodedName{name: n, end: end, wlen: wlen - 1 + d.wlen}
+			return n, end, nil
+		}
 		if off >= len(msg) {
 			return "", 0, ErrNameTruncated
 		}
@@ -303,7 +436,12 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			return nameFromLabels(labels), end, nil
+			n := Root
+			if len(buf) > 0 {
+				n = Name(buf)
+			}
+			u.names[start] = decodedName{name: n, end: end, wlen: wlen}
+			return n, end, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrNameTruncated
@@ -326,14 +464,21 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			if off+1+c > len(msg) {
 				return "", 0, ErrNameTruncated
 			}
-			total += c + 1
-			if total > 255 {
+			wlen += c + 1
+			if wlen > 255 {
 				return "", 0, ErrNameTooLong
 			}
-			label := make([]byte, c)
-			copy(label, msg[off+1:off+1+c])
-			labels = append(labels, label)
+			buf = appendPresentationLabel(buf, msg[off+1:off+1+c])
+			buf = append(buf, '.')
 			off += 1 + c
 		}
 	}
+}
+
+// unpackName decodes one name with fresh state; message decoding threads
+// a shared unpacker through instead so repeated names are interned.
+func unpackName(msg []byte, off int) (Name, int, error) {
+	u := newUnpacker()
+	defer u.release()
+	return u.name(msg, off)
 }

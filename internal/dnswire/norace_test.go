@@ -1,0 +1,5 @@
+//go:build !race
+
+package dnswire
+
+const raceEnabled = false

@@ -530,9 +530,22 @@ func (u Unknown) String() string {
 	return fmt.Sprintf("\\# %d %s", len(u.Data), hex.EncodeToString(u.Data))
 }
 
+// cloneBytes returns b as-is when the caller asked for shared (zero-copy)
+// unpacking, or a fresh copy otherwise. Empty slices stay nil either way so
+// round-trip comparisons are stable.
+func cloneBytes(b []byte, shared bool) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if shared {
+		return b
+	}
+	return append([]byte(nil), b...)
+}
+
 // unpackRData decodes RDATA of the given type from msg[off:off+length].
 // msg is the whole message so compressed names can be followed.
-func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
+func unpackRData(u *unpacker, typ Type, msg []byte, off, length int, shared bool) (RData, error) {
 	if off+length > len(msg) {
 		return nil, errRDataTruncated
 	}
@@ -549,20 +562,20 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 		}
 		return AAAA{Addr: netip.AddrFrom16([16]byte(data))}, nil
 	case TypeNS:
-		n, _, err := unpackName(msg, off)
+		n, _, err := u.name(msg, off)
 		return NS{Host: n}, err
 	case TypeCNAME:
-		n, _, err := unpackName(msg, off)
+		n, _, err := u.name(msg, off)
 		return CNAME{Target: n}, err
 	case TypePTR:
-		n, _, err := unpackName(msg, off)
+		n, _, err := u.name(msg, off)
 		return PTR{Target: n}, err
 	case TypeSOA:
-		mname, o, err := unpackName(msg, off)
+		mname, o, err := u.name(msg, off)
 		if err != nil {
 			return nil, err
 		}
-		rname, o, err := unpackName(msg, o)
+		rname, o, err := u.name(msg, o)
 		if err != nil {
 			return nil, err
 		}
@@ -582,7 +595,7 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 		if length < 3 {
 			return nil, errRDataTruncated
 		}
-		host, _, err := unpackName(msg, off+2)
+		host, _, err := u.name(msg, off+2)
 		return MX{Preference: binary.BigEndian.Uint16(data), Host: host}, err
 	case TypeTXT:
 		var txt TXT
@@ -602,7 +615,7 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 		if length < 7 {
 			return nil, errRDataTruncated
 		}
-		target, _, err := unpackName(msg, off+6)
+		target, _, err := u.name(msg, off+6)
 		return SRV{
 			Priority: binary.BigEndian.Uint16(data),
 			Weight:   binary.BigEndian.Uint16(data[2:]),
@@ -617,7 +630,7 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 			KeyTag:     binary.BigEndian.Uint16(data),
 			Algorithm:  data[2],
 			DigestType: data[3],
-			Digest:     append([]byte(nil), data[4:]...),
+			Digest:     cloneBytes(data[4:], shared),
 		}, nil
 	case TypeDNSKEY:
 		if length < 4 {
@@ -627,13 +640,13 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 			Flags:     binary.BigEndian.Uint16(data),
 			Protocol:  data[2],
 			Algorithm: data[3],
-			PublicKey: append([]byte(nil), data[4:]...),
+			PublicKey: cloneBytes(data[4:], shared),
 		}, nil
 	case TypeRRSIG:
 		if length < 18 {
 			return nil, errRDataTruncated
 		}
-		signer, o, err := unpackName(msg, off+18)
+		signer, o, err := u.name(msg, off+18)
 		if err != nil {
 			return nil, err
 		}
@@ -649,10 +662,10 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 			Inception:   binary.BigEndian.Uint32(data[12:]),
 			KeyTag:      binary.BigEndian.Uint16(data[16:]),
 			SignerName:  signer,
-			Signature:   append([]byte(nil), msg[o:off+length]...),
+			Signature:   cloneBytes(msg[o:off+length], shared),
 		}, nil
 	case TypeNSEC:
-		next, o, err := unpackName(msg, off)
+		next, o, err := u.name(msg, off)
 		if err != nil {
 			return nil, err
 		}
@@ -672,7 +685,7 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 			Serial: binary.BigEndian.Uint32(data),
 			Scheme: data[4],
 			Hash:   data[5],
-			Digest: append([]byte(nil), data[6:]...),
+			Digest: cloneBytes(data[6:], shared),
 		}, nil
 	case TypeCAA:
 		if length < 2 {
@@ -700,12 +713,12 @@ func unpackRData(typ Type, msg []byte, off, length int) (RData, error) {
 			}
 			opt.Options = append(opt.Options, EDNSOption{
 				Code: code,
-				Data: append([]byte(nil), data[i+4:i+4+n]...),
+				Data: cloneBytes(data[i+4:i+4+n], shared),
 			})
 			i += 4 + n
 		}
 		return opt, nil
 	default:
-		return Unknown{RRType: typ, Data: append([]byte(nil), data...)}, nil
+		return Unknown{RRType: typ, Data: cloneBytes(data, shared)}, nil
 	}
 }

@@ -54,8 +54,8 @@ func appendRR(b []byte, rr RR, cmp *compressor) ([]byte, error) {
 
 // unpackRR decodes one record from msg starting at off, returning the
 // record and the offset just past it.
-func unpackRR(msg []byte, off int) (RR, int, error) {
-	name, off, err := unpackName(msg, off)
+func unpackRR(u *unpacker, msg []byte, off int, shared bool) (RR, int, error) {
+	name, off, err := u.name(msg, off)
 	if err != nil {
 		return RR{}, 0, err
 	}
@@ -73,7 +73,7 @@ func unpackRR(msg []byte, off int) (RR, int, error) {
 	if off+rdlen > len(msg) {
 		return RR{}, 0, errRDataTruncated
 	}
-	rr.Data, err = unpackRData(rr.Type, msg, off, rdlen)
+	rr.Data, err = unpackRData(u, rr.Type, msg, off, rdlen, shared)
 	if err != nil {
 		return RR{}, 0, err
 	}

@@ -258,8 +258,10 @@ func (n *Network) ExchangeTraced(tr *obs.Trace, loc anycast.GeoPoint, dst netip.
 	target := n.nearestLive(dst, loc)
 	n.mu.Unlock()
 
+	// The wire buffer is freshly allocated per exchange and never reused,
+	// so the zero-copy unpacker can alias it safely.
 	var parsed dnswire.Message
-	if err := parsed.Unpack(wire); err != nil {
+	if err := parsed.UnpackShared(wire); err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	for _, o := range observers {
@@ -328,7 +330,7 @@ func (n *Network) ExchangeTraced(tr *obs.Trace, loc anycast.GeoPoint, dst netip.
 		return nil, rtt, fmt.Errorf("%w: server reply: %v", ErrMalformed, err)
 	}
 	var replyParsed dnswire.Message
-	if err := replyParsed.Unpack(replyWire); err != nil {
+	if err := replyParsed.UnpackShared(replyWire); err != nil {
 		tsp.End()
 		return nil, rtt, fmt.Errorf("%w: server reply: %v", ErrMalformed, err)
 	}

@@ -131,6 +131,10 @@ type Config struct {
 	// undelegated, so every later query under it is answered NXDOMAIN
 	// from cache — the paper's 61 %-bogus workload mostly dies here.
 	NXDomainCut bool
+	// CacheShards sets the cache's lock-shard count (rounded down to a
+	// power of two; 0 = cache.DefaultShards). One shard restores strict
+	// global LRU order at the cost of reader contention.
+	CacheShards int
 	// Seed makes server tie-breaking deterministic.
 	Seed int64
 }
@@ -230,9 +234,12 @@ func New(cfg Config) *Resolver {
 	if cfg.MaxQueries == 0 {
 		cfg.MaxQueries = 64
 	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = cache.DefaultShards
+	}
 	r := &Resolver{
 		cfg:       cfg,
-		cache:     cache.New(cfg.CacheCapacity, cfg.Clock),
+		cache:     cache.NewSharded(cfg.CacheCapacity, cfg.CacheShards, cfg.Clock),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		srtt:      make(map[netip.Addr]time.Duration),
 		health:    make(map[netip.Addr]*serverHealth),
@@ -574,7 +581,9 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			tr.Eventf("cache-hit", "%s %s (%d RRs)", qname, qtype, len(hit.RRs))
 		}
 		csp.End()
-		return dnswire.RcodeSuccess, hit.RRs, nil
+		// CopyRRs: the Result shares the cache's storage; callers get a
+		// private set with decayed TTLs.
+		return dnswire.RcodeSuccess, hit.CopyRRs(), nil
 	}
 	// Cached CNAME at the name also answers.
 	if qtype != dnswire.TypeCNAME {
@@ -584,7 +593,7 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 				tr.Eventf("cache-hit", "%s CNAME", qname)
 			}
 			csp.End()
-			return dnswire.RcodeSuccess, hit.RRs, nil
+			return dnswire.RcodeSuccess, hit.CopyRRs(), nil
 		}
 	}
 	// An NXDOMAIN cut at any ancestor (in practice: the TLD) answers the
@@ -648,7 +657,7 @@ func (r *Resolver) staleAnswer(qname dnswire.Name, qtype dnswire.Type) ([]dnswir
 	}
 	if hit, ok := r.cache.GetStale(qname, qtype, limit); ok {
 		r.count(func(s *Stats) { s.StaleAnswers++ })
-		return hit.RRs, true
+		return hit.CopyRRs(), true
 	}
 	return nil, false
 }
