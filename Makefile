@@ -15,7 +15,7 @@ verify-race:
 # Perf-trajectory snapshot: run the key benchmarks with fixed iteration
 # counts (stable comparisons, bounded runtime) and write a schema-stable
 # JSON report, then validate it and diff against the previous committed
-# snapshot if one exists. Set BENCH=BENCH_PR6.json for the next PR; the
+# snapshot if one exists. Set BENCH=BENCH_PR7.json for the next PR; the
 # committed snapshot is regression-checked by TestCommittedSnapshot in
 # internal/benchfmt, which `make verify` runs. Iteration counts are
 # pinned high enough that the derived overhead figures sit above the
@@ -23,13 +23,14 @@ verify-race:
 # negative tracing overhead. The cache package runs at -cpu=8 so the
 # sharded/single-lock parallel Get pair actually contends (the ratio is
 # only meaningful on a multi-core runner; single-core hovers near 1x).
-BENCH ?= BENCH_PR5.json
+BENCH ?= BENCH_PR6.json
 
 bench:
 	@set -e; \
 	( go test -run='^$$' -bench='^BenchmarkResolve$$' -benchtime=100000x -count=1 -benchmem ./internal/resolver; \
 	  go test -run='^$$' -bench='^BenchmarkResolveConcurrent$$' -benchtime=2000x -count=1 -benchmem ./internal/resolver; \
 	  go test -run='^$$' -bench=. -benchtime=1000000x -count=1 -benchmem ./internal/obs; \
+	  go test -run='^$$' -bench=. -benchtime=1000000x -count=1 -benchmem ./internal/obs/traffic; \
 	  go test -run='^$$' -bench=. -benchtime=100000x -count=1 -benchmem \
 	    ./internal/overload ./internal/dnswire ./internal/authserver; \
 	  go test -run='^$$' -bench='^BenchmarkCache$$/^(Get|Put)$$' -benchtime=100000x -count=1 -benchmem ./internal/cache; \

@@ -27,7 +27,12 @@
 //
 // Observability:
 //
-//	-admin 127.0.0.1:9154   HTTP admin endpoint: /metrics, /healthz, /statusz
+//	-admin 127.0.0.1:9154   HTTP admin endpoint: /metrics, /healthz, /statusz,
+//	                        /timeseries, /topk
+//	-traffic                classify arriving queries into the junk taxonomy
+//	                        against the served zone's delegations (default true)
+//	-traffic-topk 16        heavy-hitter table size (qnames and clients)
+//	-timeseries 1s          record /metrics history for /timeseries (0 disables)
 //	-pprof                  mount net/http/pprof at /debug/pprof/ on -admin
 //	-log-level info         debug | info | warn | error
 package main
@@ -46,6 +51,8 @@ import (
 	"rootless/internal/authserver"
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
+	"rootless/internal/obs/tsdb"
 	"rootless/internal/zone"
 )
 
@@ -65,6 +72,9 @@ func main() {
 	rrlSlip := flag.Int("rrl-slip", 2, "let every Nth RRL-suppressed response out truncated (0 = drop all)")
 	ansCache := flag.Int("answer-cache", authserver.DefaultAnswerCacheSize, "precompiled-answer cache capacity in entries (0 to disable)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9154; empty to disable)")
+	trafficOn := flag.Bool("traffic", true, "classify arriving queries into the junk taxonomy (/topk, rootless_traffic_*)")
+	trafficTopK := flag.Int("traffic-topk", 16, "heavy-hitter table size for /topk")
+	tsInterval := flag.Duration("timeseries", time.Second, "metric history recording interval for /timeseries (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
@@ -117,6 +127,15 @@ func main() {
 	}
 	logger.Info("serving zone", "origin", string(origin), "records", z.Len(), "serial", z.Serial())
 
+	var analyzer *traffic.Analyzer
+	if *trafficOn {
+		// The served zone's delegations are the valid-TLD universe (for a
+		// root zone that is exactly the TLD set).
+		analyzer = traffic.NewAnalyzer(traffic.NewTLDSet(z.Delegations()), *trafficTopK)
+		srv.SetTraffic(analyzer)
+		logger.Info("traffic analysis enabled", "tlds", len(z.Delegations()), "topk", *trafficTopK)
+	}
+
 	if *adminAddr != "" {
 		start := time.Now()
 		reg := obs.NewRegistry()
@@ -147,6 +166,14 @@ func main() {
 				}
 			},
 		}
+		if analyzer != nil {
+			admin.TopK = analyzer.Handler()
+		}
+		if *tsInterval > 0 {
+			rec := tsdb.NewRecorder(reg, tsdb.Options{Interval: *tsInterval})
+			admin.Timeseries = rec
+			go rec.Run(ctx)
+		}
 		go func() {
 			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
 				logger.Error("admin server", "err", err)
@@ -158,6 +185,10 @@ func main() {
 	if secondary != nil {
 		secondary.OnUpdate(func(nz *zone.Zone) {
 			srv.SetZone(nz)
+			if analyzer != nil {
+				// Keep the junk taxonomy tracking the replicated TLD set.
+				analyzer.SetTLDs(traffic.NewTLDSet(nz.Delegations()))
+			}
 			logger.Info("replicated zone", "serial", nz.Serial())
 		})
 		if *notifyAddr != "" {

@@ -28,10 +28,17 @@
 // Observability:
 //
 //	-admin 127.0.0.1:9153   HTTP admin endpoint: /metrics (Prometheus or
-//	                        ?format=json), /healthz, /tracez, /statusz
+//	                        ?format=json), /healthz, /tracez, /statusz,
+//	                        /timeseries, /topk
 //	-trace                  record per-query resolution traces (view at /tracez)
 //	-trace-slow 100ms       only keep traces at least this slow (0 = all)
 //	-trace-ring 128         how many recent traces to retain
+//	-traffic                classify queries into the junk taxonomy and track
+//	                        heavy hitters — /topk, rootless_traffic_* metrics,
+//	                        and class tags on /tracez traces (default true)
+//	-traffic-topk 16        heavy-hitter table size (qnames and clients)
+//	-timeseries 1s          record /metrics history at this interval for
+//	                        /timeseries (0 disables; needs -admin)
 //	-pprof                  mount net/http/pprof at /debug/pprof/ on -admin
 //	-log-level info         debug | info | warn | error
 package main
@@ -51,6 +58,8 @@ import (
 	"rootless/internal/anycast"
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
+	"rootless/internal/obs/tsdb"
 	"rootless/internal/resolver"
 	"rootless/internal/rootzone"
 	"rootless/internal/zone"
@@ -80,6 +89,9 @@ func main() {
 	traceOn := flag.Bool("trace", false, "record per-query resolution traces")
 	traceSlow := flag.Duration("trace-slow", 0, "retain only traces at least this slow (0 = all)")
 	traceRing := flag.Int("trace-ring", 128, "recent traces to retain for /tracez")
+	trafficOn := flag.Bool("traffic", true, "classify queries into the junk taxonomy (/topk, rootless_traffic_*)")
+	trafficTopK := flag.Int("traffic-topk", 16, "heavy-hitter table size for /topk")
+	tsInterval := flag.Duration("timeseries", time.Second, "metric history recording interval for /timeseries (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
@@ -169,6 +181,23 @@ func main() {
 		logger.Info("query tracing enabled", "ring", *traceRing, "slow_threshold", *traceSlow)
 	}
 
+	var analyzer *traffic.Analyzer
+	if *trafficOn {
+		// The junk taxonomy needs the valid-TLD universe: the local root
+		// zone copy when this mode carries one, the modeled corpus otherwise.
+		var tlds []dnswire.Name
+		if cfg.LocalZone != nil {
+			tlds = cfg.LocalZone.Delegations()
+		} else {
+			for _, t := range rootzone.TLDsAt(time.Now()) {
+				tlds = append(tlds, t.Name)
+			}
+		}
+		analyzer = traffic.NewAnalyzer(traffic.NewTLDSet(tlds), *trafficTopK)
+		r.SetTraffic(analyzer)
+		logger.Info("traffic analysis enabled", "tlds", len(tlds), "topk", *trafficTopK)
+	}
+
 	conn, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		fatal("listen: %v", err)
@@ -193,32 +222,16 @@ func main() {
 			Registry: reg,
 			Tracer:   tracer,
 			Pprof:    *pprofOn,
-			Status: func() map[string]any {
-				st := r.Stats()
-				status := map[string]any{
-					"component":        "resolverd",
-					"mode":             mode.String(),
-					"resolutions":      st.Resolutions,
-					"cache_answers":    st.CacheAnswers,
-					"upstream_queries": st.TotalQueries,
-					"root_queries":     st.RootQueries,
-					"coalesced":        st.CoalescedResolutions,
-					"shed":             st.ShedResolutions,
-					"nxdomain_cut":     st.NXDomainCutHits,
-					"cache_rrsets":     r.Cache().Len(),
-					"cache_pinned":     r.Cache().PinnedLen(),
-					"srtt_entries":     r.SRTTStateSize(),
-					"uptime_seconds":   time.Since(start).Seconds(),
-					"tracing":          tracer.Enabled(),
-				}
-				if serial, age, ok := r.LocalZoneStatus(); ok {
-					// The §5.3 staleness metric: how old is our root copy?
-					status["zone_serial"] = serial
-					status["zone_age_seconds"] = age.Seconds()
-				}
-				return status
-			},
 		}
+		if analyzer != nil {
+			admin.TopK = analyzer.Handler()
+		}
+		if *tsInterval > 0 {
+			rec := tsdb.NewRecorder(reg, tsdb.Options{Interval: *tsInterval})
+			admin.Timeseries = rec
+			go rec.Run(ctx)
+		}
+		admin.Status = statusFunc(r, tracer, mode, start)
 		go func() {
 			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
 				logger.Error("admin server", "err", err)
@@ -234,6 +247,38 @@ func main() {
 		"resolutions", st.Resolutions, "cache_answers", st.CacheAnswers,
 		"upstream_queries", st.TotalQueries, "root_queries", st.RootQueries,
 		"local_root_consults", st.LocalRootConsults)
+}
+
+func statusFunc(r *resolver.Resolver, tracer *obs.Tracer, mode resolver.RootMode, start time.Time) func() map[string]any {
+	return func() map[string]any {
+		st := r.Stats()
+		status := map[string]any{
+			"component":        "resolverd",
+			"mode":             mode.String(),
+			"resolutions":      st.Resolutions,
+			"cache_answers":    st.CacheAnswers,
+			"upstream_queries": st.TotalQueries,
+			"root_queries":     st.RootQueries,
+			"coalesced":        st.CoalescedResolutions,
+			"shed":             st.ShedResolutions,
+			"nxdomain_cut":     st.NXDomainCutHits,
+			"cache_rrsets":     r.Cache().Len(),
+			"cache_pinned":     r.Cache().PinnedLen(),
+			"srtt_entries":     r.SRTTStateSize(),
+			"uptime_seconds":   time.Since(start).Seconds(),
+			"tracing":          tracer.Enabled(),
+		}
+		if an := r.Traffic(); an != nil {
+			status["junk_share"] = an.JunkShare()
+			status["unique_qnames"] = an.UniqueQnames()
+		}
+		if serial, age, ok := r.LocalZoneStatus(); ok {
+			// The §5.3 staleness metric: how old is our root copy?
+			status["zone_serial"] = serial
+			status["zone_age_seconds"] = age.Seconds()
+		}
+		return status
+	}
 }
 
 func loadZone(path string) (*zone.Zone, error) {

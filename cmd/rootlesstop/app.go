@@ -1,0 +1,348 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// metricsDoc mirrors obs.Registry.WriteJSON: metric name → family.
+type metricsDoc map[string]metricFamily
+
+type metricFamily struct {
+	Kind   string         `json:"kind"`
+	Series []metricSeries `json:"series"`
+}
+
+type metricSeries struct {
+	Labels map[string]string `json:"labels"`
+	Value  float64           `json:"value"`
+	Count  float64           `json:"count"` // histograms
+	Sum    float64           `json:"sum"`   // histograms
+}
+
+// total sums Value across a family's series (labels collapse).
+func (m metricsDoc) total(name string) (float64, bool) {
+	f, ok := m[name]
+	if !ok {
+		return 0, false
+	}
+	v := 0.0
+	for _, s := range f.Series {
+		v += s.Value
+	}
+	return v, true
+}
+
+// byLabel indexes a family's series by one label key's values.
+func (m metricsDoc) byLabel(name, label string) map[string]metricSeries {
+	out := map[string]metricSeries{}
+	for _, s := range m[name].Series {
+		out[s.Labels[label]] = s
+	}
+	return out
+}
+
+// topkDoc mirrors the /topk JSON document.
+type topkDoc struct {
+	Observed      int64            `json:"observed"`
+	Clients       int64            `json:"clients_observed"`
+	Classes       map[string]int64 `json:"classes"`
+	JunkShare     float64          `json:"junk_share"`
+	UniqueQnames  float64          `json:"unique_qnames"`
+	UniqueClients float64          `json:"unique_clients"`
+	TopQnames     []topkRow        `json:"top_qnames"`
+	TopClients    []topkRow        `json:"top_clients"`
+}
+
+type topkRow struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err"`
+}
+
+// sample is one poll of a target's admin endpoint.
+type sample struct {
+	at      time.Time
+	status  map[string]any
+	metrics metricsDoc
+	topk    *topkDoc // nil when the daemon exposes no /topk
+}
+
+// targetState carries the previous sample so rates can be delta-computed.
+type targetState struct {
+	name string
+	base string // admin address, no scheme
+	prev *sample
+}
+
+type app struct {
+	targets []*targetState
+	topN    int
+	client  *http.Client
+}
+
+func newApp(args []string, topN int) *app {
+	a := &app{topN: topN, client: &http.Client{Timeout: 2 * time.Second}}
+	for _, arg := range args {
+		name, base := parseTarget(arg)
+		a.targets = append(a.targets, &targetState{name: name, base: base})
+	}
+	return a
+}
+
+func (a *app) getJSON(base, path string, into any) error {
+	resp, err := a.client.Get("http://" + base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, into)
+}
+
+// poll fetches one sample. /metrics and /statusz are required; /topk is
+// optional (404 on daemons without a traffic analyzer).
+func (a *app) poll(t *targetState, now time.Time) (*sample, error) {
+	s := &sample{at: now, metrics: metricsDoc{}, status: map[string]any{}}
+	if err := a.getJSON(t.base, "/metrics?format=json", &s.metrics); err != nil {
+		return nil, err
+	}
+	if err := a.getJSON(t.base, "/statusz", &s.status); err != nil {
+		return nil, err
+	}
+	var tk topkDoc
+	if err := a.getJSON(t.base, fmt.Sprintf("/topk?format=json&n=%d", a.topN), &tk); err == nil {
+		s.topk = &tk
+	}
+	return s, nil
+}
+
+// frame polls every target and renders the full dashboard.
+func (a *app) frame(now time.Time) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rootlesstop — %s\n", now.Format("15:04:05"))
+	for _, t := range a.targets {
+		sb.WriteByte('\n')
+		s, err := a.poll(t, now)
+		if err != nil {
+			fmt.Fprintf(&sb, "▌ %s — unreachable: %v\n", t.name, err)
+			t.prev = nil
+			continue
+		}
+		renderTarget(&sb, t, s)
+		t.prev = s
+	}
+	return sb.String()
+}
+
+// qpsCounters are the per-component "arriving work" counters, tried in
+// order: resolverd, authd, zonedist.
+var qpsCounters = []string{
+	"rootless_resolver_resolutions_total",
+	"rootless_authserver_queries_total",
+	"rootless_dist_requests_total",
+}
+
+// hitRatios maps components to their (hits, misses) counter pairs.
+var hitRatios = [][2]string{
+	{"rootless_cache_hits_total", "rootless_cache_misses_total"},
+	{"rootless_authserver_packed_hits_total", "rootless_authserver_packed_misses_total"},
+}
+
+func renderTarget(sb *strings.Builder, t *targetState, s *sample) {
+	component, _ := s.status["component"].(string)
+	if component == "" {
+		component = "daemon"
+	}
+	head := fmt.Sprintf("▌ %s (%s) @ %s", t.name, component, t.base)
+	if mode, ok := s.status["mode"].(string); ok {
+		head += "  mode=" + mode
+	}
+	if up, ok := s.status["uptime_seconds"].(float64); ok {
+		head += fmt.Sprintf("  up %s", (time.Duration(up) * time.Second).String())
+	}
+	sb.WriteString(head + "\n")
+
+	// Rates: deltas against the previous sample; cumulative on frame one.
+	dt := 0.0
+	var prev metricsDoc
+	if t.prev != nil {
+		dt = s.at.Sub(t.prev.at).Seconds()
+		prev = t.prev.metrics
+	}
+	rate := func(name string) (float64, bool) {
+		cur, ok := s.metrics.total(name)
+		if !ok {
+			return 0, false
+		}
+		if prev == nil || dt <= 0 {
+			return cur, true // cumulative until there is a delta baseline
+		}
+		was, _ := prev.total(name)
+		d := cur - was
+		if d < 0 {
+			d = 0
+		}
+		return d / dt, true
+	}
+
+	line := "  "
+	for _, name := range qpsCounters {
+		if v, ok := rate(name); ok {
+			unit := "q/s"
+			if prev == nil {
+				unit = "queries"
+			}
+			line += fmt.Sprintf("load %.1f %s", v, unit)
+			break
+		}
+	}
+	for _, pair := range hitRatios {
+		h, ok1 := s.metrics.total(pair[0])
+		m, ok2 := s.metrics.total(pair[1])
+		if !ok1 || !ok2 {
+			continue
+		}
+		if prev != nil {
+			ph, _ := prev.total(pair[0])
+			pm, _ := prev.total(pair[1])
+			h, m = h-ph, m-pm
+		}
+		if h+m > 0 {
+			line += fmt.Sprintf("   hit rate %.1f%%", 100*h/(h+m))
+		}
+		break
+	}
+	if tk := s.topk; tk != nil {
+		line += fmt.Sprintf("   junk %.1f%%   ~%.0f qnames   ~%.0f clients",
+			100*tk.JunkShare, tk.UniqueQnames, tk.UniqueClients)
+	}
+	sb.WriteString(line + "\n")
+
+	renderPhases(sb, prev, s.metrics)
+	renderComposition(sb, prev, s.metrics, s.topk)
+	if s.topk != nil {
+		renderTopK(sb, s.topk)
+	}
+}
+
+// renderPhases turns the rootless_trace_phase_seconds histogram sums into
+// a where-does-the-time-go attribution line.
+func renderPhases(sb *strings.Builder, prev, cur metricsDoc) {
+	const name = "rootless_trace_phase_seconds"
+	curBy := cur.byLabel(name, "phase")
+	if len(curBy) == 0 {
+		return
+	}
+	var prevBy map[string]metricSeries
+	if prev != nil {
+		prevBy = prev.byLabel(name, "phase")
+	}
+	total := 0.0
+	deltas := map[string]float64{}
+	for phase, se := range curBy {
+		d := se.Sum
+		if prevBy != nil {
+			d -= prevBy[phase].Sum
+		}
+		if d < 0 {
+			d = 0
+		}
+		deltas[phase] = d
+		total += d
+	}
+	if total <= 0 {
+		return
+	}
+	phases := make([]string, 0, len(deltas))
+	for p := range deltas {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool { return deltas[phases[i]] > deltas[phases[j]] })
+	line := "  phases:"
+	for _, p := range phases {
+		if share := deltas[p] / total; share >= 0.005 {
+			line += fmt.Sprintf(" %s %.0f%%", p, 100*share)
+		}
+	}
+	sb.WriteString(line + "\n")
+}
+
+// renderComposition prefers live interval deltas of the class counters;
+// /topk's cumulative classes are the fallback for the first frame.
+func renderComposition(sb *strings.Builder, prev, cur metricsDoc, tk *topkDoc) {
+	const name = "rootless_traffic_class_total"
+	curBy := cur.byLabel(name, "class")
+	counts := map[string]float64{}
+	total := 0.0
+	if len(curBy) > 0 {
+		var prevBy map[string]metricSeries
+		if prev != nil {
+			prevBy = prev.byLabel(name, "class")
+		}
+		for class, se := range curBy {
+			d := se.Value
+			if prevBy != nil {
+				d -= prevBy[class].Value
+			}
+			if d < 0 {
+				d = 0
+			}
+			counts[class] = d
+			total += d
+		}
+		if total <= 0 {
+			// Quiet interval: show the cumulative mix rather than nothing.
+			total = 0
+			for class, se := range curBy {
+				counts[class] = se.Value
+				total += se.Value
+			}
+		}
+	} else if tk != nil {
+		for class, n := range tk.Classes {
+			counts[class] = float64(n)
+			total += float64(n)
+		}
+	}
+	if total <= 0 {
+		return
+	}
+	classes := make([]string, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return counts[classes[i]] > counts[classes[j]] })
+	line := "  composition:"
+	for _, c := range classes {
+		if counts[c] > 0 {
+			line += fmt.Sprintf(" %s %.1f%%", c, 100*counts[c]/total)
+		}
+	}
+	sb.WriteString(line + "\n")
+}
+
+func renderTopK(sb *strings.Builder, tk *topkDoc) {
+	writeRows := func(title string, rows []topkRow) {
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Fprintf(sb, "  %s:\n", title)
+		for _, r := range rows {
+			fmt.Fprintf(sb, "    %10d (±%d)  %s\n", r.Count, r.Err, r.Key)
+		}
+	}
+	writeRows("top qnames", tk.TopQnames)
+	writeRows("top clients", tk.TopClients)
+}

@@ -1,0 +1,77 @@
+// Command rootlesstop is a live terminal dashboard over the admin
+// endpoints of running rootless daemons — top(1) for a resolverd /
+// authd / zonedist fleet. It polls /metrics?format=json, /statusz, and
+// /topk?format=json on each target and renders queries/sec, cache hit
+// rates, phase-latency attribution, traffic composition shares, and the
+// heavy-hitter tables, refreshing in place with plain ANSI (no external
+// dependencies, no curses).
+//
+// Usage:
+//
+//	rootlesstop 127.0.0.1:9153 127.0.0.1:9154
+//	rootlesstop -interval 2s resolver=127.0.0.1:9153 auth=127.0.0.1:9154
+//	rootlesstop -once 127.0.0.1:9153        # one frame, no screen control
+//
+// Targets are admin addresses (the daemons' -admin flag), optionally
+// prefixed with a display name. Rates are computed from deltas between
+// consecutive polls; the first frame shows cumulative values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	interval := flag.Duration("interval", time.Second, "poll and refresh interval")
+	once := flag.Bool("once", false, "render a single frame without screen control and exit")
+	topN := flag.Int("n", 5, "heavy-hitter rows per table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rootlesstop [-interval 1s] [-once] [-n 5] [name=]adminaddr ...")
+		os.Exit(2)
+	}
+	app := newApp(flag.Args(), *topN)
+
+	if *once {
+		os.Stdout.WriteString(app.frame(time.Now()))
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	// Alternate screen buffer: the shell's scrollback survives exit.
+	os.Stdout.WriteString("\x1b[?1049h\x1b[H\x1b[2J")
+	defer os.Stdout.WriteString("\x1b[?1049l")
+	render := func(now time.Time) {
+		// Home the cursor, draw erasing the tail of every overwritten line,
+		// then clear whatever the previous (maybe longer) frame left below —
+		// flicker-free in-place refresh.
+		frame := strings.ReplaceAll(app.frame(now), "\n", "\x1b[K\n")
+		os.Stdout.WriteString("\x1b[H" + frame + "\x1b[J")
+	}
+	render(time.Now())
+	for {
+		select {
+		case <-sig:
+			return
+		case now := <-tick.C:
+			render(now)
+		}
+	}
+}
+
+// parseTarget splits an optional "name=" prefix off an admin address.
+func parseTarget(arg string) (name, base string) {
+	if i := strings.IndexByte(arg, '='); i > 0 {
+		return arg[:i], arg[i+1:]
+	}
+	return arg, arg
+}

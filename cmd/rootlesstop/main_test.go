@@ -1,0 +1,130 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
+)
+
+// testDaemon fakes a resolverd admin endpoint: a registry with resolver-
+// shaped counters, phase histograms, and a live traffic analyzer.
+func testDaemon(t *testing.T) (*httptest.Server, *obs.Registry, *traffic.Analyzer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	an := traffic.NewAnalyzer(traffic.NewTLDSet([]dnswire.Name{"com.", "net."}), 8)
+	reg.AddCollector(obs.CollectorFunc(an.Collect))
+	admin := &obs.Admin{
+		Registry: reg,
+		Status: func() map[string]any {
+			return map[string]any{"component": "resolverd", "mode": "lookaside", "uptime_seconds": 12.0}
+		},
+		TopK: an.Handler(),
+	}
+	srv := httptest.NewServer(admin.Handler())
+	t.Cleanup(srv.Close)
+	return srv, reg, an
+}
+
+func TestFrameRendersLiveDashboard(t *testing.T) {
+	srv, reg, an := testDaemon(t)
+
+	resolutions := reg.Counter("rootless_resolver_resolutions_total", "t", nil)
+	hits := reg.Counter("rootless_cache_hits_total", "t", nil)
+	misses := reg.Counter("rootless_cache_misses_total", "t", nil)
+	netPhase := reg.Histogram("rootless_trace_phase_seconds", "t", obs.Labels{"phase": "net"}, nil)
+	cachePhase := reg.Histogram("rootless_trace_phase_seconds", "t", obs.Labels{"phase": "cache"}, nil)
+
+	resolutions.Set(100)
+	hits.Set(80)
+	misses.Set(20)
+	netPhase.Observe(0.9)
+	cachePhase.Observe(0.1)
+	for i := 0; i < 6; i++ {
+		an.Observe("www.example.com.", dnswire.TypeA)
+	}
+	for i := 0; i < 4; i++ {
+		an.Observe("printer.local.", dnswire.TypeA)
+	}
+
+	base := strings.TrimPrefix(srv.URL, "http://")
+	app := newApp([]string{"res=" + base}, 5)
+
+	t0 := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	first := app.frame(t0)
+	for _, want := range []string{
+		"▌ res (resolverd) @ " + base,
+		"mode=lookaside",
+		"load 100.0 queries", // first frame: cumulative
+		"hit rate 80.0%",
+		// 5 of the 6 www lookups are repeats, and repeats are junk in the
+		// paper's taxonomy: (5 repeats + 4 bogus) / 10 observed.
+		"junk 90.0%",
+		"phases: net 90% cache 10%",
+		"composition: valid_repeat 50.0% bogus_tld 40.0% valid 10.0%",
+		"top qnames:",
+		"www.example.com.",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("first frame missing %q:\n%s", want, first)
+		}
+	}
+
+	// Advance the world: +50 resolutions, +40 hits, +10 misses over 2s.
+	resolutions.Set(150)
+	hits.Set(120)
+	misses.Set(30)
+	second := app.frame(t0.Add(2 * time.Second))
+	for _, want := range []string{
+		"load 25.0 q/s",  // 50 resolutions / 2s
+		"hit rate 80.0%", // 40/(40+10) interval hits
+		// No class counter moved this interval, so composition falls back
+		// to the cumulative mix.
+		"composition: valid_repeat 50.0% bogus_tld 40.0% valid 10.0%",
+	} {
+		if !strings.Contains(second, want) {
+			t.Errorf("second frame missing %q:\n%s", want, second)
+		}
+	}
+}
+
+func TestFrameUnreachableTarget(t *testing.T) {
+	app := newApp([]string{"down=127.0.0.1:1"}, 5)
+	frame := app.frame(time.Now())
+	if !strings.Contains(frame, "unreachable") {
+		t.Fatalf("frame = %q", frame)
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	if n, b := parseTarget("res=127.0.0.1:9153"); n != "res" || b != "127.0.0.1:9153" {
+		t.Errorf("got %q %q", n, b)
+	}
+	if n, b := parseTarget("127.0.0.1:9153"); n != "127.0.0.1:9153" || b != "127.0.0.1:9153" {
+		t.Errorf("got %q %q", n, b)
+	}
+}
+
+// TestFrameWithoutTopK: a daemon without a traffic analyzer (no /topk)
+// still renders its load line.
+func TestFrameWithoutTopK(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("rootless_authserver_queries_total", "t", nil).Set(7)
+	admin := &obs.Admin{Registry: reg, Status: func() map[string]any {
+		return map[string]any{"component": "authd"}
+	}}
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+	app := newApp([]string{strings.TrimPrefix(srv.URL, "http://")}, 5)
+	frame := app.frame(time.Now())
+	if !strings.Contains(frame, "(authd)") || !strings.Contains(frame, "load 7.0 queries") {
+		t.Fatalf("frame:\n%s", frame)
+	}
+	if strings.Contains(frame, "junk") {
+		t.Error("junk line rendered without a /topk endpoint")
+	}
+}

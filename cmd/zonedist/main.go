@@ -33,6 +33,7 @@ import (
 	"rootless/internal/dnssec"
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
+	"rootless/internal/obs/tsdb"
 	"rootless/internal/rootzone"
 	"rootless/internal/zone"
 )
@@ -63,6 +64,7 @@ func serve(args []string) {
 	pubOut := fs.String("pub-out", "", "write the public KSK here for clients")
 	republish := fs.Duration("republish", 0, "re-sign and publish a fresh serial at this interval (0 = once)")
 	adminAddr := fs.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9155; empty to disable)")
+	tsInterval := fs.Duration("timeseries", time.Second, "metric history recording interval for /timeseries (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
 	logLevel := fs.String("log-level", "info", "log level: debug | info | warn | error")
 	_ = fs.Parse(args)
@@ -136,6 +138,11 @@ func serve(args []string) {
 				}
 				return status
 			},
+		}
+		if *tsInterval > 0 {
+			rec := tsdb.NewRecorder(reg, tsdb.Options{Interval: *tsInterval})
+			admin.Timeseries = rec
+			go rec.Run(ctx)
 		}
 		go func() {
 			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {

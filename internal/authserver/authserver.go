@@ -13,6 +13,7 @@ import (
 
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
 	"rootless/internal/overload"
 	"rootless/internal/zone"
 )
@@ -70,6 +71,12 @@ type Server struct {
 	// Pack calls outside the mutex so the truncation loop stays cheap.
 	anscache atomic.Pointer[answerCache]
 	packs    atomic.Int64
+
+	// traffic, when installed with SetTraffic, classifies every arriving
+	// query — including ones the limiters drop, which is the point of a
+	// junk-composition view. Opt-in so the packed-answer hit path stays
+	// sketch-free by default.
+	traffic atomic.Pointer[traffic.Analyzer]
 }
 
 // DefaultAnswerCacheSize bounds the precompiled-answer cache New installs.
@@ -84,6 +91,12 @@ func New(z *zone.Zone) *Server {
 	s.SetAnswerCache(DefaultAnswerCacheSize)
 	return s
 }
+
+// SetTraffic installs a streaming traffic analyzer (nil uninstalls).
+func (s *Server) SetTraffic(a *traffic.Analyzer) { s.traffic.Store(a) }
+
+// Traffic returns the installed analyzer (nil when none).
+func (s *Server) Traffic() *traffic.Analyzer { return s.traffic.Load() }
 
 // SetAnswerCache installs a fresh packed-answer cache bounded to capacity
 // entries, discarding any precompiled answers. capacity <= 0 disables
@@ -168,6 +181,9 @@ func (s *Server) Collect(reg *obs.Registry) {
 		reg.Gauge("rootless_authserver_rrl_states", "RRL response-class states resident", nil).
 			Set(float64(rrl.Tracked()))
 	}
+	if an := s.traffic.Load(); an != nil {
+		an.Collect(reg)
+	}
 }
 
 // Handle implements netsim.Handler: it answers one query message. A nil
@@ -198,6 +214,15 @@ func (s *Server) handle(tr *obs.Trace, q *dnswire.Message, from netip.Addr) (*dn
 	sp := tr.StartSpan(obs.PhaseAuth, "auth")
 	defer sp.End()
 	s.count(func(st *Stats) { st.Queries++ })
+	if an := s.traffic.Load(); an != nil {
+		if len(q.Questions) == 1 {
+			class := an.Observe(q.Questions[0].Name, q.Questions[0].Type)
+			tr.SetClass(class.String())
+		}
+		if from.IsValid() {
+			an.ObserveClient(from)
+		}
+	}
 	gate, clients, rrl := s.overloadState()
 	var now time.Time
 	if clients != nil || rrl != nil {

@@ -1,0 +1,35 @@
+package authserver
+
+import (
+	"net/netip"
+	"testing"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/obs/traffic"
+)
+
+// TestServerTrafficObserved pins the authserver analyzer hook: arriving
+// queries are classified before the answer path (drops included) and
+// valid client sources feed the client sketches.
+func TestServerTrafficObserved(t *testing.T) {
+	s := testServer(t)
+	an := traffic.NewAnalyzer(traffic.NewTLDSet([]dnswire.Name{"com.", "org."}), 8)
+	s.SetTraffic(an)
+
+	from := netip.MustParseAddr("192.0.2.7")
+	s.Handle(query("www.example.com.", dnswire.TypeA), from)
+	s.Handle(query("printer.local.", dnswire.TypeA), from)
+	s.Handle(query("nx.example.org.", dnswire.TypeA), netip.Addr{}) // anonymous source
+
+	counts := an.Counts()
+	if counts[traffic.ClassValid] != 2 || counts[traffic.ClassBogusTLD] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if an.Observed() != 3 {
+		t.Fatalf("observed = %d", an.Observed())
+	}
+	// Two observations of one address, none for the invalid source.
+	if got := an.UniqueClients(); got < 1 || got > 2 {
+		t.Fatalf("unique clients = %v, want ~1", got)
+	}
+}

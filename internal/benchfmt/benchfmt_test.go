@@ -101,6 +101,33 @@ func TestDerive(t *testing.T) {
 	}
 }
 
+func TestDeriveTrafficAndShardFlag(t *testing.T) {
+	entries := []Entry{
+		{Name: "BenchmarkTrafficClassify", Iterations: 1, NsPerOp: 28},
+		{Name: "BenchmarkTrafficObserve", Iterations: 1, NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkTrafficTopKHit", Iterations: 1, NsPerOp: 13},
+		{Name: "BenchmarkCache/GetParallel", Iterations: 1, NsPerOp: 100},
+		{Name: "BenchmarkCache/GetParallelSingleShard", Iterations: 1, NsPerOp: 76},
+	}
+	d := Derive(entries)
+	if d["traffic_classify_ns_per_op"] != 28 || d["traffic_observe_ns_per_op"] != 50 ||
+		d["traffic_topk_hit_ns_per_op"] != 13 {
+		t.Errorf("traffic figures: %+v", d)
+	}
+	if _, ok := d["traffic_observe_allocs_per_op"]; !ok {
+		t.Error("missing traffic_observe_allocs_per_op")
+	}
+	// The shard-speedup ratio comes from two wall-clock-unreliable
+	// benchmarks, so it must always carry the companion flag — a sub-1.0
+	// value on a core-starved runner is an artifact, not a regression.
+	if d["cache_shard_speedup"] != 0.76 {
+		t.Errorf("cache_shard_speedup = %v, want 0.76", d["cache_shard_speedup"])
+	}
+	if d["cache_shard_speedup_wall_clock_unreliable"] != 1 {
+		t.Error("cache_shard_speedup not flagged wall-clock-unreliable")
+	}
+}
+
 func TestDeriveNoiseClamp(t *testing.T) {
 	// A "negative overhead" smaller than the noise band is a measurement
 	// artifact and must come out as exactly zero, flagged as noise.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rootless/internal/dnswire"
+	"rootless/internal/obs/traffic"
 )
 
 // Analysis is the §2.2 classification of a trace.
@@ -70,9 +71,12 @@ func (a Analysis) ValidPerInstancePerSecond() float64 {
 	return float64(a.WindowValid) / a.Duration.Seconds() / float64(a.Instances)
 }
 
-// Analyzer classifies queries streamingly, in chronological order.
+// Analyzer classifies queries streamingly, in chronological order. The
+// bogus-TLD determination is delegated to obs/traffic's Classify — the
+// same function the live daemons run on their hot paths — so the offline
+// and streaming taxonomies cannot drift (TestTaxonomyParity pins this).
 type Analyzer struct {
-	valid    map[dnswire.Name]bool
+	tldSet   *traffic.TLDSet
 	newTLD   dnswire.Name
 	window   time.Duration
 	pairs    map[pairKey]bool
@@ -95,15 +99,11 @@ type tupleKey struct {
 
 // NewAnalyzer builds a classifier for the given TLD universe.
 func NewAnalyzer(validTLDs []dnswire.Name, newTLD dnswire.Name, window time.Duration) *Analyzer {
-	valid := make(map[dnswire.Name]bool, len(validTLDs))
-	for _, t := range validTLDs {
-		valid[t] = true
-	}
 	if window == 0 {
 		window = 15 * time.Minute
 	}
 	return &Analyzer{
-		valid:    valid,
+		tldSet:   traffic.NewTLDSet(validTLDs),
 		newTLD:   newTLD,
 		window:   window,
 		pairs:    make(map[pairKey]bool),
@@ -121,7 +121,7 @@ func (an *Analyzer) Observe(q Query) {
 		an.a.NewTLDQueries++
 		an.newRes[q.Resolver] = true
 	}
-	if !an.valid[tld] {
+	if traffic.Classify(q.Name, q.Type, an.tldSet).InvalidTLD() {
 		an.a.BogusTLD++
 		an.resolver[q.Resolver] |= 2
 		return

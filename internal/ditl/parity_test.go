@@ -1,0 +1,86 @@
+package ditl
+
+import (
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/obs/traffic"
+)
+
+// TestTaxonomyParity pins the unified junk taxonomy: the offline DITL
+// analyzer and the live obs/traffic analyzer, fed the same query
+// stream, must agree query-for-query on the bogus-TLD determination.
+// The streaming side may further refine valid queries into repeats, so
+// the invariant is: ditl.BogusTLD == traffic's invalid-TLD classes, and
+// ditl's valid remainder == traffic's valid + repeat + private-PTR.
+func TestTaxonomyParity(t *testing.T) {
+	tlds := testTLDs()
+	cfg := DefaultGenConfig(tlds)
+	cfg.TotalQueries = 30000
+	cfg.Resolvers = 300
+	cfg.BogusOnlyResolvers = 50
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offline := Analyze(trace, tlds, cfg.NewTLD, 15*time.Minute)
+
+	set := traffic.NewTLDSet(tlds)
+	live := traffic.NewAnalyzer(set, 16)
+	perQuery := 0 // invalid-TLD verdicts, query by query
+	for _, q := range trace.Queries {
+		if live.Observe(q.Name, q.Type).InvalidTLD() {
+			perQuery++
+		}
+	}
+
+	counts := live.Counts()
+	liveBogus := counts[traffic.ClassBogusTLD] + counts[traffic.ClassChromiumProbe]
+	if int64(offline.BogusTLD) != liveBogus {
+		t.Errorf("bogus parity: ditl %d, traffic %d", offline.BogusTLD, liveBogus)
+	}
+	if offline.BogusTLD != perQuery {
+		t.Errorf("per-query parity: ditl %d, traffic %d", offline.BogusTLD, perQuery)
+	}
+	valid := counts[traffic.ClassValid] + counts[traffic.ClassValidRepeat] + counts[traffic.ClassPTRPrivate]
+	if int64(offline.Total-offline.BogusTLD) != valid {
+		t.Errorf("valid parity: ditl %d, traffic %d", offline.Total-offline.BogusTLD, valid)
+	}
+	if live.Observed() != int64(offline.Total) {
+		t.Errorf("totals: ditl %d, traffic %d", offline.Total, live.Observed())
+	}
+
+	// The generator's repeat clusters are dense enough that the live
+	// analyzer's duplicate filter must notice some of them.
+	if counts[traffic.ClassValidRepeat] == 0 {
+		t.Error("no repeats detected in a trace built around redundancy")
+	}
+}
+
+// TestClassifyMatchesValidMap cross-checks the classifier against the
+// plain valid-TLD map on every name shape the generator emits.
+func TestClassifyMatchesValidMap(t *testing.T) {
+	tlds := testTLDs()
+	valid := make(map[dnswire.Name]bool, len(tlds))
+	for _, tld := range tlds {
+		valid[tld] = true
+	}
+	cfg := DefaultGenConfig(tlds)
+	cfg.TotalQueries = 8000
+	cfg.Resolvers = 120
+	cfg.BogusOnlyResolvers = 20
+	trace, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := traffic.NewTLDSet(tlds)
+	for _, q := range trace.Queries {
+		got := traffic.Classify(q.Name, q.Type, set).InvalidTLD()
+		want := !valid[q.TLD()]
+		if got != want {
+			t.Fatalf("%q: classifier says invalid=%v, valid map says %v", q.Name, got, want)
+		}
+	}
+}

@@ -12,7 +12,10 @@ import (
 	"rootless/internal/authserver"
 	"rootless/internal/ditl"
 	"rootless/internal/dnswire"
+	"rootless/internal/metrics"
 	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
+	"rootless/internal/obs/tsdb"
 	"rootless/internal/resolver"
 )
 
@@ -48,7 +51,7 @@ type loadOutcome struct {
 	coalesced      int64
 	cutHits        int64 // NXDOMAIN-cut cache answers
 	rootQueries    int64
-	p99            time.Duration // over answered legit queries, virtual
+	p99            time.Duration   // over answered legit queries, virtual
 	attr           obs.Attribution // hot-half latency attribution (warm half subtracted)
 }
 
@@ -330,6 +333,116 @@ func Overload(queries int) Result {
 		return ok, len(names), st.ShedResolutions, st.StaleAnswers
 	}()
 
+	// Composition over time: a flood's junk mix is not static, it ramps.
+	// Replay a trace whose injected bogus share climbs chunk by chunk
+	// through a traffic.Analyzer-instrumented resolver (the same streaming
+	// classifier the daemons mount on their hot path) and require the
+	// measured invalid-TLD share to track the injected ramp twice over:
+	// live, from per-chunk class-counter deltas, and after the fact, from
+	// the embedded tsdb recorder's metric history.
+	ramp := []float64{0.2, 0.45, 0.7, 0.9}
+	chunkN := queries / 2
+	compInjected := make([]float64, len(ramp))
+	compMeasured := make([]float64, len(ramp))
+	compOK := true
+	histOK := false
+	histText := "no recorded history"
+	{
+		city++
+		r := w.newResolver(resolver.RootModeHints, city, 800, func(c *resolver.Config) {
+			c.Coalesce = true
+			c.NXDomainCut = true
+		})
+		an := traffic.NewAnalyzer(traffic.NewTLDSet(w.tlds), 8)
+		r.SetTraffic(an)
+		reg := obs.NewRegistry()
+		reg.AddCollector(r)
+		rec := tsdb.NewRecorder(reg, tsdb.Options{Interval: time.Second})
+		t0 := w.date
+		rec.Record(t0) // baseline tick before any traffic
+		prev := an.Counts()
+		for i, share := range ramp {
+			cfg := scaledDITLConfig(chunkN)
+			cfg.Seed = 800 + int64(i)
+			cfg.BogusShare = share
+			tr, err := ditl.Generate(cfg)
+			if err != nil {
+				return Result{ID: "t_overload", Title: "Overload behaviour", Notes: err.Error()}
+			}
+			truth := 0
+			for _, q := range tr.Queries {
+				_, _ = r.Resolve(q.Name, q.Type)
+				if !valid[q.Name.TLD()] {
+					truth++
+				}
+			}
+			rec.Record(t0.Add(time.Duration(i+1) * time.Second))
+			cur := an.Counts()
+			var dBogus, dTotal int64
+			for c := range cur {
+				d := cur[c] - prev[c]
+				dTotal += d
+				if traffic.Class(c).InvalidTLD() {
+					dBogus += d
+				}
+			}
+			prev = cur
+			compInjected[i] = float64(truth) / float64(len(tr.Queries))
+			if dTotal > 0 {
+				compMeasured[i] = float64(dBogus) / float64(dTotal)
+			}
+			// The class counters are exact counts, so the measured share
+			// must equal the trace's realised share; the looser bound
+			// against the configured share only absorbs generator rounding.
+			if !within(compMeasured[i], compInjected[i], 0.02) || !within(compMeasured[i], share, 0.1) {
+				compOK = false
+			}
+		}
+		// The recorded history must tell the same story: one point per
+		// chunk whose per-interval invalid-TLD rate climbs with the ramp.
+		byName := map[string]traffic.Class{}
+		for _, c := range traffic.Classes() {
+			byName[c.String()] = c
+		}
+		sums := map[time.Time]float64{}
+		var ticks []tsdb.Point
+		for _, sd := range rec.Series(0, "rootless_traffic_class_total") {
+			if !byName[sd.Labels["class"]].InvalidTLD() {
+				continue
+			}
+			for _, p := range sd.Points {
+				if _, seen := sums[p.T]; !seen {
+					ticks = append(ticks, p)
+				}
+				sums[p.T] += p.V
+			}
+		}
+		for i := range ticks {
+			ticks[i].V = sums[ticks[i].T]
+		}
+		rates := tsdb.Rate(ticks)
+		histOK = len(rates) == len(ramp)
+		var parts []string
+		for i, p := range rates {
+			parts = append(parts, fmt.Sprintf("%.0f", p.V))
+			if i > 0 && p.V <= rates[i-1].V {
+				histOK = false
+			}
+		}
+		if len(parts) > 0 {
+			histText = strings.Join(parts, "/") + " queries per tick"
+		}
+	}
+	compSeries := metrics.Series{
+		Name:   "t_overload composition ramp (injected vs measured bogus share)",
+		XLabel: "chunk", YLabel: "invalid-TLD share",
+	}
+	var compText []string
+	for i := range ramp {
+		compSeries.Append(float64(i), compMeasured[i])
+		compText = append(compText, fmt.Sprintf("%.0f%%→%.1f%%", 100*ramp[i], 100*compMeasured[i]))
+	}
+
 	junkHold := byJunk[0].goodput() >= 0.8*base.goodput() && byJunk[1].goodput() >= 0.8*base.goodput() &&
 		at4.cutHits > 0
 
@@ -354,6 +467,10 @@ func Overload(queries int) Result {
 			row("junk sweep at 4× (20%,90% bogus)", "goodput holds, junk absorbed by NXDOMAIN cut", "%s",
 				fmt.Sprintf("%.0f%% / %.0f%%, %d cut hits at 61%%", 100*byJunk[0].goodput(),
 					100*byJunk[1].goodput(), at4.cutHits))(junkHold),
+			row("composition ramp (injected→measured bogus)", "streaming analyzer tracks the mix per chunk", "%s",
+				strings.Join(compText, ", "))(compOK),
+			row("composition history via /timeseries recorder", "per-tick invalid-TLD rate climbs with the ramp", "%s",
+				histText)(histOK),
 			row("local-root modes at 4×", "goodput holds with zero root traffic", "%s",
 				strings.Join(modeText, ", "))(modesHold),
 			row("thundering herd of 64 on one name", "one upstream flight",
@@ -373,6 +490,7 @@ func Overload(queries int) Result {
 				attrMS(at4.attr.NetNS), attrMS(at4.attr.OverloadWaitNS), attrMS(base.attr.OverloadWaitNS))(
 				at4.attr.NetNS > 0 && at4.attr.OverloadWaitNS > base.attr.OverloadWaitNS),
 		},
+		Series: []metrics.Series{compSeries},
 		Notes: fmt.Sprintf("capacity %d slots, %v per upstream exchange; offered load = workers/capacity; %d coalesced at 4×",
 			capacity, wireDelay, at4.coalesced),
 	}

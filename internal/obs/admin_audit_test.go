@@ -1,0 +1,155 @@
+// Admin endpoint contract audit. This lives in an external test package
+// so it can mount the real /timeseries and /topk handlers (obs/tsdb and
+// obs/traffic import obs, so obs's own tests cannot import them back).
+//
+// The contract under audit, for every admin endpoint:
+//   - a successful response carries an explicit Content-Type
+//   - an unknown value for a recognised query parameter is a 400, not a
+//     silent fallback to the default rendering
+package obs_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
+	"rootless/internal/obs/tsdb"
+)
+
+// auditAdmin builds a fully-populated Admin: registry with a counter,
+// tracer with two class-tagged traces, a ticked recorder, and a traffic
+// analyzer that has observed a small mixed workload.
+func auditAdmin(t *testing.T) *obs.Admin {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("rootless_audit_total", "t", nil).Set(3)
+
+	tc := obs.NewTracer(8, 0)
+	tc.SetEnabled(true)
+	for _, q := range []struct{ name, class string }{
+		{"www.example.com.", "valid"},
+		{"printer.local.", "bogus_tld"},
+	} {
+		tr := tc.Begin(q.name, "A")
+		tr.SetClass(q.class)
+		tr.Finish("NOERROR", time.Millisecond, 1, nil)
+	}
+
+	rec := tsdb.NewRecorder(reg, tsdb.Options{Interval: time.Second, PointsPerLevel: 8, Levels: 2})
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		now = now.Add(time.Second)
+		rec.Record(now)
+	}
+
+	an := traffic.NewAnalyzer(traffic.NewTLDSet([]dnswire.Name{"com.", "net."}), 8)
+	an.Observe("www.example.com.", dnswire.TypeA)
+	an.Observe("printer.local.", dnswire.TypeA)
+
+	return &obs.Admin{
+		Registry:   reg,
+		Tracer:     tc,
+		Status:     func() map[string]any { return map[string]any{"mode": "audit"} },
+		Timeseries: rec,
+		TopK:       an.Handler(),
+	}
+}
+
+func TestAdminEndpointContract(t *testing.T) {
+	h := auditAdmin(t).Handler()
+	cases := []struct {
+		url      string
+		wantCode int
+		wantCT   string // exact match; "" = don't care (error responses)
+	}{
+		{"/metrics", 200, "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics?format=text", 200, "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics?format=json", 200, "application/json"},
+		{"/metrics?format=xml", 400, ""},
+
+		{"/healthz", 200, "text/plain; charset=utf-8"},
+
+		{"/tracez", 200, "text/plain; charset=utf-8"},
+		{"/tracez?format=json", 200, "application/json"},
+		{"/tracez?format=json&class=bogus_tld", 200, "application/json"},
+		{"/tracez?class=nonexistent_class", 200, "text/plain; charset=utf-8"},
+		{"/tracez?format=yaml", 400, ""},
+
+		{"/statusz", 200, "application/json"},
+
+		{"/timeseries", 200, "application/json"},
+		{"/timeseries?format=json&rate=1", 200, "application/json"},
+		{"/timeseries?format=csv&level=1", 200, "text/csv; charset=utf-8"},
+		{"/timeseries?format=xml", 400, ""},
+		{"/timeseries?level=9", 400, ""},
+		{"/timeseries?level=x", 400, ""},
+		{"/timeseries?rate=maybe", 400, ""},
+
+		{"/topk", 200, "text/plain; charset=utf-8"},
+		{"/topk?format=text&n=5", 200, "text/plain; charset=utf-8"},
+		{"/topk?format=json", 200, "application/json"},
+		{"/topk?format=xml", 400, ""},
+		{"/topk?n=0", 400, ""},
+		{"/topk?n=x", 400, ""},
+
+		{"/", 200, "text/plain; charset=utf-8"},
+		{"/no-such-endpoint", 404, ""},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", c.url, nil))
+		if w.Code != c.wantCode {
+			t.Errorf("%s: code %d, want %d (body %q)", c.url, w.Code, c.wantCode, w.Body.String())
+			continue
+		}
+		if c.wantCT != "" && w.Header().Get("Content-Type") != c.wantCT {
+			t.Errorf("%s: Content-Type %q, want %q", c.url, w.Header().Get("Content-Type"), c.wantCT)
+		}
+		if w.Code == 200 && w.Header().Get("Content-Type") == "" {
+			t.Errorf("%s: 200 with no Content-Type", c.url)
+		}
+	}
+}
+
+// TestTracezClassFilter checks /tracez?class= semantics, not just codes:
+// the filtered document contains exactly the traces tagged with the class.
+func TestTracezClassFilter(t *testing.T) {
+	h := auditAdmin(t).Handler()
+	get := func(url string) []struct {
+		Qname string `json:"qname"`
+		Class string `json:"class"`
+	} {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		if w.Code != 200 {
+			t.Fatalf("%s: code %d", url, w.Code)
+		}
+		var traces []struct {
+			Qname string `json:"qname"`
+			Class string `json:"class"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &traces); err != nil && !strings.Contains(w.Body.String(), "null") {
+			t.Fatalf("%s: %v", url, err)
+		}
+		return traces
+	}
+	all := get("/tracez?format=json")
+	if len(all) != 2 {
+		t.Fatalf("unfiltered traces: %d, want 2", len(all))
+	}
+	bogus := get("/tracez?format=json&class=bogus_tld")
+	if len(bogus) != 1 || bogus[0].Qname != "printer.local." || bogus[0].Class != "bogus_tld" {
+		t.Errorf("class filter returned %+v", bogus)
+	}
+	if none := get("/tracez?format=json&class=ptr_private"); len(none) != 0 {
+		t.Errorf("empty filter returned %+v", none)
+	}
+}
+
+var _ http.Handler = (*tsdb.Recorder)(nil) // Recorder must stay mountable as Admin.Timeseries

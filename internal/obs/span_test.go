@@ -24,6 +24,7 @@ func enabledTracer(ring int) *Tracer {
 // error outcome — every field of the export schema populated.
 func spanFixture(tc *Tracer) *Trace {
 	tr := tc.Begin("www.example.com.", "A")
+	tr.SetClass("valid") // class is omitempty: set it so the golden pins it
 	sp := tr.StartSpan(PhaseCache, "cache-probe")
 	sp.SetDetail("probe")
 	att := tr.StartSpan(PhaseNet, "attempt")

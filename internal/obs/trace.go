@@ -148,6 +148,22 @@ func (t *Tracer) Recent() []*Trace {
 	return append([]*Trace(nil), t.ring...)
 }
 
+// RecentByClass returns the retained traces whose classification tag
+// equals class, oldest first ("" returns everything). Nil-safe.
+func (t *Tracer) RecentByClass(class string) []*Trace {
+	all := t.Recent()
+	if class == "" {
+		return all
+	}
+	out := all[:0]
+	for _, tr := range all {
+		if tr.QueryClass() == class {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
 // Seen returns how many traces finished (kept or not). Nil-safe.
 func (t *Tracer) Seen() int64 {
 	if t == nil {
@@ -167,7 +183,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 
 // WriteText dumps the retained traces as human-readable trace trees.
 func (t *Tracer) WriteText(w io.Writer) error {
-	traces := t.Recent()
+	return writeTraceTrees(w, t.Recent())
+}
+
+func writeTraceTrees(w io.Writer, traces []*Trace) error {
 	if len(traces) == 0 {
 		_, err := io.WriteString(w, "no traces recorded\n")
 		return err
@@ -221,6 +240,11 @@ type Trace struct {
 	Wall    time.Duration `json:"wall"`
 	Queries int           `json:"queries"`
 
+	// Class is the traffic classification tag (obs/traffic class name,
+	// e.g. "bogus_tld"), set by SetClass when the daemon runs a traffic
+	// analyzer; /tracez can filter on it with ?class=.
+	Class string `json:"class,omitempty"`
+
 	// Attr is the per-phase latency breakdown computed by Finish from
 	// the span tree.
 	Attr Attribution `json:"attribution"`
@@ -241,6 +265,27 @@ func (tr *Trace) Eventf(kind, format string, args ...any) {
 	tr.mu.Lock()
 	tr.Events = append(tr.Events, Event{At: at, Depth: tr.depth, Kind: kind, Detail: fmt.Sprintf(format, args...)})
 	tr.mu.Unlock()
+}
+
+// SetClass tags the trace with its traffic classification. Nil-safe.
+func (tr *Trace) SetClass(class string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.Class = class
+	tr.mu.Unlock()
+}
+
+// QueryClass returns the traffic classification tag ("" when untagged).
+// Nil-safe; reads under the trace lock so scrapes never race SetClass.
+func (tr *Trace) QueryClass() string {
+	if tr == nil {
+		return ""
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.Class
 }
 
 // Push increases the depth (entering a referral hop or glue chase).
@@ -297,6 +342,7 @@ type traceJSON struct {
 	Latency     time.Duration `json:"latency"`
 	Wall        time.Duration `json:"wall"`
 	Queries     int           `json:"queries"`
+	Class       string        `json:"class,omitempty"`
 	Attribution Attribution   `json:"attribution"`
 	Events      []Event       `json:"events"`
 	Spans       []*SpanJSON   `json:"spans"`
@@ -315,6 +361,7 @@ func (tr *Trace) MarshalJSON() ([]byte, error) {
 		Latency:     tr.Latency,
 		Wall:        tr.Wall,
 		Queries:     tr.Queries,
+		Class:       tr.Class,
 		Attribution: tr.Attr,
 		Events:      append([]Event(nil), tr.Events...),
 	}
@@ -335,6 +382,9 @@ func (tr *Trace) Tree() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s %s rcode=%s latency=%v queries=%d wall=%v",
 		tr.Qname, tr.Qtype, tr.Rcode, tr.Latency, tr.Queries, tr.Wall)
+	if tr.Class != "" {
+		fmt.Fprintf(&sb, " class=%s", tr.Class)
+	}
 	if tr.Err != "" {
 		fmt.Fprintf(&sb, " err=%q", tr.Err)
 	}

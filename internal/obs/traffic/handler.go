@@ -1,0 +1,104 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// topkDoc is the JSON shape of the /topk admin view.
+type topkDoc struct {
+	Observed      int64            `json:"observed"`
+	Clients       int64            `json:"clients_observed"`
+	Classes       map[string]int64 `json:"classes"`
+	JunkShare     float64          `json:"junk_share"`
+	UniqueQnames  float64          `json:"unique_qnames"`
+	UniqueClients float64          `json:"unique_clients"`
+	TopQnames     []topkRow        `json:"top_qnames"`
+	TopClients    []topkRow        `json:"top_clients"`
+}
+
+type topkRow struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err"`
+}
+
+// Handler serves the /topk admin view: composition shares, cardinality
+// estimates, and the heavy-hitter tables. Text by default,
+// ?format=json for JSON; ?n= bounds the table size. Bad query
+// parameters get a 400, matching the admin endpoint contract.
+func (a *Analyzer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n parameter (want a positive integer)", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			a.writeText(w, n)
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(a.doc(n))
+		default:
+			http.Error(w, "bad format parameter (want text or json)", http.StatusBadRequest)
+		}
+	})
+}
+
+func (a *Analyzer) doc(n int) topkDoc {
+	counts := a.Counts()
+	doc := topkDoc{
+		Observed:      a.Observed(),
+		Clients:       a.clients.Load(),
+		Classes:       make(map[string]int64, NumClasses),
+		JunkShare:     a.JunkShare(),
+		UniqueQnames:  a.UniqueQnames(),
+		UniqueClients: a.UniqueClients(),
+	}
+	for _, c := range Classes() {
+		doc.Classes[c.String()] = counts[c]
+	}
+	for _, e := range a.TopQnames(n) {
+		doc.TopQnames = append(doc.TopQnames, topkRow{Key: e.Key, Count: e.Count, Err: e.Err})
+	}
+	for _, e := range a.TopClients(n) {
+		doc.TopClients = append(doc.TopClients, topkRow{Key: e.Key.String(), Count: e.Count, Err: e.Err})
+	}
+	return doc
+}
+
+func (a *Analyzer) writeText(w http.ResponseWriter, n int) {
+	doc := a.doc(n)
+	fmt.Fprintf(w, "traffic composition: %d queries, %d client observations\n", doc.Observed, doc.Clients)
+	for _, c := range Classes() {
+		share := 0.0
+		if doc.Observed > 0 {
+			share = float64(doc.Classes[c.String()]) / float64(doc.Observed)
+		}
+		fmt.Fprintf(w, "  %-15s %10d  %5.1f%%\n", c.String(), doc.Classes[c.String()], 100*share)
+	}
+	fmt.Fprintf(w, "junk share: %.1f%%; unique qnames ~%.0f, unique clients ~%.0f\n",
+		100*doc.JunkShare, doc.UniqueQnames, doc.UniqueClients)
+	writeTable := func(title string, rows []topkRow) {
+		fmt.Fprintf(w, "%s:\n", title)
+		if len(rows) == 0 {
+			fmt.Fprintf(w, "  (none)\n")
+			return
+		}
+		for _, row := range rows {
+			fmt.Fprintf(w, "  %10d (±%d)  %s\n", row.Count, row.Err, row.Key)
+		}
+	}
+	writeTable("top qnames", doc.TopQnames)
+	writeTable("top clients", doc.TopClients)
+}

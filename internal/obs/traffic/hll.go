@@ -1,0 +1,88 @@
+package traffic
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HLL is a HyperLogLog cardinality sketch over pre-hashed 64-bit values.
+// With precision p it keeps 2^p registers and estimates distinct counts
+// with a standard error of ~1.04/sqrt(2^p) — p=12 (4 KiB of state as
+// bytes; 16 KiB here because registers are atomic.Uint32 for lock-free
+// hot-path updates) gives ~1.6 %. Add is a shift, a leading-zero count,
+// and a CAS-max: a handful of nanoseconds, safe from any goroutine.
+type HLL struct {
+	p    uint8
+	regs []atomic.Uint32
+}
+
+// DefaultHLLPrecision balances memory (4096 registers) against a ~1.6 %
+// standard error — far below the shares the composition story needs.
+const DefaultHLLPrecision = 12
+
+// NewHLL creates a sketch with 2^p registers (4 ≤ p ≤ 16).
+func NewHLL(p uint8) *HLL {
+	if p < 4 {
+		p = 4
+	}
+	if p > 16 {
+		p = 16
+	}
+	return &HLL{p: p, regs: make([]atomic.Uint32, 1<<p)}
+}
+
+// Add observes one hashed value.
+func (h *HLL) Add(x uint64) {
+	if h == nil {
+		return
+	}
+	idx := x >> (64 - h.p)
+	// Rank = position of the first 1-bit in the remaining 64-p bits,
+	// capped when they are all zero.
+	rank := uint32(bits.LeadingZeros64(x<<h.p|1<<(uint(h.p)-1))) + 1
+	reg := &h.regs[idx]
+	for {
+		cur := reg.Load()
+		if rank <= cur || reg.CompareAndSwap(cur, rank) {
+			return
+		}
+	}
+}
+
+// Estimate returns the approximate number of distinct values added.
+func (h *HLL) Estimate() float64 {
+	if h == nil {
+		return 0
+	}
+	m := float64(uint64(1) << h.p)
+	sum := 0.0
+	zeros := 0
+	for i := range h.regs {
+		r := h.regs[i].Load()
+		if r == 0 {
+			zeros++
+		}
+		sum += 1 / float64(uint64(1)<<r)
+	}
+	est := alpha(h.p) * m * m / sum
+	// Small-range correction: linear counting while registers are sparse.
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// alpha is the standard HyperLogLog bias-correction constant.
+func alpha(p uint8) float64 {
+	switch p {
+	case 4:
+		return 0.673
+	case 5:
+		return 0.697
+	case 6:
+		return 0.709
+	}
+	m := float64(uint64(1) << p)
+	return 0.7213 / (1 + 1.079/m)
+}

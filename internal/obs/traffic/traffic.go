@@ -1,0 +1,251 @@
+// Package traffic is the streaming query-composition analyzer: the §2.2
+// junk taxonomy applied not to an offline DITL trace but to the live
+// query stream on the resolver and authserver hot paths. A pure,
+// allocation-free classifier buckets each query into the shared class
+// enum (valid, repeated, bogus TLD, Chromium-probe-shaped, private-space
+// PTR), and sketch-based aggregates — a Filtered Space-Saving top-K for
+// heavy-hitter qnames/clients and a HyperLogLog for unique-qname/
+// unique-client cardinality — answer "what is the traffic composed of,
+// right now?" in fixed memory. internal/ditl's offline analyzer routes
+// its bogus-TLD determination through the same Classify, so the live and
+// offline taxonomies cannot drift (pinned by a parity test).
+package traffic
+
+import (
+	"sync/atomic"
+
+	"rootless/internal/dnswire"
+)
+
+// Class is one bucket of the query-composition taxonomy. The zero value
+// is ClassValid so a nil analyzer's Observe can return it harmlessly.
+type Class uint8
+
+// The taxonomy. Order is stable: counters and exposition index by it.
+const (
+	// ClassValid names an existing TLD and none of the junk shapes apply.
+	ClassValid Class = iota
+	// ClassValidRepeat is a valid query whose exact (qname, qtype) was
+	// observed recently — the redundancy an upstream cache would absorb.
+	ClassValidRepeat
+	// ClassBogusTLD names a TLD that does not exist in the root zone.
+	ClassBogusTLD
+	// ClassChromiumProbe is the single-label random-alpha probe shape
+	// Chromium issues to detect NXDOMAIN-rewriting middleboxes (7-15
+	// lowercase letters, no dots) — a large, identifiable junk family.
+	ClassChromiumProbe
+	// ClassPTRPrivate is a PTR query under in-addr.arpa for RFC 1918 /
+	// loopback / link-local space — leaked reverse lookups that can never
+	// have a public answer.
+	ClassPTRPrivate
+
+	// NumClasses sizes per-class arrays.
+	NumClasses = int(ClassPTRPrivate) + 1
+)
+
+// classNames are the exposition labels; fixed array so String is
+// allocation-free on the hot path.
+var classNames = [NumClasses]string{
+	"valid", "valid_repeat", "bogus_tld", "chromium_probe", "ptr_private",
+}
+
+// String returns the stable exposition label ("bogus_tld", ...).
+func (c Class) String() string {
+	if int(c) < NumClasses {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// Classes lists every class in counter order.
+func Classes() []Class {
+	out := make([]Class, NumClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// InvalidTLD reports whether the class means "the TLD does not exist" —
+// the paper's bogus-TLD bucket. ditl's offline analyzer counts exactly
+// these as BogusTLD, keeping the two taxonomies share-for-share equal.
+func (c Class) InvalidTLD() bool {
+	return c == ClassBogusTLD || c == ClassChromiumProbe
+}
+
+// Junk reports whether the query is junk in the §2.2 sense: it should
+// never have reached a root server (bogus TLD, probe, leaked private
+// PTR) or would have been absorbed by any reasonable cache (repeat).
+func (c Class) Junk() bool { return c != ClassValid }
+
+// TLDSet is the valid-TLD universe the classifier checks names against.
+// Immutable once built; swap a fresh set atomically via Analyzer.SetTLDs
+// when the zone reloads.
+type TLDSet struct {
+	m map[string]struct{}
+}
+
+// NewTLDSet builds a set from canonical TLD names ("com.", "llc.", ...).
+// The trailing dot is optional; names are stored bare.
+func NewTLDSet(tlds []dnswire.Name) *TLDSet {
+	s := &TLDSet{m: make(map[string]struct{}, len(tlds))}
+	for _, t := range tlds {
+		k := string(t)
+		if n := len(k); n > 0 && k[n-1] == '.' {
+			k = k[:n-1]
+		}
+		if k != "" {
+			s.m[k] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Contains reports whether the bare (no trailing dot) TLD is in the set.
+func (s *TLDSet) Contains(tld string) bool {
+	if s == nil {
+		return false
+	}
+	_, ok := s.m[tld]
+	return ok
+}
+
+// Len returns the universe size.
+func (s *TLDSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// Classify buckets one query into the static taxonomy. It never
+// allocates: the TLD is located by scanning the canonical name string
+// and checked as a substring, so the hot paths can classify every query.
+// The stateful refinement ClassValid → ClassValidRepeat is the
+// Analyzer's job; Classify alone never returns ClassValidRepeat.
+//
+// Precedence: TLD validity is decided first (an invalid TLD is bogus
+// regardless of shape, with the Chromium-probe shape split out), then
+// private-space PTR, then valid.
+func Classify(name dnswire.Name, qtype dnswire.Type, tlds *TLDSet) Class {
+	s := string(name)
+	if len(s) <= 1 {
+		// The root itself: priming queries (./NS) are valid root traffic.
+		return ClassValid
+	}
+	tld := lastLabel(s)
+	if !tlds.Contains(tld) {
+		if chromiumShaped(s, tld) {
+			return ClassChromiumProbe
+		}
+		return ClassBogusTLD
+	}
+	if qtype == dnswire.TypePTR && privateReverse(s) {
+		return ClassPTRPrivate
+	}
+	return ClassValid
+}
+
+// lastLabel returns the final label of a canonical absolute name (the
+// bare TLD) as a substring — no allocation. Escaped dots ("\.") do not
+// terminate a label. A malformed name yields "" (never in any TLD set).
+func lastLabel(s string) string {
+	if len(s) < 2 || s[len(s)-1] != '.' {
+		return ""
+	}
+	end := len(s) - 1
+	for i := end - 1; i >= 0; i-- {
+		if s[i] == '.' && !escaped(s, i) {
+			return s[i+1 : end]
+		}
+	}
+	return s[:end]
+}
+
+// escaped reports whether the byte at i is preceded by an odd run of
+// backslashes (i.e. "\." is a literal dot, "\\." is a label boundary).
+func escaped(s string, i int) bool {
+	n := 0
+	for j := i - 1; j >= 0 && s[j] == '\\'; j-- {
+		n++
+	}
+	return n%2 == 1
+}
+
+// chromiumShaped matches Chromium's middlebox probes: a single label of
+// 7-15 lowercase ASCII letters. tld is the name's last label; the name
+// is single-label exactly when that label spans the whole name.
+func chromiumShaped(s, tld string) bool {
+	if len(tld) != len(s)-1 || len(tld) < 7 || len(tld) > 15 {
+		return false
+	}
+	for i := 0; i < len(tld); i++ {
+		if tld[i] < 'a' || tld[i] > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// privateReverse reports whether a canonical in-addr.arpa name reverses
+// an address in private (RFC 1918), loopback, or link-local space. The
+// label adjacent to "in-addr.arpa." is the address's first octet
+// ("4.3.2.10.in-addr.arpa." reverses 10.2.3.4).
+const inAddrSuffix = ".in-addr.arpa."
+
+func privateReverse(s string) bool {
+	if len(s) <= len(inAddrSuffix) || s[len(s)-len(inAddrSuffix):] != inAddrSuffix {
+		return false
+	}
+	rest := s[:len(s)-len(inAddrSuffix)+1] // keep the leading dot boundary
+	o1, rest, ok := trailingOctet(rest)
+	if !ok {
+		return false
+	}
+	switch o1 {
+	case 10, 127:
+		return true
+	case 192, 172, 169:
+		o2, _, ok := trailingOctet(rest)
+		if !ok {
+			return false
+		}
+		switch o1 {
+		case 192:
+			return o2 == 168
+		case 172:
+			return o2 >= 16 && o2 <= 31
+		default: // 169
+			return o2 == 254
+		}
+	}
+	return false
+}
+
+// trailingOctet parses the last dot-terminated label of rest (which ends
+// in '.') as a decimal octet, returning the value and the remainder.
+func trailingOctet(rest string) (int, string, bool) {
+	if len(rest) == 0 || rest[len(rest)-1] != '.' {
+		return 0, "", false
+	}
+	end := len(rest) - 1
+	start := end
+	for start > 0 && rest[start-1] != '.' {
+		start--
+	}
+	if start == end || end-start > 3 {
+		return 0, "", false
+	}
+	v := 0
+	for i := start; i < end; i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return 0, "", false
+		}
+		v = v*10 + int(rest[i]-'0')
+	}
+	return v, rest[:start], v <= 255
+}
+
+// counter is a cache-line-friendly atomic counter (no padding: the class
+// array is tiny and written from many cores only under synthetic floods).
+type counter = atomic.Int64

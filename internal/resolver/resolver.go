@@ -26,6 +26,7 @@ import (
 	"rootless/internal/cache"
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
 	"rootless/internal/overload"
 	"rootless/internal/zone"
 )
@@ -206,6 +207,11 @@ type Resolver struct {
 	tracer  *obs.Tracer
 	latency *obs.Histogram
 
+	// traffic, when installed with SetTraffic, classifies every Resolve
+	// call into the shared junk taxonomy and feeds the heavy-hitter /
+	// cardinality sketches (a few tens of ns per call; nil = off).
+	traffic *traffic.Analyzer
+
 	// flight coalesces concurrent identical resolutions (nil when
 	// Coalesce is off); gate bounds admitted upstream work (nil when
 	// MaxInflight is 0). Both are internally synchronised.
@@ -310,6 +316,12 @@ func (r *Resolver) LocalZoneStatus() (serial uint32, age time.Duration, ok bool)
 // disabled tracer leaves only an atomic load on the resolution path.
 func (r *Resolver) SetTracer(t *obs.Tracer) { r.tracer = t }
 
+// SetTraffic installs a streaming traffic analyzer. Call before serving.
+func (r *Resolver) SetTraffic(a *traffic.Analyzer) { r.traffic = a }
+
+// Traffic returns the installed analyzer (nil when none).
+func (r *Resolver) Traffic() *traffic.Analyzer { return r.traffic }
+
 // Instrument wires the resolver into reg: a scrape-time collector
 // republishes the Stats counters, cache statistics and SRTT state size,
 // and a fixed-bucket histogram observes per-resolution latency on the
@@ -351,6 +363,9 @@ func (r *Resolver) Collect(reg *obs.Registry) {
 		reg.Gauge("rootless_resolver_coalesce_inflight",
 			"distinct (qname,qtype) resolutions currently in flight", labels).
 			Set(float64(r.flight.Inflight()))
+	}
+	if r.traffic != nil {
+		r.traffic.Collect(reg)
 	}
 	if serial, age, ok := r.LocalZoneStatus(); ok {
 		reg.Gauge("rootless_zone_serial", "local root zone serial", nil).Set(float64(serial))
@@ -400,15 +415,21 @@ func (r *Resolver) srttFor(addr netip.Addr) time.Duration {
 // coalescing enabled, concurrent identical calls collapse onto one
 // leader: it alone does the work, and every waiter shares its result.
 func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	// Classify before the coalescing branch so waiters and duplicates
+	// count toward the composition too (they are real arriving queries).
+	var class string
+	if r.traffic != nil {
+		class = r.traffic.Observe(qname, qtype).String()
+	}
 	if r.flight == nil {
-		return r.resolveTop(qname, qtype)
+		return r.resolveTop(qname, qtype, class)
 	}
 	var flightStart time.Time
 	if r.tracer.Enabled() {
 		flightStart = time.Now()
 	}
 	v, err, shared := r.flight.Do(flightKey(qname, qtype), func() (any, error) {
-		return r.resolveTop(qname, qtype)
+		return r.resolveTop(qname, qtype, class)
 	})
 	res, _ := v.(*Result)
 	if res == nil {
@@ -421,6 +442,7 @@ func (r *Resolver) Resolve(qname dnswire.Name, qtype dnswire.Type) (*Result, err
 	// one) and hand back a copy so callers cannot alias each other.
 	r.count(func(s *Stats) { s.Resolutions++; s.CoalescedResolutions++ })
 	if tr := r.tracer.Begin(string(qname), qtype.String()); tr != nil {
+		tr.SetClass(class)
 		// The waiter's whole life was spent blocked on the leader's
 		// flight: charge it to overload_wait in the attribution.
 		wsp := tr.StartSpan(obs.PhaseOverloadWait, "coalesce-wait")
@@ -441,8 +463,11 @@ func flightKey(qname dnswire.Name, qtype dnswire.Type) string {
 // resolveTop runs one top-level resolution: trace lifecycle, admission
 // token, and latency observation. Glue chases re-enter resolve directly,
 // sharing the parent's token and trace.
-func (r *Resolver) resolveTop(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+func (r *Resolver) resolveTop(qname dnswire.Name, qtype dnswire.Type, class string) (*Result, error) {
 	tr := r.tracer.Begin(string(qname), qtype.String())
+	if class != "" {
+		tr.SetClass(class)
+	}
 	var tok gateToken
 	res, err := r.resolve(qname, qtype, tr, &tok)
 	if tok.held {

@@ -52,6 +52,9 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 		if s.limiter != nil && !s.limiter.Allow(clientAddr(addr), time.Now()) {
 			continue // over-rate stub: drop before spending any work
 		}
+		if an := s.resolver.traffic; an != nil {
+			an.ObserveClient(clientAddr(addr))
+		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
 		go func(pkt []byte, addr net.Addr) {

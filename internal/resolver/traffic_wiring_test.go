@@ -1,0 +1,85 @@
+package resolver
+
+import (
+	"strings"
+	"testing"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/obs"
+	"rootless/internal/obs/traffic"
+)
+
+// TestResolverTrafficWiring pins the hot-path analyzer hook: every
+// Resolve call is classified (valid and junk alike), traces carry the
+// class tag so /tracez can filter on it, and Collect republishes the
+// composition as rootless_traffic_* metrics.
+func TestResolverTrafficWiring(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeHints)
+	tracer := obs.NewTracer(8, 0)
+	tracer.SetEnabled(true)
+	r.SetTracer(tracer)
+	an := traffic.NewAnalyzer(traffic.NewTLDSet([]dnswire.Name{"com.", "net."}), 8)
+	r.SetTraffic(an)
+
+	if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = r.Resolve("printer.local.", dnswire.TypeA) // junk: outcome is irrelevant
+
+	counts := an.Counts()
+	if counts[traffic.ClassValid] != 1 || counts[traffic.ClassBogusTLD] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if an.Observed() != 2 {
+		t.Fatalf("observed = %d", an.Observed())
+	}
+
+	bogus := tracer.RecentByClass("bogus_tld")
+	if len(bogus) != 1 || bogus[0].Qname != "printer.local." {
+		t.Fatalf("class-filtered traces = %+v", bogus)
+	}
+	if valid := tracer.RecentByClass("valid"); len(valid) != 1 || valid[0].Qname != "www.example.com." {
+		t.Fatalf("valid traces = %+v", valid)
+	}
+
+	reg := obs.NewRegistry()
+	reg.AddCollector(r)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`rootless_traffic_class_total{class="valid"} 1`,
+		`rootless_traffic_class_total{class="bogus_tld"} 1`,
+		`rootless_traffic_observed_total 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestResolverTrafficCoalesceWaiters: waiters of a coalesced flight are
+// real arriving queries, so each one must count in the composition.
+func TestResolverTrafficCoalesceWaiters(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeHints, func(c *Config) { c.Coalesce = true })
+	an := traffic.NewAnalyzer(traffic.NewTLDSet([]dnswire.Name{"com."}), 8)
+	r.SetTraffic(an)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if an.Observed() != 3 {
+		t.Fatalf("observed = %d, want every Resolve call counted", an.Observed())
+	}
+	// Identical back-to-back names are repeats once the duplicate filter
+	// has seen the first one.
+	counts := an.Counts()
+	if counts[traffic.ClassValid]+counts[traffic.ClassValidRepeat] != 3 || counts[traffic.ClassValidRepeat] < 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
