@@ -14,6 +14,17 @@
 //	resolverd -listen 127.0.0.1:5301 -mode localauth -localauth 127.0.0.1 -localauth-port 5300
 //	resolverd -listen 127.0.0.1:5301 -mode hints -hints root.hints
 //
+// DNSSEC validation:
+//
+//	-validate off           strict | permissive | off: walk the chain of
+//	                        trust from the anchor; strict turns bogus
+//	                        answers into SERVFAIL, permissive only counts
+//	-trust-anchor ta.key    root KSK DNSKEY in zone-file form (required
+//	                        unless -validate off)
+//	-nsec-aggressive        synthesize NXDOMAIN/NODATA from validated
+//	                        NSEC ranges, RFC 8198 (needs -validate)
+//	-dnssec-skew 0s         clock-skew tolerance for RRSIG validity windows
+//
 // Overload protection:
 //
 //	-coalesce               share one upstream flight among concurrent
@@ -56,6 +67,8 @@ import (
 	"time"
 
 	"rootless/internal/anycast"
+	"rootless/internal/dnssec"
+	"rootless/internal/dnssec/validator"
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
 	"rootless/internal/obs/traffic"
@@ -80,6 +93,10 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "failed upstream attempts allowed per resolution (0 = default 16, negative = unlimited)")
 	holdDownAfter := flag.Int("holddown-after", 0, "consecutive failures before a server is held down (0 = default 3, negative disables health tracking)")
 	holdDown := flag.Duration("holddown", 0, "base hold-down period for a tripped server (0 = default 30s)")
+	validateStr := flag.String("validate", "off", "DNSSEC validation policy: strict | permissive | off")
+	anchorPath := flag.String("trust-anchor", "", "trust-anchor file: the root KSK DNSKEY in zone-file form")
+	nsecAggressive := flag.Bool("nsec-aggressive", false, "synthesize denials from validated NSEC ranges (RFC 8198; needs -validate)")
+	dnssecSkew := flag.Duration("dnssec-skew", 0, "clock-skew tolerance for RRSIG validity windows")
 	coalesce := flag.Bool("coalesce", true, "coalesce concurrent identical resolutions into one upstream flight")
 	nxCut := flag.Bool("nxdomain-cut", true, "serve NXDOMAIN from cache for anything under a TLD proven nonexistent (RFC 8020)")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent resolutions admitted before shedding (0 = unlimited)")
@@ -112,6 +129,29 @@ func main() {
 		fatal("unknown -mode %q", *modeStr)
 	}
 
+	policy, err := validator.ParsePolicy(*validateStr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var anchor dnswire.DS
+	if policy != validator.PolicyOff {
+		if *anchorPath == "" {
+			fatal("-validate %s requires -trust-anchor", policy)
+		}
+		f, err := os.Open(*anchorPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		key, err := dnssec.ReadPublicKey(f)
+		f.Close()
+		if err != nil {
+			fatal("parsing trust anchor: %v", err)
+		}
+		anchor = dnssec.AnchorDS(dnswire.Root, key)
+	} else if *nsecAggressive {
+		fatal("-nsec-aggressive needs -validate strict or permissive (synthesis requires validated NSEC records)")
+	}
+
 	transport := &resolver.UDPTransport{Timeout: *timeout}
 	cfg := resolver.Config{
 		Mode:              mode,
@@ -125,6 +165,10 @@ func main() {
 		HoldDown:          *holdDown,
 		Coalesce:          *coalesce,
 		NXDomainCut:       *nxCut,
+		Validate:          policy,
+		TrustAnchor:       anchor,
+		DNSSECSkew:        *dnssecSkew,
+		NSECAggressive:    *nsecAggressive,
 		MaxInflight:       *maxInflight,
 		QueueDeadline:     *queueDeadline,
 	}
@@ -168,6 +212,10 @@ func main() {
 	}
 
 	r := resolver.New(cfg)
+	if policy != validator.PolicyOff {
+		logger.Info("DNSSEC validation enabled", "policy", policy.String(),
+			"nsec_aggressive", *nsecAggressive, "skew", *dnssecSkew)
+	}
 	srv := resolver.NewServer(r)
 	if *perClientQPS > 0 {
 		srv.SetClientLimit(*perClientQPS, 0)
@@ -231,7 +279,7 @@ func main() {
 			admin.Timeseries = rec
 			go rec.Run(ctx)
 		}
-		admin.Status = statusFunc(r, tracer, mode, start)
+		admin.Status = statusFunc(r, tracer, mode, policy, start)
 		go func() {
 			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
 				logger.Error("admin server", "err", err)
@@ -249,7 +297,7 @@ func main() {
 		"local_root_consults", st.LocalRootConsults)
 }
 
-func statusFunc(r *resolver.Resolver, tracer *obs.Tracer, mode resolver.RootMode, start time.Time) func() map[string]any {
+func statusFunc(r *resolver.Resolver, tracer *obs.Tracer, mode resolver.RootMode, policy validator.Policy, start time.Time) func() map[string]any {
 	return func() map[string]any {
 		st := r.Stats()
 		status := map[string]any{
@@ -267,6 +315,15 @@ func statusFunc(r *resolver.Resolver, tracer *obs.Tracer, mode resolver.RootMode
 			"srtt_entries":     r.SRTTStateSize(),
 			"uptime_seconds":   time.Since(start).Seconds(),
 			"tracing":          tracer.Enabled(),
+		}
+		if policy != validator.PolicyOff {
+			status["validate"] = policy.String()
+			status["secure_answers"] = st.SecureAnswers
+			status["insecure_answers"] = st.InsecureAnswers
+			status["bogus_answers"] = st.BogusAnswers
+			status["bogus_rejected"] = st.BogusRejected
+			status["nsec_ranges"] = r.Cache().NSECRangeLen()
+			status["nsec_synthesized"] = st.NSECSynthesized
 		}
 		if an := r.Traffic(); an != nil {
 			status["junk_share"] = an.JunkShare()

@@ -220,6 +220,18 @@ func Derive(entries []Entry) map[string]float64 {
 	if e, ok := byName["BenchmarkTrafficTopKHit"]; ok {
 		d["traffic_topk_hit_ns_per_op"] = e.NsPerOp
 	}
+	// PR 7 validation figures: the full DNSSEC chain-walk cost per
+	// validated answer, and the cost of synthesizing a denial from the
+	// aggressive NSEC cache — the price of absorbing a junk query without
+	// any upstream traffic, so it must stay far below a network RTT.
+	if e, ok := byName["BenchmarkValidate"]; ok {
+		d["dnssec_validate_ns_per_op"] = e.NsPerOp
+		d["dnssec_validate_allocs_per_op"] = e.AllocsPerOp
+	}
+	if e, ok := byName["BenchmarkNSECSynthesize"]; ok {
+		d["nsec_synthesize_ns_per_op"] = e.NsPerOp
+		d["nsec_synthesize_allocs_per_op"] = e.AllocsPerOp
+	}
 	if hit, ok := byName["BenchmarkHandle/PackedHit"]; ok && hit.NsPerOp > 0 {
 		if p, ok := hit.Extra["packs/op"]; ok {
 			d["authserver_packed_hit_packs_per_op"] = p

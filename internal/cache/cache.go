@@ -87,6 +87,9 @@ type Cache struct {
 	mask   uint64 // len(shards)-1; len is a power of two
 	seed   maphash.Seed
 	now    func() time.Time
+
+	// nsec holds DNSSEC-validated denial ranges (RFC 8198); see nsec.go.
+	nsec nsecStore
 }
 
 // New creates a cache holding at most capacity RRsets (0 = unlimited),
@@ -435,9 +438,14 @@ func (c *Cache) Collect(reg *obs.Registry) {
 		Set(float64(c.PinnedLen()))
 	reg.Gauge("rootless_cache_shards", "lock shards in the RRset cache", nil).
 		Set(float64(len(c.shards)))
+	reg.Gauge("rootless_cache_nsec_ranges", "validated NSEC denial ranges (RFC 8198)", nil).
+		Set(float64(c.NSECRangeLen()))
 }
 
 // Flush removes every entry (pinned included) and resets nothing else.
+// Validated NSEC ranges survive: they are cryptographic proofs, not
+// cached observations, and keeping them is exactly what lets bogus-TLD
+// junk keep dying locally across a flush.
 func (c *Cache) Flush() {
 	for _, s := range c.shards {
 		s.mu.Lock()

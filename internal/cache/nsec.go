@@ -1,0 +1,165 @@
+package cache
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"rootless/internal/dnswire"
+)
+
+// This file implements RFC 8198 aggressive use of DNSSEC-validated
+// denial ranges. Each validated NSEC record proves that no name exists
+// in the canonical-order gap between its owner and NextName (and that
+// the owner itself has exactly the types in its bitmap), so the cache
+// can synthesize NXDOMAIN / NODATA for any query landing in a proven
+// range — not just for qnames seen before. Unlike the RFC 8020 NXDOMAIN
+// cuts (which remember one observed NXDOMAIN per TLD), a handful of NSEC
+// ranges covers the entire namespace gap with cryptographic certainty
+// and survives the flushing of individual negative entries.
+//
+// Ranges are stored per signing zone in canonical owner order behind a
+// dedicated lock — they are range-structured, not hashable, so they do
+// not fit the sharded RRset map.
+
+// nsecRange is one validated denial range in zone.
+type nsecRange struct {
+	owner   dnswire.Name
+	next    dnswire.Name
+	types   []dnswire.Type
+	expires time.Time
+}
+
+// nsecStore holds validated NSEC chains, per signing zone.
+type nsecStore struct {
+	mu    sync.Mutex
+	zones map[dnswire.Name][]nsecRange // sorted by owner, canonical order
+	hits  int64
+}
+
+// PutValidatedNSEC records a DNSSEC-validated NSEC range from zone.
+// Callers must only pass records whose RRSIG verified against a chained
+// key — the cache trusts them unconditionally. Re-inserting an owner
+// replaces its range (re-signed zones move NextName when names appear).
+func (c *Cache) PutValidatedNSEC(zone, owner dnswire.Name, nsec dnswire.NSEC, ttl uint32) {
+	s := &c.nsec
+	expires := c.now().Add(time.Duration(ttl) * time.Second)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.zones == nil {
+		s.zones = make(map[dnswire.Name][]nsecRange)
+	}
+	ranges := s.zones[zone]
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].owner.Compare(owner) >= 0 })
+	r := nsecRange{owner: owner, next: nsec.NextName, types: nsec.Types, expires: expires}
+	if i < len(ranges) && ranges[i].owner == owner {
+		ranges[i] = r
+	} else {
+		ranges = append(ranges, nsecRange{})
+		copy(ranges[i+1:], ranges[i:])
+		ranges[i] = r
+	}
+	s.zones[zone] = ranges
+}
+
+// NSECRangeLen returns the number of live validated ranges.
+func (c *Cache) NSECRangeLen() int {
+	s := &c.nsec
+	now := c.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ranges := range s.zones {
+		for _, r := range ranges {
+			if r.expires.After(now) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NSECSynthesize answers (name, qtype) from validated denial ranges per
+// RFC 8198. ok reports whether a proof applies; when it does, nxdomain
+// distinguishes a synthesized NXDOMAIN (name proven nonexistent) from a
+// synthesized NODATA (name proven to exist without the type).
+//
+// Parent-side NSEC records at delegation points (NS in the bitmap) are
+// honoured only for what the parent is authoritative for: the gap
+// between delegations, and the DS type at the cut itself. Names below a
+// delegation are the child zone's business (RFC 8198 §5.1).
+func (c *Cache) NSECSynthesize(name dnswire.Name, qtype dnswire.Type) (nxdomain, ok bool) {
+	s := &c.nsec
+	now := c.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for zone, ranges := range s.zones {
+		if !name.IsSubdomainOf(zone) {
+			continue
+		}
+		// Greatest owner canonically at or before name: the only range in
+		// this zone's (non-overlapping) chain that can speak for it.
+		i := sort.Search(len(ranges), func(i int) bool { return ranges[i].owner.Compare(name) > 0 })
+		if i == 0 {
+			continue
+		}
+		r := ranges[i-1]
+		if !r.expires.After(now) {
+			continue
+		}
+		delegation := r.owner != zone && hasType(r.types, dnswire.TypeNS)
+		if r.owner == name {
+			// The name exists. The bitmap denies absent types — but a
+			// parent-side delegation NSEC only speaks for DS at the cut.
+			if hasType(r.types, qtype) {
+				continue
+			}
+			if delegation && qtype != dnswire.TypeDS {
+				continue
+			}
+			s.hits++
+			return false, true
+		}
+		// Strictly inside (owner, next): the name does not exist —
+		// unless it sits below a delegation the parent handed off.
+		if delegation && name.IsSubdomainOf(r.owner) {
+			continue
+		}
+		if nsecCovers(r.owner, r.next, zone, name) {
+			s.hits++
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// NSECSynthHits returns how many queries were answered from validated
+// ranges.
+func (c *Cache) NSECSynthHits() int64 {
+	c.nsec.mu.Lock()
+	defer c.nsec.mu.Unlock()
+	return c.nsec.hits
+}
+
+// nsecCovers reports whether name falls strictly inside the canonical
+// range (owner, next). The chain's last link wraps: NextName is the apex
+// (canonically ≤ owner) and the range covers everything in the zone
+// after owner.
+func nsecCovers(owner, next, zone, name dnswire.Name) bool {
+	if owner.Compare(name) >= 0 {
+		return false
+	}
+	if next.Compare(owner) <= 0 {
+		return next == zone // wrap-around link; zone membership already checked
+	}
+	return name.Compare(next) < 0
+}
+
+func hasType(types []dnswire.Type, t dnswire.Type) bool {
+	for _, x := range types {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

@@ -31,6 +31,7 @@ var (
 	ErrDigestMissing = errors.New("dnssec: zone has no ZONEMD digest")
 	ErrDigestWrong   = errors.New("dnssec: zone digest mismatch")
 	ErrDSMismatch    = errors.New("dnssec: DNSKEY does not match DS")
+	ErrNSECChain     = errors.New("dnssec: NSEC chain broken")
 )
 
 // Key is a DNSSEC signing key: the private half plus its public DNSKEY RR.
@@ -75,13 +76,18 @@ func (k *Key) DNSKEYRecord(ttl uint32) dnswire.RR {
 // suitable for publication in the parent zone — or, for a root KSK, as the
 // trust anchor.
 func (k *Key) DS(ttl uint32) dnswire.RR {
-	digest := dsDigest(k.Owner, k.DNSKEY)
-	return dnswire.NewRR(k.Owner, ttl, dnswire.DS{
-		KeyTag:     k.KeyTag(),
-		Algorithm:  k.DNSKEY.Algorithm,
+	return dnswire.NewRR(k.Owner, ttl, AnchorDS(k.Owner, k.DNSKEY))
+}
+
+// AnchorDS derives the DS form of a public DNSKEY (SHA-256 digest) — what
+// a resolver computes from a trust-anchor file holding the root KSK.
+func AnchorDS(owner dnswire.Name, key dnswire.DNSKEY) dnswire.DS {
+	return dnswire.DS{
+		KeyTag:     key.KeyTag(),
+		Algorithm:  key.Algorithm,
 		DigestType: 2, // SHA-256
-		Digest:     digest,
-	})
+		Digest:     dsDigest(owner, key),
+	}
 }
 
 func dsDigest(owner dnswire.Name, key dnswire.DNSKEY) []byte {
@@ -185,16 +191,31 @@ func SignRRset(key *Key, rrset []dnswire.RR, inception, expiration time.Time) (d
 }
 
 // VerifyRRset checks an RRSIG over an RRset against a set of candidate
-// DNSKEYs at the signer name.
+// DNSKEYs at the signer name. The validity window is exact: a signature is
+// accepted at its inception and expiration instants inclusive, with no
+// skew allowance.
 func VerifyRRset(rrset []dnswire.RR, sigRR dnswire.RR, keys []dnswire.DNSKEY, now time.Time) error {
+	return VerifyRRsetSkew(rrset, sigRR, keys, now, 0)
+}
+
+// VerifyRRsetSkew is VerifyRRset with a bounded clock-skew tolerance: the
+// signature window is widened by skew on both ends, so a resolver whose
+// clock is up to skew fast still accepts a just-inscribed signature and
+// one up to skew slow still accepts a just-expired one (RFC 4035 §5.3.1
+// leaves the tolerance to local policy).
+func VerifyRRsetSkew(rrset []dnswire.RR, sigRR dnswire.RR, keys []dnswire.DNSKEY, now time.Time, skew time.Duration) error {
 	sig, ok := sigRR.Data.(dnswire.RRSIG)
 	if !ok {
 		return errors.New("dnssec: not an RRSIG record")
 	}
-	if uint32(now.Unix()) > sig.Expiration {
+	if skew < 0 {
+		skew = 0
+	}
+	s := int64(skew / time.Second)
+	if now.Unix()-s > int64(sig.Expiration) {
 		return ErrSigExpired
 	}
-	if uint32(now.Unix()) < sig.Inception {
+	if now.Unix()+s < int64(sig.Inception) {
 		return ErrSigNotYet
 	}
 	data, err := sigData(sig, rrset)
@@ -517,6 +538,15 @@ func VerifyZone(z *zone.Zone, anchor dnswire.DS, now time.Time) error {
 		}
 	}
 
+	// NSEC chain linkage: when the zone carries a denial chain, every
+	// NSEC's NextName must point at the canonically-next NSEC owner, and
+	// the last must wrap to the first — a single closed cycle. A broken
+	// link would let an attacker reuse one zone's NSEC to deny a name in
+	// a gap the chain never actually covers.
+	if err := verifyNSECChain(sets); err != nil {
+		return err
+	}
+
 	// Whole-zone digest check.
 	zmdRRs := z.Lookup(apex, dnswire.TypeZONEMD)
 	if len(zmdRRs) == 0 {
@@ -525,6 +555,35 @@ func VerifyZone(z *zone.Zone, anchor dnswire.DS, now time.Time) error {
 	zmd := zmdRRs[0].Data.(dnswire.ZONEMD)
 	if !bytes.Equal(zmd.Digest, ZoneDigest(z)) {
 		return ErrDigestWrong
+	}
+	return nil
+}
+
+// verifyNSECChain checks that the zone's NSEC records (if any) form one
+// closed canonical-order cycle. Zones signed without AddNSEC have no chain
+// and pass vacuously.
+func verifyNSECChain(sets map[dnswire.RRsetKey][]dnswire.RR) error {
+	var owners []dnswire.Name
+	next := make(map[dnswire.Name]dnswire.Name)
+	for key, rrset := range sets {
+		if key.Type != dnswire.TypeNSEC {
+			continue
+		}
+		if len(rrset) != 1 {
+			return fmt.Errorf("%w: %d NSEC records at %s", ErrNSECChain, len(rrset), key.Name)
+		}
+		owners = append(owners, key.Name)
+		next[key.Name] = rrset[0].Data.(dnswire.NSEC).NextName
+	}
+	if len(owners) == 0 {
+		return nil
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i].Compare(owners[j]) < 0 })
+	for i, name := range owners {
+		want := owners[(i+1)%len(owners)]
+		if got := next[name]; got != want {
+			return fmt.Errorf("%w: %s points to %s, want %s", ErrNSECChain, name, got, want)
+		}
 	}
 	return nil
 }

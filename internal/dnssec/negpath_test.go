@@ -1,0 +1,162 @@
+package dnssec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// TestVerifyRRsetSkewWindow pins the validity-window arithmetic: the
+// window is inclusive at both instants, skew widens it symmetrically, and
+// a negative skew is treated as zero.
+func TestVerifyRRsetSkewWindow(t *testing.T) {
+	s := newTestSigner(t, 40)
+	rrset := []dnswire.RR{dnswire.NewRR("example.", 300, dnswire.TXT{Strings: []string{"x"}})}
+	inception := testNow
+	expiration := testNow.Add(time.Hour)
+	sig, err := SignRRset(s.ZSK, rrset, inception, expiration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []dnswire.DNSKEY{s.ZSK.DNSKEY}
+
+	cases := []struct {
+		name string
+		now  time.Time
+		skew time.Duration
+		want error // nil = verifies
+	}{
+		{"at inception", inception, 0, nil},
+		{"at expiration", expiration, 0, nil},
+		{"1s before inception, no skew", inception.Add(-time.Second), 0, ErrSigNotYet},
+		{"1s before inception, 1s skew", inception.Add(-time.Second), time.Second, nil},
+		{"1s after expiration, no skew", expiration.Add(time.Second), 0, ErrSigExpired},
+		{"1s after expiration, 1s skew", expiration.Add(time.Second), time.Second, nil},
+		{"5m before inception, 1m skew", inception.Add(-5 * time.Minute), time.Minute, ErrSigNotYet},
+		{"5m after expiration, 1m skew", expiration.Add(5 * time.Minute), time.Minute, ErrSigExpired},
+		{"negative skew clamps to zero", expiration.Add(time.Second), -time.Hour, ErrSigExpired},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := VerifyRRsetSkew(rrset, sig, keys, tc.now, tc.skew)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("VerifyRRsetSkew(now=%v, skew=%v) = %v, want %v", tc.now, tc.skew, err, tc.want)
+			}
+		})
+	}
+
+	// VerifyRRset is the zero-skew form: identical verdicts.
+	if err := VerifyRRset(rrset, sig, keys, expiration.Add(time.Second)); !errors.Is(err, ErrSigExpired) {
+		t.Errorf("VerifyRRset past expiration = %v, want ErrSigExpired", err)
+	}
+	if err := VerifyRRset(rrset, sig, keys, inception); err != nil {
+		t.Errorf("VerifyRRset at inception = %v, want nil", err)
+	}
+}
+
+// signedZone builds and signs the standard test zone with an NSEC chain,
+// returning the zone and its signer.
+func signedZone(t *testing.T, seed int64) (*zone.Zone, *Signer) {
+	t.Helper()
+	s := newTestSigner(t, seed)
+	s.AddNSEC = true
+	z := buildZone(t)
+	if err := s.SignZone(z, testNow); err != nil {
+		t.Fatal(err)
+	}
+	return z, s
+}
+
+// TestVerifyZoneNegativePaths drives VerifyZone through each tamper class
+// and checks the failure is reported as the matching typed error — a
+// validating consumer must be able to tell a broken chain from a stale
+// signature from a stripped key.
+func TestVerifyZoneNegativePaths(t *testing.T) {
+	t.Run("pristine zone verifies", func(t *testing.T) {
+		z, s := signedZone(t, 50)
+		if err := VerifyZone(z, s.TrustAnchor(), testNow); err != nil {
+			t.Fatalf("pristine zone: %v", err)
+		}
+	})
+
+	t.Run("tampered rrset", func(t *testing.T) {
+		z, s := signedZone(t, 51)
+		// Swap the com. DS rdata out from under its signature.
+		z.Remove("com.", dnswire.TypeDS)
+		if err := z.Add(dnswire.NewRR("com.", 86400, dnswire.DS{
+			KeyTag: 12345, Algorithm: dnswire.AlgEd25519, DigestType: 2, Digest: []byte{0xde, 0xad},
+		})); err != nil {
+			t.Fatal(err)
+		}
+		err := VerifyZone(z, s.TrustAnchor(), testNow)
+		if !errors.Is(err, ErrBadSignature) {
+			t.Errorf("tampered RRset: got %v, want ErrBadSignature", err)
+		}
+	})
+
+	t.Run("broken nsec chain link", func(t *testing.T) {
+		z, s := signedZone(t, 52)
+		// Re-point org.'s NSEC at the wrong next owner and re-sign it with
+		// the real ZSK, so only the chain-linkage check can object.
+		z.Remove("org.", dnswire.TypeNSEC)
+		z.Remove("org.", dnswire.TypeRRSIG)
+		bad := dnswire.NewRR("org.", 86400, dnswire.NSEC{
+			NextName: "com.", // canonical successor is the apex (wraparound)
+			Types:    []dnswire.Type{dnswire.TypeNS, dnswire.TypeNSEC, dnswire.TypeRRSIG},
+		})
+		if err := z.Add(bad); err != nil {
+			t.Fatal(err)
+		}
+		sig, err := SignRRset(s.ZSK, []dnswire.RR{bad}, testNow.Add(-time.Hour), testNow.Add(24*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := z.Add(sig); err != nil {
+			t.Fatal(err)
+		}
+		err = VerifyZone(z, s.TrustAnchor(), testNow)
+		if !errors.Is(err, ErrNSECChain) {
+			t.Errorf("broken NSEC link: got %v, want ErrNSECChain", err)
+		}
+	})
+
+	t.Run("expired signatures", func(t *testing.T) {
+		z, s := signedZone(t, 53)
+		// Default validity is 14 days; a month later everything is stale.
+		err := VerifyZone(z, s.TrustAnchor(), testNow.Add(30*24*time.Hour))
+		if !errors.Is(err, ErrSigExpired) {
+			t.Errorf("expired zone: got %v, want ErrSigExpired", err)
+		}
+	})
+
+	t.Run("wrong key tag", func(t *testing.T) {
+		z, s := signedZone(t, 54)
+		// Rewrite org.'s only RRSIG with a key tag no zone key carries.
+		sigs := z.Lookup("org.", dnswire.TypeRRSIG)
+		if len(sigs) != 1 {
+			t.Fatalf("expected 1 RRSIG at org., got %d", len(sigs))
+		}
+		sig := sigs[0].Data.(dnswire.RRSIG)
+		sig.KeyTag++
+		z.Remove("org.", dnswire.TypeRRSIG)
+		if err := z.Add(dnswire.NewRR("org.", sigs[0].TTL, sig)); err != nil {
+			t.Fatal(err)
+		}
+		err := VerifyZone(z, s.TrustAnchor(), testNow)
+		if !errors.Is(err, ErrNoDNSKEY) {
+			t.Errorf("wrong key tag: got %v, want ErrNoDNSKEY", err)
+		}
+	})
+
+	t.Run("wrong anchor", func(t *testing.T) {
+		z, _ := signedZone(t, 55)
+		other := newTestSigner(t, 56)
+		err := VerifyZone(z, other.TrustAnchor(), testNow)
+		if !errors.Is(err, ErrDSMismatch) {
+			t.Errorf("wrong anchor: got %v, want ErrDSMismatch", err)
+		}
+	})
+}

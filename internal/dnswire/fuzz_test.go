@@ -66,6 +66,41 @@ func FuzzMessageUnpack(f *testing.F) {
 	f.Add([]byte{0, 7, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
 		0x3F, 'a', 0xC0, 0x0C, 0x00, 0x01, 0x00, 0x01}) // label length runs into its own pointer
 
+	// DNSSEC rdata shapes: valid NSEC/RRSIG/DS/DNSKEY records so mutation
+	// explores the bitmap and embedded-name decoders from realistic bytes.
+	dnssecResp := &Message{
+		ID: 8, Response: true, AuthenticData: true,
+		Questions: []Question{{Name: "aa.", Type: TypeA, Class: ClassINET}},
+		Authority: []RR{
+			NewRR(".", 86400, NSEC{NextName: "com.", Types: []Type{TypeNS, TypeSOA, TypeRRSIG, TypeNSEC, TypeDNSKEY}}),
+			// A second window block: type 1234 lives in window 4.
+			NewRR("com.", 86400, NSEC{NextName: "org.", Types: []Type{TypeNS, TypeDS, Type(1234)}}),
+			NewRR(".", 86400, RRSIG{
+				TypeCovered: TypeNSEC, Algorithm: 15, Labels: 0, OrigTTL: 86400,
+				Expiration: 1556209600, Inception: 1555000000, KeyTag: 0x1234,
+				SignerName: ".", Signature: make([]byte, 64),
+			}),
+			NewRR("com.", 86400, DS{KeyTag: 0xBEEF, Algorithm: 15, DigestType: 2, Digest: make([]byte, 32)}),
+			NewRR(".", 86400, DNSKEY{Flags: 257, Protocol: 3, Algorithm: 15, PublicKey: make([]byte, 32)}),
+		},
+	}
+	w3, _ := dnssecResp.Pack()
+	f.Add(w3)
+	// Hand-built pathologies the encoder cannot produce.
+	f.Add([]byte{0, 9, 0x80, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+		0x00, 0x00, 0x2F, 0x00, 0x01, 0, 0, 0, 0, // ". NSEC" with rdlen 5:
+		0x00, 0x05, 0x00, 0x00, 0x04, 0x00, 0x80}) // window claims 4 octets, only 2 present
+	f.Add([]byte{0, 10, 0x80, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+		0x00, 0x00, 0x2F, 0x00, 0x01, 0, 0, 0, 0,
+		0x00, 0x04, 0x00, 0x01, 0x21, 0x01}) // window block longer than the 32-octet max
+	f.Add([]byte{0, 11, 0x80, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+		0x00, 0x00, 0x2E, 0x00, 0x01, 0, 0, 0, 0, // ". RRSIG" with rdlen 20:
+		0x00, 0x14, 0x00, 0x01, 0x0F, 0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C,
+		0x01, 'x'}) // signer name truncated mid-label and compressed (illegal in RRSIG)
+	f.Add([]byte{0, 12, 0x80, 0, 0, 0, 0, 0, 0, 1, 0, 0,
+		0x00, 0x00, 0x2B, 0x00, 0x01, 0, 0, 0, 0,
+		0x00, 0x03, 0xBE, 0xEF, 0x0F}) // DS rdata cut off before digest type
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
 		if err := m.Unpack(data); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rootless/internal/dnssec/validator"
 	"rootless/internal/dnswire"
 	"rootless/internal/faults"
 	"rootless/internal/obs"
@@ -186,6 +187,77 @@ func Chaos(lookups int) Result {
 		w.net.SetFaultPolicy(nil)
 	}
 
+	// Cache poisoning: an attacker who owns the path to every root letter
+	// forges unsigned positive answers (faults.ForgedAnswer). Without
+	// validation each forgery is terminal — cached and served for its
+	// full TTL. Under strict validation the chain walk has no validated
+	// DNSKEY behind the forgery, every response is judged bogus and
+	// rejected before it can touch the cache, and a second attacker who
+	// corrupts only RRSIG bytes (TamperSig) fares no better.
+	poisonedOff, poisonedStrict, bogusCached := 0, 0, 0
+	var strictRejected, tamperRejected int64
+	{
+		signer, serr := w.signWorldRoot(21)
+		if serr != nil {
+			return Result{ID: "t_chaos", Title: "Degraded-root chaos sweep", Notes: serr.Error()}
+		}
+		forged := func(res *resolver.Result) bool {
+			for _, rr := range res.Answers {
+				if a, ok := rr.Data.(dnswire.A); ok && a.Addr == faults.ForgedAddr {
+					return true
+				}
+			}
+			return false
+		}
+		spoof := faults.NewInjector(8)
+		for _, a := range w.rootAddrs {
+			spoof.Add(faults.Rule{Kind: faults.ForgedAnswer, Target: faults.Target{Addr: a}})
+		}
+		w.net.SetFaultPolicy(spoof)
+		names := w.workloadNames(lookups, 700)
+
+		roff := w.newResolver(resolver.RootModeHints, 31, 700)
+		for _, name := range names {
+			if res, err := roff.Resolve(name, dnswire.TypeA); err == nil && forged(res) {
+				poisonedOff++
+			}
+		}
+
+		rstrict := w.newResolver(resolver.RootModeHints, 32, 701, func(c *resolver.Config) {
+			c.Validate = validator.PolicyStrict
+			c.TrustAnchor = signer.TrustAnchor()
+		})
+		for _, name := range names {
+			if res, err := rstrict.Resolve(name, dnswire.TypeA); err == nil && forged(res) {
+				poisonedStrict++
+			}
+		}
+		strictRejected = rstrict.Stats().BogusRejected
+		for _, name := range names {
+			if hit, ok := rstrict.Cache().Get(name, dnswire.TypeA); ok {
+				res := resolver.Result{Answers: hit.CopyRRs()}
+				if forged(&res) {
+					bogusCached++
+				}
+			}
+		}
+
+		tamper := faults.NewInjector(9)
+		for _, a := range w.rootAddrs {
+			tamper.Add(faults.Rule{Kind: faults.TamperSig, Target: faults.Target{Addr: a}})
+		}
+		w.net.SetFaultPolicy(tamper)
+		rtamper := w.newResolver(resolver.RootModeHints, 33, 702, func(c *resolver.Config) {
+			c.Validate = validator.PolicyStrict
+			c.TrustAnchor = signer.TrustAnchor()
+		})
+		for _, name := range names[:lookups/2] {
+			_, _ = rtamper.Resolve(name, dnswire.TypeA)
+		}
+		tamperRejected = rtamper.Stats().BogusRejected
+		w.net.SetFaultPolicy(nil)
+	}
+
 	// Determinism: the same (world seed, scenario seed, workload) replayed
 	// in a fresh world produces identical outcomes — success count and
 	// even the exact number of queries sent.
@@ -246,6 +318,13 @@ func Chaos(lookups int) Result {
 			row("lame root letters (40%)", "failover rides over lame referrals",
 				fmt.Sprintf("%d/%d, %d lame answers", lameOK, lameTotal, lameAgg.lame))(
 				lameOK == lameTotal && lameAgg.lame > 0),
+			row("forged root answers, validation off", "cache poisoned",
+				"%d/%d lookups poisoned", poisonedOff, lookups)(poisonedOff > 0),
+			row("forged root answers, strict validation", "all rejected, zero bogus records cached",
+				"%d poisoned, %d bogus cached, %d rejected",
+				poisonedStrict, bogusCached, strictRejected)(poisonedStrict == 0 && bogusCached == 0 && strictRejected > 0),
+			row("tampered RRSIGs, strict validation", "fail closed",
+				"%d rejected", tamperRejected)(tamperRejected > 0),
 			row("serve-stale through TLD outage", "seen names survive on stale cache",
 				fmt.Sprintf("%d/%d, %d stale answers", staleOK, staleTotal, staleAnswers))(
 				staleOK == staleTotal && staleAnswers > 0),
@@ -253,7 +332,18 @@ func Chaos(lookups int) Result {
 				fmt.Sprintf("%d/%d ok, %d/%d queries", ok1, ok2, q1, q2))(
 				ok1 >= 0 && ok1 == ok2 && q1 == q2),
 		},
-		Notes: fmt.Sprintf("cold resolvers, retry budget 3; sweep sent %d queries, %d timeouts, %d budget stops",
+		Notes: fmt.Sprintf("cold resolvers on a retry budget of 3; fault sets come from seeded, replayable "+
+			"`faults.Scenario` scripts (`faults.OutageSample` victim sets are nested across "+
+			"fractions, so the sweep is monotone by construction); the replay row re-runs one "+
+			"cell in a fresh world from identical seeds and gets the identical outcome. The "+
+			"attribution row tells the *why* behind the latency row: at 0%% dark no attempt "+
+			"times out so nothing lands in the backoff phase, while at 50%% dark most "+
+			"attributed time is timeout waste against dark letters rather than useful "+
+			"network transit. The poisoning rows sign the root in place and script an "+
+			"on-path attacker over every letter: forged unsigned answers poison every "+
+			"validation-off lookup, while the strict validator rejects each one before the "+
+			"cache write (and rejects RRSIG-tampered answers the same way). "+
+			"Sweep sent %d queries, %d timeouts, %d budget stops.",
 			swept.totalQueries, swept.timeouts, swept.budgetStops),
 	}
 }

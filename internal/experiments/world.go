@@ -9,6 +9,7 @@ import (
 
 	"rootless/internal/anycast"
 	"rootless/internal/authserver"
+	"rootless/internal/dnssec"
 	"rootless/internal/dnswire"
 	"rootless/internal/netsim"
 	"rootless/internal/obs"
@@ -102,6 +103,44 @@ func buildWorld(seed int64, at time.Time, instancesPerLetterCap int) (*world, er
 		w.net.AddHost("tld:"+string(rr.Name), addr, cityFor(string(rr.Name)), fabric)
 	}
 	return w, nil
+}
+
+// signWorldRoot signs the world's root zone in place (with an NSEC
+// chain) and returns the signer whose KSK anchors validation. TLD DS
+// records are stripped first: the simulated TLD fabric does not sign its
+// answers, so keeping the DS sets would — correctly — make everything
+// below those cuts bogus. Without them each delegation's NSEC proves the
+// child unsigned (an island-of-security boundary), so validating
+// resolvers can still walk the whole tree and judge it Insecure rather
+// than Bogus. All root letters serve the signed zone immediately (they
+// share the zone pointer).
+func (w *world) signWorldRoot(seed int64) (*dnssec.Signer, error) {
+	for _, name := range w.rootZone.Names() {
+		w.rootZone.Remove(name, dnswire.TypeDS)
+	}
+	s, err := dnssec.NewSigner(dnswire.Root, detRand{rand.New(rand.NewSource(seed))})
+	if err != nil {
+		return nil, err
+	}
+	s.AddNSEC = true
+	if err := s.SignZone(w.rootZone, w.date); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// junkNames yields n names under invented TLDs that do not exist in the
+// root zone — the §2.2 junk the bogus-suppression mechanisms absorb.
+func (w *world) junkNames(n int, seed int64) []dnswire.Name {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dnswire.Name, n)
+	for i := range out {
+		// Two random letters plus a "-x" suffix never collide with real
+		// TLDs, and the variety spreads the names across NSEC gaps.
+		tld := fmt.Sprintf("%c%c-x", 'a'+rng.Intn(26), 'a'+rng.Intn(26))
+		out[i] = dnswire.Name(fmt.Sprintf("host%d.%s.", rng.Intn(n), tld))
+	}
+	return out
 }
 
 // cityFor deterministically places a host in the city pool.

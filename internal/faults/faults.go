@@ -48,6 +48,15 @@ const (
 	LameDelegation
 	// Truncate delivers real replies with TC set and sections stripped.
 	Truncate
+	// ForgedAnswer answers with an attacker-controlled positive record
+	// for the query name (pointing at ForgedAddr) instead of the real
+	// response — the classic cache-poisoning spoof. The forgery carries
+	// no RRSIG, so a validating resolver must reject it as bogus.
+	ForgedAnswer
+	// TamperSig delivers the real reply with every RRSIG's signature
+	// bytes corrupted — an on-path attacker who can rewrite packets but
+	// not forge signatures. Validation must fail closed.
+	TamperSig
 )
 
 // String names the kind.
@@ -69,9 +78,18 @@ func (k Kind) String() string {
 		return "lame"
 	case Truncate:
 		return "truncate"
+	case ForgedAnswer:
+		return "forged-answer"
+	case TamperSig:
+		return "tamper-sig"
 	}
 	return "unknown"
 }
+
+// ForgedAddr is the address ForgedAnswer rules plant: a TEST-NET-1
+// address standing in for attacker-controlled infrastructure. Trials
+// assert poisoning by looking for exactly this address in the cache.
+var ForgedAddr = netip.MustParseAddr("192.0.2.66")
 
 // Target selects the hosts a rule applies to. Zero fields match
 // everything, so Target{} is "the whole network".
@@ -147,6 +165,8 @@ type Stats struct {
 	Refusals       int64
 	LameReferrals  int64
 	Truncations    int64
+	Forgeries      int64 // spoofed positive answers injected (ForgedAnswer)
+	SigTampers     int64 // replies with corrupted RRSIGs delivered (TamperSig)
 }
 
 // Injector holds the active rule set and implements netsim.FaultPolicy.
@@ -258,11 +278,22 @@ func (in *Injector) QueryFault(now time.Time, from anycast.GeoPoint, h *netsim.H
 		case Truncate:
 			in.stats.Truncations++
 			f.TruncateReply = true
+		case ForgedAnswer:
+			if f.Reply == nil {
+				in.stats.Forgeries++
+				f.Reply = forgedReply(q)
+			}
+		case TamperSig:
+			if f.Tamper == nil {
+				in.stats.SigTampers++
+				f.Tamper = tamperSigs
+			}
 		}
 	}
 	if f.Drop {
 		f.Reply = nil
 		f.TruncateReply = false
+		f.Tamper = nil
 	}
 	return f
 }
@@ -288,6 +319,47 @@ func lameReferral(q *dnswire.Message) *dnswire.Message {
 			dnswire.NewRR(dnswire.Root, 86400, dnswire.NS{Host: "ns.lame.invalid."}),
 		},
 	}
+}
+
+// forgedReply builds the spoofed answer: an unsigned A record at the
+// query name pointing at ForgedAddr. An rcode-success answer with
+// records is terminal for the resolver, so without validation this
+// poisons the cache for the record's full TTL.
+func forgedReply(q *dnswire.Message) *dnswire.Message {
+	m := &dnswire.Message{
+		ID:        q.ID,
+		Response:  true,
+		Questions: q.Questions,
+	}
+	if len(q.Questions) > 0 {
+		m.Answers = []dnswire.RR{
+			dnswire.NewRR(q.Questions[0].Name, 86400, dnswire.A{Addr: ForgedAddr}),
+		}
+	}
+	return m
+}
+
+// tamperSigs corrupts every RRSIG in the reply in place: the signature
+// bytes are copied (the reply aliases the wire buffer) and bit-flipped,
+// leaving structure and key tags intact so only cryptographic
+// verification can tell.
+func tamperSigs(m *dnswire.Message) {
+	corrupt := func(section []dnswire.RR) {
+		for i, rr := range section {
+			sig, ok := rr.Data.(dnswire.RRSIG)
+			if !ok || len(sig.Signature) == 0 {
+				continue
+			}
+			mangled := append([]byte(nil), sig.Signature...)
+			mangled[0] ^= 0xFF
+			mangled[len(mangled)-1] ^= 0xFF
+			sig.Signature = mangled
+			section[i].Data = sig
+		}
+	}
+	corrupt(m.Answers)
+	corrupt(m.Authority)
+	corrupt(m.Additional)
 }
 
 // OutageSample deterministically picks ⌈fraction·len(addrs)⌉ addresses

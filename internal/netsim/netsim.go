@@ -84,6 +84,10 @@ type Fault struct {
 	// TruncateReply delivers the real reply with TC set and its record
 	// sections stripped, as a UDP server over-size response would.
 	TruncateReply bool
+	// Tamper, when non-nil, mutates the real reply after the codec round
+	// trip — an on-path attacker rewriting records or corrupting
+	// signatures. Ignored when Reply is set (there is no real reply).
+	Tamper func(*dnswire.Message)
 }
 
 // FaultPolicy lets a fault-injection layer (internal/faults) steer the
@@ -340,6 +344,9 @@ func (n *Network) ExchangeTraced(tr *obs.Trace, loc anycast.GeoPoint, dst netip.
 		replyParsed.Answers = nil
 		replyParsed.Authority = nil
 		replyParsed.Additional = nil
+	}
+	if fault.Tamper != nil {
+		fault.Tamper(&replyParsed)
 	}
 	n.mu.Lock()
 	n.bytesDown += int64(len(replyWire))

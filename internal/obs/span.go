@@ -19,11 +19,12 @@ const (
 	PhaseAuth                      // authoritative handling: local-root consults, authserver work
 	PhaseBackoff                   // failed attempts: timeouts, lame servers, bad referrals
 	PhaseOverloadWait              // admission-gate queueing and coalesced-flight waits
+	PhaseValidate                  // DNSSEC validation: chain walks, RRSIG checks, denial proofs
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
-	"other", "cache", "net", "auth", "backoff", "overload_wait",
+	"other", "cache", "net", "auth", "backoff", "overload_wait", "validate",
 }
 
 // String returns the snake_case phase label used in histogram labels and
@@ -57,6 +58,7 @@ type Attribution struct {
 	AuthNS         int64 `json:"auth_ns"`
 	BackoffNS      int64 `json:"backoff_ns"`
 	OverloadWaitNS int64 `json:"overload_wait_ns"`
+	ValidateNS     int64 `json:"validate_ns"`
 	OtherNS        int64 `json:"other_ns"`
 }
 
@@ -75,6 +77,8 @@ func (a *Attribution) add(p Phase, ns int64) {
 		a.BackoffNS += ns
 	case PhaseOverloadWait:
 		a.OverloadWaitNS += ns
+	case PhaseValidate:
+		a.ValidateNS += ns
 	default:
 		a.OtherNS += ns
 	}
@@ -93,6 +97,8 @@ func (a Attribution) ByPhase(p Phase) int64 {
 		return a.BackoffNS
 	case PhaseOverloadWait:
 		return a.OverloadWaitNS
+	case PhaseValidate:
+		return a.ValidateNS
 	default:
 		return a.OtherNS
 	}
@@ -100,7 +106,7 @@ func (a Attribution) ByPhase(p Phase) int64 {
 
 // Total sums all phases.
 func (a Attribution) Total() int64 {
-	return a.CacheNS + a.NetNS + a.AuthNS + a.BackoffNS + a.OverloadWaitNS + a.OtherNS
+	return a.CacheNS + a.NetNS + a.AuthNS + a.BackoffNS + a.OverloadWaitNS + a.ValidateNS + a.OtherNS
 }
 
 // Add returns a + b, phase by phase.
@@ -110,6 +116,7 @@ func (a Attribution) Add(b Attribution) Attribution {
 	a.AuthNS += b.AuthNS
 	a.BackoffNS += b.BackoffNS
 	a.OverloadWaitNS += b.OverloadWaitNS
+	a.ValidateNS += b.ValidateNS
 	a.OtherNS += b.OtherNS
 	return a
 }
@@ -121,6 +128,7 @@ func (a Attribution) Sub(b Attribution) Attribution {
 	a.AuthNS -= b.AuthNS
 	a.BackoffNS -= b.BackoffNS
 	a.OverloadWaitNS -= b.OverloadWaitNS
+	a.ValidateNS -= b.ValidateNS
 	a.OtherNS -= b.OtherNS
 	return a
 }

@@ -390,12 +390,13 @@ func (tr *Trace) Tree() string {
 	}
 	sb.WriteByte('\n')
 	if tr.Attr != (Attribution{}) {
-		fmt.Fprintf(&sb, "  attribution: cache=%v net=%v auth=%v backoff=%v overload_wait=%v other=%v\n",
+		fmt.Fprintf(&sb, "  attribution: cache=%v net=%v auth=%v backoff=%v overload_wait=%v validate=%v other=%v\n",
 			time.Duration(tr.Attr.CacheNS).Round(time.Microsecond),
 			time.Duration(tr.Attr.NetNS).Round(time.Microsecond),
 			time.Duration(tr.Attr.AuthNS).Round(time.Microsecond),
 			time.Duration(tr.Attr.BackoffNS).Round(time.Microsecond),
 			time.Duration(tr.Attr.OverloadWaitNS).Round(time.Microsecond),
+			time.Duration(tr.Attr.ValidateNS).Round(time.Microsecond),
 			time.Duration(tr.Attr.OtherNS).Round(time.Microsecond))
 	}
 	for _, s := range tr.spans {

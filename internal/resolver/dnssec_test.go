@@ -1,0 +1,322 @@
+package resolver
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rootless/internal/dnssec"
+	"rootless/internal/dnssec/validator"
+	"rootless/internal/dnswire"
+	"rootless/internal/faults"
+)
+
+type sigRand struct{ r *rand.Rand }
+
+func (d sigRand) Read(p []byte) (int, error) { return d.r.Read(p) }
+
+// signRoot signs the topology's root zone in place (with an NSEC chain)
+// and returns the signer whose KSK is the trust anchor. The root servers
+// share the zone pointer, so they serve the signed data immediately. The
+// TLDs stay unsigned and carry no DS, making com. and org. provably
+// insecure delegations — the islands-of-security shape the paper's
+// transition argument assumes.
+func signRoot(t testing.TB, tp *topo) *dnssec.Signer {
+	t.Helper()
+	s, err := dnssec.NewSigner(dnswire.Root, sigRand{rand.New(rand.NewSource(11))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddNSEC = true
+	if err := s.SignZone(tp.rootZone, tp.start); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// withValidation turns on DNSSEC validation anchored at the signer.
+func withValidation(s *dnssec.Signer, pol validator.Policy) func(*Config) {
+	return func(c *Config) {
+		c.Validate = pol
+		c.TrustAnchor = s.TrustAnchor()
+	}
+}
+
+func TestValidateStrictSecureAndInsecureChains(t *testing.T) {
+	tp := newTopo(t)
+	signer := signRoot(t, tp)
+	r := tp.resolver(t, RootModeHints, withValidation(signer, validator.PolicyStrict))
+
+	// Root-zone data validates all the way from the anchor: AD set.
+	res, err := r.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("signed root data: res=%+v err=%v", res, err)
+	}
+	if !res.AuthData {
+		t.Error("validated root answer should carry AD")
+	}
+	st := r.Stats()
+	if st.SecureAnswers == 0 {
+		t.Errorf("SecureAnswers = %d, want > 0", st.SecureAnswers)
+	}
+	if st.DNSKEYFetches != 1 {
+		t.Errorf("DNSKEYFetches = %d, want 1", st.DNSKEYFetches)
+	}
+
+	// A cache hit for the same name is served without AD: the cache keeps
+	// records, not chain state.
+	res, err = r.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 0 || res.AuthData {
+		t.Errorf("cache hit: queries=%d AD=%v, want 0 and false", res.Queries, res.AuthData)
+	}
+
+	// com. has no DS and the root's NSEC proves it: everything below is
+	// Insecure — served fine, never AD, and never bogus under strict.
+	res, err = r.Resolve("www.example.com.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("insecure-subtree name: res=%+v err=%v", res, err)
+	}
+	if res.AuthData {
+		t.Error("answer below an insecure delegation must not carry AD")
+	}
+	st = r.Stats()
+	if st.InsecureAnswers == 0 {
+		t.Errorf("InsecureAnswers = %d, want > 0", st.InsecureAnswers)
+	}
+	if st.BogusAnswers != 0 || st.BogusRejected != 0 {
+		t.Errorf("bogus counters = %d/%d, want 0/0", st.BogusAnswers, st.BogusRejected)
+	}
+}
+
+// TestNSECAggressiveAbsorbsBogusTLD mirrors TestNXDomainCutAbsorbsBogusTLD
+// for the validated path: one proven NXDOMAIN caches the root NSEC range,
+// and every later name inside that range — including under *other* bogus
+// TLDs — is synthesized locally with zero upstream queries (RFC 8198).
+func TestNSECAggressiveAbsorbsBogusTLD(t *testing.T) {
+	tp := newTopo(t)
+	signer := signRoot(t, tp)
+	r := tp.resolver(t, RootModeHints, withValidation(signer, validator.PolicyStrict),
+		func(c *Config) { c.NSECAggressive = true })
+
+	res, err := r.Resolve("one.invalid-zz.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rcode != dnswire.RcodeNXDomain || res.Queries == 0 {
+		t.Fatalf("first bogus lookup: rcode=%v queries=%d", res.Rcode, res.Queries)
+	}
+	if !res.AuthData {
+		t.Error("validated NXDOMAIN should carry AD")
+	}
+
+	// The com.→org. NSEC covers every name in the gap, not just the TLD
+	// that was queried: invalid-zz. repeats AND a different bogus TLD
+	// (dd.) are all absorbed without any network traffic.
+	before := r.Stats()
+	for _, name := range []dnswire.Name{"two.invalid-zz.", "a.b.invalid-zz.", "invalid-zz.", "foo.dd."} {
+		res, err := r.Resolve(name, dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rcode != dnswire.RcodeNXDomain {
+			t.Fatalf("%s: rcode = %v", name, res.Rcode)
+		}
+		if res.Queries != 0 {
+			t.Errorf("%s hit upstream (%d queries) despite validated NSEC range", name, res.Queries)
+		}
+		if !res.AuthData {
+			t.Errorf("%s: synthesized denial should carry AD", name)
+		}
+	}
+	after := r.Stats()
+	if after.TotalQueries != before.TotalQueries {
+		t.Errorf("range-covered lookups sent %d network queries", after.TotalQueries-before.TotalQueries)
+	}
+	if got := after.NSECSynthesized - before.NSECSynthesized; got != 4 {
+		t.Errorf("NSECSynthesized = %d, want 4", got)
+	}
+
+	// Real names are untouched: www.example.com. sits below the com.
+	// delegation, which the parent-side NSEC must not deny (RFC 8198 §5.1).
+	if res, err := r.Resolve("www.example.com.", dnswire.TypeA); err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("real name with NSEC ranges cached: res=%+v err=%v", res, err)
+	}
+
+	// Past the NSEC TTL (86400 s) the proof is stale and lookups go
+	// upstream again.
+	tp.net.Advance(25 * time.Hour)
+	pre := r.Stats().TotalQueries
+	res, err = r.Resolve("three.invalid-zz.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rcode != dnswire.RcodeNXDomain {
+		t.Fatalf("post-expiry rcode = %v", res.Rcode)
+	}
+	if r.Stats().TotalQueries == pre {
+		t.Error("expired NSEC range still answered from cache")
+	}
+}
+
+// TestNSECRangesSurviveFlush pins the property NXDomainCut lacks: the
+// proofs are cryptographic, so flushing the observational cache does not
+// reopen the junk floodgate.
+func TestNSECRangesSurviveFlush(t *testing.T) {
+	tp := newTopo(t)
+	signer := signRoot(t, tp)
+	r := tp.resolver(t, RootModeHints, withValidation(signer, validator.PolicyStrict),
+		func(c *Config) { c.NSECAggressive = true })
+
+	if _, err := r.Resolve("one.invalid-zz.", dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	r.cache.Flush()
+	pre := r.Stats().TotalQueries
+	res, err := r.Resolve("two.invalid-zz.", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rcode != dnswire.RcodeNXDomain || res.Queries != 0 || r.Stats().TotalQueries != pre {
+		t.Errorf("after Flush: rcode=%v queries=%d, want synthesized NXDOMAIN with zero upstream", res.Rcode, res.Queries)
+	}
+}
+
+func TestForgedAnswerStrictRejected(t *testing.T) {
+	tp := newTopo(t)
+	signer := signRoot(t, tp)
+	in := faults.NewInjector(1)
+	in.Add(faults.Rule{Kind: faults.ForgedAnswer}) // every host spoofs
+	tp.net.SetFaultPolicy(in)
+	r := tp.resolver(t, RootModeHints, withValidation(signer, validator.PolicyStrict))
+
+	_, err := r.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if !errors.Is(err, ErrBogus) {
+		t.Fatalf("forged answer under strict: err = %v, want ErrBogus", err)
+	}
+	st := r.Stats()
+	if st.BogusAnswers == 0 || st.BogusRejected == 0 {
+		t.Errorf("bogus counters = %d/%d, want both > 0", st.BogusAnswers, st.BogusRejected)
+	}
+	// Nothing from the forgery may have reached the cache.
+	if hit, ok := r.cache.Get("a.root-servers.net.", dnswire.TypeA); ok {
+		for _, rr := range hit.CopyRRs() {
+			if a, isA := rr.Data.(dnswire.A); isA && a.Addr == faults.ForgedAddr {
+				t.Fatal("forged address poisoned the cache under strict policy")
+			}
+		}
+	}
+
+	// Once the attacker is gone, the same resolver recovers.
+	in.Clear()
+	res, err := r.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess || !res.AuthData {
+		t.Fatalf("after attack: res=%+v err=%v, want validated success", res, err)
+	}
+}
+
+func TestForgedAnswerPermissiveServedWithoutAD(t *testing.T) {
+	tp := newTopo(t)
+	signer := signRoot(t, tp)
+	in := faults.NewInjector(1)
+	in.Add(faults.Rule{Kind: faults.ForgedAnswer})
+	tp.net.SetFaultPolicy(in)
+	r := tp.resolver(t, RootModeHints, withValidation(signer, validator.PolicyPermissive))
+
+	// Permissive counts the failure but serves the (poisoned) answer —
+	// the rollout mode's documented trade.
+	res, err := r.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("permissive forged: res=%+v err=%v", res, err)
+	}
+	if res.AuthData {
+		t.Error("bogus answer must not carry AD")
+	}
+	if len(res.Answers) == 0 || res.Answers[0].Data.(dnswire.A).Addr != faults.ForgedAddr {
+		t.Fatalf("expected the forged answer to be served, got %+v", res.Answers)
+	}
+	st := r.Stats()
+	if st.BogusAnswers == 0 {
+		t.Errorf("BogusAnswers = %d, want > 0", st.BogusAnswers)
+	}
+	if st.BogusRejected != 0 {
+		t.Errorf("BogusRejected = %d, want 0 under permissive", st.BogusRejected)
+	}
+}
+
+func TestTamperedRRSIGStrictRejected(t *testing.T) {
+	tp := newTopo(t)
+	signer := signRoot(t, tp)
+	in := faults.NewInjector(1)
+	in.Add(faults.Rule{Kind: faults.TamperSig})
+	tp.net.SetFaultPolicy(in)
+	r := tp.resolver(t, RootModeHints, withValidation(signer, validator.PolicyStrict))
+
+	// The on-path attacker leaves the records intact and corrupts only
+	// signature bytes: structurally valid, cryptographically dead.
+	_, err := r.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if !errors.Is(err, ErrBogus) {
+		t.Fatalf("tampered RRSIG under strict: err = %v, want ErrBogus", err)
+	}
+	if st := in.Stats(); st.SigTampers == 0 {
+		t.Error("injector reported no tampered replies")
+	}
+}
+
+func TestValidateOffUnchanged(t *testing.T) {
+	tp := newTopo(t)
+	signRoot(t, tp)
+	// No Validate option: PolicyOff. Signed zones resolve exactly as
+	// before, no validation stats move, and AD stays clear.
+	r := tp.resolver(t, RootModeHints)
+	res, err := r.Resolve("www.example.com.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if res.AuthData {
+		t.Error("AD set with validation off")
+	}
+	st := r.Stats()
+	if st.SecureAnswers != 0 || st.InsecureAnswers != 0 || st.DNSKEYFetches != 0 {
+		t.Errorf("validation counters moved with PolicyOff: %+v", st)
+	}
+}
+
+// TestLookasideLocalZoneVerified pins the paper's §3 out-of-band path: a
+// resolver consulting a VerifyZone-checked local root copy answers root
+// data with AD, while an unverifiable copy is served without it.
+// (Preload mode moves the same records into the plain cache, which never
+// claims AD — only the live zone consult carries the verified status.)
+func TestLookasideLocalZoneVerified(t *testing.T) {
+	tp := newTopo(t)
+	signer := signRoot(t, tp)
+	r := tp.resolver(t, RootModeLookaside, withValidation(signer, validator.PolicyStrict))
+	res, err := r.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("lookaside resolve: res=%+v err=%v", res, err)
+	}
+	if res.Queries != 0 {
+		t.Errorf("lookaside used %d network queries for root data", res.Queries)
+	}
+	if !res.AuthData {
+		t.Error("VerifyZone-checked local copy should answer with AD")
+	}
+
+	// Same setup, wrong anchor: the copy cannot be verified, answers are
+	// still served (availability) but never claim authenticity.
+	other, err := dnssec.NewSigner(dnswire.Root, sigRand{rand.New(rand.NewSource(12))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := tp.resolver(t, RootModeLookaside, withValidation(other, validator.PolicyStrict))
+	res, err = r2.Resolve("a.root-servers.net.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("unverified lookaside resolve: res=%+v err=%v", res, err)
+	}
+	if res.AuthData {
+		t.Error("unverifiable local copy must not claim AD")
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"rootless/internal/cache"
+	"rootless/internal/dnssec"
+	"rootless/internal/dnssec/validator"
 	"rootless/internal/dnswire"
 	"rootless/internal/obs"
 	"rootless/internal/obs/traffic"
@@ -136,6 +138,23 @@ type Config struct {
 	// power of two; 0 = cache.DefaultShards). One shard restores strict
 	// global LRU order at the cost of reader contention.
 	CacheShards int
+	// Validate selects the DNSSEC validation policy: PolicyStrict turns
+	// bogus answers into SERVFAIL-class errors and keeps them out of the
+	// cache, PolicyPermissive counts them but serves them (without AD),
+	// PolicyOff (the default) skips validation entirely.
+	Validate validator.Policy
+	// TrustAnchor is the DS-form trust anchor for the root zone, required
+	// whenever Validate is not PolicyOff.
+	TrustAnchor dnswire.DS
+	// DNSSECSkew widens every RRSIG validity window on both ends to
+	// tolerate bounded clock skew (0 = exact windows).
+	DNSSECSkew time.Duration
+	// NSECAggressive enables RFC 8198 aggressive use of validated NSEC
+	// ranges: any qname falling in a proven denial range is answered
+	// NXDOMAIN/NODATA from the cache with zero upstream queries. Requires
+	// Validate (only validated NSECs are trusted); strictly subsumes the
+	// observational NXDomainCut mechanism.
+	NSECAggressive bool
 	// Seed makes server tie-breaking deterministic.
 	Seed int64
 }
@@ -167,6 +186,14 @@ type Stats struct {
 	CoalescedResolutions int64 // resolutions that shared another's in-flight result
 	ShedResolutions      int64 // resolutions refused an admission slot
 	NXDomainCutHits      int64 // queries answered by an RFC 8020 NXDOMAIN cut
+	// DNSSEC validation outcomes (PR 7), per validated upstream response.
+	SecureAnswers        int64 // responses whose chain of trust verified
+	InsecureAnswers      int64 // responses from provably-unsigned zones
+	BogusAnswers         int64 // responses that failed validation
+	IndeterminateAnswers int64 // responses with no applicable chain state
+	BogusRejected        int64 // bogus responses refused under PolicyStrict
+	NSECSynthesized      int64 // queries answered from validated NSEC ranges (RFC 8198)
+	DNSKEYFetches        int64 // DNSKEY sub-queries issued to establish zone keys
 }
 
 // Result is the outcome of one resolution.
@@ -179,6 +206,12 @@ type Result struct {
 	Queries int
 	// FromCache reports a resolution that needed no network traffic.
 	FromCache bool
+	// AuthData reports that every step of this resolution validated
+	// Secure — the resolver-side truth behind the response AD bit. Only
+	// freshly-validated answers, NSEC-synthesized denials, and local-zone
+	// answers from a VerifyZone-checked copy qualify; plain cache hits
+	// are served without it (the cache does not record chain state).
+	AuthData bool
 }
 
 // Errors. ErrAllServersFail wraps the last per-server cause, so callers
@@ -192,6 +225,7 @@ var (
 	ErrTimeout        = errors.New("resolver: upstream query timed out")
 	ErrRetryBudget    = errors.New("resolver: retry budget exhausted")
 	ErrOverloaded     = errors.New("resolver: shed by admission gate")
+	ErrBogus          = errors.New("resolver: answer failed DNSSEC validation")
 )
 
 // Resolver is an iterative resolver with a shared cache. Safe for
@@ -217,6 +251,13 @@ type Resolver struct {
 	// MaxInflight is 0). Both are internally synchronised.
 	flight *overload.Flight
 	gate   *overload.Gate
+
+	// validator holds the DNSSEC chain-of-trust state (nil when
+	// Config.Validate is PolicyOff). localSecure records that the local
+	// root zone copy passed whole-zone validation (VerifyZone) at
+	// install, so local consults count as Secure; guarded by mu.
+	validator   *validator.Validator
+	localSecure bool
 
 	mu         sync.Mutex
 	rng        *rand.Rand // guarded by mu: Resolve runs concurrently
@@ -264,8 +305,17 @@ func New(cfg Config) *Resolver {
 			r.rootAddrs[d.Addr] = true
 		}
 	}
+	if cfg.Validate != validator.PolicyOff {
+		r.validator = validator.New(validator.Config{
+			Anchor:     cfg.TrustAnchor,
+			AnchorZone: dnswire.Root,
+			Skew:       cfg.DNSSECSkew,
+			Now:        cfg.Clock,
+		})
+	}
 	if cfg.LocalZone != nil {
 		r.zoneLoaded = cfg.Clock()
+		r.localSecure = r.verifyLocalZone(cfg.LocalZone)
 	}
 	if cfg.Mode == RootModePreload && cfg.LocalZone != nil {
 		r.PreloadRootZone(cfg.LocalZone)
@@ -287,15 +337,31 @@ func (r *Resolver) Stats() Stats {
 func (r *Resolver) Mode() RootMode { return r.cfg.Mode }
 
 // SetLocalZone swaps in a fresh local root zone copy (after a refresh).
-// In preload mode the new zone is re-pinned into the cache.
+// In preload mode the new zone is re-pinned into the cache. With
+// validation enabled the copy is re-verified against the trust anchor.
 func (r *Resolver) SetLocalZone(z *zone.Zone) {
+	secure := r.verifyLocalZone(z)
 	r.mu.Lock()
 	r.cfg.LocalZone = z
 	r.zoneLoaded = r.cfg.Clock()
+	r.localSecure = secure
 	r.mu.Unlock()
 	if r.cfg.Mode == RootModePreload {
 		r.PreloadRootZone(z)
 	}
+}
+
+// verifyLocalZone runs the paper's §3 out-of-band validation path: the
+// whole local root zone copy is checked against the trust anchor
+// (DNSKEY chain, every RRSIG, NSEC chain links, ZONEMD digest). Answers
+// consulted from a verified copy count as Secure without per-response
+// work. Returns false — and the copy is served unvalidated, without AD
+// — when validation is off or the zone does not verify.
+func (r *Resolver) verifyLocalZone(z *zone.Zone) bool {
+	if r.validator == nil || z == nil {
+		return false
+	}
+	return dnssec.VerifyZone(z, r.cfg.TrustAnchor, r.cfg.Clock()) == nil
 }
 
 // LocalZoneStatus reports the local root zone copy's serial and staleness
@@ -525,7 +591,10 @@ func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace
 
 	target := qname
 	var chain []dnswire.RR
+	// AD holds only if every link of a CNAME chain validated Secure.
+	authAll := true
 	for depth := 0; depth < 9; depth++ {
+		res.AuthData = false
 		rcode, rrs, err := r.iterate(target, qtype, res, &budget, &retries, tr, tok)
 		if err != nil {
 			r.count(func(s *Stats) { s.Failures++ })
@@ -533,6 +602,7 @@ func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace
 			return res, err
 		}
 		res.Rcode = rcode
+		authAll = authAll && res.AuthData
 		// Follow a CNAME unless that is what was asked for.
 		if rcode == dnswire.RcodeSuccess && qtype != dnswire.TypeCNAME {
 			if cn, ok := terminalCNAME(rrs, target); ok {
@@ -545,6 +615,7 @@ func (r *Resolver) resolve(qname dnswire.Name, qtype dnswire.Type, tr *obs.Trace
 		}
 		res.Answers = append(chain, rrs...)
 		res.FromCache = res.Queries == 0
+		res.AuthData = authAll
 		return res, nil
 	}
 	r.count(func(s *Stats) { s.Failures++ })
@@ -621,6 +692,24 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			return dnswire.RcodeSuccess, hit.CopyRRs(), nil
 		}
 	}
+	// A validated NSEC range covering qname answers with cryptographic
+	// certainty (RFC 8198): the denial was proven, not observed, so the
+	// synthesized answer even carries AD. Checked before the RFC 8020
+	// cut — when both apply, the stronger mechanism takes the hit.
+	if r.cfg.NSECAggressive {
+		if nx, ok := r.cache.NSECSynthesize(qname, qtype); ok {
+			r.count(func(s *Stats) { s.NSECSynthesized++; s.NegCacheAnswers++; s.CacheAnswers++ })
+			if tr != nil {
+				tr.Eventf("cache-hit", "validated NSEC range covers %s %s", qname, qtype)
+			}
+			csp.End()
+			res.AuthData = true
+			if nx {
+				return dnswire.RcodeNXDomain, nil, nil
+			}
+			return dnswire.RcodeSuccess, nil, nil
+		}
+	}
 	// An NXDOMAIN cut at any ancestor (in practice: the TLD) answers the
 	// miss without any upstream work — the aggressive negative cache the
 	// paper's junk-dominated workload rewards.
@@ -645,6 +734,9 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			next, rcode, rrs, done := r.consultLocalRoot(qname, qtype)
 			asp.End()
 			if done {
+				r.mu.Lock()
+				res.AuthData = r.localSecure
+				r.mu.Unlock()
 				return rcode, rrs, nil
 			}
 			tr.Eventf("referral", "local zone -> %s (%d servers)", next.zone, len(next.hosts))
@@ -661,8 +753,23 @@ func (r *Resolver) iterate(qname dnswire.Name, qtype dnswire.Type, res *Result, 
 			return dnswire.RcodeServFail, nil, err
 		}
 
+		secure := false
+		if r.validator != nil {
+			vsp := tr.StartSpan(obs.PhaseValidate, "validate")
+			outcome, verr := r.validateResponse(cur, qname, qtype, resp, res, budget, retries, tr, tok)
+			vsp.End()
+			if outcome == validator.Bogus && r.cfg.Validate == validator.PolicyStrict {
+				// Strict policy: the answer is discarded before any of it
+				// can reach the cache, and the resolution fails closed.
+				r.count(func(s *Stats) { s.BogusRejected++ })
+				return dnswire.RcodeServFail, nil, fmt.Errorf("%w: %w", ErrBogus, verr)
+			}
+			secure = outcome == validator.Secure
+		}
+
 		rcode, rrs, next, done := r.processResponse(cur, qname, qtype, resp)
 		if done {
+			res.AuthData = secure
 			return rcode, rrs, nil
 		}
 		tr.Eventf("referral", "hop=%d %s -> %s (%d servers)", hop+1, cur.zone, next.zone, len(next.hosts))

@@ -109,5 +109,8 @@ func (s *Server) handle(q *dnswire.Message) *dnswire.Message {
 	}
 	resp.Rcode = res.Rcode
 	resp.Answers = res.Answers
+	// AD means every record in the answer was validated Secure (RFC 4035
+	// §3.2.3) — never set on unvalidated or merely-cached data.
+	resp.AuthenticData = res.AuthData
 	return resp
 }
