@@ -15,7 +15,7 @@ verify-race:
 # Perf-trajectory snapshot: run the key benchmarks with fixed iteration
 # counts (stable comparisons, bounded runtime) and write a schema-stable
 # JSON report, then validate it and diff against the previous committed
-# snapshot if one exists. Set BENCH=BENCH_PR8.json for the next PR; the
+# snapshot if one exists. Set BENCH=BENCH_PR9.json for the next PR; the
 # committed snapshot is regression-checked by TestCommittedSnapshot in
 # internal/benchfmt, which `make verify` runs. Iteration counts are
 # pinned high enough that the derived overhead figures sit above the
@@ -23,7 +23,7 @@ verify-race:
 # negative tracing overhead. The cache package runs at -cpu=8 so the
 # sharded/single-lock parallel Get pair actually contends (the ratio is
 # only meaningful on a multi-core runner; single-core hovers near 1x).
-BENCH ?= BENCH_PR7.json
+BENCH ?= BENCH_PR8.json
 
 bench:
 	@set -e; \
@@ -33,10 +33,11 @@ bench:
 	  go test -run='^$$' -bench=. -benchtime=1000000x -count=1 -benchmem ./internal/obs/traffic; \
 	  go test -run='^$$' -bench=. -benchtime=100000x -count=1 -benchmem \
 	    ./internal/overload ./internal/dnswire ./internal/authserver; \
-	  go test -run='^$$' -bench='^BenchmarkCache$$/^(Get|Put)$$' -benchtime=100000x -count=1 -benchmem ./internal/cache; \
+	  go test -run='^$$' -bench='^BenchmarkCache$$/^(Get|Put)$$' -benchtime=1000000x -count=1 -benchmem ./internal/cache; \
 	  go test -run='^$$' -bench='^BenchmarkCache$$/^GetParallel' -benchtime=100000x -count=1 -benchmem -cpu=8 ./internal/cache; \
 	  go test -run='^$$' -bench='^BenchmarkValidate$$' -benchtime=20000x -count=1 -benchmem ./internal/dnssec/validator; \
-	  go test -run='^$$' -bench='^BenchmarkNSECSynthesize$$' -benchtime=200000x -count=1 -benchmem ./internal/cache \
+	  go test -run='^$$' -bench='^BenchmarkNSECSynthesize$$' -benchtime=200000x -count=1 -benchmem ./internal/cache; \
+	  go test -run='^$$' -bench='^(BenchmarkDeltaApply|BenchmarkFullBundleVerify)$$' -benchtime=500x -count=1 -benchmem ./internal/dist \
 	) | tee /dev/stderr | go run ./cmd/benchreport -write $(BENCH); \
 	go run ./cmd/benchreport -validate $(BENCH) -min 8; \
 	prev=$$(ls BENCH_*.json | grep -v "^$(BENCH)$$" | sort | tail -1 || true); \
@@ -53,7 +54,9 @@ bench-diff:
 bench-full:
 	go test -bench=. -benchmem ./...
 
-# Short coverage-guided fuzz pass over the wire codec (~10s per target).
+# Short coverage-guided fuzz pass over the wire codec and the delta
+# bundle decoder (~10s per target).
 fuzz-short:
 	go test ./internal/dnswire -run='^$$' -fuzz=FuzzMessageUnpack -fuzztime=10s
 	go test ./internal/dnswire -run='^$$' -fuzz=FuzzNameParse -fuzztime=10s
+	go test ./internal/dist -run='^$$' -fuzz=FuzzDecodeDeltaBundle -fuzztime=10s

@@ -25,6 +25,27 @@
 //	                        NSEC ranges, RFC 8198 (needs -validate)
 //	-dnssec-skew 0s         clock-skew tolerance for RRSIG validity windows
 //
+// Self-refreshing root zone copy (preload/lookaside modes):
+//
+//	-zone-mirrors URLs      comma-separated zonedist mirror base URLs; the
+//	                        resolver fetches, verifies and installs the root
+//	                        zone itself (signed delta chains with full-bundle
+//	                        fallback, RFC 5011 trust-anchor rollover, rollback
+//	                        protection, per-source quarantine). With this set,
+//	                        -rootzone becomes an optional cold-start copy.
+//	-zone-pub root.dnskey   publisher KSK in zone-file form, the initial
+//	                        trust anchor (required with -zone-mirrors)
+//	-zone-refresh 42h       planned interval between zone fetches
+//	-zone-retry 1h          base retry pause after a failed fetch
+//	-zone-expiry 48h        copy age at which staged staleness degrades:
+//	                        fresh -> aging -> stale-serve -> expired
+//	-zone-stale-for 12h     stale-serve window past expiry: root consults
+//	                        still answer, with referral TTLs capped, before
+//	                        the copy fails closed
+//	-zone-cross-check 0     serial-stuck duration that triggers an
+//	                        all-mirror sweep (freeze-attack defense;
+//	                        0 = 2x refresh, negative disables)
+//
 // Overload protection:
 //
 //	-coalesce               share one upstream flight among concurrent
@@ -67,6 +88,7 @@ import (
 	"time"
 
 	"rootless/internal/anycast"
+	"rootless/internal/dist"
 	"rootless/internal/dnssec"
 	"rootless/internal/dnssec/validator"
 	"rootless/internal/dnswire"
@@ -93,6 +115,13 @@ func main() {
 	retryBudget := flag.Int("retry-budget", 0, "failed upstream attempts allowed per resolution (0 = default 16, negative = unlimited)")
 	holdDownAfter := flag.Int("holddown-after", 0, "consecutive failures before a server is held down (0 = default 3, negative disables health tracking)")
 	holdDown := flag.Duration("holddown", 0, "base hold-down period for a tripped server (0 = default 30s)")
+	zoneMirrors := flag.String("zone-mirrors", "", "comma-separated zonedist mirror URLs: self-refresh the local root zone (preload/lookaside)")
+	zonePub := flag.String("zone-pub", "", "publisher KSK file, the initial trust anchor (required with -zone-mirrors)")
+	zoneRefresh := flag.Duration("zone-refresh", 42*time.Hour, "planned interval between zone fetches")
+	zoneRetry := flag.Duration("zone-retry", time.Hour, "base retry pause after a failed zone fetch")
+	zoneExpiry := flag.Duration("zone-expiry", 48*time.Hour, "zone copy age at which staleness degrades toward fail-closed")
+	zoneStaleFor := flag.Duration("zone-stale-for", 12*time.Hour, "stale-serve window past expiry before root consults fail closed")
+	zoneCrossCheck := flag.Duration("zone-cross-check", 0, "serial-stuck duration triggering an all-mirror sweep (0 = 2x refresh, negative disables)")
 	validateStr := flag.String("validate", "off", "DNSSEC validation policy: strict | permissive | off")
 	anchorPath := flag.String("trust-anchor", "", "trust-anchor file: the root KSK DNSKEY in zone-file form")
 	nsecAggressive := flag.Bool("nsec-aggressive", false, "synthesize denials from validated NSEC ranges (RFC 8198; needs -validate)")
@@ -191,15 +220,25 @@ func main() {
 
 	switch mode {
 	case resolver.RootModePreload, resolver.RootModeLookaside:
-		if *rootZonePath == "" {
-			fatal("-mode %s requires -rootzone", mode)
+		if *rootZonePath == "" && *zoneMirrors == "" {
+			fatal("-mode %s requires -rootzone or -zone-mirrors", mode)
 		}
-		z, err := loadZone(*rootZonePath)
-		if err != nil {
-			fatal("%v", err)
+		if *rootZonePath != "" {
+			z, err := loadZone(*rootZonePath)
+			if err != nil {
+				fatal("%v", err)
+			}
+			cfg.LocalZone = z
+			logger.Info("loaded local root zone", "serial", z.Serial(), "records", z.Len())
 		}
-		cfg.LocalZone = z
-		logger.Info("loaded local root zone", "serial", z.Serial(), "records", z.Len())
+		if *zoneMirrors != "" {
+			// Staged staleness only engages when the copy is supposed to
+			// refresh itself; a hand-loaded zone file keeps the old
+			// serve-forever behavior.
+			cfg.ZoneExpiry = *zoneExpiry
+			cfg.ZoneRefresh = *zoneRefresh
+			cfg.ZoneStaleFor = *zoneStaleFor
+		}
 	case resolver.RootModeLocalAuth:
 		addr, err := netip.ParseAddr(*localAuth)
 		if err != nil {
@@ -255,11 +294,65 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	var refresher *dist.Refresher
+	if *zoneMirrors != "" {
+		if mode != resolver.RootModePreload && mode != resolver.RootModeLookaside {
+			fatal("-zone-mirrors needs -mode preload or lookaside (the modes that carry a local zone copy)")
+		}
+		if *zonePub == "" {
+			fatal("-zone-mirrors requires -zone-pub (the publisher's DNSKEY)")
+		}
+		f, err := os.Open(*zonePub)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ksk, err := dnssec.ReadPublicKey(f)
+		f.Close()
+		if err != nil {
+			fatal("parsing -zone-pub: %v", err)
+		}
+		var sources []dist.Source
+		for _, m := range strings.Split(*zoneMirrors, ",") {
+			sources = append(sources, dist.NewHTTPClient(strings.TrimSpace(m)))
+		}
+		refresher, err = dist.NewRefresher(dist.RefresherConfig{
+			Source:    sources[0],
+			Fallbacks: sources[1:],
+			Trust:     dist.NewTrustAnchors(0, ksk),
+			Install: func(z *zone.Zone) error {
+				r.SetLocalZone(z)
+				logger.Info("installed root zone", "serial", z.Serial(), "records", z.Len())
+				return nil
+			},
+			Refresh:    *zoneRefresh,
+			Retry:      *zoneRetry,
+			Expiry:     *zoneExpiry,
+			StaleFor:   *zoneStaleFor,
+			CrossCheck: *zoneCrossCheck,
+			Tracer:     tracer,
+		})
+		if err != nil {
+			fatal("zone refresher: %v", err)
+		}
+		// Synchronous first fetch: without a -rootzone cold-start copy the
+		// resolver has nothing to serve until a mirror answers.
+		refresher.Tick(ctx)
+		if st := refresher.State(); !st.HaveZone && cfg.LocalZone == nil {
+			fatal("initial zone fetch failed: %v", st.LastErr)
+		}
+		go refresher.Run(ctx)
+		logger.Info("zone refresher started", "mirrors", len(sources),
+			"refresh", *zoneRefresh, "expiry", *zoneExpiry, "stale_for", *zoneStaleFor)
+	}
+
 	if *adminAddr != "" {
 		start := time.Now()
 		reg := obs.NewRegistry()
 		r.Instrument(reg)
 		reg.AddCollector(tracer)
+		if refresher != nil {
+			reg.AddCollector(refresher)
+		}
 		obs.RegisterProcessMetrics(reg, start)
 		if mode == resolver.RootModeHints {
 			// Hints mode still leans on the root-server fleet; expose the
@@ -279,7 +372,7 @@ func main() {
 			admin.Timeseries = rec
 			go rec.Run(ctx)
 		}
-		admin.Status = statusFunc(r, tracer, mode, policy, start)
+		admin.Status = statusFunc(r, refresher, tracer, mode, policy, start)
 		go func() {
 			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
 				logger.Error("admin server", "err", err)
@@ -297,7 +390,7 @@ func main() {
 		"local_root_consults", st.LocalRootConsults)
 }
 
-func statusFunc(r *resolver.Resolver, tracer *obs.Tracer, mode resolver.RootMode, policy validator.Policy, start time.Time) func() map[string]any {
+func statusFunc(r *resolver.Resolver, refresher *dist.Refresher, tracer *obs.Tracer, mode resolver.RootMode, policy validator.Policy, start time.Time) func() map[string]any {
 	return func() map[string]any {
 		st := r.Stats()
 		status := map[string]any{
@@ -333,6 +426,21 @@ func statusFunc(r *resolver.Resolver, tracer *obs.Tracer, mode resolver.RootMode
 			// The §5.3 staleness metric: how old is our root copy?
 			status["zone_serial"] = serial
 			status["zone_age_seconds"] = age.Seconds()
+		}
+		if refresher != nil {
+			rst := refresher.State()
+			status["zone_freshness"] = r.ZoneFreshness().String()
+			status["zone_fetches"] = rst.Fetches
+			status["zone_fetch_failures"] = rst.Failures
+			status["zone_installs"] = rst.Installs
+			status["zone_delta_installs"] = rst.DeltaInstalls
+			status["zone_chain_fallbacks"] = rst.ChainFallbacks
+			status["zone_rollbacks_rejected"] = rst.RollbacksRejected
+			status["zone_cross_checks"] = rst.CrossChecks
+			status["zone_source_quarantines"] = rst.Quarantines
+			status["zone_trust_anchors_valid"] = rst.Trust.Valid
+			status["zone_trust_anchors_pending"] = rst.Trust.Pending
+			status["zone_trust_rollovers"] = rst.Trust.Rollovers
 		}
 		return status
 	}

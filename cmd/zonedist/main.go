@@ -63,6 +63,7 @@ func serve(args []string) {
 	dateStr := fs.String("date", "2019-06-07", "zone snapshot date")
 	pubOut := fs.String("pub-out", "", "write the public KSK here for clients")
 	republish := fs.Duration("republish", 0, "re-sign and publish a fresh serial at this interval (0 = once)")
+	window := fs.Int("window", 16, "delta-chain history depth: serials a client may be behind and still catch up incrementally")
 	adminAddr := fs.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9155; empty to disable)")
 	tsInterval := fs.Duration("timeseries", time.Second, "metric history recording interval for /timeseries (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof profiling handlers at /debug/pprof/ on the admin endpoint")
@@ -94,7 +95,7 @@ func serve(args []string) {
 		f.Close()
 	}
 
-	mirror := dist.NewMirror(signer, 16)
+	mirror := dist.NewMirror(signer, *window)
 	publish := func(at time.Time) error {
 		z, err := rootzone.Build(at)
 		if err != nil {

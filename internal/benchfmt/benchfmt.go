@@ -141,6 +141,15 @@ func Validate(rep *Report, min int) error {
 // lucky run yields nonsense like a negative tracing overhead.
 const NoiseBandFrac = 0.05
 
+// NoiseFloorNs is the absolute ns/op delta below which a cross-snapshot
+// comparison is timer-granularity noise, whatever the ratio says.
+// Snapshots are taken on whatever host the PR ran on; for single-digit-ns
+// micro-ops (an 8 ns disabled-tracer check) a 2 ns host-to-host drift
+// reads as a 25% "regression" while the code is byte-identical. The
+// relative band alone cannot express that, so the regression gate also
+// requires the absolute delta to clear this floor.
+const NoiseFloorNs = 3.0
+
 // Derive computes the headline figures a snapshot is read for: hot-path
 // resolution throughput, the cost of enabling tracing, and the
 // coalescing shield factor. Missing benchmarks simply yield no figure,
@@ -232,6 +241,19 @@ func Derive(entries []Entry) map[string]float64 {
 		d["nsec_synthesize_ns_per_op"] = e.NsPerOp
 		d["nsec_synthesize_allocs_per_op"] = e.AllocsPerOp
 	}
+	// PR 8 distribution figures: catching up via a signed daily delta
+	// must beat re-verifying a full bundle — the O(delta) vs O(zone)
+	// claim of the self-healing distribution channel, in wall time. The
+	// speedup is bounded by the zone-copy cost Apply shares with full
+	// verification, so it is smaller than the sig-check ratio t_dist
+	// reports; >1 is the requirement.
+	if ap, ok := byName["BenchmarkDeltaApply"]; ok {
+		d["delta_verify_ns_per_op"] = ap.NsPerOp
+		d["delta_verify_allocs_per_op"] = ap.AllocsPerOp
+		if full, ok := byName["BenchmarkFullBundleVerify"]; ok && ap.NsPerOp > 0 {
+			d["delta_verify_speedup"] = full.NsPerOp / ap.NsPerOp
+		}
+	}
 	if hit, ok := byName["BenchmarkHandle/PackedHit"]; ok && hit.NsPerOp > 0 {
 		if p, ok := hit.Extra["packs/op"]; ok {
 			d["authserver_packed_hit_packs_per_op"] = p
@@ -313,7 +335,8 @@ var wallClockUnreliable = map[string]bool{
 // grew by more than frac (0.15 = fail anything >15% slower). Added and
 // removed benchmarks are never regressions — new code legitimately
 // reshapes the suite — deltas inside NoiseBandFrac are ignored even
-// when frac is set tighter than the noise band, and benchmarks in
+// when frac is set tighter than the noise band, absolute deltas under
+// NoiseFloorNs are cross-host timer noise, and benchmarks in
 // wallClockUnreliable are exempt.
 func Regressions(old, cur *Report, frac float64) []Delta {
 	if frac < NoiseBandFrac {
@@ -321,7 +344,7 @@ func Regressions(old, cur *Report, frac float64) []Delta {
 	}
 	var out []Delta
 	for _, d := range Diff(old, cur).Common {
-		if d.Ratio > 1+frac && !wallClockUnreliable[d.Name] {
+		if d.Ratio > 1+frac && d.NewNs-d.OldNs >= NoiseFloorNs && !wallClockUnreliable[d.Name] {
 			out = append(out, d)
 		}
 	}

@@ -420,11 +420,12 @@ func TestRefresherRetryWindow(t *testing.T) {
 	t0 := time.Unix(1555000000, 0)
 	clk := &vclock{t: t0}
 	failing := true
+	serial := uint32(7)
 	src := SourceFunc(func(context.Context) (*Bundle, error) {
 		if failing {
 			return nil, errors.New("mirror unreachable")
 		}
-		return MakeBundle(testZone(t, 7, ""), s)
+		return MakeBundle(testZone(t, serial, ""), s)
 	})
 	r, err := NewRefresher(RefresherConfig{
 		Source:  src,
@@ -471,6 +472,7 @@ func TestRefresherRetryWindow(t *testing.T) {
 	// Source recovers for the final attempt, which lands exactly at the
 	// expiry moment: freshness restored without any stale period.
 	failing = false
+	serial = 8
 	if !r.Tick(context.Background()) {
 		t.Fatal("recovery fetch failed")
 	}

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -24,12 +26,14 @@ import (
 //	GET /serial                  current serial (text)
 //	GET /root.zone.text          current uncompressed master file
 //	GET /delta?from=SERIAL       rsync-style delta from an old serial
+//	GET /deltachain?from=SERIAL  signed delta-bundle chain from an old serial
 type Mirror struct {
 	mu        sync.RWMutex
 	current   *Bundle
 	signer    *dnssec.Signer
 	text      map[uint32][]byte // serial -> master file text
 	zones     map[uint32]*zone.Zone
+	deltas    map[uint32]deltaLink // fromSerial -> signed delta to the next serial
 	order     []uint32
 	window    int
 	blockSize int
@@ -37,7 +41,14 @@ type Mirror struct {
 	// Stats.
 	bundleBytes int64
 	deltaBytes  int64
+	chainBytes  int64
 	requests    int64
+}
+
+// deltaLink is one precomputed chain step, kept in encoded form.
+type deltaLink struct {
+	to   uint32
+	data []byte
 }
 
 // NewMirror creates a mirror that retains `window` past snapshots for
@@ -50,12 +61,15 @@ func NewMirror(signer *dnssec.Signer, window int) *Mirror {
 		signer:    signer,
 		text:      make(map[uint32][]byte),
 		zones:     make(map[uint32]*zone.Zone),
+		deltas:    make(map[uint32]deltaLink),
 		window:    window,
 		blockSize: DefaultBlockSize,
 	}
 }
 
-// Publish installs a new zone snapshot.
+// Publish installs a new zone snapshot and, when the previous snapshot is
+// still retained, precomputes the signed delta link so clients can catch
+// up at O(delta) instead of refetching the whole bundle.
 func (m *Mirror) Publish(z *zone.Zone) error {
 	b, err := MakeBundle(z, m.signer)
 	if err != nil {
@@ -64,6 +78,15 @@ func (m *Mirror) Publish(z *zone.Zone) error {
 	text := []byte(zone.Text(z))
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if prev := m.current; prev != nil && prev.Serial != b.Serial {
+		if prevZone := m.zones[prev.Serial]; prevZone != nil {
+			db, err := MakeDeltaBundle(prevZone, z, ChainAnchor(prevZone), m.signer)
+			if err != nil {
+				return err
+			}
+			m.deltas[prev.Serial] = deltaLink{to: b.Serial, data: db.Encode()}
+		}
+	}
 	m.current = b
 	if _, ok := m.text[b.Serial]; !ok {
 		m.order = append(m.order, b.Serial)
@@ -73,6 +96,7 @@ func (m *Mirror) Publish(z *zone.Zone) error {
 	for len(m.order) > m.window {
 		delete(m.text, m.order[0])
 		delete(m.zones, m.order[0])
+		delete(m.deltas, m.order[0])
 		m.order = m.order[1:]
 	}
 	return nil
@@ -90,13 +114,21 @@ type MirrorStats struct {
 	Requests    int64
 	BundleBytes int64
 	DeltaBytes  int64
+	// ChainBytes counts signed delta-chain transfer volume — the O(delta)
+	// distribution path.
+	ChainBytes int64
 }
 
 // Stats returns a snapshot of the transfer counters.
 func (m *Mirror) Stats() MirrorStats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return MirrorStats{Requests: m.requests, BundleBytes: m.bundleBytes, DeltaBytes: m.deltaBytes}
+	return MirrorStats{
+		Requests:    m.requests,
+		BundleBytes: m.bundleBytes,
+		DeltaBytes:  m.deltaBytes,
+		ChainBytes:  m.chainBytes,
+	}
 }
 
 // Collect implements obs.Collector: transfer counters plus gauges for the
@@ -155,6 +187,8 @@ func (m *Mirror) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(text)
 	case "/delta":
 		m.serveDelta(w, r)
+	case "/deltachain":
+		m.serveDeltaChain(w, r)
 	case "/additions":
 		m.serveAdditions(w, r)
 	default:
@@ -193,6 +227,55 @@ func (m *Mirror) serveDelta(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Zone-Serial", strconv.FormatUint(uint64(curSerial), 10))
 	_, _ = w.Write(payload)
+}
+
+// serveDeltaChain returns the signed delta links from the client's serial
+// to the current snapshot: a uint32 link count, then each encoded
+// DeltaBundle length-prefixed with a uint32. An empty chain (count 0)
+// means the client is already current. 404 when the client's serial fell
+// out of the retention window — the client must full-fetch.
+func (m *Mirror) serveDeltaChain(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad from serial", http.StatusBadRequest)
+		return
+	}
+	m.mu.RLock()
+	var curSerial uint32
+	if m.current != nil {
+		curSerial = m.current.Serial
+	}
+	var links [][]byte
+	cur := uint32(from)
+	known := m.zones[cur] != nil
+	for cur != curSerial {
+		link, ok := m.deltas[cur]
+		if !ok {
+			known = false
+			break
+		}
+		links = append(links, link.data)
+		cur = link.to
+	}
+	m.mu.RUnlock()
+	if m.Current() == nil || !known {
+		http.Error(w, "serial not in window", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(links)))
+	buf.Write(u32[:])
+	for _, data := range links {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(data)))
+		buf.Write(u32[:])
+		buf.Write(data)
+	}
+	m.mu.Lock()
+	m.chainBytes += int64(buf.Len())
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // HTTPClient fetches bundles (and deltas) from a mirror base URL.
@@ -263,6 +346,45 @@ func (c *HTTPClient) Fetch(ctx context.Context) (*Bundle, error) {
 	c.fullFetches++
 	c.mu.Unlock()
 	return DecodeBundle(data)
+}
+
+// FetchDeltaChain implements DeltaSource: it downloads the signed delta
+// links from fromSerial to the mirror's current serial. A 404 (serial out
+// of the retention window) surfaces as an error, sending the refresher to
+// the full-bundle path.
+func (c *HTTPClient) FetchDeltaChain(ctx context.Context, fromSerial uint32) ([]*DeltaBundle, error) {
+	data, _, err := c.get(ctx, fmt.Sprintf("/deltachain?from=%d", fromSerial))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 {
+		return nil, errors.New("dist: short delta chain")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if n < 0 || n > 1<<16 {
+		return nil, errors.New("dist: bad delta chain length")
+	}
+	chain := make([]*DeltaBundle, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("dist: truncated delta chain")
+		}
+		linkLen := int(binary.BigEndian.Uint32(data))
+		if linkLen < 0 || 4+linkLen > len(data) {
+			return nil, errors.New("dist: truncated delta chain link")
+		}
+		db, err := DecodeDeltaBundle(data[4 : 4+linkLen])
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, db)
+		data = data[4+linkLen:]
+	}
+	c.mu.Lock()
+	c.deltaFetches++
+	c.mu.Unlock()
+	return chain, nil
 }
 
 // SyncText updates the client's master-file copy, preferring a delta when

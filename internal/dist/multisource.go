@@ -5,19 +5,46 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+)
+
+// Quarantine scoring defaults — the same trip-and-hold idiom the resolver
+// uses for unresponsive authoritative servers (internal/resolver/health.go):
+// a source that keeps failing is held out of the rotation entirely, the
+// hold period doubles on re-trips up to a cap, and a held source is probed
+// again once its hold expires (or immediately, when every source is held —
+// a possibly-bad mirror beats none).
+const (
+	defaultQuarantineAfter = 3
+	defaultQuarantineHold  = 30 * time.Minute
+	maxQuarantineFactor    = 16
 )
 
 // MultiSource fails over across several bundle sources — the §3 point
 // that delivery "can take many forms and develop organically": a resolver
 // might try two HTTP mirrors, then an AXFR server, then a gossip peer.
 // The most-recently-working source is tried first on subsequent fetches
-// (sticky preference), and a fetch succeeds if any source does.
+// (sticky preference), a fetch succeeds if any source does, and sources
+// that repeatedly fail — including ones whose bundles fetch fine but fail
+// verification, which the refresher reports via NoteBad — are quarantined.
 type MultiSource struct {
 	mu        sync.Mutex
 	sources   []Source
 	labels    []string
 	preferred int
 	failovers int64
+
+	clock       func() time.Time
+	quarAfter   int
+	quarHold    time.Duration
+	health      map[int]*sourceHealth
+	quarantines int64
+}
+
+type sourceHealth struct {
+	fails      int
+	holdPeriod time.Duration
+	heldUntil  time.Time
 }
 
 // NewMultiSource builds a failover chain. Labels are used in errors and
@@ -35,28 +62,145 @@ func NewMultiSource(sources []Source, labels []string) (*MultiSource, error) {
 	if len(labels) != len(sources) {
 		return nil, errors.New("dist: labels/sources length mismatch")
 	}
-	return &MultiSource{sources: sources, labels: labels}, nil
+	return &MultiSource{
+		sources:   sources,
+		labels:    labels,
+		clock:     time.Now,
+		quarAfter: defaultQuarantineAfter,
+		quarHold:  defaultQuarantineHold,
+		health:    make(map[int]*sourceHealth),
+	}, nil
 }
 
-// Fetch implements Source: it tries the preferred source first, then the
-// rest in order, returning the first success.
-func (m *MultiSource) Fetch(ctx context.Context) (*Bundle, error) {
+// ConfigureQuarantine tunes the hold-down policy: after strikes a source
+// is held for hold (doubling on re-trips, capped at 16×). Zero/nil
+// arguments keep the current values. clock drives hold expiry — virtual
+// in experiments.
+func (m *MultiSource) ConfigureQuarantine(after int, hold time.Duration, clock func() time.Time) {
 	m.mu.Lock()
-	start := m.preferred
-	n := len(m.sources)
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	if after > 0 {
+		m.quarAfter = after
+	}
+	if hold > 0 {
+		m.quarHold = hold
+	}
+	if clock != nil {
+		m.clock = clock
+	}
+}
 
-	var errs []error
+// Attempts returns source indices in try order: the preferred source
+// first, then the rest, skipping quarantined sources. When every source is
+// held, the one whose hold expires soonest is offered as a forced probe.
+func (m *MultiSource) Attempts() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clock()
+	n := len(m.sources)
+	var ready []int
+	heldBest, heldAny := -1, false
 	for i := 0; i < n; i++ {
-		idx := (start + i) % n
-		b, err := m.sources[idx].Fetch(ctx)
-		if err == nil {
-			m.mu.Lock()
-			if idx != m.preferred {
-				m.failovers++
-				m.preferred = idx
+		idx := (m.preferred + i) % n
+		h := m.health[idx]
+		if h != nil && now.Before(h.heldUntil) {
+			heldAny = true
+			if heldBest == -1 || h.heldUntil.Before(m.health[heldBest].heldUntil) {
+				heldBest = idx
 			}
-			m.mu.Unlock()
+			continue
+		}
+		ready = append(ready, idx)
+	}
+	if len(ready) == 0 && heldAny {
+		ready = append(ready, heldBest)
+	}
+	return ready
+}
+
+// AllAttempts returns every source index preferred-first, ignoring
+// quarantine holds — the desperation order the refresher switches to when
+// no zone is installed yet or the copy has aged past its planned refresh,
+// when probing a possibly-bad mirror beats expiring.
+func (m *MultiSource) AllAttempts() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.sources)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, (m.preferred+i)%n)
+	}
+	return out
+}
+
+// Source returns the source at index i (for capability probes like
+// DeltaSource).
+func (m *MultiSource) Source(i int) Source { return m.sources[i] }
+
+// Label returns the label of source i.
+func (m *MultiSource) Label(i int) string { return m.labels[i] }
+
+// Len returns the number of sources.
+func (m *MultiSource) Len() int { return len(m.sources) }
+
+// FetchIndex fetches from one specific source, recording a strike on
+// fetch failure. Verification outcomes are the caller's to report via
+// NoteGood/NoteBad.
+func (m *MultiSource) FetchIndex(ctx context.Context, i int) (*Bundle, error) {
+	b, err := m.sources[i].Fetch(ctx)
+	if err != nil {
+		m.NoteBad(i)
+		return nil, err
+	}
+	return b, nil
+}
+
+// NoteGood reports that source i delivered a bundle that fetched and
+// verified: its health record clears and it becomes the preferred source.
+func (m *MultiSource) NoteGood(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.health, i)
+	if i != m.preferred {
+		m.failovers++
+		m.preferred = i
+	}
+}
+
+// NoteBad reports a strike against source i — a failed fetch, a bundle
+// that failed verification, or a rollback attempt. Enough strikes trip the
+// quarantine hold-down, doubling on repeat offenses.
+func (m *MultiSource) NoteBad(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.health[i]
+	if h == nil {
+		h = &sourceHealth{}
+		m.health[i] = h
+	}
+	h.fails++
+	if h.fails < m.quarAfter {
+		return
+	}
+	h.fails = 0
+	if h.holdPeriod == 0 {
+		h.holdPeriod = m.quarHold
+	} else if h.holdPeriod < time.Duration(maxQuarantineFactor)*m.quarHold {
+		h.holdPeriod *= 2
+	}
+	h.heldUntil = m.clock().Add(h.holdPeriod)
+	m.quarantines++
+}
+
+// Fetch implements Source: it tries the sources in Attempts order,
+// returning the first success and a labeled errors.Join of every failed
+// attempt otherwise.
+func (m *MultiSource) Fetch(ctx context.Context) (*Bundle, error) {
+	var errs []error
+	for _, idx := range m.Attempts() {
+		b, err := m.FetchIndex(ctx, idx)
+		if err == nil {
+			m.NoteGood(idx)
 			return b, nil
 		}
 		errs = append(errs, fmt.Errorf("%s: %w", m.labels[idx], err))
@@ -79,4 +223,25 @@ func (m *MultiSource) Preferred() string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.labels[m.preferred]
+}
+
+// Quarantines reports how many times any source entered quarantine.
+func (m *MultiSource) Quarantines() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantines
+}
+
+// Quarantined returns the labels of sources currently in hold-down.
+func (m *MultiSource) Quarantined() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clock()
+	var out []string
+	for i, h := range m.health {
+		if now.Before(h.heldUntil) {
+			out = append(out, m.labels[i])
+		}
+	}
+	return out
 }

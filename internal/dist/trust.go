@@ -1,0 +1,214 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/zone"
+)
+
+// TrustAnchors is an RFC 5011-style trust anchor store for the bundle
+// verification path. A newly observed KSK (SEP bit, published in the apex
+// DNSKEY RRset of a zone that verified under an existing anchor) enters an
+// add-hold-down period; once it has been continuously visible for the
+// hold-down it becomes a valid anchor, giving the publisher a dual-anchor
+// overlap window to switch signing keys without stranding any resolver. A
+// key published with the revoke bit — and proving possession by signing
+// the DNSKEY RRset with its revoked form — is permanently distrusted.
+type TrustAnchors struct {
+	mu       sync.Mutex
+	holdDown time.Duration
+	anchors  map[string]*anchorEntry // keyed by public key bytes
+
+	rollovers   int64
+	revocations int64
+}
+
+// AnchorState is the lifecycle state of one key in the store.
+type AnchorState int
+
+// Anchor lifecycle states.
+const (
+	// AnchorPending: seen in a verified zone, waiting out add-hold-down.
+	AnchorPending AnchorState = iota
+	// AnchorValid: trusted for bundle and delta signature verification.
+	AnchorValid
+	// AnchorRevoked: permanently distrusted (revoke bit + possession proof).
+	AnchorRevoked
+)
+
+func (s AnchorState) String() string {
+	switch s {
+	case AnchorPending:
+		return "pending"
+	case AnchorValid:
+		return "valid"
+	case AnchorRevoked:
+		return "revoked"
+	}
+	return "unknown"
+}
+
+type anchorEntry struct {
+	key       dnswire.DNSKEY // as-trusted form (revoke bit clear)
+	state     AnchorState
+	firstSeen time.Time
+}
+
+// DefaultAddHoldDown is the RFC 5011 §2.4.1 add-hold-down default.
+const DefaultAddHoldDown = 30 * 24 * time.Hour
+
+// ErrRevokedKey rejects material signed by a revoked trust anchor.
+var ErrRevokedKey = errors.New("dist: signed by a revoked key")
+
+// NewTrustAnchors builds a store with the given add-hold-down (0 means
+// DefaultAddHoldDown) seeded with already-trusted anchors.
+func NewTrustAnchors(addHoldDown time.Duration, initial ...dnswire.DNSKEY) *TrustAnchors {
+	if addHoldDown <= 0 {
+		addHoldDown = DefaultAddHoldDown
+	}
+	t := &TrustAnchors{holdDown: addHoldDown, anchors: make(map[string]*anchorEntry)}
+	for _, key := range initial {
+		t.anchors[string(key.PublicKey)] = &anchorEntry{key: key, state: AnchorValid}
+	}
+	return t
+}
+
+// ValidKeys returns the currently valid anchors, deterministically ordered.
+func (t *TrustAnchors) ValidKeys() []dnswire.DNSKEY {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []dnswire.DNSKEY
+	for _, e := range t.anchors {
+		if e.state == AnchorValid {
+			out = append(out, e.key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i].PublicKey) < string(out[j].PublicKey) })
+	return out
+}
+
+// VerifyDetached checks a detached signature against the store: any valid
+// anchor may have signed it; a signature by a revoked anchor is reported
+// as ErrRevokedKey (the mid-roll compromise case), not as an unknown key.
+func (t *TrustAnchors) VerifyDetached(blob []byte, sig dnssec.DetachedSignature) error {
+	t.mu.Lock()
+	var candidate *anchorEntry
+	for _, e := range t.anchors {
+		if e.key.KeyTag() == sig.KeyTag {
+			candidate = e
+			break
+		}
+	}
+	t.mu.Unlock()
+	if candidate == nil {
+		return dnssec.ErrNoDNSKEY
+	}
+	switch candidate.state {
+	case AnchorRevoked:
+		return fmt.Errorf("%w (tag %d)", ErrRevokedKey, sig.KeyTag)
+	case AnchorPending:
+		return fmt.Errorf("dist: key %d still in add-hold-down: %w", sig.KeyTag, dnssec.ErrNoDNSKEY)
+	}
+	return dnssec.VerifyFile(blob, sig, candidate.key)
+}
+
+// Observe feeds the store one verified zone's apex DNSKEY RRset — the
+// RFC 5011 active-refresh probe. New SEP keys enter hold-down; keys past
+// their hold-down are promoted to valid anchors; keys carrying the revoke
+// bit that prove possession (an RRSIG over the DNSKEY RRset by the revoked
+// form) are permanently distrusted; pending keys that disappear restart
+// their hold-down from scratch. Only call this with a zone that already
+// verified under a current anchor — the store trusts its input.
+func (t *TrustAnchors) Observe(z *zone.Zone, now time.Time) {
+	apex := z.Origin
+	keyRRs := z.Lookup(apex, dnswire.TypeDNSKEY)
+	if len(keyRRs) == 0 {
+		return
+	}
+	sigRRs := z.Lookup(apex, dnswire.TypeRRSIG)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, rr := range keyRRs {
+		key := rr.Data.(dnswire.DNSKEY)
+		if key.Flags&dnswire.DNSKEYFlagSEP == 0 {
+			continue // ZSKs are zone material, not anchor candidates
+		}
+		pk := string(key.PublicKey)
+		seen[pk] = true
+		entry := t.anchors[pk]
+		if key.Flags&dnswire.DNSKEYFlagRevoke != 0 {
+			if entry == nil || entry.state == AnchorRevoked {
+				continue
+			}
+			if revokeProven(keyRRs, sigRRs, key, now) {
+				entry.state = AnchorRevoked
+				t.revocations++
+			}
+			continue
+		}
+		switch {
+		case entry == nil:
+			t.anchors[pk] = &anchorEntry{key: key, state: AnchorPending, firstSeen: now}
+		case entry.state == AnchorPending && now.Sub(entry.firstSeen) >= t.holdDown:
+			entry.state = AnchorValid
+			t.rollovers++
+		}
+	}
+	// A pending key that vanished restarts its hold-down next time it shows.
+	for pk, entry := range t.anchors {
+		if entry.state == AnchorPending && !seen[pk] {
+			delete(t.anchors, pk)
+		}
+	}
+}
+
+// revokeProven checks the RFC 5011 possession proof: the DNSKEY RRset must
+// carry a signature verifiable by the revoked key form itself.
+func revokeProven(keyRRs, sigRRs []dnswire.RR, revoked dnswire.DNSKEY, now time.Time) bool {
+	candidates := []dnswire.DNSKEY{revoked}
+	for _, sigRR := range sigRRs {
+		sig := sigRR.Data.(dnswire.RRSIG)
+		if sig.TypeCovered != dnswire.TypeDNSKEY || sig.KeyTag != revoked.KeyTag() {
+			continue
+		}
+		if dnssec.VerifyRRset(keyRRs, sigRR, candidates, now) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// TrustState summarizes the store for State/statusz exports.
+type TrustState struct {
+	Valid, Pending, Revoked int
+	// Rollovers counts pending keys promoted to valid anchors.
+	Rollovers int64
+	// Revocations counts anchors permanently distrusted.
+	Revocations int64
+}
+
+// State returns a snapshot of the store.
+func (t *TrustAnchors) State() TrustState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TrustState{Rollovers: t.rollovers, Revocations: t.revocations}
+	for _, e := range t.anchors {
+		switch e.state {
+		case AnchorValid:
+			st.Valid++
+		case AnchorPending:
+			st.Pending++
+		case AnchorRevoked:
+			st.Revoked++
+		}
+	}
+	return st
+}

@@ -67,6 +67,17 @@ func GenerateKey(owner dnswire.Name, sep bool, rnd io.Reader) (*Key, error) {
 // KeyTag returns the key's RFC 4034 tag.
 func (k *Key) KeyTag() uint16 { return k.DNSKEY.KeyTag() }
 
+// Revoked returns a copy of the key with the RFC 5011 revocation bit set.
+// The revoked form has a different key tag; publishing it — and signing the
+// DNSKEY RRset with it — proves possession and tells trust-anchor stores to
+// permanently distrust the key.
+func (k *Key) Revoked() *Key {
+	rk := *k
+	rk.DNSKEY.Flags |= dnswire.DNSKEYFlagRevoke
+	rk.DNSKEY.PublicKey = append([]byte(nil), k.DNSKEY.PublicKey...)
+	return &rk
+}
+
 // DNSKEYRecord returns the key's DNSKEY RR with the given TTL.
 func (k *Key) DNSKEYRecord(ttl uint32) dnswire.RR {
 	return dnswire.NewRR(k.Owner, ttl, k.DNSKEY)
@@ -256,6 +267,16 @@ type Signer struct {
 	// AddNSEC generates the authenticated-denial chain (an NSEC record
 	// per authoritative owner name), as the real root zone carries.
 	AddNSEC bool
+	// ExtraDNSKEYs are additional public keys published in the apex DNSKEY
+	// RRset without signing anything — the RFC 5011 pre-publish phase of a
+	// KSK rollover (the incoming key sits in the zone through its
+	// add-hold-down period before it signs).
+	ExtraDNSKEYs []dnswire.DNSKEY
+	// ExtraKSKSigners also sign the DNSKEY RRset alongside KSK. A revoked
+	// key must prove possession by signing the RRset that revokes it
+	// (RFC 5011 §2.1), and a dual-anchor overlap window wants the RRset
+	// signed by both the outgoing and incoming KSK.
+	ExtraKSKSigners []*Key
 }
 
 // NewSigner generates a fresh KSK/ZSK pair for owner.
@@ -324,6 +345,11 @@ func (s *Signer) SignZone(z *zone.Zone, now time.Time) error {
 	if err := z.Add(s.ZSK.DNSKEYRecord(keyTTL)); err != nil {
 		return err
 	}
+	for _, xk := range s.ExtraDNSKEYs {
+		if err := z.Add(dnswire.NewRR(apex, keyTTL, xk)); err != nil {
+			return err
+		}
+	}
 	if s.AddNSEC {
 		if err := s.addNSECChain(z); err != nil {
 			return err
@@ -355,6 +381,17 @@ func (s *Signer) SignZone(z *zone.Zone, now time.Time) error {
 		}
 		if err := z.Add(sigRR); err != nil {
 			return err
+		}
+		if key.Type == dnswire.TypeDNSKEY {
+			for _, extra := range s.ExtraKSKSigners {
+				xSig, err := SignRRset(extra, rrset, inception, expiration)
+				if err != nil {
+					return fmt.Errorf("dnssec: extra DNSKEY signer: %w", err)
+				}
+				if err := z.Add(xSig); err != nil {
+					return err
+				}
+			}
 		}
 	}
 

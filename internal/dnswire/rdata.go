@@ -256,8 +256,9 @@ func (d DS) String() string {
 
 // DNSKEY flags.
 const (
-	DNSKEYFlagZone = 0x0100 // ZSK bit
-	DNSKEYFlagSEP  = 0x0001 // secure entry point (KSK)
+	DNSKEYFlagZone   = 0x0100 // ZSK bit
+	DNSKEYFlagSEP    = 0x0001 // secure entry point (KSK)
+	DNSKEYFlagRevoke = 0x0080 // RFC 5011 revocation bit
 )
 
 // DNSSEC algorithm numbers used in this system.

@@ -219,8 +219,13 @@ func TLDExtraction(trials int) Result {
 		ID:    "t_extract",
 		Title: "Extracting one TLD from the zone file (§5.1)",
 		Rows: []Row{
+			// The upper bound only asserts the order of magnitude
+			// (milliseconds, not µs or seconds); it must clear the ~10x
+			// slowdown -race instrumentation puts on the scan, which on a
+			// loaded runner was enough to cross a tighter 400 ms bound.
+			// The sharp finding is the speedup row below.
 			row("full-file scan per TLD", "37 ms (network-RTT scale)", "%.1f ms", scanMS)(
-				scanMS > 1 && scanMS < 400),
+				scanMS > 1 && scanMS < 900),
 			row("indexed lookup per TLD", "faster (load into a database)", "%.2f µs", idxUS)(
 				idxUS < 1000),
 			row("index speedup", ">>1x", "%.0fx", speedup)(speedup > 50),

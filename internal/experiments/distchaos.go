@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"rootless/internal/dist"
+	"rootless/internal/dnssec"
+	"rootless/internal/dnswire"
+	"rootless/internal/faults"
+	"rootless/internal/zone"
+)
+
+// DistChaos is the t_dist_chaos soak: six weeks of virtual time over a
+// population of refreshers whose mirrors misbehave in every way the
+// self-healing distribution design defends against — a mirror replaying an
+// old serial (rollback) and lying "you are current" (freeze), a forked
+// mirror signing an alternative history, truncated delta chains, a
+// flapping mirror, and a mid-rollover compromise of the outgoing KSK. The
+// publisher runs a scripted RFC 5011 rollover in the middle. The paper's
+// §4 robustness claim, extended to the distribution channel: the
+// population self-heals with zero bogus zone installs and no refresh gap.
+func DistChaos() Result {
+	const (
+		days       = 40
+		baseSerial = 100
+		nTLDs      = 300
+	)
+	fail := func(msg string, err error) Result {
+		return Result{ID: "t_dist_chaos", Title: "Self-healing distribution under chaos",
+			Notes: fmt.Sprintf("%s: %v", msg, err)}
+	}
+	start := ymd(2019, time.June, 1)
+	now := start
+	clock := func() time.Time { return now }
+	day := func(d int) time.Time { return start.AddDate(0, 0, d) }
+	ctx := context.Background()
+
+	// Publisher keys: the active KSK/ZSK, the incoming KSK for the
+	// scripted rollover, a copy of the outgoing KSK in the attacker's
+	// hands, and the fork operator's unrelated key.
+	rnd := detRand{rand.New(rand.NewSource(20190601))}
+	pub, err := dnssec.NewSigner(dnswire.Root, rnd)
+	if err != nil {
+		return fail("signer", err)
+	}
+	pub.Quantize = 14 * 24 * time.Hour
+	pub.Validity = 28 * 24 * time.Hour
+	ksk1 := pub.KSK
+	ksk2, err := dnssec.GenerateKey(dnswire.Root, true, rnd)
+	if err != nil {
+		return fail("ksk2", err)
+	}
+	stolen := &dnssec.Signer{KSK: ksk1, ZSK: pub.ZSK, Validity: pub.Validity, Quantize: pub.Quantize}
+	forker, err := dnssec.NewSigner(dnswire.Root, rnd)
+	if err != nil {
+		return fail("fork signer", err)
+	}
+	forker.Validity = pub.Validity
+
+	// Synthetic root zone with daily churn: one NS address rotates every
+	// day and a new TLD appears every third day.
+	buildZone := func(d int) (*zone.Zone, error) {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, ". 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. %d 1800 900 604800 86400\n",
+			baseSerial+d)
+		sb.WriteString(". 518400 IN NS a.root-servers.net.\na.root-servers.net. 518400 IN A 198.41.0.4\n")
+		for i := 0; i < nTLDs+d/3; i++ {
+			addr := i % 250
+			if i == d%nTLDs {
+				addr = (i + d) % 250 // the day's churn
+			}
+			fmt.Fprintf(&sb, "tld%d. 172800 IN NS ns.tld%d.\nns.tld%d. 172800 IN A 192.0.2.%d\n",
+				i, i, i, addr+1)
+		}
+		z, err := zone.Parse(strings.NewReader(sb.String()), dnswire.Root)
+		if err != nil {
+			return nil, err
+		}
+		if err := pub.SignZone(z, now); err != nil {
+			return nil, err
+		}
+		return z, nil
+	}
+
+	// Three independent HTTP mirrors carry the zone; the canonical chain
+	// anchor per serial is the ground truth for bogus-install detection.
+	mirrors := make([]*dist.Mirror, 3)
+	servers := make([]*httptest.Server, 3)
+	for i := range mirrors {
+		mirrors[i] = dist.NewMirror(pub, 16)
+		servers[i] = httptest.NewServer(mirrors[i])
+		defer servers[i].Close()
+	}
+	canonical := make(map[uint32][32]byte)
+	publish := func(d int) error {
+		z, err := buildZone(d)
+		if err != nil {
+			return err
+		}
+		canonical[z.Serial()] = dist.ChainAnchor(z)
+		for _, m := range mirrors {
+			if err := m.Publish(z); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	df := faults.NewDistFaults(clock)
+	client := func(i int) *dist.HTTPClient { return dist.NewHTTPClient(servers[i].URL) }
+	window := func(from, to int) faults.Window { return faults.Window{From: day(from), To: day(to)} }
+
+	// The population: each refresher sees a different failure mode in its
+	// preferred source, with a healthy mirror further down the chain.
+	r2Rollback := df.RollbackMirror(client(1), window(2, 20))
+	sources := [][]dist.Source{
+		{client(0)},                                              // R0 baseline
+		{df.RollbackMirror(client(1), window(10, 18)), client(0)}, // R1 freeze → cross-check heal
+		{df.Flapping(client(2), 6*time.Hour, window(5, 20)), r2Rollback}, // R2 rollback rejection
+		{df.ForkMirror(client(0), forker, window(12, 18)),
+			df.Flapping(client(0), 6*time.Hour, window(12, 18))}, // R3 forked mirror
+		{df.TruncateChain(client(1), window(8, 16)), client(2)},          // R4 truncated chains
+		{df.StolenKey(client(2), stolen, window(27, 36)), client(1)},     // R5 mid-roll compromise
+	}
+	bogus := 0
+	refreshers := make([]*dist.Refresher, len(sources))
+	worst := make([]dist.Freshness, len(sources))
+	promotedOn := make([]int, len(sources))
+	for i := range sources {
+		srcs := sources[i]
+		var fallbacks []dist.Source
+		if len(srcs) > 1 {
+			fallbacks = srcs[1:]
+		}
+		r, err := dist.NewRefresher(dist.RefresherConfig{
+			Source:    srcs[0],
+			Fallbacks: fallbacks,
+			Trust:     dist.NewTrustAnchors(7*24*time.Hour, ksk1.DNSKEY),
+			Install: func(z *zone.Zone) error {
+				if anchor, ok := canonical[z.Serial()]; !ok || dist.ChainAnchor(z) != anchor {
+					bogus++
+				}
+				return nil
+			},
+			Refresh:  42 * time.Hour,
+			Retry:    time.Hour,
+			Expiry:   48 * time.Hour,
+			StaleFor: 12 * time.Hour,
+			Seed:     int64(i + 1),
+			Clock:    clock,
+		})
+		if err != nil {
+			return fail("refresher", err)
+		}
+		refreshers[i] = r
+		promotedOn[i] = -1
+	}
+
+	// The soak: hourly steps. Publishes land at midnight; the scripted
+	// rollover pre-publishes the incoming KSK on day 14, switches signing
+	// and revokes the outgoing KSK on day 26, and retires the revocation
+	// record on day 32. R2's stale mirror pins its snapshot on day 2.
+	const switchDay = 26
+	for step := 0; step <= days*24+48; step++ {
+		now = start.Add(time.Duration(step) * time.Hour)
+		if step%24 == 0 && step/24 <= days {
+			d := step / 24
+			switch d {
+			case 14:
+				pub.ExtraDNSKEYs = []dnswire.DNSKEY{ksk2.DNSKEY}
+			case switchDay:
+				revoked := ksk1.Revoked()
+				pub.KSK = ksk2
+				pub.ExtraDNSKEYs = []dnswire.DNSKEY{revoked.DNSKEY}
+				pub.ExtraKSKSigners = []*dnssec.Key{revoked}
+			case 32:
+				pub.ExtraDNSKEYs = nil
+				pub.ExtraKSKSigners = nil
+			}
+			if err := publish(d); err != nil {
+				return fail(fmt.Sprintf("publish day %d", d), err)
+			}
+			if d == 2 {
+				if _, err := r2Rollback.Fetch(ctx); err != nil {
+					return fail("pinning stale mirror", err)
+				}
+			}
+		}
+		for i, r := range refreshers {
+			r.Tick(ctx)
+			st := r.State()
+			if step > 0 && st.Freshness > worst[i] {
+				worst[i] = st.Freshness
+			}
+			if promotedOn[i] < 0 && st.Trust.Rollovers >= 1 {
+				promotedOn[i] = step / 24
+			}
+		}
+	}
+
+	// Aggregate the verdicts.
+	lastSerial := uint32(baseSerial + days)
+	injected := df.Stats()
+	allCurrent, worstStage := true, dist.FreshnessNone
+	var rollbacksRejected, crossChecks, chainFalls, deltaInstalls, quarantines int64
+	rolloversOK, revocationsOK := true, true
+	latestPromotion := -1
+	for i, r := range refreshers {
+		st := r.State()
+		if st.Serial != lastSerial {
+			allCurrent = false
+		}
+		if worst[i] > worstStage {
+			worstStage = worst[i]
+		}
+		rollbacksRejected += st.RollbacksRejected
+		crossChecks += st.CrossChecks
+		chainFalls += st.ChainFallbacks
+		deltaInstalls += st.DeltaInstalls
+		quarantines += st.Quarantines
+		if st.Trust.Rollovers < 1 {
+			rolloversOK = false
+		}
+		if st.Trust.Revocations < 1 {
+			revocationsOK = false
+		}
+		if promotedOn[i] > latestPromotion {
+			latestPromotion = promotedOn[i]
+		}
+	}
+
+	return Result{
+		ID:    "t_dist_chaos",
+		Title: "Self-healing distribution under chaos",
+		Rows: []Row{
+			row("bogus zone installs", "0 (all attacks rejected)", "%d across %d refreshers",
+				bogus, len(refreshers))(bogus == 0),
+			row("rollback & freeze mirror", "rejected, healed by cross-check",
+				"%d stale bundles + %d freeze lies served; %d rollbacks rejected, %d cross-check sweeps",
+				injected.RollbacksServed, injected.FreezesServed, rollbacksRejected, crossChecks)(
+				injected.RollbacksServed > 0 && injected.FreezesServed > 0 &&
+					rollbacksRejected > 0 && crossChecks > 0),
+			row("forked-zone mirror", "unverifiable, quarantined",
+				"%d fork bundles served, %d source quarantines", injected.ForksServed, quarantines)(
+				injected.ForksServed > 0 && quarantines > 0),
+			row("delta-chain truncation", "full-bundle fallback",
+				"%d truncated chains, %d chain fallbacks, %d delta installs still succeeded",
+				injected.ChainTruncations, chainFalls, deltaInstalls)(
+				injected.ChainTruncations > 0 && chainFalls > 0 && deltaInstalls > 0),
+			row("RFC 5011 KSK rollover", "no refresh gap",
+				"all stores promoted by day %d (switch day %d); revocations everywhere: %v",
+				latestPromotion, switchDay, revocationsOK)(
+				rolloversOK && revocationsOK && latestPromotion >= 0 && latestPromotion < switchDay),
+			row("stolen-KSK bundles", "rejected after revocation", "%d served, 0 installed",
+				injected.StolenKeyBundles)(injected.StolenKeyBundles > 0 && bogus == 0),
+			row("population at soak end", "current & fresh", "all at serial %d: %v; worst staleness: %s",
+				lastSerial, allCurrent, worstStage)(allCurrent && worstStage < dist.FreshnessExpired),
+		},
+		Notes: fmt.Sprintf("%d days of hourly virtual time, 6 refreshers, 3 mirrors, faults windowed per refresher", days),
+	}
+}

@@ -1,0 +1,12 @@
+package experiments
+
+import "testing"
+
+func TestDistChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six-week soak")
+	}
+	r := DistChaos()
+	checkResult(t, r)
+	t.Log("\n" + r.Render())
+}

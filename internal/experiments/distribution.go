@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rootless/internal/dist"
+	"rootless/internal/dnswire"
 	"rootless/internal/rootzone"
 	"rootless/internal/zonediff"
 )
@@ -82,6 +83,39 @@ func DistributionLoad() Result {
 	}
 	deltaMB := float64(deltaBytes) / (1 << 20)
 
+	// Signed delta chain: the client rebuilds yesterday's signed snapshot
+	// (deterministic signer), fetches the one-link chain to today, and
+	// applies it with incremental verification — transfer and signature
+	// work are both O(delta), where the full bundle is O(zone).
+	z0, err := rootzone.Build(base)
+	if err != nil {
+		return Result{ID: "t_dist", Title: "Distribution load", Notes: err.Error()}
+	}
+	if err := signer.SignZone(z0, base); err != nil {
+		return Result{ID: "t_dist", Title: "Distribution load", Notes: err.Error()}
+	}
+	chain, err := deltaClient.FetchDeltaChain(ctx, z0.Serial())
+	if err != nil || len(chain) != 1 {
+		return Result{ID: "t_dist", Title: "Distribution load",
+			Notes: fmt.Sprintf("delta chain fetch: %d links, err %v", len(chain), err)}
+	}
+	chainWire := 0
+	for _, db := range chain {
+		chainWire += len(db.Encode())
+	}
+	chainKB := float64(chainWire) / (1 << 10)
+	anchors := []dnswire.DNSKEY{signer.KSK.DNSKEY}
+	z1, stats, err := chain[0].Apply(z0, dist.ChainAnchor(z0), anchors, base.AddDate(0, 0, 1))
+	if err != nil {
+		return Result{ID: "t_dist", Title: "Distribution load", Notes: err.Error()}
+	}
+	totalRRSIGs := 0
+	for _, rr := range z1.Records() {
+		if rr.Type == dnswire.TypeRRSIG {
+			totalRRSIGs++
+		}
+	}
+
 	// TTL increase: refreshing weekly instead of every two days.
 	weeklyPerDayMB := fullMB / 7
 
@@ -97,6 +131,10 @@ func DistributionLoad() Result {
 				perDayMB > 0.1 && perDayMB < 1.1),
 			row("daily rsync delta", "only changes propagate", "%.3fMB vs %.2fMB full text (%.0fx smaller)", deltaMB, fullTextMB, fullTextMB/deltaMB)(
 				deltaMB < fullTextMB/4),
+			row("signed delta chain", "O(delta) transfer", "%.1fkB vs %.2fMB full bundle (%.0fx smaller)",
+				chainKB, fullMB, fullMB*1024/chainKB)(chainKB < fullMB*1024/4),
+			row("incremental verification", "O(delta) sig checks", "%d checks vs %d RRSIGs in the zone",
+				stats.SigChecks, totalRRSIGs)(stats.SigChecks > 0 && stats.SigChecks < totalRRSIGs/10),
 			row("1-week TTL refresh", "reduces overhead", "%.2fMB/day (%.1fx less)", weeklyPerDayMB, perDayMB/weeklyPerDayMB)(
 				weeklyPerDayMB < perDayMB),
 			row("vs ICSI SpamHaus feed", "3.1GB/day, considered fine", fmt.Sprintf("%.0fx the zone load", ratioToSpamhaus))(

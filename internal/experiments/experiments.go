@@ -110,6 +110,7 @@ func All() []Result {
 		ResolutionLatency(400),
 		Robustness(),
 		Chaos(40),
+		DistChaos(),
 		Overload(1200),
 		Attack(150),
 		Privacy(300),

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"rootless/internal/cache"
+	"rootless/internal/dist"
 	"rootless/internal/dnssec"
 	"rootless/internal/dnssec/validator"
 	"rootless/internal/dnswire"
@@ -155,6 +156,24 @@ type Config struct {
 	// Validate (only validated NSECs are trusted); strictly subsumes the
 	// observational NXDomainCut mechanism.
 	NSECAggressive bool
+	// ZoneExpiry enables staged staleness degradation for the local root
+	// zone copy: its age is placed on the distribution freshness state
+	// machine (fresh → aging → stale-serve → expired). While stale-serve,
+	// local consults still answer but with TTLs capped at ZoneStaleTTLCap;
+	// once expired, consults fail closed (SERVFAIL) — an expired copy must
+	// not steer resolution. Zero (the default) disables staging and the
+	// copy never expires, the pre-refresher behavior.
+	ZoneExpiry time.Duration
+	// ZoneRefresh is the fresh→aging boundary (default 7/8 of ZoneExpiry,
+	// the paper's 42 h within the 48 h window).
+	ZoneRefresh time.Duration
+	// ZoneStaleFor is the stale-serve window past ZoneExpiry before the
+	// copy is fully expired (default 0: expiry is final).
+	ZoneStaleFor time.Duration
+	// ZoneStaleTTLCap caps TTLs on answers consulted from a stale-serve
+	// copy, so downstream caches re-ask soon after the copy heals
+	// (default 30 s, the RFC 8767 recommendation).
+	ZoneStaleTTLCap time.Duration
 	// Seed makes server tie-breaking deterministic.
 	Seed int64
 }
@@ -169,6 +188,9 @@ type Stats struct {
 	TotalQueries      int64 // network queries sent
 	RootQueries       int64 // sent to root nameserver addresses
 	LocalRootConsults int64 // local root zone consultations (lookaside)
+	// Staged staleness outcomes for the local zone copy (PR 8).
+	LocalStaleConsults   int64 // consults answered from a stale-serve copy (TTLs capped)
+	LocalExpiredRefusals int64 // consults refused because the copy expired (fail closed)
 	TLDQueries        int64 // sent to TLD servers
 	OtherQueries      int64
 	Timeouts          int64
@@ -284,6 +306,14 @@ func New(cfg Config) *Resolver {
 	if cfg.CacheShards == 0 {
 		cfg.CacheShards = cache.DefaultShards
 	}
+	if cfg.ZoneExpiry > 0 {
+		if cfg.ZoneRefresh == 0 {
+			cfg.ZoneRefresh = cfg.ZoneExpiry * 7 / 8
+		}
+		if cfg.ZoneStaleTTLCap == 0 {
+			cfg.ZoneStaleTTLCap = 30 * time.Second
+		}
+	}
 	r := &Resolver{
 		cfg:       cfg,
 		cache:     cache.NewSharded(cfg.CacheCapacity, cfg.CacheShards, cfg.Clock),
@@ -378,6 +408,23 @@ func (r *Resolver) LocalZoneStatus() (serial uint32, age time.Duration, ok bool)
 	return lz.Serial(), r.cfg.Clock().Sub(loaded), true
 }
 
+// ZoneFreshness places the local zone copy's age on the distribution
+// staleness state machine. FreshnessNone when staging is disabled
+// (Config.ZoneExpiry zero) or no local zone is installed.
+func (r *Resolver) ZoneFreshness() dist.Freshness {
+	if r.cfg.ZoneExpiry <= 0 {
+		return dist.FreshnessNone
+	}
+	r.mu.Lock()
+	lz, loaded := r.cfg.LocalZone, r.zoneLoaded
+	r.mu.Unlock()
+	if lz == nil {
+		return dist.FreshnessNone
+	}
+	return dist.FreshnessOf(r.cfg.Clock().Sub(loaded),
+		r.cfg.ZoneRefresh, r.cfg.ZoneExpiry, r.cfg.ZoneStaleFor)
+}
+
 // SetTracer installs a query tracer. Call before serving; a nil or
 // disabled tracer leaves only an atomic load on the resolution path.
 func (r *Resolver) SetTracer(t *obs.Tracer) { r.tracer = t }
@@ -437,6 +484,11 @@ func (r *Resolver) Collect(reg *obs.Registry) {
 		reg.Gauge("rootless_zone_serial", "local root zone serial", nil).Set(float64(serial))
 		reg.Gauge("rootless_zone_age_seconds", "staleness age of the local root zone copy", nil).
 			Set(age.Seconds())
+		if r.cfg.ZoneExpiry > 0 {
+			reg.Gauge("rootless_zone_freshness_state",
+				"local zone staleness stage: 0 none, 1 fresh, 2 aging, 3 stale-serve, 4 expired", nil).
+				Set(float64(r.ZoneFreshness()))
+		}
 	}
 	r.cache.Collect(reg)
 }
@@ -795,16 +847,42 @@ func (r *Resolver) staleAnswer(qname dnswire.Name, qtype dnswire.Type) ([]dnswir
 }
 
 // consultLocalRoot performs the lookaside step: read the referral (or
-// terminal answer) straight from the local root zone.
+// terminal answer) straight from the local root zone. With staleness
+// staging enabled, the copy's freshness stage gates the consult: a
+// stale-serve copy still answers but with capped TTLs, an expired copy
+// fails closed.
 func (r *Resolver) consultLocalRoot(qname dnswire.Name, qtype dnswire.Type) (nsSet, dnswire.Rcode, []dnswire.RR, bool) {
 	r.count(func(s *Stats) { s.LocalRootConsults++ })
 	r.mu.Lock()
 	lz := r.cfg.LocalZone
+	loaded := r.zoneLoaded
 	r.mu.Unlock()
 	if lz == nil {
 		return nsSet{}, dnswire.RcodeServFail, nil, true
 	}
+	var ttlCap uint32
+	if r.cfg.ZoneExpiry > 0 {
+		age := r.cfg.Clock().Sub(loaded)
+		switch dist.FreshnessOf(age, r.cfg.ZoneRefresh, r.cfg.ZoneExpiry, r.cfg.ZoneStaleFor) {
+		case dist.FreshnessExpired:
+			// Fail closed: a copy past its stale-serve window must not
+			// steer resolution toward long-gone servers.
+			r.count(func(s *Stats) { s.LocalExpiredRefusals++ })
+			return nsSet{}, dnswire.RcodeServFail, nil, true
+		case dist.FreshnessStaleServe:
+			r.count(func(s *Stats) { s.LocalStaleConsults++ })
+			ttlCap = uint32(r.cfg.ZoneStaleTTLCap / time.Second)
+			if ttlCap == 0 {
+				ttlCap = 1
+			}
+		}
+	}
 	ans := lz.Query(qname, qtype)
+	if ttlCap > 0 {
+		ans.Answer = capTTLs(ans.Answer, ttlCap)
+		ans.Authority = capTTLs(ans.Authority, ttlCap)
+		ans.Additional = capTTLs(ans.Additional, ttlCap)
+	}
 	switch {
 	case ans.Rcode == dnswire.RcodeNXDomain:
 		if len(ans.Authority) > 0 {
@@ -837,6 +915,19 @@ func (r *Resolver) consultLocalRoot(qname dnswire.Name, qtype dnswire.Type) (nsS
 		}
 		return nsSet{}, dnswire.RcodeSuccess, nil, true
 	}
+}
+
+// capTTLs returns a copy of rrs with every TTL capped — answers from a
+// stale-serve zone copy must not linger in downstream caches.
+func capTTLs(rrs []dnswire.RR, cap uint32) []dnswire.RR {
+	out := make([]dnswire.RR, len(rrs))
+	copy(out, rrs)
+	for i := range out {
+		if out[i].TTL > cap {
+			out[i].TTL = cap
+		}
+	}
+	return out
 }
 
 // closestNameservers finds the deepest delegation the resolver already

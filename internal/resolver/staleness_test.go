@@ -1,0 +1,87 @@
+package resolver
+
+import (
+	"testing"
+	"time"
+
+	"rootless/internal/dist"
+	"rootless/internal/dnswire"
+)
+
+// TestLocalZoneStalenessStages walks the local root zone copy through the
+// staged staleness state machine: fresh and aging copies answer normally,
+// a stale-serve copy answers with capped TTLs so downstream caches re-ask
+// soon, and an expired copy fails closed.
+func TestLocalZoneStalenessStages(t *testing.T) {
+	tp := newTopo(t)
+	r := tp.resolver(t, RootModeLookaside, func(c *Config) {
+		c.ZoneExpiry = 48 * time.Hour
+		c.ZoneStaleFor = 12 * time.Hour
+	})
+
+	res, err := r.Resolve("www.example.com.", dnswire.TypeA)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("fresh resolve: rcode %v err %v", res.Rcode, err)
+	}
+	if f := r.ZoneFreshness(); f != dist.FreshnessFresh {
+		t.Fatalf("freshness %s, want fresh", f)
+	}
+
+	// Past expiry but within the stale-serve window: the consult still
+	// answers, with the referral's TTL capped (default 30 s) so the cached
+	// NS set dies quickly once the copy heals.
+	tp.net.Advance(49 * time.Hour) // also past the com. NS TTL (48 h)
+	if f := r.ZoneFreshness(); f != dist.FreshnessStaleServe {
+		t.Fatalf("freshness %s, want stale-serve", f)
+	}
+	res, err = r.Resolve("text.example.com.", dnswire.TypeTXT)
+	if err != nil || res.Rcode != dnswire.RcodeSuccess {
+		t.Fatalf("stale-serve resolve: rcode %v err %v", res.Rcode, err)
+	}
+	if st := r.Stats(); st.LocalStaleConsults != 1 {
+		t.Fatalf("LocalStaleConsults %d, want 1", st.LocalStaleConsults)
+	}
+	// The capped com. referral expires within seconds, forcing the next
+	// resolution under com. (outside the cached example.com. delegation)
+	// back to a root consult — proof the cap reached the cache.
+	tp.net.Advance(31 * time.Second)
+	if _, err := r.Resolve("other.com.", dnswire.TypeA); err != nil {
+		t.Fatalf("second stale-serve resolve: %v", err)
+	}
+	if st := r.Stats(); st.LocalStaleConsults != 2 {
+		t.Fatalf("LocalStaleConsults %d, want 2 (capped referral should have expired)", st.LocalStaleConsults)
+	}
+
+	// Past expiry + stale-serve: fail closed.
+	tp.net.Advance(12 * time.Hour)
+	if f := r.ZoneFreshness(); f != dist.FreshnessExpired {
+		t.Fatalf("freshness %s, want expired", f)
+	}
+	// somewhere.org. has no cached delegation, so it must start at the
+	// root — and the expired copy refuses to steer it.
+	res, err = r.Resolve("somewhere.org.", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("expired resolve returned transport error: %v", err)
+	}
+	if res.Rcode != dnswire.RcodeServFail {
+		t.Fatalf("expired consult rcode %v, want SERVFAIL", res.Rcode)
+	}
+	if st := r.Stats(); st.LocalExpiredRefusals == 0 {
+		t.Fatal("LocalExpiredRefusals not counted")
+	}
+
+	// A refreshed copy (the refresher's Install callback) heals everything:
+	// the next root consult serves a referral again.
+	r.SetLocalZone(tp.rootZone.Clone())
+	if f := r.ZoneFreshness(); f != dist.FreshnessFresh {
+		t.Fatalf("freshness after SetLocalZone %s, want fresh", f)
+	}
+	refusals := r.Stats().LocalExpiredRefusals
+	res, err = r.Resolve("absent.com.", dnswire.TypeA)
+	if err != nil || res.Rcode == dnswire.RcodeServFail {
+		t.Fatalf("healed resolve: rcode %v err %v", res.Rcode, err)
+	}
+	if st := r.Stats(); st.LocalExpiredRefusals != refusals {
+		t.Fatal("healed copy still refused consults")
+	}
+}

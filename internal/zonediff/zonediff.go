@@ -202,3 +202,54 @@ func ApplyAdditions(z *zone.Zone, additions []dnswire.RR) error {
 	}
 	return nil
 }
+
+// RRsetDelta computes the RRset-level difference from old to new — the
+// unit of IXFR-style signed deltas and Janus-style incremental
+// verification. An RRset that changed in any way appears as a removal of
+// its key plus a full replacement set in added; RRSIGs ride along as
+// ordinary RRsets (all signatures at a name group under one key, so a
+// re-signed name replaces its signature set wholesale). Removed keys are
+// sorted canonically and added records follow the new zone's RRset order,
+// so the delta is deterministic for a given (old, new) pair.
+func RRsetDelta(old, new *zone.Zone) (removed []dnswire.RRsetKey, added []dnswire.RR) {
+	_, oldSets := dnswire.GroupRRsets(old.Records())
+	newOrder, newSets := dnswire.GroupRRsets(new.Records())
+	for key, oldSet := range oldSets {
+		newSet, ok := newSets[key]
+		if !ok || !sameRRset(oldSet, newSet) {
+			removed = append(removed, key)
+		}
+	}
+	for _, key := range newOrder {
+		if oldSet, ok := oldSets[key]; ok && sameRRset(oldSet, newSets[key]) {
+			continue
+		}
+		added = append(added, newSets[key]...)
+	}
+	sort.Slice(removed, func(i, j int) bool {
+		if c := removed[i].Name.Compare(removed[j].Name); c != 0 {
+			return c < 0
+		}
+		return removed[i].Type < removed[j].Type
+	})
+	return removed, added
+}
+
+// sameRRset reports whether two RRsets hold the same records (order
+// independent; TTL and RDATA both count).
+func sameRRset(a, b []dnswire.RR) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]int, len(a))
+	for _, rr := range a {
+		set[rr.String()]++
+	}
+	for _, rr := range b {
+		set[rr.String()]--
+		if set[rr.String()] < 0 {
+			return false
+		}
+	}
+	return true
+}
