@@ -4,7 +4,7 @@
 # backed by the concurrent-resolve and coalescing hammer tests in
 # internal/resolver and the overload-primitive races in internal/overload.
 
-.PHONY: verify verify-race bench bench-full bench-diff fuzz-short
+.PHONY: verify verify-race bench bench-full bench-diff bench-smoke fuzz-short
 
 verify:
 	go build ./... && go vet ./... && go test ./...
@@ -15,7 +15,7 @@ verify-race:
 # Perf-trajectory snapshot: run the key benchmarks with fixed iteration
 # counts (stable comparisons, bounded runtime) and write a schema-stable
 # JSON report, then validate it and diff against the previous committed
-# snapshot if one exists. Set BENCH=BENCH_PR9.json for the next PR; the
+# snapshot if one exists. Set BENCH=BENCH_PR10.json for the next PR; the
 # committed snapshot is regression-checked by TestCommittedSnapshot in
 # internal/benchfmt, which `make verify` runs. Iteration counts are
 # pinned high enough that the derived overhead figures sit above the
@@ -23,7 +23,7 @@ verify-race:
 # negative tracing overhead. The cache package runs at -cpu=8 so the
 # sharded/single-lock parallel Get pair actually contends (the ratio is
 # only meaningful on a multi-core runner; single-core hovers near 1x).
-BENCH ?= BENCH_PR8.json
+BENCH ?= BENCH_PR9.json
 
 bench:
 	@set -e; \
@@ -49,6 +49,18 @@ bench-diff:
 	@prev=$$(ls BENCH_*.json | grep -v "^$(BENCH)$$" | sort | tail -1 || true); \
 	if [ -z "$$prev" ]; then echo "bench-diff: no previous snapshot"; exit 0; fi; \
 	go run ./cmd/benchreport -check -max-regress 0.15 $$prev $(BENCH)
+
+# CI smoke: a fast pass over the hot-path benchmarks that exercises the
+# bench → report → validate pipeline without writing a snapshot. Low
+# iteration counts make the timings meaningless; this gate only proves
+# the benchmarks run and the report machinery parses their output.
+bench-smoke:
+	@set -e; \
+	( go test -run='^$$' -bench='^BenchmarkResolve$$' -benchtime=100x -count=1 -benchmem ./internal/resolver; \
+	  go test -run='^$$' -bench='^BenchmarkHDRRecord$$' -benchtime=10000x -count=1 -benchmem ./internal/obs \
+	) | go run ./cmd/benchreport -write /tmp/bench-smoke.json; \
+	go run ./cmd/benchreport -validate /tmp/bench-smoke.json -min 4; \
+	rm -f /tmp/bench-smoke.json
 
 # The unfiltered sweep: every benchmark in the tree, time-based.
 bench-full:

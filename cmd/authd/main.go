@@ -28,7 +28,14 @@
 // Observability:
 //
 //	-admin 127.0.0.1:9154   HTTP admin endpoint: /metrics, /healthz, /statusz,
-//	                        /timeseries, /topk
+//	                        /tracez, /timeseries, /topk
+//	-trace                  join EDNS0-propagated traces from resolvers
+//	                        running -trace-propagate, and record the auth-side
+//	                        span tree for /tracez?traceid=<id>
+//	-trace-ring 128         how many recent joined traces to retain
+//	-latency                observe per-query handle latency into an HDR
+//	                        summary (rootless_authserver_handle_seconds
+//	                        p50/p99/p999/p9999; needs -admin)
 //	-traffic                classify arriving queries into the junk taxonomy
 //	                        against the served zone's delegations (default true)
 //	-traffic-topk 16        heavy-hitter table size (qnames and clients)
@@ -72,6 +79,9 @@ func main() {
 	rrlSlip := flag.Int("rrl-slip", 2, "let every Nth RRL-suppressed response out truncated (0 = drop all)")
 	ansCache := flag.Int("answer-cache", authserver.DefaultAnswerCacheSize, "precompiled-answer cache capacity in entries (0 to disable)")
 	adminAddr := flag.String("admin", "", "HTTP admin address for /metrics, /healthz, /statusz (e.g. 127.0.0.1:9154; empty to disable)")
+	traceOn := flag.Bool("trace", false, "join EDNS0-propagated traces from resolvers and serve them at /tracez")
+	traceRing := flag.Int("trace-ring", 128, "recent joined traces to retain for /tracez")
+	latencyOn := flag.Bool("latency", false, "observe per-query handle latency as an HDR summary (needs -admin)")
 	trafficOn := flag.Bool("traffic", true, "classify arriving queries into the junk taxonomy (/topk, rootless_traffic_*)")
 	trafficTopK := flag.Int("traffic-topk", 16, "heavy-hitter table size for /topk")
 	tsInterval := flag.Duration("timeseries", time.Second, "metric history recording interval for /timeseries (0 disables)")
@@ -127,6 +137,15 @@ func main() {
 	}
 	logger.Info("serving zone", "origin", string(origin), "records", z.Len(), "serial", z.Serial())
 
+	var tracer *obs.Tracer
+	if *traceOn {
+		tracer = obs.NewTracer(*traceRing, 0)
+		tracer.SetEnabled(true)
+		srv.SetTracer(tracer)
+		logger.Info("trace joining enabled", "ring", *traceRing,
+			"edns0_option", dnswire.OptionCodeTrace)
+	}
+
 	var analyzer *traffic.Analyzer
 	if *trafficOn {
 		// The served zone's delegations are the valid-TLD universe (for a
@@ -140,14 +159,21 @@ func main() {
 		start := time.Now()
 		reg := obs.NewRegistry()
 		reg.AddCollector(srv)
+		if tracer != nil {
+			reg.AddCollector(tracer)
+		}
+		if *latencyOn {
+			srv.InstrumentLatency(reg)
+		}
 		obs.RegisterProcessMetrics(reg, start)
 		admin := &obs.Admin{
 			Registry: reg,
+			Tracer:   tracer,
 			Pprof:    *pprofOn,
 			Status: func() map[string]any {
 				st := srv.Stats()
 				cur := srv.Zone()
-				return map[string]any{
+				doc := map[string]any{
 					"component":      "authd",
 					"origin":         string(origin),
 					"zone_serial":    cur.Serial(),
@@ -163,7 +189,15 @@ func main() {
 					"rrl_slipped":    st.RRLSlipped,
 					"secondary":      secondary != nil,
 					"uptime_seconds": time.Since(start).Seconds(),
+					"tracing":        tracer != nil,
 				}
+				if tail, ok := srv.TailLatencySeconds(); ok {
+					doc["latency_p50"] = tail[0]
+					doc["latency_p99"] = tail[1]
+					doc["latency_p999"] = tail[2]
+					doc["latency_p9999"] = tail[3]
+				}
+				return doc
 			},
 		}
 		if analyzer != nil {

@@ -65,6 +65,20 @@
 //	-trace                  record per-query resolution traces (view at /tracez)
 //	-trace-slow 100ms       only keep traces at least this slow (0 = all)
 //	-trace-ring 128         how many recent traces to retain
+//	-trace-propagate        stamp upstream queries with an EDNS0 trace
+//	                        option so a trace-enabled authd joins its spans
+//	                        to ours; /tracez?traceid=<id> then shows the
+//	                        stitched cross-process tree (needs -trace;
+//	                        off = byte-identical queries on the wire)
+//	-slo-latency-p99 0      latency SLO target: resolutions slower than
+//	                        this burn the 1% error budget; multi-window
+//	                        burn-rate alerting as rootless_slo_* (0 = off)
+//	-slo-error-rate 0       error-rate SLO budget, the allowed
+//	                        SERVFAIL/error fraction, e.g. 0.001 (0 = off)
+//	-flight-recorder DIR    keep a fixed-memory ring of per-query digests,
+//	                        served at /flightrecorder and dumped to DIR as
+//	                        JSON on an SLO burn-rate alert or SIGUSR1
+//	-flight-ring 4096       flight-recorder ring size (digests retained)
 //	-traffic                classify queries into the junk taxonomy and track
 //	                        heavy hitters — /topk, rootless_traffic_* metrics,
 //	                        and class tags on /tracez traces (default true)
@@ -135,6 +149,11 @@ func main() {
 	traceOn := flag.Bool("trace", false, "record per-query resolution traces")
 	traceSlow := flag.Duration("trace-slow", 0, "retain only traces at least this slow (0 = all)")
 	traceRing := flag.Int("trace-ring", 128, "recent traces to retain for /tracez")
+	tracePropagate := flag.Bool("trace-propagate", false, "stamp upstream queries with an EDNS0 trace option so auth servers can join their spans (needs -trace)")
+	sloLatencyP99 := flag.Duration("slo-latency-p99", 0, "latency SLO target: resolutions slower than this burn the 1% error budget (0 disables)")
+	sloErrorRate := flag.Float64("slo-error-rate", 0, "error-rate SLO budget, the allowed SERVFAIL/error fraction, e.g. 0.001 (0 disables)")
+	flightDir := flag.String("flight-recorder", "", "directory for flight-recorder dumps; enables the digest ring, /flightrecorder, SIGUSR1 and SLO-burn dumps")
+	flightRing := flag.Int("flight-ring", 4096, "flight-recorder ring size (recent query digests retained)")
 	trafficOn := flag.Bool("traffic", true, "classify queries into the junk taxonomy (/topk, rootless_traffic_*)")
 	trafficTopK := flag.Int("traffic-topk", 16, "heavy-hitter table size for /topk")
 	tsInterval := flag.Duration("timeseries", time.Second, "metric history recording interval for /timeseries (0 disables)")
@@ -200,6 +219,7 @@ func main() {
 		NSECAggressive:    *nsecAggressive,
 		MaxInflight:       *maxInflight,
 		QueueDeadline:     *queueDeadline,
+		TracePropagate:    *tracePropagate,
 	}
 
 	// Hints: from file, or the built-in 13-letter set.
@@ -266,6 +286,59 @@ func main() {
 	r.SetTracer(tracer)
 	if *traceOn {
 		logger.Info("query tracing enabled", "ring", *traceRing, "slow_threshold", *traceSlow)
+	}
+	if *tracePropagate {
+		if !*traceOn {
+			fatal("-trace-propagate needs -trace (there is no local trace to stitch into)")
+		}
+		logger.Info("trace propagation enabled", "edns0_option", dnswire.OptionCodeTrace)
+	}
+
+	var flight *obs.FlightRecorder
+	if *flightDir != "" {
+		flight = obs.NewFlightRecorder(*flightRing, *flightDir)
+		r.SetFlightRecorder(flight)
+		logger.Info("flight recorder enabled", "ring", *flightRing, "dir", *flightDir)
+	}
+	var watchdog *obs.Watchdog
+	if *sloLatencyP99 > 0 || *sloErrorRate > 0 {
+		watchdog = obs.NewWatchdog(nil)
+		var latSLO, errSLO *obs.SLOTracker
+		if *sloLatencyP99 > 0 {
+			latSLO = watchdog.Add(obs.SLOConfig{Name: "latency_p99", Budget: 0.01})
+		}
+		if *sloErrorRate > 0 {
+			errSLO = watchdog.Add(obs.SLOConfig{Name: "errors", Budget: *sloErrorRate})
+		}
+		target := *sloLatencyP99
+		r.SetSLOObserver(func(lat time.Duration, rcode dnswire.Rcode, err error) {
+			// Trackers are nil-safe; an error counts against both SLOs.
+			latSLO.Observe(err == nil && lat <= target)
+			errSLO.Observe(err == nil && rcode != dnswire.RcodeServFail)
+		})
+		watchdog.OnAlert(func(name string, fast, slow float64) {
+			logger.Warn("SLO burn-rate alert", "slo", name, "burn_fast", fast, "burn_slow", slow)
+			if path, err := flight.Dump("slo-burn:" + name); err != nil {
+				logger.Error("flight-recorder dump", "err", err)
+			} else if path != "" {
+				logger.Warn("flight recorder dumped", "path", path)
+			}
+		})
+		logger.Info("SLO watchdog enabled",
+			"latency_p99", *sloLatencyP99, "error_budget", *sloErrorRate)
+	}
+	if flight != nil {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				if path, err := flight.Dump("sigusr1"); err != nil {
+					logger.Error("flight-recorder dump", "err", err)
+				} else {
+					logger.Info("flight recorder dumped", "path", path)
+				}
+			}
+		}()
 	}
 
 	var analyzer *traffic.Analyzer
@@ -353,6 +426,12 @@ func main() {
 		if refresher != nil {
 			reg.AddCollector(refresher)
 		}
+		if watchdog != nil {
+			watchdog.Collect(reg)
+		}
+		if flight != nil {
+			flight.Collect(reg)
+		}
 		obs.RegisterProcessMetrics(reg, start)
 		if mode == resolver.RootModeHints {
 			// Hints mode still leans on the root-server fleet; expose the
@@ -367,12 +446,15 @@ func main() {
 		if analyzer != nil {
 			admin.TopK = analyzer.Handler()
 		}
+		if flight != nil {
+			admin.Flight = flight.Handler()
+		}
 		if *tsInterval > 0 {
 			rec := tsdb.NewRecorder(reg, tsdb.Options{Interval: *tsInterval})
 			admin.Timeseries = rec
 			go rec.Run(ctx)
 		}
-		admin.Status = statusFunc(r, refresher, tracer, mode, policy, start)
+		admin.Status = statusFunc(r, refresher, tracer, watchdog, flight, mode, policy, start)
 		go func() {
 			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
 				logger.Error("admin server", "err", err)
@@ -390,7 +472,7 @@ func main() {
 		"local_root_consults", st.LocalRootConsults)
 }
 
-func statusFunc(r *resolver.Resolver, refresher *dist.Refresher, tracer *obs.Tracer, mode resolver.RootMode, policy validator.Policy, start time.Time) func() map[string]any {
+func statusFunc(r *resolver.Resolver, refresher *dist.Refresher, tracer *obs.Tracer, watchdog *obs.Watchdog, flight *obs.FlightRecorder, mode resolver.RootMode, policy validator.Policy, start time.Time) func() map[string]any {
 	return func() map[string]any {
 		st := r.Stats()
 		status := map[string]any{
@@ -408,6 +490,19 @@ func statusFunc(r *resolver.Resolver, refresher *dist.Refresher, tracer *obs.Tra
 			"srtt_entries":     r.SRTTStateSize(),
 			"uptime_seconds":   time.Since(start).Seconds(),
 			"tracing":          tracer.Enabled(),
+		}
+		if tail, ok := r.TailLatencySeconds(); ok {
+			status["latency_p50"] = tail[0]
+			status["latency_p99"] = tail[1]
+			status["latency_p999"] = tail[2]
+			status["latency_p9999"] = tail[3]
+		}
+		if watchdog != nil {
+			status["slo"] = watchdog.Status()
+		}
+		if flight != nil {
+			status["flight_recorded"] = flight.Seen()
+			status["flight_dumps"] = flight.Dumps()
 		}
 		if policy != validator.PolicyOff {
 			status["validate"] = policy.String()

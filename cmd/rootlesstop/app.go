@@ -19,10 +19,11 @@ type metricFamily struct {
 }
 
 type metricSeries struct {
-	Labels map[string]string `json:"labels"`
-	Value  float64           `json:"value"`
-	Count  float64           `json:"count"` // histograms
-	Sum    float64           `json:"sum"`   // histograms
+	Labels    map[string]string  `json:"labels"`
+	Value     float64            `json:"value"`
+	Count     float64            `json:"count"`               // histograms, summaries
+	Sum       float64            `json:"sum"`                 // histograms, summaries
+	Quantiles map[string]float64 `json:"quantiles,omitempty"` // summaries
 }
 
 // total sums Value across a family's series (labels collapse).
@@ -230,10 +231,94 @@ func renderTarget(sb *strings.Builder, t *targetState, s *sample) {
 	}
 	sb.WriteString(line + "\n")
 
+	renderTail(sb, s.metrics)
+	renderSLO(sb, s.metrics)
 	renderPhases(sb, prev, s.metrics)
 	renderComposition(sb, prev, s.metrics, s.topk)
 	if s.topk != nil {
 		renderTopK(sb, s.topk)
+	}
+}
+
+// latencySummaries are the per-component HDR latency families, tried in
+// order: resolverd, authd.
+var latencySummaries = []string{
+	"rootless_resolver_resolution_seconds",
+	"rootless_authserver_handle_seconds",
+}
+
+// tailQuantiles pairs the summary quantile keys with display labels.
+var tailQuantiles = [][2]string{
+	{"0.5", "p50"}, {"0.99", "p99"}, {"0.999", "p999"}, {"0.9999", "p9999"},
+}
+
+// renderTail shows the HDR latency tail (the quantiles a fixed-bucket
+// histogram can't resolve) from the first summary family present.
+func renderTail(sb *strings.Builder, cur metricsDoc) {
+	for _, name := range latencySummaries {
+		for _, se := range cur[name].Series {
+			if se.Count == 0 {
+				continue
+			}
+			line := "  latency:"
+			for _, q := range tailQuantiles {
+				if v, ok := se.Quantiles[q[0]]; ok {
+					line += fmt.Sprintf(" %s %s", q[1], fmtSeconds(v))
+				}
+			}
+			sb.WriteString(line + "\n")
+			return
+		}
+	}
+}
+
+// renderSLO shows every declared SLO's burn rates and alert state.
+func renderSLO(sb *strings.Builder, cur metricsDoc) {
+	type burns struct{ fast, slow float64 }
+	by := map[string]*burns{}
+	for _, se := range cur["rootless_slo_burn_rate"].Series {
+		b := by[se.Labels["slo"]]
+		if b == nil {
+			b = &burns{}
+			by[se.Labels["slo"]] = b
+		}
+		if se.Labels["window"] == "fast" {
+			b.fast = se.Value
+		} else {
+			b.slow = se.Value
+		}
+	}
+	if len(by) == 0 {
+		return
+	}
+	alerts := cur.byLabel("rootless_slo_alert", "slo")
+	budgets := cur.byLabel("rootless_slo_budget", "slo")
+	names := make([]string, 0, len(by))
+	for n := range by {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	line := "  slo:"
+	for _, n := range names {
+		b := by[n]
+		line += fmt.Sprintf(" %s burn %.1f/%.1f budget %.3g%%", n, b.fast, b.slow,
+			100*budgets[n].Value)
+		if alerts[n].Value >= 1 {
+			line += " [ALERT]"
+		}
+	}
+	sb.WriteString(line + "\n")
+}
+
+// fmtSeconds renders a latency in seconds at dashboard precision.
+func fmtSeconds(v float64) string {
+	switch d := time.Duration(v * float64(time.Second)); {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
 	}
 }
 
@@ -331,6 +416,40 @@ func renderComposition(sb *strings.Builder, prev, cur metricsDoc, tk *topkDoc) {
 		}
 	}
 	sb.WriteString(line + "\n")
+}
+
+// snapshotDoc is the -json one-shot output: everything a frame renders,
+// machine-readable, one poll per target.
+type snapshotDoc struct {
+	At      string           `json:"at"`
+	Targets []targetSnapshot `json:"targets"`
+}
+
+type targetSnapshot struct {
+	Name    string         `json:"name"`
+	Addr    string         `json:"addr"`
+	Error   string         `json:"error,omitempty"`
+	Status  map[string]any `json:"status,omitempty"`
+	Metrics metricsDoc     `json:"metrics,omitempty"`
+	TopK    *topkDoc       `json:"topk,omitempty"`
+}
+
+// snapshot polls every target once for -json output. Unreachable
+// targets appear with an error field rather than failing the snapshot.
+func (a *app) snapshot(now time.Time) snapshotDoc {
+	doc := snapshotDoc{At: now.UTC().Format(time.RFC3339)}
+	for _, t := range a.targets {
+		ts := targetSnapshot{Name: t.name, Addr: t.base}
+		if s, err := a.poll(t, now); err != nil {
+			ts.Error = err.Error()
+		} else {
+			ts.Status = s.status
+			ts.Metrics = s.metrics
+			ts.TopK = s.topk
+		}
+		doc.Targets = append(doc.Targets, ts)
+	}
+	return doc
 }
 
 func renderTopK(sb *strings.Builder, tk *topkDoc) {

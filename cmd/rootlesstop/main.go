@@ -11,6 +11,11 @@
 //	rootlesstop 127.0.0.1:9153 127.0.0.1:9154
 //	rootlesstop -interval 2s resolver=127.0.0.1:9153 auth=127.0.0.1:9154
 //	rootlesstop -once 127.0.0.1:9153        # one frame, no screen control
+//	rootlesstop -json 127.0.0.1:9153        # one JSON snapshot for scripts
+//
+// Daemons running with an SLO watchdog or HDR latency summaries get two
+// extra panels: the latency tail (p50/p99/p999/p9999) and per-SLO burn
+// rates with an [ALERT] marker while the multi-window alert fires.
 //
 // Targets are admin addresses (the daemons' -admin flag), optionally
 // prefixed with a display name. Rates are computed from deltas between
@@ -18,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,14 +36,24 @@ import (
 func main() {
 	interval := flag.Duration("interval", time.Second, "poll and refresh interval")
 	once := flag.Bool("once", false, "render a single frame without screen control and exit")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON snapshot of every target and exit")
 	topN := flag.Int("n", 5, "heavy-hitter rows per table")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: rootlesstop [-interval 1s] [-once] [-n 5] [name=]adminaddr ...")
+		fmt.Fprintln(os.Stderr, "usage: rootlesstop [-interval 1s] [-once|-json] [-n 5] [name=]adminaddr ...")
 		os.Exit(2)
 	}
 	app := newApp(flag.Args(), *topN)
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(app.snapshot(time.Now())); err != nil {
+			fmt.Fprintf(os.Stderr, "rootlesstop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *once {
 		os.Stdout.WriteString(app.frame(time.Now()))
 		return

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -106,6 +107,80 @@ func TestParseTarget(t *testing.T) {
 	}
 	if n, b := parseTarget("127.0.0.1:9153"); n != "127.0.0.1:9153" || b != "127.0.0.1:9153" {
 		t.Errorf("got %q %q", n, b)
+	}
+}
+
+// TestFrameTailAndSLO: a daemon exposing an HDR latency summary and SLO
+// gauges gets the latency-tail and burn-rate panels.
+func TestFrameTailAndSLO(t *testing.T) {
+	srv, reg, _ := testDaemon(t)
+
+	lat := reg.HDRTimer("rootless_resolver_resolution_seconds", "t", nil)
+	for i := 0; i < 1000; i++ {
+		lat.RecordDuration(2 * time.Millisecond)
+	}
+	lat.RecordDuration(80 * time.Millisecond) // the tail outlier
+
+	clk := time.Unix(1700000000, 0)
+	w := obs.NewWatchdog(func() time.Time { return clk })
+	tr := w.Add(obs.SLOConfig{Name: "errors", Budget: 0.01, MinEvents: 1,
+		FastWindow: 2 * time.Second, SlowWindow: 4 * time.Second})
+	for i := 0; i < 100; i++ {
+		tr.Observe(false) // 100% bad: burn 100, alert firing
+	}
+	w.Collect(reg)
+
+	base := strings.TrimPrefix(srv.URL, "http://")
+	app := newApp([]string{"res=" + base}, 5)
+	frame := app.frame(time.Now())
+	for _, want := range []string{
+		"latency: p50 2.0ms", "p9999 8", // p9999 lands on the ~80ms outlier
+		"slo: errors burn 100.0/100.0 budget 1%", "[ALERT]",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+// TestSnapshotJSON: the -json one-shot carries status, metrics (with
+// summary quantiles), and topk; unreachable targets get an error field.
+func TestSnapshotJSON(t *testing.T) {
+	srv, reg, an := testDaemon(t)
+	reg.Counter("rootless_resolver_resolutions_total", "t", nil).Set(3)
+	reg.HDRTimer("rootless_resolver_resolution_seconds", "t", nil).
+		RecordDuration(5 * time.Millisecond)
+	an.Observe("www.example.com.", dnswire.TypeA)
+
+	base := strings.TrimPrefix(srv.URL, "http://")
+	app := newApp([]string{"res=" + base, "down=127.0.0.1:1"}, 5)
+	doc := app.snapshot(time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC))
+
+	if doc.At != "2026-08-08T12:00:00Z" || len(doc.Targets) != 2 {
+		t.Fatalf("snapshot: %+v", doc)
+	}
+	res := doc.Targets[0]
+	if res.Error != "" || res.Status["component"] != "resolverd" || res.TopK == nil {
+		t.Fatalf("target: %+v", res)
+	}
+	if v, _ := res.Metrics.total("rootless_resolver_resolutions_total"); v != 3 {
+		t.Errorf("resolutions in snapshot = %v", v)
+	}
+	sum := res.Metrics["rootless_resolver_resolution_seconds"]
+	if len(sum.Series) != 1 || sum.Series[0].Quantiles["0.999"] <= 0 {
+		t.Errorf("summary quantiles missing: %+v", sum)
+	}
+	if down := doc.Targets[1]; down.Error == "" || down.Status != nil {
+		t.Errorf("down target: %+v", down)
+	}
+
+	// The document round-trips as JSON (what -json prints).
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"quantiles"`) {
+		t.Error("marshalled snapshot lacks quantiles")
 	}
 }
 

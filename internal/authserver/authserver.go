@@ -77,6 +77,17 @@ type Server struct {
 	// junk-composition view. Opt-in so the packed-answer hit path stays
 	// sketch-free by default.
 	traffic atomic.Pointer[traffic.Analyzer]
+
+	// tracer, when installed with SetTracer, joins sampled EDNS0 trace
+	// options on arriving UDP queries to the querier's trace ID and ships
+	// the auth-side span tree back in the response option, so either
+	// daemon can serve /tracez?traceid= for the stitched resolution.
+	tracer atomic.Pointer[obs.Tracer]
+
+	// latency, when installed with InstrumentLatency, observes per-query
+	// handle time into an HDR summary. Opt-in: uninstrumented handling
+	// pays only one atomic load, no clock reads.
+	latency atomic.Pointer[obs.HDR]
 }
 
 // DefaultAnswerCacheSize bounds the precompiled-answer cache New installs.
@@ -94,6 +105,33 @@ func New(z *zone.Zone) *Server {
 
 // SetTraffic installs a streaming traffic analyzer (nil uninstalls).
 func (s *Server) SetTraffic(a *traffic.Analyzer) { s.traffic.Store(a) }
+
+// SetTracer installs (or removes, with nil) the tracer that joins
+// propagated traces arriving over UDP. Safe to call while serving.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
+
+// InstrumentLatency wires an HDR summary observing wall time per handled
+// query (admission through answer/RRL) as
+// rootless_authserver_handle_seconds{quantile=...}. Opt-in so the packed
+// answer hot path stays clock-free by default.
+func (s *Server) InstrumentLatency(reg *obs.Registry) {
+	s.latency.Store(reg.HDRTimer("rootless_authserver_handle_seconds",
+		"wall time per handled query (admission, answer, RRL)", nil))
+}
+
+// Tracer returns the installed tracer (nil when none).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer.Load() }
+
+// TailLatencySeconds returns the handle-latency HDR tail
+// (obs.TailQuantiles: p50/p99/p999/p9999, in seconds) and whether
+// InstrumentLatency has installed the histogram.
+func (s *Server) TailLatencySeconds() ([4]float64, bool) {
+	h := s.latency.Load()
+	if h == nil {
+		return [4]float64{}, false
+	}
+	return h.TailSeconds(), true
+}
 
 // Traffic returns the installed analyzer (nil when none).
 func (s *Server) Traffic() *traffic.Analyzer { return s.traffic.Load() }
@@ -211,6 +249,10 @@ func (s *Server) HandleTraced(tr *obs.Trace, q *dnswire.Message, from netip.Addr
 // valid only when non-nil and only for unslipped responses — which lets
 // the UDP transport answer with a byte copy instead of a Pack call.
 func (s *Server) handle(tr *obs.Trace, q *dnswire.Message, from netip.Addr) (*dnswire.Message, []byte) {
+	if h := s.latency.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.RecordDuration(time.Since(start)) }()
+	}
 	sp := tr.StartSpan(obs.PhaseAuth, "auth")
 	defer sp.End()
 	s.count(func(st *Stats) { st.Queries++ })

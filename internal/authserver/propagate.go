@@ -1,0 +1,57 @@
+package authserver
+
+import (
+	"rootless/internal/dnswire"
+	"rootless/internal/obs"
+)
+
+// Cross-process trace propagation, authoritative side. A resolver with
+// TracePropagate on stamps a sampled EDNS0 trace option on its queries;
+// the UDP serve loop joins a local trace to that ID (so this daemon's
+// /tracez?traceid= finds the auth-side share) and ships the finished
+// span tree back inside the response's trace option for the resolver to
+// graft. Everything here is opt-in: without SetTracer, or for queries
+// without a sampled option, the hot path is untouched.
+
+// joinRemoteTrace begins a trace joined to the querier's trace when the
+// arriving query carries a sampled trace option and a tracer is
+// installed. Returns (nil, zero) otherwise.
+func (s *Server) joinRemoteTrace(q *dnswire.Message) (*obs.Trace, dnswire.TraceContext) {
+	t := s.tracer.Load()
+	if t == nil {
+		return nil, dnswire.TraceContext{}
+	}
+	tc, _, ok := q.TraceOption()
+	if !ok || !tc.Sampled {
+		return nil, dnswire.TraceContext{}
+	}
+	var qname, qtype string
+	if len(q.Questions) == 1 {
+		qname = string(q.Questions[0].Name)
+		qtype = q.Questions[0].Type.String()
+	}
+	return t.BeginRemote(qname, qtype, tc.TraceID, tc.SpanID), tc
+}
+
+// attachTrace finishes a joined trace (recording it on this daemon's
+// ring) and ships its span tree back in the response's trace option.
+// Returns the precompiled wire image to use for the reply: attaching a
+// payload invalidates it (the response must be re-packed), and the
+// response's Additional section is deep-copied first so the packed-answer
+// template's shared slices are never mutated. Dropped queries (nil resp)
+// still finish the trace — the drop verdict is exactly what the far side
+// wants to see on this daemon's /tracez.
+func (s *Server) attachTrace(tr *obs.Trace, tc dnswire.TraceContext, resp *dnswire.Message, wire []byte) []byte {
+	if resp == nil {
+		tr.Finish("DROPPED", 0, 1, nil)
+		return nil
+	}
+	payload := tr.SpanPayload()
+	tr.Finish(resp.Rcode.String(), 0, 1, nil)
+	if payload == nil {
+		return wire
+	}
+	resp.Additional = append([]dnswire.RR(nil), resp.Additional...)
+	resp.SetTraceOption(dnswire.TraceContext{TraceID: tc.TraceID, SpanID: tc.SpanID}, payload)
+	return nil
+}

@@ -39,7 +39,11 @@ func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
 		if err := q.UnpackShared(buf[:n]); err != nil {
 			continue
 		}
-		resp, wire := s.handle(nil, &q, addrFrom(addr))
+		tr, tc := s.joinRemoteTrace(&q)
+		resp, wire := s.handle(tr, &q, addrFrom(addr))
+		if tr != nil {
+			wire = s.attachTrace(tr, tc, resp, wire)
+		}
 		if resp == nil {
 			continue // dropped by rate limiting or admission control
 		}

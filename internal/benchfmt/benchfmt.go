@@ -254,6 +254,31 @@ func Derive(entries []Entry) map[string]float64 {
 			d["delta_verify_speedup"] = full.NsPerOp / ap.NsPerOp
 		}
 	}
+	// PR 9 observability figures: the HDR histogram rides every hot-path
+	// latency observation (acceptance: ≤20 ns, zero allocations), and
+	// stamping + grafting the EDNS0 trace option must stay within 5% of a
+	// traced resolution — the _frac figure is what the acceptance gate
+	// reads.
+	if e, ok := byName["BenchmarkHDRRecord"]; ok {
+		d["hdr_record_ns_per_op"] = e.NsPerOp
+		d["hdr_record_allocs_per_op"] = e.AllocsPerOp
+	}
+	if e, ok := byName["BenchmarkHDRQuantile"]; ok {
+		d["hdr_quantile_ns_per_op"] = e.NsPerOp
+		if re, ok := e.Extra["p999-rel-err"]; ok {
+			d["hdr_p999_relative_error"] = re
+		}
+	}
+	if base, ok := byName["BenchmarkResolve/TracerEnabled"]; ok && base.NsPerOp > 0 {
+		if p, ok := byName["BenchmarkResolve/TracePropagate"]; ok {
+			overhead("trace_propagation_overhead_ns_per_op", base.NsPerOp, p.NsPerOp)
+			frac := (p.NsPerOp - base.NsPerOp) / base.NsPerOp
+			if frac < 0 {
+				frac = 0
+			}
+			d["trace_propagation_overhead_frac"] = frac
+		}
+	}
 	if hit, ok := byName["BenchmarkHandle/PackedHit"]; ok && hit.NsPerOp > 0 {
 		if p, ok := hit.Extra["packs/op"]; ok {
 			d["authserver_packed_hit_packs_per_op"] = p

@@ -128,6 +128,44 @@ func TestDeriveTrafficAndShardFlag(t *testing.T) {
 	}
 }
 
+func TestDeriveObservability(t *testing.T) {
+	entries := []Entry{
+		{Name: "BenchmarkHDRRecord", Iterations: 1, NsPerOp: 17.4, AllocsPerOp: 0},
+		{Name: "BenchmarkHDRQuantile", Iterations: 1, NsPerOp: 900,
+			Extra: map[string]float64{"p999-rel-err": 0.0004}},
+		{Name: "BenchmarkResolve/TracerEnabled", Iterations: 1, NsPerOp: 3000},
+		{Name: "BenchmarkResolve/TracePropagate", Iterations: 1, NsPerOp: 3090},
+	}
+	d := Derive(entries)
+	if d["hdr_record_ns_per_op"] != 17.4 {
+		t.Errorf("hdr_record_ns_per_op = %v", d["hdr_record_ns_per_op"])
+	}
+	if _, ok := d["hdr_record_allocs_per_op"]; !ok {
+		t.Error("missing hdr_record_allocs_per_op")
+	}
+	if d["hdr_quantile_ns_per_op"] != 900 || d["hdr_p999_relative_error"] != 0.0004 {
+		t.Errorf("hdr quantile figures = %v / %v",
+			d["hdr_quantile_ns_per_op"], d["hdr_p999_relative_error"])
+	}
+	// 3% propagation overhead: inside the 5% noise band, so the ns figure
+	// clamps — but the _frac acceptance figure keeps the raw ratio.
+	if got := d["trace_propagation_overhead_ns_per_op"]; got != 0 {
+		t.Errorf("within-noise propagation overhead = %v, want 0", got)
+	}
+	if got := d["trace_propagation_overhead_frac"]; got < 0.029 || got > 0.031 {
+		t.Errorf("trace_propagation_overhead_frac = %v, want 0.03", got)
+	}
+	// A regressed propagation path reports through both figures.
+	entries[3].NsPerOp = 3600
+	d = Derive(entries)
+	if got := d["trace_propagation_overhead_ns_per_op"]; got != 600 {
+		t.Errorf("real propagation overhead = %v, want 600", got)
+	}
+	if got := d["trace_propagation_overhead_frac"]; got != 0.2 {
+		t.Errorf("trace_propagation_overhead_frac = %v, want 0.2", got)
+	}
+}
+
 func TestDeriveNoiseClamp(t *testing.T) {
 	// A "negative overhead" smaller than the noise band is a measurement
 	// artifact and must come out as exactly zero, flagged as noise.

@@ -101,6 +101,28 @@ func FuzzMessageUnpack(f *testing.F) {
 		0x00, 0x00, 0x2B, 0x00, 0x01, 0, 0, 0, 0,
 		0x00, 0x03, 0xBE, 0xEF, 0x0F}) // DS rdata cut off before digest type
 
+	// EDNS0 trace-option shapes (OptionCodeTrace = 65312 = 0xFF20): a
+	// well-formed stamped query, a truncated option body (header cut mid
+	// trace ID), an option whose TLV length overruns the OPT rdata, and an
+	// unknown local-use option code that must pass through untouched.
+	traced := NewQuery(13, "example.com.", TypeA)
+	traced.SetEDNS(1232, true)
+	traced.SetTraceOption(TraceContext{TraceID: 0x1122334455667788, SpanID: 0x99AABBCCDDEEFF00, Sampled: true}, nil)
+	w4, _ := traced.Pack()
+	f.Add(w4)
+	f.Add([]byte{0, 14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+		0x00, 0x00, 0x29, 0x04, 0xD0, 0, 0, 0x80, 0, // . OPT, size 1232, DO
+		0x00, 0x09, // rdlen 9: option header + 5 of the 8 trace-ID bytes
+		0xFF, 0x20, 0x00, 0x05, 0x11, 0x22, 0x33, 0x44, 0x55}) // truncated trace option
+	f.Add([]byte{0, 15, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+		0x00, 0x00, 0x29, 0x04, 0xD0, 0, 0, 0, 0,
+		0x00, 0x06, // rdlen 6, but the option claims 0xFFFF bytes of data
+		0xFF, 0x20, 0xFF, 0xFF, 0x01, 0x02}) // oversized option length overruns rdata
+	f.Add([]byte{0, 16, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+		0x00, 0x00, 0x29, 0x04, 0xD0, 0, 0, 0, 0,
+		0x00, 0x07, // unknown local-use code 65313: decoder must carry it through
+		0xFF, 0x21, 0x00, 0x03, 0xAA, 0xBB, 0xCC})
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
 		if err := m.Unpack(data); err != nil {

@@ -1,0 +1,99 @@
+package dnswire
+
+import "encoding/binary"
+
+// EDNS0 trace-propagation option. The resolver stamps a TraceContext into
+// an option on upstream queries; the authoritative server echoes the
+// context back with its serialized span tree appended, letting either
+// daemon stitch the cross-process trace. The option code is from the
+// RFC 6891 local/experimental range (65001-65534), so conformant servers
+// that don't understand it simply ignore it.
+
+// OptionCodeTrace is the EDNS0 option code carrying a TraceContext.
+const OptionCodeTrace uint16 = 65312
+
+// traceContextLen is the fixed wire size of an encoded TraceContext:
+// 8-byte trace ID, 8-byte span ID, 1 flags byte.
+const traceContextLen = 17
+
+// traceFlagSampled marks the trace as sampled (the far side should join
+// and return its spans).
+const traceFlagSampled = 0x01
+
+// MaxTracePayload bounds the span payload accepted in a response option;
+// larger payloads are dropped rather than bloating messages.
+const MaxTracePayload = 16 << 10
+
+// TraceContext is the cross-process trace identity carried in the option.
+type TraceContext struct {
+	TraceID uint64 // process-unique trace identifier (0 = no trace)
+	SpanID  uint64 // parent span on the stamping side (0 = none)
+	Sampled bool   // far side should join and ship spans back
+}
+
+// Encode serializes the context, appending payload (the responder's span
+// tree, empty on queries) after the fixed header.
+func (tc TraceContext) Encode(payload []byte) []byte {
+	b := make([]byte, traceContextLen, traceContextLen+len(payload))
+	binary.BigEndian.PutUint64(b[0:], tc.TraceID)
+	binary.BigEndian.PutUint64(b[8:], tc.SpanID)
+	if tc.Sampled {
+		b[16] |= traceFlagSampled
+	}
+	return append(b, payload...)
+}
+
+// DecodeTraceContext parses an option body. Returns the context, any
+// trailing span payload, and ok=false for bodies too short to carry the
+// fixed header, a zero trace ID, or an oversized payload (all dropped —
+// a malformed trace option must never affect query handling).
+func DecodeTraceContext(data []byte) (tc TraceContext, payload []byte, ok bool) {
+	if len(data) < traceContextLen || len(data) > traceContextLen+MaxTracePayload {
+		return TraceContext{}, nil, false
+	}
+	tc.TraceID = binary.BigEndian.Uint64(data[0:])
+	tc.SpanID = binary.BigEndian.Uint64(data[8:])
+	tc.Sampled = data[16]&traceFlagSampled != 0
+	if tc.TraceID == 0 {
+		return TraceContext{}, nil, false
+	}
+	if rest := data[traceContextLen:]; len(rest) > 0 {
+		payload = rest
+	}
+	return tc, payload, true
+}
+
+// SetTraceOption attaches (or replaces) the trace option on the message's
+// OPT record. The message must already carry an OPT (SetEDNS); without
+// one this is a no-op, so stamping can never add EDNS where the query
+// had none.
+func (m *Message) SetTraceOption(tc TraceContext, payload []byte) {
+	opt, _, _ := m.EDNS()
+	if opt == nil {
+		return
+	}
+	o, _ := opt.Data.(OPT)
+	kept := make([]EDNSOption, 0, len(o.Options)+1)
+	for _, e := range o.Options {
+		if e.Code != OptionCodeTrace {
+			kept = append(kept, e)
+		}
+	}
+	o.Options = append(kept, EDNSOption{Code: OptionCodeTrace, Data: tc.Encode(payload)})
+	opt.Data = o
+}
+
+// TraceOption extracts the message's trace option, if present and valid.
+func (m *Message) TraceOption() (TraceContext, []byte, bool) {
+	opt, _, _ := m.EDNS()
+	if opt == nil {
+		return TraceContext{}, nil, false
+	}
+	o, _ := opt.Data.(OPT)
+	for _, e := range o.Options {
+		if e.Code == OptionCodeTrace {
+			return DecodeTraceContext(e.Data)
+		}
+	}
+	return TraceContext{}, nil, false
+}

@@ -1,0 +1,123 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xDEADBEEFCAFEF00D, SpanID: 0x0123456789ABCDEF, Sampled: true}
+	payload := []byte(`[{"name":"auth","phase":"auth"}]`)
+	enc := tc.Encode(payload)
+	if len(enc) != traceContextLen+len(payload) {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	got, gotPayload, ok := DecodeTraceContext(enc)
+	if !ok || got != tc || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("round trip: got %+v payload %q ok=%v", got, gotPayload, ok)
+	}
+
+	// Query form: no payload.
+	got, gotPayload, ok = DecodeTraceContext(TraceContext{TraceID: 7}.Encode(nil))
+	if !ok || got.TraceID != 7 || got.Sampled || gotPayload != nil {
+		t.Fatalf("query form: %+v payload %v ok=%v", got, gotPayload, ok)
+	}
+}
+
+func TestDecodeTraceContextRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", TraceContext{TraceID: 1}.Encode(nil)[:16]},
+		{"zero trace id", TraceContext{}.Encode(nil)},
+		{"oversized payload", TraceContext{TraceID: 1}.Encode(make([]byte, MaxTracePayload+1))},
+	}
+	for _, c := range cases {
+		if _, _, ok := DecodeTraceContext(c.data); ok {
+			t.Errorf("%s: decode accepted", c.name)
+		}
+	}
+}
+
+func TestMessageTraceOption(t *testing.T) {
+	m := NewQuery(1, MustParseName("example.com."), TypeA)
+
+	// Without EDNS, stamping is a no-op.
+	m.SetTraceOption(TraceContext{TraceID: 5}, nil)
+	if _, _, ok := m.TraceOption(); ok {
+		t.Fatal("trace option attached without an OPT record")
+	}
+
+	m.SetEDNS(1232, true)
+	tc := TraceContext{TraceID: 5, SpanID: 9, Sampled: true}
+	m.SetTraceOption(tc, nil)
+	got, _, ok := m.TraceOption()
+	if !ok || got != tc {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+
+	// Re-stamping replaces, not duplicates; other options are kept.
+	opt, _, _ := m.EDNS()
+	o := opt.Data.(OPT)
+	o.Options = append(o.Options, EDNSOption{Code: 10, Data: []byte{1, 2}}) // cookie-ish
+	opt.Data = o
+	m.SetTraceOption(TraceContext{TraceID: 6}, []byte("p"))
+	opt, _, _ = m.EDNS()
+	o = opt.Data.(OPT)
+	var traceCount, otherCount int
+	for _, e := range o.Options {
+		if e.Code == OptionCodeTrace {
+			traceCount++
+		} else {
+			otherCount++
+		}
+	}
+	if traceCount != 1 || otherCount != 1 {
+		t.Fatalf("after restamp: %d trace options, %d others", traceCount, otherCount)
+	}
+	got, payload, ok := m.TraceOption()
+	if !ok || got.TraceID != 6 || string(payload) != "p" {
+		t.Fatalf("restamp: %+v %q ok=%v", got, payload, ok)
+	}
+
+	// Survives a pack/unpack round trip.
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Message
+	if err := back.Unpack(wire); err != nil {
+		t.Fatal(err)
+	}
+	got, payload, ok = back.TraceOption()
+	if !ok || got.TraceID != 6 || string(payload) != "p" {
+		t.Fatalf("wire round trip: %+v %q ok=%v", got, payload, ok)
+	}
+}
+
+// TestTraceOptionAbsentByteIdentical pins the propagation-off guarantee:
+// a query that never calls SetTraceOption packs to the same bytes as
+// before the trace option existed — SetEDNS alone emits an empty OPT.
+func TestTraceOptionAbsentByteIdentical(t *testing.T) {
+	a := NewQuery(42, MustParseName("example.com."), TypeA)
+	a.SetEDNS(1232, true)
+	wa, err := a.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewQuery(42, MustParseName("example.com."), TypeA)
+	b.SetEDNS(1232, true)
+	b.SetTraceOption(TraceContext{TraceID: 1, Sampled: true}, nil)
+	wb, err := b.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(wa, wb) {
+		t.Fatal("stamped query should differ from unstamped")
+	}
+	if len(wb) != len(wa)+4+traceContextLen {
+		t.Fatalf("stamp overhead %d bytes, want %d", len(wb)-len(wa), 4+traceContextLen)
+	}
+}

@@ -261,6 +261,26 @@ func DistChaos() Result {
 			row("population at soak end", "current & fresh", "all at serial %d: %v; worst staleness: %s",
 				lastSerial, allCurrent, worstStage)(allCurrent && worstStage < dist.FreshnessExpired),
 		},
-		Notes: fmt.Sprintf("%d days of hourly virtual time, 6 refreshers, 3 mirrors, faults windowed per refresher", days),
+		Notes: fmt.Sprintf("%d days of hourly virtual time, 6 refreshers, 3 mirrors, faults windowed per refresher.\n", days) +
+			"Each refresher's preferred mirror misbehaves in one specific way\n" +
+			"(`faults.DistFaults` wrappers), with a healthy or differently-broken\n" +
+			"mirror behind it: a stale mirror replays a pinned old snapshot (its full\n" +
+			"bundles are rejected as rollbacks; its \"you are already current\" empty\n" +
+			"delta chains are the freeze lie, broken by the cross-check sweep once the\n" +
+			"serial stalls for 2×Refresh); a forked mirror serves a zone signed by an\n" +
+			"unrelated key (never verifies, source quarantined after three strikes); a\n" +
+			"truncating mirror drops delta-chain links (client falls back to the full\n" +
+			"bundle and keeps taking deltas afterwards); a flapping mirror alternates\n" +
+			"up/down on a 6 h period; and a stolen outgoing KSK signs bundles during\n" +
+			"the post-switch window (verification fails — the revoke bit already\n" +
+			"distrusted that key). The publisher's scripted RFC 5011 rollover\n" +
+			"(pre-publish day 14, switch + revoke day 26, retire day 32) crosses the\n" +
+			"fault windows, so trust promotion happens while mirrors are lying: the\n" +
+			"rollover row asserts every store promoted the incoming KSK before the\n" +
+			"signing switch — the add-hold-down ran to completion against chaos — and\n" +
+			"the zero-bogus row is checked against a canonical zone-hash table on\n" +
+			"every install. Ground truth for \"no refresh gap\": the population ends at\n" +
+			"the final serial with worst-ever staleness \"aging\", never stale-serve or\n" +
+			"expired.",
 	}
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/netip"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -343,6 +345,73 @@ func Overload(queries int) Result {
 		return answered, slipped, dropped, srv.Stats().RateLimited, vOK
 	}()
 
+	// SLO watchdog under the 4× fail-fast flood: the same ramp the daemon
+	// would see, observed through the error-rate SLO resolverd wires up
+	// (-slo-error-rate). Shed resolutions are errors, so the multi-window
+	// burn rate blows through the threshold and the rising edge dumps the
+	// flight-recorder ring — which must already contain the shed queries
+	// that caused the burn.
+	sloAlerts, sloBurnFast, sloDumpShed, sloDumpErr := func() (int, float64, int, error) {
+		city++
+		r := w.newResolver(resolver.RootModeHints, city, 903, func(c *resolver.Config) {
+			c.Transport = slowWire{inner: c.Transport, delay: wireDelay}
+			c.Coalesce = true
+			c.NXDomainCut = true
+			c.MaxInflight = capacity
+			c.QueueDeadline = 0 // fail fast: over-capacity misses shed
+		})
+		dir, err := os.MkdirTemp("", "t_overload_flight")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		fr := obs.NewFlightRecorder(4096, dir)
+		r.SetFlightRecorder(fr)
+		wd := obs.NewWatchdog(w.net.Now)
+		errSLO := wd.Add(obs.SLOConfig{Name: "errors", Budget: 0.01})
+		var mu sync.Mutex
+		alerts := 0
+		var dumpPath string
+		wd.OnAlert(func(name string, fast, slow float64) {
+			p, _ := fr.Dump("slo-burn:" + name)
+			mu.Lock()
+			alerts++
+			if dumpPath == "" {
+				dumpPath = p
+			}
+			mu.Unlock()
+		})
+		r.SetSLOObserver(func(lat time.Duration, rcode dnswire.Rcode, err error) {
+			errSLO.Observe(err == nil && rcode != dnswire.RcodeServFail)
+		})
+		replay(r, trace.Queries[len(trace.Queries)/2:], capacity*4)
+		fast, _ := errSLO.BurnRates()
+		if dumpPath == "" {
+			return alerts, fast, 0, fmt.Errorf("no flight dump written")
+		}
+		data, err := os.ReadFile(dumpPath)
+		if err != nil {
+			return alerts, fast, 0, err
+		}
+		var doc struct {
+			Reason  string             `json:"reason"`
+			Digests []obs.FlightDigest `json:"digests"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return alerts, fast, 0, err
+		}
+		if doc.Reason != "slo-burn:errors" {
+			return alerts, fast, 0, fmt.Errorf("dump reason %q", doc.Reason)
+		}
+		shed := 0
+		for _, d := range doc.Digests {
+			if d.Shed {
+				shed++
+			}
+		}
+		return alerts, fast, shed, nil
+	}()
+
 	// Serve-stale under shedding: a warmed resolver whose entries have
 	// expired keeps answering through an overload because shed
 	// resolutions fall back to RFC 8767 stale data.
@@ -544,6 +613,14 @@ func Overload(queries int) Result {
 				atkAnswered, atkSlipped, atkDropped, atkLimited)(
 				atkAnswered == 2 && atkSlipped == 1 && atkDropped == 97 && atkLimited == 95),
 			row("auth victim during flood", "3/3 answered", "%d/3", victimOK)(victimOK == 3),
+			row("SLO watchdog under 4× fail-fast flood", "burn-rate alert fires once, dump holds the shed queries",
+				"%s", func() string {
+					if sloDumpErr != nil {
+						return sloDumpErr.Error()
+					}
+					return fmt.Sprintf("%d alert (burn %.0f×), %d shed digests in dump",
+						sloAlerts, sloBurnFast, sloDumpShed)
+				}())(sloDumpErr == nil && sloAlerts == 1 && sloBurnFast >= 10 && sloDumpShed > 0),
 			row("serve-stale rescue while shedding", "every answer lands, stale fills the shed gap",
 				"%d/%d ok, %d shed, %d stale", rescueOK, rescueTotal, rescueShed, rescueStale)(
 				rescueOK == rescueTotal && rescueShed > 0 && rescueStale > 0),

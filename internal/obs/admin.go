@@ -44,6 +44,9 @@ type Admin struct {
 	Timeseries http.Handler
 	// TopK, when set, is mounted at /topk (a traffic analyzer's Handler).
 	TopK http.Handler
+	// Flight, when set, is mounted at /flightrecorder (a *FlightRecorder's
+	// Handler: the retained query digests as JSON).
+	Flight http.Handler
 }
 
 // Handler returns the admin mux.
@@ -61,6 +64,10 @@ func (a *Admin) Handler() http.Handler {
 	if a.TopK != nil {
 		mux.Handle("/topk", a.TopK)
 		endpoints += " /topk"
+	}
+	if a.Flight != nil {
+		mux.Handle("/flightrecorder", a.Flight)
+		endpoints += " /flightrecorder"
 	}
 	if a.Pprof {
 		// The admin server uses its own mux, so the profiling handlers
@@ -116,6 +123,11 @@ func (a *Admin) serveTraces(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "tracing not configured", http.StatusNotFound)
 		return
 	}
+	// ?traceid=<hex> serves the stitched document for one trace ID.
+	if id := r.URL.Query().Get("traceid"); id != "" {
+		a.serveTraceByID(w, id)
+		return
+	}
 	// ?class= keeps only traces tagged with that traffic class (SetClass).
 	traces := a.Tracer.RecentByClass(r.URL.Query().Get("class"))
 	switch r.URL.Query().Get("format") {
@@ -133,6 +145,30 @@ func (a *Admin) serveTraces(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "bad format parameter (want text or json)", http.StatusBadRequest)
 	}
+}
+
+// serveTraceByID answers /tracez?traceid=<hex>: the retained traces
+// carrying that ID, oldest first — on the resolver that is the stitched
+// tree (remote spans grafted under their attempts), on the authoritative
+// side its joined share. Non-hex IDs get 400, unknown ones 404.
+func (a *Admin) serveTraceByID(w http.ResponseWriter, id string) {
+	tid, err := ParseTraceID(id)
+	if err != nil {
+		http.Error(w, "bad traceid parameter (want up to 16 hex digits)", http.StatusBadRequest)
+		return
+	}
+	traces := a.Tracer.ByID(tid)
+	if len(traces) == 0 {
+		http.Error(w, "trace not found (it may have aged out of the ring)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"trace_id": FormatTraceID(tid),
+		"traces":   traces,
+	})
 }
 
 func (a *Admin) serveStatus(w http.ResponseWriter, _ *http.Request) {

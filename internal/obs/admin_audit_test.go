@@ -23,20 +23,27 @@ import (
 )
 
 // auditAdmin builds a fully-populated Admin: registry with a counter,
-// tracer with two class-tagged traces, a ticked recorder, and a traffic
-// analyzer that has observed a small mixed workload.
-func auditAdmin(t *testing.T) *obs.Admin {
+// tracer with two class-tagged traces, a ticked recorder, a traffic
+// analyzer that has observed a small mixed workload, a flight-recorder
+// ring with one digest, and an SLO watchdog in the status document.
+// The second return is the formatted trace ID of the first trace, for
+// the /tracez?traceid= cases.
+func auditAdmin(t *testing.T) (*obs.Admin, string) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	reg.Counter("rootless_audit_total", "t", nil).Set(3)
 
 	tc := obs.NewTracer(8, 0)
 	tc.SetEnabled(true)
+	var traceID string
 	for _, q := range []struct{ name, class string }{
 		{"www.example.com.", "valid"},
 		{"printer.local.", "bogus_tld"},
 	} {
 		tr := tc.Begin(q.name, "A")
+		if traceID == "" {
+			traceID = obs.FormatTraceID(tr.ID())
+		}
 		tr.SetClass(q.class)
 		tr.Finish("NOERROR", time.Millisecond, 1, nil)
 	}
@@ -52,22 +59,38 @@ func auditAdmin(t *testing.T) *obs.Admin {
 	an.Observe("www.example.com.", dnswire.TypeA)
 	an.Observe("printer.local.", dnswire.TypeA)
 
+	fr := obs.NewFlightRecorder(8, "")
+	fr.Record(obs.FlightDigest{Class: "valid", Qtype: "A", Rcode: "NOERROR"})
+
+	wd := obs.NewWatchdog(nil)
+	wd.Add(obs.SLOConfig{Name: "errors", Budget: 0.01}).Observe(true)
+
 	return &obs.Admin{
-		Registry:   reg,
-		Tracer:     tc,
-		Status:     func() map[string]any { return map[string]any{"mode": "audit"} },
+		Registry: reg,
+		Tracer:   tc,
+		Status: func() map[string]any {
+			return map[string]any{"mode": "audit", "slo": wd.Status()}
+		},
 		Timeseries: rec,
 		TopK:       an.Handler(),
-	}
+		Flight:     fr.Handler(),
+	}, traceID
 }
 
 func TestAdminEndpointContract(t *testing.T) {
-	h := auditAdmin(t).Handler()
+	admin, traceID := auditAdmin(t)
+	h := admin.Handler()
 	cases := []struct {
 		url      string
 		wantCode int
 		wantCT   string // exact match; "" = don't care (error responses)
 	}{
+		{"/tracez?traceid=" + traceID, 200, "application/json"},
+		{"/tracez?traceid=zz-not-hex", 400, ""},
+		{"/tracez?traceid=deadbeef00000000", 404, ""},
+
+		{"/flightrecorder", 200, "application/json"},
+
 		{"/metrics", 200, "text/plain; version=0.0.4; charset=utf-8"},
 		{"/metrics?format=text", 200, "text/plain; version=0.0.4; charset=utf-8"},
 		{"/metrics?format=json", 200, "application/json"},
@@ -117,10 +140,60 @@ func TestAdminEndpointContract(t *testing.T) {
 	}
 }
 
+// TestStatuszSLOAndFlight checks the /statusz document carries the SLO
+// watchdog block (per-SLO burn rates and alert state) and that the
+// /flightrecorder document reflects the recorded digests — the fields
+// rootlesstop and the runbooks read.
+func TestStatuszSLOAndFlight(t *testing.T) {
+	admin, _ := auditAdmin(t)
+	h := admin.Handler()
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/statusz", nil))
+	var status struct {
+		Mode string `json:"mode"`
+		SLO  map[string]struct {
+			Budget   float64 `json:"budget"`
+			BurnFast float64 `json:"burn_fast"`
+			BurnSlow float64 `json:"burn_slow"`
+			Alerting bool    `json:"alerting"`
+		} `json:"slo"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &status); err != nil {
+		t.Fatalf("statusz: %v (body %q)", err, w.Body.String())
+	}
+	errSLO, ok := status.SLO["errors"]
+	if !ok {
+		t.Fatalf("statusz slo block missing %q: %+v", "errors", status.SLO)
+	}
+	if errSLO.Budget != 0.01 || errSLO.Alerting {
+		t.Errorf("errors SLO status = %+v, want budget 0.01, not alerting", errSLO)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/flightrecorder", nil))
+	var flight struct {
+		Seen     int64 `json:"seen"`
+		Retained int   `json:"retained"`
+		Digests  []struct {
+			Class string `json:"class"`
+			Rcode string `json:"rcode"`
+		} `json:"digests"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &flight); err != nil {
+		t.Fatalf("flightrecorder: %v (body %q)", err, w.Body.String())
+	}
+	if flight.Seen != 1 || flight.Retained != 1 || len(flight.Digests) != 1 ||
+		flight.Digests[0].Class != "valid" || flight.Digests[0].Rcode != "NOERROR" {
+		t.Errorf("flightrecorder document = %+v, want the one recorded digest", flight)
+	}
+}
+
 // TestTracezClassFilter checks /tracez?class= semantics, not just codes:
 // the filtered document contains exactly the traces tagged with the class.
 func TestTracezClassFilter(t *testing.T) {
-	h := auditAdmin(t).Handler()
+	admin, _ := auditAdmin(t)
+	h := admin.Handler()
 	get := func(url string) []struct {
 		Qname string `json:"qname"`
 		Class string `json:"class"`

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FlightRecorder keeps a fixed-memory ring of compact per-query digests
+// — the last N resolutions in cheap, always-on form — and dumps it to
+// disk when something goes wrong (an SLO burn-rate alert, or SIGUSR1).
+// Unlike the tracer, which retains full span trees for slow queries
+// only, the recorder sees *every* query, so a post-incident dump shows
+// the shed and failed queries that never got a trace.
+
+// FlightDigest is one recorded query outcome. Fields are compact
+// summaries, never full packets: the recorder must stay cheap enough to
+// leave on in production.
+type FlightDigest struct {
+	UnixNanos int64  `json:"ts"`
+	TraceID   string `json:"trace_id,omitempty"` // set when the query was traced
+	Class     string `json:"class,omitempty"`    // traffic classification
+	Qtype     string `json:"qtype,omitempty"`
+	Rcode     string `json:"rcode"`
+	LatencyNS int64  `json:"latency_ns"`
+	Queries   int    `json:"queries"` // upstream queries spent
+	Answers   int    `json:"answers"`
+	FromCache bool   `json:"from_cache,omitempty"`
+	Shed      bool   `json:"shed,omitempty"` // refused by overload protection
+	Err       string `json:"err,omitempty"`
+}
+
+// FlightRecorder is safe for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightDigest
+	next  int
+	full  bool
+	seen  int64
+	dumps int64
+	dir   string // dump directory ("" = dumps disabled)
+	clock func() time.Time
+}
+
+// NewFlightRecorder creates a recorder retaining the last size digests
+// (default 4096) and dumping JSON files into dir on Dump ("" disables
+// disk dumps; Snapshot and the HTTP handler still work).
+func NewFlightRecorder(size int, dir string) *FlightRecorder {
+	if size <= 0 {
+		size = 4096
+	}
+	return &FlightRecorder{ring: make([]FlightDigest, size), dir: dir, clock: time.Now}
+}
+
+// SetClock overrides the timestamp source (virtual time in experiments).
+func (f *FlightRecorder) SetClock(clock func() time.Time) {
+	if f == nil || clock == nil {
+		return
+	}
+	f.mu.Lock()
+	f.clock = clock
+	f.mu.Unlock()
+}
+
+// Record adds one digest, stamping its timestamp if unset. Nil-safe.
+func (f *FlightRecorder) Record(d FlightDigest) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if d.UnixNanos == 0 {
+		d.UnixNanos = f.clock().UnixNano()
+	}
+	f.ring[f.next] = d
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+	f.seen++
+	f.mu.Unlock()
+}
+
+// Snapshot returns the retained digests, oldest first.
+func (f *FlightRecorder) Snapshot() []FlightDigest {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []FlightDigest
+	if f.full {
+		out = make([]FlightDigest, 0, len(f.ring))
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	} else {
+		out = append(out, f.ring[:f.next]...)
+	}
+	return out
+}
+
+// Seen returns how many digests were ever recorded (not just retained).
+func (f *FlightRecorder) Seen() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen
+}
+
+// flightDump is the on-disk and HTTP document shape.
+type flightDump struct {
+	Reason   string         `json:"reason,omitempty"`
+	DumpedAt time.Time      `json:"dumped_at"`
+	Seen     int64          `json:"seen"`
+	Retained int            `json:"retained"`
+	Digests  []FlightDigest `json:"digests"`
+}
+
+func (f *FlightRecorder) dump(reason string) flightDump {
+	digests := f.Snapshot()
+	f.mu.Lock()
+	now := f.clock()
+	seen := f.seen
+	f.mu.Unlock()
+	return flightDump{Reason: reason, DumpedAt: now, Seen: seen,
+		Retained: len(digests), Digests: digests}
+}
+
+// Dump writes the retained digests as one JSON file into the configured
+// directory, named flight-<unixnanos>.json, and returns its path. A
+// recorder with no dump directory returns "" without error — auto-dump
+// hooks can call it unconditionally.
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	dir := f.dir
+	f.mu.Unlock()
+	if dir == "" {
+		return "", nil
+	}
+	doc := f.dump(reason)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight-%d.json", doc.DumpedAt.UnixNano()))
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	f.mu.Lock()
+	f.dumps++
+	f.mu.Unlock()
+	return path, nil
+}
+
+// Dumps returns how many disk dumps completed.
+func (f *FlightRecorder) Dumps() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dumps
+}
+
+// Handler serves the current ring as JSON at /flightrecorder.
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(f.dump(""))
+	})
+}
+
+// Collect registers recorder gauges on reg.
+func (f *FlightRecorder) Collect(reg *Registry) {
+	reg.GaugeFunc("rootless_flight_recorded_total", "digests ever recorded", nil,
+		func() float64 { return float64(f.Seen()) })
+	reg.GaugeFunc("rootless_flight_dumps_total", "disk dumps completed", nil,
+		func() float64 { return float64(f.Dumps()) })
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4, "")
+	for i := 0; i < 6; i++ {
+		f.Record(FlightDigest{LatencyNS: int64(i), Rcode: "NOERROR"})
+	}
+	got := f.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d", len(got))
+	}
+	// Oldest first: 2,3,4,5 survive.
+	for i, d := range got {
+		if d.LatencyNS != int64(i+2) {
+			t.Fatalf("order: %+v", got)
+		}
+		if d.UnixNanos == 0 {
+			t.Error("timestamp not stamped")
+		}
+	}
+	if f.Seen() != 6 {
+		t.Errorf("seen %d", f.Seen())
+	}
+
+	var nilRec *FlightRecorder
+	nilRec.Record(FlightDigest{}) // nil-safe
+	if nilRec.Snapshot() != nil || nilRec.Seen() != 0 || nilRec.Dumps() != 0 {
+		t.Error("nil recorder must read as empty")
+	}
+	if p, err := nilRec.Dump("x"); p != "" || err != nil {
+		t.Error("nil recorder Dump must no-op")
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(8, filepath.Join(dir, "flights"))
+	f.SetClock(func() time.Time { return time.Unix(1700000000, 42) })
+	f.Record(FlightDigest{Rcode: "SERVFAIL", Shed: true, Err: "overloaded"})
+
+	path, err := f.Dump("slo-burn:errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Reason   string         `json:"reason"`
+		Seen     int64          `json:"seen"`
+		Retained int            `json:"retained"`
+		Digests  []FlightDigest `json:"digests"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Reason != "slo-burn:errors" || doc.Seen != 1 || doc.Retained != 1 {
+		t.Fatalf("dump doc: %+v", doc)
+	}
+	if len(doc.Digests) != 1 || !doc.Digests[0].Shed || doc.Digests[0].Err != "overloaded" {
+		t.Fatalf("digests: %+v", doc.Digests)
+	}
+	if f.Dumps() != 1 {
+		t.Errorf("dumps %d", f.Dumps())
+	}
+
+	// No dump directory: Dump is a silent no-op for unconditional hooks.
+	none := NewFlightRecorder(8, "")
+	none.Record(FlightDigest{})
+	if p, err := none.Dump("x"); p != "" || err != nil {
+		t.Errorf("dirless dump: %q %v", p, err)
+	}
+}
+
+func TestFlightRecorderHandler(t *testing.T) {
+	f := NewFlightRecorder(8, "")
+	f.Record(FlightDigest{Rcode: "NOERROR", Class: "valid", FromCache: true})
+	a := &Admin{Registry: NewRegistry(), Flight: f.Handler()}
+
+	req := httptest.NewRequest("GET", "/flightrecorder", nil)
+	rec := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc struct {
+		Digests []FlightDigest `json:"digests"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Digests) != 1 || doc.Digests[0].Class != "valid" || !doc.Digests[0].FromCache {
+		t.Fatalf("handler digests: %+v", doc.Digests)
+	}
+
+	// Without Flight set, the endpoint is absent (404 via the root mux).
+	bare := &Admin{Registry: NewRegistry()}
+	rec = httptest.NewRecorder()
+	bare.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/flightrecorder", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unmounted endpoint = %d, want 404", rec.Code)
+	}
+
+	// Collect exposes the counters.
+	reg := NewRegistry()
+	f.Collect(reg)
+	var seen float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "rootless_flight_recorded_total" {
+			seen = s.Value
+		}
+	}
+	if seen != 1 {
+		t.Errorf("recorded_total = %v", seen)
+	}
+}

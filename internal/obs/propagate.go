@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Cross-process trace propagation. A resolver-side trace carries a
+// process-unique TraceID; when propagation is on, the resolver stamps
+// (TraceID, parent span ID, sampled) into an EDNS0 option on upstream
+// queries, the authoritative side joins its own trace to that ID
+// (Tracer.BeginRemote), and ships its finished span tree back in the
+// response option (Trace.SpanPayload), which the resolver grafts under
+// the in-flight attempt span (Trace.GraftRemote). Either daemon can then
+// resolve /tracez?traceid=<hex> from its own ring: the resolver holds the
+// fully-stitched tree, the authoritative side its joined share.
+
+// traceIDState is a Weyl-sequence generator: one atomic add per Begin,
+// process-unique, seeded from the clock so two daemons never collide in
+// practice (and a collision only ever conflates two /tracez views).
+var traceIDState atomic.Uint64
+
+func init() { traceIDState.Store(uint64(time.Now().UnixNano())) }
+
+func nextTraceID() uint64 {
+	id := traceIDState.Add(0x9E3779B97F4A7C15)
+	if id == 0 { // 0 means "no trace" on the wire
+		id = traceIDState.Add(0x9E3779B97F4A7C15)
+	}
+	return id
+}
+
+// FormatTraceID renders a trace ID the way /tracez exposes and accepts it.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseTraceID parses the /tracez?traceid= form (16 hex digits, upper or
+// lower case; shorter forms are accepted for hand-typed IDs).
+func ParseTraceID(s string) (uint64, error) {
+	if s == "" || len(s) > 16 {
+		return 0, fmt.Errorf("obs: bad trace id %q", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad trace id %q", s)
+	}
+	return v, nil
+}
+
+// ID returns the trace's process-unique identifier (0 for a nil trace).
+func (tr *Trace) ID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.TraceID
+}
+
+// BeginRemote starts a trace joined to a remote parent: the far side's
+// trace ID is adopted (instead of generating a fresh one) and the parent
+// span recorded, so /tracez?traceid= on this daemon finds the joined
+// share. Returns nil when tracing is off, like Begin.
+func (t *Tracer) BeginRemote(qname, qtype string, traceID, parentSpanID uint64) *Trace {
+	tr := t.Begin(qname, qtype)
+	if tr == nil {
+		return nil
+	}
+	tr.TraceID = traceID
+	tr.ParentSpanID = parentSpanID
+	return tr
+}
+
+// ByID returns the retained traces carrying the given trace ID, oldest
+// first. Nil-safe. (The resolver's stitched tree and the auth side's
+// joined share live under the same ID on their respective daemons.)
+func (t *Tracer) ByID(id uint64) []*Trace {
+	if t == nil || id == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Trace
+	for _, tr := range t.ring {
+		if tr.TraceID == id {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// SpanID returns the span's identifier, assigning one on first use (IDs
+// share the trace-ID generator). Nil-safe (returns 0).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.id == 0 {
+		s.id = nextTraceID()
+	}
+	return s.id
+}
+
+// CurrentSpanID returns the innermost open span's ID (0 when none).
+// Nil-safe. This is the parent-span reference propagated on the wire.
+func (tr *Trace) CurrentSpanID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	cur := tr.cur
+	tr.mu.Unlock()
+	return cur.SpanID()
+}
+
+// SpanPayload exports the trace's span tree as the compact JSON payload
+// shipped inside the response's EDNS0 trace option. Open spans are
+// closed at the current wall offset first (the caller is about to send
+// the response, so their work is done). Returns nil when there are no
+// spans or the trace is nil.
+func (tr *Trace) SpanPayload() []byte {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.spans) == 0 {
+		return nil
+	}
+	closeOpenSpans(tr.spans, time.Since(tr.Start))
+	out := make([]*SpanJSON, 0, len(tr.spans))
+	for _, s := range tr.spans {
+		out = append(out, s.export())
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// GraftRemote attaches a far side's span payload (SpanPayload bytes)
+// under the innermost open span — the resolver's in-flight network
+// attempt — so the stitched tree shows auth-side gate/RRL/answer spans
+// nested inside the exchange that paid for them. Remote offsets are
+// rebased so the earliest remote span starts where the local parent
+// does; durations are preserved. Nil-safe; malformed payloads are
+// dropped (a trace must never fail a resolution).
+func (tr *Trace) GraftRemote(payload []byte) {
+	if tr == nil || len(payload) == 0 {
+		return
+	}
+	var remote []*SpanJSON
+	if err := json.Unmarshal(payload, &remote); err != nil || len(remote) == 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	parent := tr.cur
+	base := time.Duration(0)
+	if parent != nil {
+		base = parent.start
+	}
+	earliest := remote[0].StartNS
+	for _, r := range remote[1:] {
+		if r.StartNS < earliest {
+			earliest = r.StartNS
+		}
+	}
+	for _, r := range remote {
+		s := spanFromJSON(tr, parent, r, base, earliest)
+		if parent != nil {
+			parent.children = append(parent.children, s)
+		} else {
+			tr.spans = append(tr.spans, s)
+		}
+	}
+}
+
+// spanFromJSON rebuilds a span subtree from its export form, rebasing
+// start offsets. Caller holds tr.mu.
+func spanFromJSON(tr *Trace, parent *Span, j *SpanJSON, base time.Duration, earliest int64) *Span {
+	s := &Span{
+		tr:     tr,
+		parent: parent,
+		Name:   j.Name,
+		phase:  phaseFromString(j.Phase),
+		detail: j.Detail,
+		start:  base + time.Duration(j.StartNS-earliest),
+		dur:    time.Duration(j.DurNS),
+		ended:  true,
+		remote: true,
+	}
+	for _, c := range j.Children {
+		s.children = append(s.children, spanFromJSON(tr, s, c, base, earliest))
+	}
+	return s
+}
+
+// phaseFromString inverts Phase.String (unknown labels → other).
+func phaseFromString(name string) Phase {
+	for i, n := range phaseNames {
+		if n == name {
+			return Phase(i)
+		}
+	}
+	return PhaseOther
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDFormatParse(t *testing.T) {
+	for _, id := range []uint64{1, 0xDEADBEEF, ^uint64(0)} {
+		s := FormatTraceID(id)
+		if len(s) != 16 {
+			t.Errorf("FormatTraceID(%d) = %q, want 16 hex digits", id, s)
+		}
+		back, err := ParseTraceID(s)
+		if err != nil || back != id {
+			t.Errorf("round trip %d -> %q -> %d (%v)", id, s, back, err)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "00112233445566778899", "-1", "0x12"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+	// Short hand-typed forms parse.
+	if id, err := ParseTraceID("ff"); err != nil || id != 255 {
+		t.Errorf("short form: %d, %v", id, err)
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	tc := enabledTracer(8)
+	a, b := tc.Begin("a.", "A"), tc.Begin("b.", "A")
+	if a.ID() == 0 || b.ID() == 0 || a.ID() == b.ID() {
+		t.Errorf("trace IDs not unique: %x %x", a.ID(), b.ID())
+	}
+	var nilTr *Trace
+	if nilTr.ID() != 0 {
+		t.Error("nil trace must have ID 0")
+	}
+}
+
+func TestBeginRemoteAndByID(t *testing.T) {
+	tc := enabledTracer(8)
+	tr := tc.BeginRemote("www.example.com.", "A", 42, 99)
+	if tr.ID() != 42 || tr.ParentSpanID != 99 {
+		t.Fatalf("joined trace: id=%d parent=%d", tr.ID(), tr.ParentSpanID)
+	}
+	tr.Finish("NOERROR", 0, 1, nil)
+	got := tc.ByID(42)
+	if len(got) != 1 || got[0] != tr {
+		t.Fatalf("ByID(42) = %v", got)
+	}
+	if tc.ByID(7) != nil || tc.ByID(0) != nil {
+		t.Error("unknown/zero IDs must return nil")
+	}
+	var nilTc *Tracer
+	if nilTc.ByID(42) != nil {
+		t.Error("nil tracer must return nil")
+	}
+	if nilTc.BeginRemote("x.", "A", 1, 2) != nil {
+		t.Error("nil tracer BeginRemote must return nil")
+	}
+	// parent_span_id appears in the JSON export.
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"parent_span_id":"`+FormatTraceID(99)+`"`) {
+		t.Errorf("export lacks parent_span_id: %s", b)
+	}
+}
+
+// TestGraftRemote pins the stitching mechanics: the far side's payload
+// lands under the innermost open span, rebased to the parent's start,
+// marked remote, with durations preserved.
+func TestGraftRemote(t *testing.T) {
+	tc := enabledTracer(8)
+
+	// The "auth side": a trace whose payload we ship.
+	remote := tc.BeginRemote("www.example.com.", "A", 42, 0)
+	rsp := remote.StartSpan(PhaseAuth, "auth")
+	rsp.SetDetail("answered")
+	rsp.EndWithDuration(3 * time.Millisecond)
+	payload := remote.SpanPayload()
+	if payload == nil {
+		t.Fatal("no payload")
+	}
+
+	// The "resolver side": graft while the attempt span is open.
+	local := tc.Begin("www.example.com.", "A")
+	att := local.StartSpan(PhaseNet, "attempt")
+	local.GraftRemote(payload)
+	att.EndWithDuration(10 * time.Millisecond)
+	local.Finish("NOERROR", 10*time.Millisecond, 1, nil)
+
+	local.mu.Lock()
+	defer local.mu.Unlock()
+	if len(local.spans) != 1 {
+		t.Fatalf("top-level spans: %d", len(local.spans))
+	}
+	a := local.spans[0]
+	if len(a.children) != 1 {
+		t.Fatalf("attempt children: %d", len(a.children))
+	}
+	g := a.children[0]
+	if g.Name != "auth" || !g.remote || !g.ended || g.phase != PhaseAuth {
+		t.Errorf("grafted span: %+v", g)
+	}
+	if g.dur != 3*time.Millisecond {
+		t.Errorf("grafted duration %v", g.dur)
+	}
+	if g.start != a.start {
+		t.Errorf("graft not rebased: %v != %v", g.start, a.start)
+	}
+	if g.detail != "answered" {
+		t.Errorf("detail %q", g.detail)
+	}
+
+	// Malformed payloads are dropped, never panic.
+	local2 := tc.Begin("x.", "A")
+	local2.GraftRemote([]byte("not json"))
+	local2.GraftRemote(nil)
+	var nilTr *Trace
+	nilTr.GraftRemote(payload)
+}
+
+// TestTracezStitchedSchemaGolden pins the /tracez?traceid= stitched
+// document schema by key paths, the cross-process analogue of the
+// /tracez list golden. Run with -update-golden after a deliberate
+// schema change.
+func TestTracezStitchedSchemaGolden(t *testing.T) {
+	tc := enabledTracer(8)
+	// Build a deterministic stitched trace: the usual fixture shape plus
+	// a grafted remote span carrying a detail.
+	remote := tc.BeginRemote("www.example.com.", "A", 0, 77)
+	rsp := remote.StartSpan(PhaseAuth, "auth")
+	rsp.SetDetail("rrl-ok")
+	rsp.EndWithDuration(2 * time.Millisecond)
+	payload := remote.SpanPayload()
+
+	local := tc.Begin("www.example.com.", "A")
+	local.SetClass("valid")
+	att := local.StartSpan(PhaseNet, "attempt")
+	att.SetDetail("192.0.2.1 zone com.")
+	local.GraftRemote(payload)
+	att.EndWithDuration(10 * time.Millisecond)
+	local.Eventf("recv", "rcode NOERROR")
+	local.Finish("NOERROR", 10*time.Millisecond, 1, nil)
+
+	// The auth-side share under the same ID exercises parent_span_id in
+	// the same document.
+	remote.TraceID = local.TraceID
+	remote.Finish("NOERROR", 0, 1, nil)
+
+	a := &Admin{Tracer: tc, Registry: NewRegistry()}
+	code, body := get(t, a.Handler(), "/tracez?traceid="+FormatTraceID(local.TraceID))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var decoded any
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	paths := make(map[string]bool)
+	keyPaths(decoded, "$", paths)
+	var sorted []string
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	got := strings.Join(sorted, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "tracez_stitched_schema.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("stitched /tracez schema drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+// Percentile estimates the q-quantile (q in [0,1]) of a fixed-bucket
+// histogram by nearest rank over the cumulative bucket counts, linearly
+// interpolated inside the selected bucket.
+//
+// Boundary semantics: the rank-th sample is one of bucketCount samples
+// spread across [lower, upper), at interpolated position
+// (rank - cumBefore - 1) / bucketCount. A rank falling at the bucket
+// floor (the bucket's first sample) therefore returns the bucket's
+// *lower* edge — not the upper edge, which would overestimate by a full
+// bucket width exactly when the quantile sits on a boundary. Samples in
+// the +Inf overflow bucket report the highest finite bound (there is no
+// upper edge to interpolate toward). An empty histogram reports 0.
+func (h *Histogram) Percentile(q float64) float64 {
+	return h.quantileFrom(q, h.cumulative())
+}
+
+// Quantiles estimates a batch of quantiles in one snapshot: every
+// estimate is computed from the same cumulative view, so a concurrent
+// Observe can never make the returned slice non-monotonic for ascending
+// qs (per-call Percentile snapshots could).
+func (h *Histogram) Quantiles(qs []float64) []float64 {
+	cum := h.cumulative()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.quantileFrom(q, cum)
+	}
+	return out
+}
+
+// cumulative snapshots the bucket counts as a cumulative array (one
+// entry per bucket including +Inf).
+func (h *Histogram) cumulative() []int64 {
+	cum := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return cum
+}
+
+func (h *Histogram) quantileFrom(q float64, cum []int64) float64 {
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.9999999999) // ceil(q*total)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	// First bucket whose cumulative count reaches the rank.
+	i := 0
+	for cum[i] < rank {
+		i++
+	}
+	var before int64
+	if i > 0 {
+		before = cum[i-1]
+	}
+	inBucket := cum[i] - before
+	if i == len(h.bounds) {
+		// Overflow bucket: no finite upper edge. Report the highest
+		// finite bound (or 0 for a boundless histogram).
+		if len(h.bounds) == 0 {
+			return 0
+		}
+		return h.bounds[len(h.bounds)-1]
+	}
+	lower := 0.0
+	if i > 0 {
+		lower = h.bounds[i-1]
+	}
+	upper := h.bounds[i]
+	// Position of the rank-th sample among the bucket's samples; the
+	// bucket's first sample sits at the lower edge (see doc comment).
+	frac := float64(rank-before-1) / float64(inBucket)
+	return lower + frac*(upper-lower)
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramPercentile pins the bucketed-quantile boundary semantics:
+// a rank landing exactly at a bucket's floor returns the bucket's lower
+// edge, interior ranks interpolate, and the overflow bucket reports the
+// highest finite bound.
+func TestHistogramPercentile(t *testing.T) {
+	mk := func(bounds []float64, obs []float64) *Histogram {
+		h := newHistogram(bounds)
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return h
+	}
+	cases := []struct {
+		name   string
+		bounds []float64
+		obs    []float64
+		q      float64
+		want   float64
+	}{
+		// 10 samples in (1,2]: the p50 rank (5th of 10) interpolates to
+		// 1 + (5-1)/10 of the bucket span.
+		{"interior interpolation", []float64{1, 2}, repeat(1.5, 10), 0.5, 1.4},
+		// Rank 1 is the bucket's first sample: the LOWER edge, not the
+		// upper — the boundary case the old interpolation got wrong.
+		{"rank at bucket floor", []float64{1, 2}, repeat(1.5, 10), 0.05, 1.0},
+		// The quantile falls exactly on a bucket boundary: 4 samples in
+		// (0,1], 4 in (1,2]; the p50 rank (4th) is the first bucket's
+		// last sample, interpolated inside the FIRST bucket.
+		{"boundary rank stays in lower bucket", []float64{1, 2},
+			append(repeat(0.5, 4), repeat(1.5, 4)...), 0.5, 0.75},
+		// The next rank (5th) is the second bucket's floor sample.
+		{"next rank is upper bucket floor", []float64{1, 2},
+			append(repeat(0.5, 4), repeat(1.5, 4)...), 0.625, 1.0},
+		// All mass in the overflow bucket: report the last finite bound.
+		{"overflow bucket", []float64{1, 2}, repeat(5, 3), 0.5, 2},
+		// Single sample: every quantile is that sample's bucket floor.
+		{"single sample", []float64{1, 2}, []float64{1.5}, 0.99, 1.0},
+		// q=1 is the max rank: the sole sample of bucket (2,4], at its floor.
+		{"q=1", []float64{1, 2, 4}, append(repeat(1.5, 9), 3), 1, 2},
+	}
+	for _, c := range cases {
+		h := mk(c.bounds, c.obs)
+		if got := h.Percentile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+
+	// Empty histogram and clamped q values.
+	h := newHistogram([]float64{1})
+	if h.Percentile(0.5) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+	h.Observe(0.5)
+	if h.Percentile(-1) != h.Percentile(0) || h.Percentile(2) != h.Percentile(1) {
+		t.Error("q must clamp to [0,1]")
+	}
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestHistogramQuantilesBatch: one snapshot serves every quantile, and
+// ascending inputs yield monotonically non-decreasing estimates.
+func TestHistogramQuantilesBatch(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 0.0001) // 0 .. 100ms
+	}
+	qs := []float64{0.1, 0.5, 0.9, 0.99, 0.999}
+	got := h.Quantiles(qs)
+	if len(got) != len(qs) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i, q := range qs {
+		if single := h.Percentile(q); math.Abs(single-got[i]) > 1e-12 {
+			t.Errorf("q=%v: batch %v != single %v", q, got[i], single)
+		}
+		if i > 0 && got[i] < got[i-1] {
+			t.Errorf("non-monotonic: q=%v → %v < previous %v", q, got[i], got[i-1])
+		}
+	}
+}

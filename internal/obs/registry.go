@@ -30,6 +30,7 @@ const (
 	KindCounter Kind = iota
 	KindGauge
 	KindHistogram
+	KindSummary // HDR-backed quantile summary (see Registry.HDRTimer)
 )
 
 func (k Kind) String() string {
@@ -40,6 +41,8 @@ func (k Kind) String() string {
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
+	case KindSummary:
+		return "summary"
 	}
 	return fmt.Sprintf("kind%d", int(k))
 }
@@ -160,6 +163,7 @@ type series struct {
 	gauge     *Gauge
 	gaugeFn   func() float64
 	histogram *Histogram
+	hdr       *HDR
 }
 
 // family groups the series sharing one metric name.
@@ -278,6 +282,22 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 	return s.histogram
 }
 
+// HDRTimer returns (creating on first use) a nanosecond-valued HDR
+// histogram series for (name, labels), exposed as a Prometheus summary:
+// name{quantile="0.5|0.99|0.999|0.9999"} in seconds plus name_sum and
+// name_count. The HDR's fixed memory and ≤20 ns atomic Record make it
+// the instrument for hot-path latency series where the fixed-bucket
+// Histogram's resolution is too coarse for tail percentiles.
+func (r *Registry) HDRTimer(name, help string, labels Labels) *HDR {
+	s := r.getSeries(name, help, KindSummary, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hdr == nil {
+		s.hdr = NewHDR()
+	}
+	return s.hdr
+}
+
 // AddCollector registers scrape-time collectors.
 func (r *Registry) AddCollector(cs ...Collector) {
 	r.mu.Lock()
@@ -341,6 +361,22 @@ func (r *Registry) Snapshot() []Sample {
 				out = append(out,
 					Sample{Name: f.name + "_count", Labels: s.labels, Kind: f.kind, Value: float64(count)},
 					Sample{Name: f.name + "_sum", Labels: s.labels, Kind: f.kind, Value: sum})
+				continue
+			}
+			if f.kind == KindSummary && s.hdr != nil {
+				tails := s.hdr.TailSeconds()
+				for i, q := range TailQuantiles {
+					ql := make(Labels, len(s.labels)+1)
+					for k, v := range s.labels {
+						ql[k] = v
+					}
+					ql["quantile"] = formatValue(q)
+					out = append(out, Sample{Name: f.name, Labels: ql, Kind: f.kind,
+						Value: tails[i]})
+				}
+				out = append(out,
+					Sample{Name: f.name + "_count", Labels: s.labels, Kind: f.kind, Value: float64(s.hdr.Count())},
+					Sample{Name: f.name + "_sum", Labels: s.labels, Kind: f.kind, Value: float64(s.hdr.Sum()) / 1e9})
 				continue
 			}
 			out = append(out, Sample{Name: f.name, Labels: s.labels, Kind: f.kind, Value: s.value()})
@@ -426,6 +462,25 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				continue
 			}
+			if f.kind == KindSummary && s.hdr != nil {
+				tails := s.hdr.TailSeconds()
+				for i, q := range TailQuantiles {
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
+						formatLabels(s.labels, "quantile", formatValue(q)),
+						formatValue(tails[i])); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+					formatLabels(s.labels), formatValue(float64(s.hdr.Sum())/1e9)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+					formatLabels(s.labels), s.hdr.Count()); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
 				formatLabels(s.labels), formatValue(s.value())); err != nil {
 				return err
@@ -477,6 +532,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			if f.kind == KindHistogram && s.histogram != nil {
 				_, count, sum := s.histogram.exposition()
 				fmt.Fprintf(&sb, "\"count\":%d,\"sum\":%s}", count, formatValue(sum))
+			} else if f.kind == KindSummary && s.hdr != nil {
+				tails := s.hdr.TailSeconds()
+				sb.WriteString("\"quantiles\":{")
+				for i, q := range TailQuantiles {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					fmt.Fprintf(&sb, "%q:%s", formatValue(q), formatValue(tails[i]))
+				}
+				fmt.Fprintf(&sb, "},\"count\":%d,\"sum\":%s}",
+					s.hdr.Count(), formatValue(float64(s.hdr.Sum())/1e9))
 			} else {
 				fmt.Fprintf(&sb, "\"value\":%s}", formatValue(s.value()))
 			}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Declarative SLOs with multi-window burn-rate alerting. Each tracker
+// counts good/bad events into a fixed ring of per-second buckets; the
+// burn rate over a window is the bad fraction divided by the error
+// budget (burn 1.0 = spending budget exactly as fast as the SLO allows;
+// 14.4 = the classic page-worthy rate that exhausts a 30-day budget in
+// ~2 days). An alert fires only when BOTH the fast and slow windows
+// burn above the threshold — the standard two-window trick that makes
+// alerts quick to fire on real incidents and quick to clear after them,
+// without flapping on momentary spikes.
+
+// sloRingSeconds is the tracker's memory: per-second buckets covering
+// the largest supported slow window (~68 min). Fixed size, zero
+// allocation per observation.
+const sloRingSeconds = 4096
+
+type sloBucket struct{ good, bad int64 }
+
+// SLOConfig declares one objective.
+type SLOConfig struct {
+	// Name labels the rootless_slo_* series, e.g. "latency_p99".
+	Name string
+	// Budget is the allowed bad fraction, e.g. 0.01 for a 99% target.
+	Budget float64
+	// FastWindow and SlowWindow are the two burn-rate windows
+	// (defaults 1 min and 10 min; both capped by the ring's ~68 min).
+	FastWindow, SlowWindow time.Duration
+	// BurnThreshold is the multi-window alert threshold (default 10:
+	// both windows burning ≥10× budget pages).
+	BurnThreshold float64
+	// MinEvents is the minimum event count in the slow window before the
+	// alert may fire (default 50) — a handful of early failures must not
+	// read as a 100% burn.
+	MinEvents int64
+}
+
+func (c *SLOConfig) defaults() {
+	if c.Budget <= 0 {
+		c.Budget = 0.01
+	}
+	if c.FastWindow <= 0 {
+		c.FastWindow = time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = 10 * time.Minute
+	}
+	if max := (sloRingSeconds - 1) * time.Second; c.SlowWindow > max {
+		c.SlowWindow = max
+	}
+	if c.FastWindow > c.SlowWindow {
+		c.FastWindow = c.SlowWindow
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 10
+	}
+	if c.MinEvents <= 0 {
+		c.MinEvents = 50
+	}
+}
+
+// SLOTracker tracks one objective. Observe is safe for concurrent use.
+type SLOTracker struct {
+	cfg SLOConfig
+
+	mu       sync.Mutex
+	ring     [sloRingSeconds]sloBucket
+	lastUnix int64 // unix second the ring head corresponds to
+	alerting bool
+	onAlert  func(name string, fast, slow float64)
+	clock    func() time.Time
+}
+
+// Observe records one event outcome and re-evaluates the alert state
+// when the wall second rolls over.
+func (s *SLOTracker) Observe(good bool) {
+	if s == nil {
+		return
+	}
+	now := s.clock().Unix()
+	s.mu.Lock()
+	s.advance(now)
+	b := &s.ring[now%sloRingSeconds]
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+	s.evaluateLocked()
+	s.mu.Unlock()
+}
+
+// advance zeroes buckets between the last seen second and now, so stale
+// counts from a previous ring lap never leak into a window. Caller
+// holds s.mu.
+func (s *SLOTracker) advance(now int64) {
+	if s.lastUnix == 0 {
+		s.lastUnix = now
+		s.ring[now%sloRingSeconds] = sloBucket{}
+		return
+	}
+	steps := now - s.lastUnix
+	if steps <= 0 {
+		return
+	}
+	if steps > sloRingSeconds {
+		steps = sloRingSeconds
+	}
+	for i := int64(1); i <= steps; i++ {
+		s.ring[(s.lastUnix+i)%sloRingSeconds] = sloBucket{}
+	}
+	s.lastUnix = now
+}
+
+// windowLocked sums the buckets of the trailing window. Caller holds s.mu.
+func (s *SLOTracker) windowLocked(d time.Duration) (good, bad int64) {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > sloRingSeconds {
+		secs = sloRingSeconds
+	}
+	for i := int64(0); i < secs; i++ {
+		b := s.ring[(s.lastUnix-i+2*sloRingSeconds)%sloRingSeconds]
+		good += b.good
+		bad += b.bad
+	}
+	return good, bad
+}
+
+// burnLocked computes the burn rate over one window (0 when idle).
+// Caller holds s.mu.
+func (s *SLOTracker) burnLocked(d time.Duration) float64 {
+	good, bad := s.windowLocked(d)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / s.cfg.Budget
+}
+
+func (s *SLOTracker) evaluateLocked() {
+	fast := s.burnLocked(s.cfg.FastWindow)
+	if s.alerting {
+		// Hysteresis: an active alert clears only when the fast window
+		// calms down. The slow window hovering around the threshold as
+		// samples trickle in must not flap the alert (and re-fire the
+		// dump callback) during one ongoing incident.
+		s.alerting = fast >= s.cfg.BurnThreshold
+		return
+	}
+	slow := s.burnLocked(s.cfg.SlowWindow)
+	good, bad := s.windowLocked(s.cfg.SlowWindow)
+	if good+bad >= s.cfg.MinEvents &&
+		fast >= s.cfg.BurnThreshold && slow >= s.cfg.BurnThreshold {
+		// Rising edge: fire the callback (a flight-recorder dump) once.
+		s.alerting = true
+		if cb := s.onAlert; cb != nil {
+			s.mu.Unlock()
+			cb(s.cfg.Name, fast, slow)
+			s.mu.Lock()
+		}
+	}
+}
+
+// BurnRates returns the current fast- and slow-window burn rates.
+func (s *SLOTracker) BurnRates() (fast, slow float64) {
+	if s == nil {
+		return 0, 0
+	}
+	now := s.clock().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(now)
+	return s.burnLocked(s.cfg.FastWindow), s.burnLocked(s.cfg.SlowWindow)
+}
+
+// Alerting reports the current alert state (set on a multi-window burn,
+// cleared with fast-window hysteresis — see evaluateLocked).
+func (s *SLOTracker) Alerting() bool {
+	if s == nil {
+		return false
+	}
+	now := s.clock().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance(now)
+	if s.alerting && s.burnLocked(s.cfg.FastWindow) < s.cfg.BurnThreshold {
+		s.alerting = false
+	}
+	return s.alerting
+}
+
+// Watchdog owns a set of SLO trackers and their exposition.
+type Watchdog struct {
+	mu       sync.Mutex
+	trackers []*SLOTracker
+	clock    func() time.Time
+	onAlert  func(name string, fast, slow float64)
+}
+
+// NewWatchdog creates an empty watchdog; clock nil means time.Now.
+func NewWatchdog(clock func() time.Time) *Watchdog {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Watchdog{clock: clock}
+}
+
+// Add registers one SLO and returns its tracker.
+func (w *Watchdog) Add(cfg SLOConfig) *SLOTracker {
+	cfg.defaults()
+	t := &SLOTracker{cfg: cfg, clock: w.clock}
+	w.mu.Lock()
+	t.onAlert = w.onAlert
+	w.trackers = append(w.trackers, t)
+	w.mu.Unlock()
+	return t
+}
+
+// OnAlert installs the rising-edge alert callback (e.g. a flight
+// recorder dump) on every present and future tracker.
+func (w *Watchdog) OnAlert(f func(name string, fast, slow float64)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onAlert = f
+	for _, t := range w.trackers {
+		t.mu.Lock()
+		t.onAlert = f
+		t.mu.Unlock()
+	}
+}
+
+// Collect registers the rootless_slo_* gauges on reg:
+//
+//	rootless_slo_burn_rate{slo=...,window="fast"|"slow"}
+//	rootless_slo_alert{slo=...}  (1 while firing)
+//	rootless_slo_budget{slo=...} (the configured bad-fraction budget)
+func (w *Watchdog) Collect(reg *Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, t := range w.trackers {
+		t := t
+		reg.GaugeFunc("rootless_slo_burn_rate", "SLO error-budget burn rate",
+			Labels{"slo": t.cfg.Name, "window": "fast"},
+			func() float64 { f, _ := t.BurnRates(); return f })
+		reg.GaugeFunc("rootless_slo_burn_rate", "SLO error-budget burn rate",
+			Labels{"slo": t.cfg.Name, "window": "slow"},
+			func() float64 { _, s := t.BurnRates(); return s })
+		reg.GaugeFunc("rootless_slo_alert", "1 while the SLO multi-window alert fires",
+			Labels{"slo": t.cfg.Name},
+			func() float64 {
+				if t.Alerting() {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("rootless_slo_budget", "configured allowed bad fraction",
+			Labels{"slo": t.cfg.Name},
+			func() float64 { return t.cfg.Budget })
+	}
+}
+
+// Status returns the /statusz fragment for every tracked SLO.
+func (w *Watchdog) Status() map[string]any {
+	w.mu.Lock()
+	trackers := append([]*SLOTracker(nil), w.trackers...)
+	w.mu.Unlock()
+	out := map[string]any{}
+	for _, t := range trackers {
+		fast, slow := t.BurnRates()
+		out[t.cfg.Name] = map[string]any{
+			"budget":         t.cfg.Budget,
+			"burn_fast":      fast,
+			"burn_slow":      slow,
+			"fast_window":    t.cfg.FastWindow.String(),
+			"slow_window":    t.cfg.SlowWindow.String(),
+			"burn_threshold": t.cfg.BurnThreshold,
+			"alerting":       t.Alerting(),
+		}
+	}
+	return out
+}
+
+// String summarizes the watchdog for logs.
+func (w *Watchdog) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return fmt.Sprintf("watchdog(%d slos)", len(w.trackers))
+}

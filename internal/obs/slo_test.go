@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// virtualClock is a hand-advanced time source for SLO tests.
+type virtualClock struct{ now time.Time }
+
+func (c *virtualClock) Now() time.Time          { return c.now }
+func (c *virtualClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestSLOBurnRateAndAlert(t *testing.T) {
+	clk := &virtualClock{now: time.Unix(1700000000, 0)}
+	w := NewWatchdog(clk.Now)
+	var alerts []string
+	w.OnAlert(func(name string, fast, slow float64) {
+		alerts = append(alerts, name)
+		if fast < 10 || slow < 10 {
+			t.Errorf("alert with burn %v/%v below threshold", fast, slow)
+		}
+	})
+	tr := w.Add(SLOConfig{Name: "errors", Budget: 0.01,
+		FastWindow: 5 * time.Second, SlowWindow: 20 * time.Second, BurnThreshold: 10})
+
+	// Healthy traffic: 1% bad is exactly budget (burn 1), far from 10.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 100; j++ {
+			tr.Observe(j != 0)
+		}
+		clk.Advance(time.Second)
+	}
+	if fast, slow := tr.BurnRates(); fast > 1.5 || slow > 1.5 {
+		t.Fatalf("healthy burn rates %v/%v", fast, slow)
+	}
+	if tr.Alerting() || len(alerts) != 0 {
+		t.Fatal("alert fired on healthy traffic")
+	}
+
+	// Incident: 50% bad (burn 50). The slow window needs enough bad
+	// seconds before both windows cross the threshold.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 100; j++ {
+			tr.Observe(j%2 == 0)
+		}
+		clk.Advance(time.Second)
+	}
+	if !tr.Alerting() {
+		fast, slow := tr.BurnRates()
+		t.Fatalf("no alert during incident (burn %v/%v)", fast, slow)
+	}
+	if len(alerts) != 1 || alerts[0] != "errors" {
+		t.Fatalf("alert callbacks: %v (want exactly one rising edge)", alerts)
+	}
+
+	// Recovery: good traffic ages the bad seconds out of both windows.
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 100; j++ {
+			tr.Observe(true)
+		}
+		clk.Advance(time.Second)
+	}
+	if tr.Alerting() {
+		t.Fatal("alert still firing after recovery")
+	}
+	// A second incident is a fresh rising edge.
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 100; j++ {
+			tr.Observe(false)
+		}
+		clk.Advance(time.Second)
+	}
+	if len(alerts) != 2 {
+		t.Fatalf("alert callbacks after second incident: %v", alerts)
+	}
+}
+
+func TestSLOIdleAndNil(t *testing.T) {
+	var tr *SLOTracker
+	tr.Observe(true) // nil-safe
+	if f, s := tr.BurnRates(); f != 0 || s != 0 || tr.Alerting() {
+		t.Error("nil tracker must read as zero")
+	}
+	clk := &virtualClock{now: time.Unix(1700000000, 0)}
+	w := NewWatchdog(clk.Now)
+	live := w.Add(SLOConfig{Name: "idle"})
+	if f, s := live.BurnRates(); f != 0 || s != 0 {
+		t.Error("idle tracker must read 0 burn")
+	}
+	// A long idle gap ages everything out rather than leaking a ring lap.
+	live.Observe(false)
+	clk.Advance(2 * sloRingSeconds * time.Second)
+	if f, s := live.BurnRates(); f != 0 || s != 0 {
+		t.Errorf("burn after ring-lap gap: %v/%v", f, s)
+	}
+}
+
+func TestWatchdogExposition(t *testing.T) {
+	clk := &virtualClock{now: time.Unix(1700000000, 0)}
+	w := NewWatchdog(clk.Now)
+	tr := w.Add(SLOConfig{Name: "latency_p99", Budget: 0.05,
+		FastWindow: 2 * time.Second, SlowWindow: 4 * time.Second, BurnThreshold: 5,
+		MinEvents: 1})
+	for i := 0; i < 4; i++ {
+		tr.Observe(false) // 100% bad: burn = 1/0.05 = 20
+		clk.Advance(time.Second)
+	}
+
+	reg := NewRegistry()
+	w.Collect(reg)
+	var burnFast, alert, budget float64
+	for _, s := range reg.Snapshot() {
+		switch {
+		case s.Name == "rootless_slo_burn_rate" && s.Labels["window"] == "fast" && s.Labels["slo"] == "latency_p99":
+			burnFast = s.Value
+		case s.Name == "rootless_slo_alert" && s.Labels["slo"] == "latency_p99":
+			alert = s.Value
+		case s.Name == "rootless_slo_budget" && s.Labels["slo"] == "latency_p99":
+			budget = s.Value
+		}
+	}
+	if burnFast < 19 || burnFast > 21 {
+		t.Errorf("burn_rate{fast} = %v, want ~20", burnFast)
+	}
+	if alert != 1 {
+		t.Errorf("alert gauge = %v, want 1", alert)
+	}
+	if budget != 0.05 {
+		t.Errorf("budget gauge = %v", budget)
+	}
+
+	st := w.Status()
+	doc, ok := st["latency_p99"].(map[string]any)
+	if !ok {
+		t.Fatalf("status: %v", st)
+	}
+	if doc["alerting"] != true {
+		t.Errorf("status alerting = %v", doc["alerting"])
+	}
+	if !strings.Contains(w.String(), "1 slos") {
+		t.Errorf("String() = %q", w.String())
+	}
+}

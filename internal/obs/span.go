@@ -149,6 +149,8 @@ type Span struct {
 	start    time.Duration // offset from trace start
 	dur      time.Duration // set by End/EndWithDuration, or at Finish
 	ended    bool
+	id       uint64 // lazily assigned by SpanID (wire propagation)
+	remote   bool   // grafted from a far daemon's span payload
 	children []*Span
 }
 
@@ -280,6 +282,7 @@ type SpanJSON struct {
 	StartNS  int64       `json:"start_ns"`
 	DurNS    int64       `json:"dur_ns"`
 	Detail   string      `json:"detail,omitempty"`
+	Remote   bool        `json:"remote,omitempty"`
 	Children []*SpanJSON `json:"children,omitempty"`
 }
 
@@ -291,6 +294,7 @@ func (s *Span) export() *SpanJSON {
 		StartNS: int64(s.start),
 		DurNS:   int64(s.dur),
 		Detail:  s.detail,
+		Remote:  s.remote,
 	}
 	for _, c := range s.children {
 		out.Children = append(out.Children, c.export())

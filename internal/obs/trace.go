@@ -65,7 +65,7 @@ func (t *Tracer) Begin(qname, qtype string) *Trace {
 	if t == nil || !t.enabled.Load() {
 		return nil
 	}
-	return &Trace{tracer: t, Qname: qname, Qtype: qtype, Start: time.Now()}
+	return &Trace{tracer: t, TraceID: nextTraceID(), Qname: qname, Qtype: qtype, Start: time.Now()}
 }
 
 // InstrumentAttribution registers per-phase latency-attribution
@@ -228,9 +228,16 @@ type Event struct {
 // instrumented code needs no enabled checks.
 type Trace struct {
 	tracer *Tracer
-	Qname  string    `json:"qname"`
-	Qtype  string    `json:"qtype"`
-	Start  time.Time `json:"start"`
+	// TraceID is the process-unique identifier assigned by Begin (or
+	// adopted from the far side by BeginRemote); /tracez?traceid= keys
+	// on it, and cross-process propagation carries it on the wire.
+	TraceID uint64 `json:"-"`
+	// ParentSpanID is the remote parent span this trace joined under
+	// (BeginRemote); zero for locally-originated traces.
+	ParentSpanID uint64 `json:"-"`
+	Qname        string    `json:"qname"`
+	Qtype        string    `json:"qtype"`
+	Start        time.Time `json:"start"`
 	// Rcode and Err describe the outcome (set by Finish).
 	Rcode string `json:"rcode"`
 	Err   string `json:"err,omitempty"`
@@ -334,6 +341,8 @@ func (tr *Trace) Finish(rcode string, latency time.Duration, queries int, err er
 // traceJSON is the locked export form of a Trace; MarshalJSON uses it so
 // concurrent span/event writers never race a /tracez scrape.
 type traceJSON struct {
+	TraceID      string       `json:"trace_id"`
+	ParentSpanID string       `json:"parent_span_id,omitempty"`
 	Qname       string        `json:"qname"`
 	Qtype       string        `json:"qtype"`
 	Start       time.Time     `json:"start"`
@@ -353,6 +362,7 @@ type traceJSON struct {
 func (tr *Trace) MarshalJSON() ([]byte, error) {
 	tr.mu.Lock()
 	out := traceJSON{
+		TraceID:     FormatTraceID(tr.TraceID),
 		Qname:       tr.Qname,
 		Qtype:       tr.Qtype,
 		Start:       tr.Start,
@@ -364,6 +374,9 @@ func (tr *Trace) MarshalJSON() ([]byte, error) {
 		Class:       tr.Class,
 		Attribution: tr.Attr,
 		Events:      append([]Event(nil), tr.Events...),
+	}
+	if tr.ParentSpanID != 0 {
+		out.ParentSpanID = FormatTraceID(tr.ParentSpanID)
 	}
 	for _, s := range tr.spans {
 		out.Spans = append(out.Spans, s.export())

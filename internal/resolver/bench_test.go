@@ -16,9 +16,9 @@ import (
 // acceptance bar that a disabled tracer stays within noise of no tracer
 // at all (the enabled variant shows what turning it on costs).
 func BenchmarkResolve(b *testing.B) {
-	run := func(b *testing.B, setup func(*Resolver)) {
+	run := func(b *testing.B, setup func(*Resolver), opts ...func(*Config)) {
 		tp := newTopo(b)
-		r := tp.resolver(b, RootModeHints)
+		r := tp.resolver(b, RootModeHints, opts...)
 		if setup != nil {
 			setup(r)
 		}
@@ -42,6 +42,17 @@ func BenchmarkResolve(b *testing.B) {
 			tr.SetEnabled(true)
 			r.SetTracer(tr)
 		})
+	})
+	// The propagation variant documents what trace stamping adds on top
+	// of an enabled tracer (the acceptance bar is ≤5% over TracerEnabled;
+	// on the cache-warm path no upstream queries happen, so the stamp
+	// branch costs only the config check).
+	b.Run("TracePropagate", func(b *testing.B) {
+		run(b, func(r *Resolver) {
+			tr := obs.NewTracer(128, 0)
+			tr.SetEnabled(true)
+			r.SetTracer(tr)
+		}, func(c *Config) { c.TracePropagate = true })
 	})
 	// The analyzer variant documents what the streaming classification
 	// sketches add to a cache-warm resolution (tens of ns against ~µs).

@@ -174,6 +174,12 @@ type Config struct {
 	// copy, so downstream caches re-ask soon after the copy heals
 	// (default 30 s, the RFC 8767 recommendation).
 	ZoneStaleTTLCap time.Duration
+	// TracePropagate stamps an EDNS0 trace option (trace ID, parent span,
+	// sampled flag) on upstream queries and grafts the span payload a
+	// cooperating authoritative server returns, stitching a cross-process
+	// trace. Off (the default) leaves queries byte-identical to a build
+	// without propagation; it only takes effect on traced resolutions.
+	TracePropagate bool
 	// Seed makes server tie-breaking deterministic.
 	Seed int64
 }
@@ -258,10 +264,18 @@ type Resolver struct {
 	cache *cache.Cache
 
 	// tracer records per-query walk traces when enabled; nil or disabled
-	// costs one atomic load per resolution. latency is the hot-path
-	// fixed-bucket histogram wired in by Instrument (nil until then).
+	// costs one atomic load per resolution. latency is the hot-path HDR
+	// latency summary wired in by Instrument (nil until then): log-linear
+	// buckets, so p999/p9999 survive without per-sample memory.
 	tracer  *obs.Tracer
-	latency *obs.Histogram
+	latency *obs.HDR
+
+	// sloObserve, when set via SetSLOObserver, is called once per
+	// completed top-level resolution with its outcome; the daemon wires
+	// it to SLO trackers. flightRec, when set, receives a compact digest
+	// of every resolution for post-incident dumps.
+	sloObserve func(latency time.Duration, rcode dnswire.Rcode, err error)
+	flightRec  *obs.FlightRecorder
 
 	// traffic, when installed with SetTraffic, classifies every Resolve
 	// call into the shared junk taxonomy and feeds the heavy-hitter /
@@ -432,17 +446,41 @@ func (r *Resolver) SetTracer(t *obs.Tracer) { r.tracer = t }
 // SetTraffic installs a streaming traffic analyzer. Call before serving.
 func (r *Resolver) SetTraffic(a *traffic.Analyzer) { r.traffic = a }
 
+// SetSLOObserver installs a per-resolution outcome callback (latency,
+// rcode, error) for SLO tracking. Call before serving; the resolver
+// stays ignorant of SLO semantics — the daemon decides what "good"
+// means.
+func (r *Resolver) SetSLOObserver(f func(latency time.Duration, rcode dnswire.Rcode, err error)) {
+	r.sloObserve = f
+}
+
+// SetFlightRecorder installs a flight recorder receiving one compact
+// digest per resolution. Call before serving.
+func (r *Resolver) SetFlightRecorder(f *obs.FlightRecorder) { r.flightRec = f }
+
 // Traffic returns the installed analyzer (nil when none).
 func (r *Resolver) Traffic() *traffic.Analyzer { return r.traffic }
 
+// TailLatencySeconds returns the resolver's HDR latency tail
+// (obs.TailQuantiles: p50/p99/p999/p9999, in seconds) and whether
+// Instrument has installed the underlying histogram.
+func (r *Resolver) TailLatencySeconds() ([4]float64, bool) {
+	if r.latency == nil {
+		return [4]float64{}, false
+	}
+	return r.latency.TailSeconds(), true
+}
+
 // Instrument wires the resolver into reg: a scrape-time collector
 // republishes the Stats counters, cache statistics and SRTT state size,
-// and a fixed-bucket histogram observes per-resolution latency on the
-// hot path. If a tracer is installed, its per-phase attribution
-// histograms are registered too (SetTracer first).
+// and an HDR summary observes per-resolution latency on the hot path
+// (≲1% relative error at every quantile, so the exposed p999/p9999 are
+// real tail measurements rather than bucket-edge artifacts). If a
+// tracer is installed, its per-phase attribution histograms are
+// registered too (SetTracer first).
 func (r *Resolver) Instrument(reg *obs.Registry) {
-	r.latency = reg.Histogram("rootless_resolver_resolution_seconds",
-		"total (possibly virtual) network latency per resolution", nil, nil)
+	r.latency = reg.HDRTimer("rootless_resolver_resolution_seconds",
+		"total (possibly virtual) network latency per resolution", nil)
 	r.tracer.InstrumentAttribution(reg)
 	reg.AddCollector(r)
 }
@@ -595,7 +633,33 @@ func (r *Resolver) resolveTop(qname dnswire.Name, qtype dnswire.Type, class stri
 		tr.Finish(res.Rcode.String(), res.Latency, res.Queries, err)
 	}
 	if r.latency != nil {
-		r.latency.Observe(res.Latency.Seconds())
+		r.latency.RecordDuration(res.Latency)
+	}
+	if r.flightRec != nil {
+		d := obs.FlightDigest{
+			UnixNanos: r.cfg.Clock().UnixNano(),
+			Class:     class,
+			Qtype:     qtype.String(),
+			Rcode:     res.Rcode.String(),
+			LatencyNS: int64(res.Latency),
+			Queries:   res.Queries,
+			Answers:   len(res.Answers),
+			FromCache: res.FromCache,
+			Shed:      errors.Is(err, ErrOverloaded),
+		}
+		if tr != nil {
+			d.TraceID = obs.FormatTraceID(tr.ID())
+		}
+		if err != nil {
+			d.Err = err.Error()
+		}
+		r.flightRec.Record(d)
+	}
+	// The SLO observer runs after the digest is recorded so a burn-rate
+	// alert fired from inside it dumps a ring that already includes the
+	// query that tripped the alert.
+	if r.sloObserve != nil {
+		r.sloObserve(res.Latency, res.Rcode, err)
 	}
 	return res, err
 }
@@ -1137,6 +1201,11 @@ func (r *Resolver) queryZoneServers(set nsSet, qname dnswire.Name, qtype dnswire
 		xsp := tr.StartSpan(obs.PhaseNet, "attempt")
 		if xsp != nil {
 			xsp.SetDetail(addr.String() + " zone " + string(set.zone))
+			if r.cfg.TracePropagate {
+				q.SetTraceOption(dnswire.TraceContext{
+					TraceID: tr.ID(), SpanID: xsp.SpanID(), Sampled: true,
+				}, nil)
+			}
 		}
 		resp, rtt, err := r.exchange(tr, addr, q)
 		res.Queries++
@@ -1199,7 +1268,16 @@ func (r *Resolver) exchange(tr *obs.Trace, dst netip.Addr, q *dnswire.Message) (
 			return tt.ExchangeTraced(tr, dst, q)
 		}
 	}
-	return r.cfg.Transport.Exchange(dst, q)
+	resp, rtt, err := r.cfg.Transport.Exchange(dst, q)
+	if err == nil && tr != nil && r.cfg.TracePropagate {
+		// A cooperating far side ships its span tree back in the response
+		// option; graft it under the in-flight attempt span so the stitched
+		// tree shows auth-side work inside the exchange that paid for it.
+		if _, payload, ok := resp.TraceOption(); ok && payload != nil {
+			tr.GraftRemote(payload)
+		}
+	}
+	return resp, rtt, err
 }
 
 // recordFailure feeds one failed attempt into the server's health state
