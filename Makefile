@@ -4,7 +4,7 @@
 # backed by the concurrent-resolve and coalescing hammer tests in
 # internal/resolver and the overload-primitive races in internal/overload.
 
-.PHONY: verify verify-race bench bench-full bench-diff bench-smoke fuzz-short
+.PHONY: verify verify-race bench bench-full bench-diff bench-smoke fuzz-short loadgen-smoke
 
 verify:
 	go build ./... && go vet ./... && go test ./...
@@ -15,7 +15,7 @@ verify-race:
 # Perf-trajectory snapshot: run the key benchmarks with fixed iteration
 # counts (stable comparisons, bounded runtime) and write a schema-stable
 # JSON report, then validate it and diff against the previous committed
-# snapshot if one exists. Set BENCH=BENCH_PR10.json for the next PR; the
+# snapshot if one exists. Set BENCH=BENCH_PR11.json for the next PR; the
 # committed snapshot is regression-checked by TestCommittedSnapshot in
 # internal/benchfmt, which `make verify` runs. Iteration counts are
 # pinned high enough that the derived overhead figures sit above the
@@ -23,7 +23,7 @@ verify-race:
 # negative tracing overhead. The cache package runs at -cpu=8 so the
 # sharded/single-lock parallel Get pair actually contends (the ratio is
 # only meaningful on a multi-core runner; single-core hovers near 1x).
-BENCH ?= BENCH_PR9.json
+BENCH ?= BENCH_PR10.json
 
 bench:
 	@set -e; \
@@ -37,7 +37,8 @@ bench:
 	  go test -run='^$$' -bench='^BenchmarkCache$$/^GetParallel' -benchtime=100000x -count=1 -benchmem -cpu=8 ./internal/cache; \
 	  go test -run='^$$' -bench='^BenchmarkValidate$$' -benchtime=20000x -count=1 -benchmem ./internal/dnssec/validator; \
 	  go test -run='^$$' -bench='^BenchmarkNSECSynthesize$$' -benchtime=200000x -count=1 -benchmem ./internal/cache; \
-	  go test -run='^$$' -bench='^(BenchmarkDeltaApply|BenchmarkFullBundleVerify)$$' -benchtime=500x -count=1 -benchmem ./internal/dist \
+	  go test -run='^$$' -bench='^(BenchmarkDeltaApply|BenchmarkFullBundleVerify)$$' -benchtime=500x -count=1 -benchmem ./internal/dist; \
+	  go test -run='^$$' -bench='^BenchmarkServedQPS$$' -benchtime=20000x -count=1 ./internal/loadgen \
 	) | tee /dev/stderr | go run ./cmd/benchreport -write $(BENCH); \
 	go run ./cmd/benchreport -validate $(BENCH) -min 8; \
 	prev=$$(ls BENCH_*.json | grep -v "^$(BENCH)$$" | sort | tail -1 || true); \
@@ -61,6 +62,13 @@ bench-smoke:
 	) | go run ./cmd/benchreport -write /tmp/bench-smoke.json; \
 	go run ./cmd/benchreport -validate /tmp/bench-smoke.json -min 4; \
 	rm -f /tmp/bench-smoke.json
+
+# Real-socket serving smoke: 2k loadgen queries against an in-process
+# authd on loopback must come back at >= 99% and emit schema-valid
+# rootless-bench JSON. Also runs as part of `make verify` (it is an
+# ordinary test in internal/loadgen); this target isolates it for CI.
+loadgen-smoke:
+	go test -run='^TestSmokeAgainstAuthd$$' -count=1 ./internal/loadgen
 
 # The unfiltered sweep: every benchmark in the tree, time-based.
 bench-full:

@@ -13,6 +13,15 @@
 //	authd -zone root.zone -origin . -udp 127.0.0.1:5300 -tcp 127.0.0.1:5300
 //	authd -primary 127.0.0.1:5300 -origin . -udp 127.0.0.1:5310 -notify 127.0.0.1:5311
 //
+// Multi-core serving:
+//
+//	-udp-workers N          parallel UDP workers (default GOMAXPROCS); on
+//	                        Linux each worker owns an SO_REUSEPORT listener
+//	                        and the kernel flow-hashes clients across them.
+//	                        1 = exactly the classic single-socket loop
+//	-udp-batch 8            datagrams moved per recvmmsg/sendmmsg syscall
+//	                        (Linux amd64/arm64; 1 = single-datagram I/O)
+//
 // Overload protection:
 //
 //	-max-inflight 512       concurrent queries admitted; 0 = unlimited
@@ -51,6 +60,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -60,6 +70,7 @@ import (
 	"rootless/internal/obs"
 	"rootless/internal/obs/traffic"
 	"rootless/internal/obs/tsdb"
+	"rootless/internal/udpengine"
 	"rootless/internal/zone"
 )
 
@@ -67,6 +78,8 @@ func main() {
 	zonePath := flag.String("zone", "root.zone", "zone file to serve")
 	originStr := flag.String("origin", ".", "zone origin")
 	udpAddr := flag.String("udp", "127.0.0.1:5300", "UDP listen address (empty to disable)")
+	udpWorkers := flag.Int("udp-workers", runtime.GOMAXPROCS(0), "parallel UDP workers, each on its own SO_REUSEPORT listener on Linux (1 = classic single-socket loop)")
+	udpBatch := flag.Int("udp-batch", 8, "datagrams moved per recvmmsg/sendmmsg syscall on Linux (1 = single-datagram I/O)")
 	tcpAddr := flag.String("tcp", "127.0.0.1:5300", "TCP listen address (empty to disable)")
 	ixfr := flag.Int("ixfr", 8, "IXFR journal window in zone versions (0 to disable)")
 	tcpTimeout := flag.Duration("tcp-timeout", 0, "per-read/write TCP deadline, also bounds AXFR/IXFR stream writes (0 = default 30s)")
@@ -155,10 +168,32 @@ func main() {
 		logger.Info("traffic analysis enabled", "tlds", len(z.Delegations()), "topk", *trafficTopK)
 	}
 
+	// The UDP engine is built before the admin endpoint so its per-worker
+	// stats are collectable from the start.
+	var eng *udpengine.Engine
+	if *udpAddr != "" {
+		e, err := udpengine.New(udpengine.Config{
+			Addr:      *udpAddr,
+			Workers:   *udpWorkers,
+			Batch:     *udpBatch,
+			Handler:   srv.DatagramHandler(),
+			MaxPacket: 64 * 1024,
+		})
+		if err != nil {
+			fatal("udp listen: %v", err)
+		}
+		eng = e
+		logger.Info("udp engine ready", "addr", eng.LocalAddr().String(),
+			"workers", eng.Workers(), "batch", eng.Batch(), "reuseport", eng.ReusePort())
+	}
+
 	if *adminAddr != "" {
 		start := time.Now()
 		reg := obs.NewRegistry()
 		reg.AddCollector(srv)
+		if eng != nil {
+			reg.AddCollector(eng)
+		}
 		if tracer != nil {
 			reg.AddCollector(tracer)
 		}
@@ -196,6 +231,11 @@ func main() {
 					doc["latency_p99"] = tail[1]
 					doc["latency_p999"] = tail[2]
 					doc["latency_p9999"] = tail[3]
+				}
+				if eng != nil {
+					for k, v := range eng.StatusDoc() {
+						doc[k] = v
+					}
 				}
 				return doc
 			},
@@ -235,13 +275,8 @@ func main() {
 		}
 	}
 
-	if *udpAddr != "" {
-		conn, err := net.ListenPacket("udp", *udpAddr)
-		if err != nil {
-			fatal("udp listen: %v", err)
-		}
-		logger.Info("udp listener ready", "addr", conn.LocalAddr().String())
-		go func() { errs <- srv.ServeUDP(ctx, conn) }()
+	if eng != nil {
+		go func() { errs <- eng.Serve(ctx) }()
 	}
 	if *tcpAddr != "" {
 		l, err := net.Listen("tcp", *tcpAddr)

@@ -14,6 +14,14 @@
 //	resolverd -listen 127.0.0.1:5301 -mode localauth -localauth 127.0.0.1 -localauth-port 5300
 //	resolverd -listen 127.0.0.1:5301 -mode hints -hints root.hints
 //
+// Multi-core serving:
+//
+//	-udp-workers N          parallel UDP workers (default GOMAXPROCS); on
+//	                        Linux each worker owns an SO_REUSEPORT listener.
+//	                        1 = exactly the classic single-socket loop
+//	-udp-batch 8            datagrams moved per recvmmsg/sendmmsg syscall
+//	                        (Linux amd64/arm64; 1 = single-datagram I/O)
+//
 // DNSSEC validation:
 //
 //	-validate off           strict | permissive | off: walk the chain of
@@ -93,10 +101,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
 	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -111,11 +119,14 @@ import (
 	"rootless/internal/obs/tsdb"
 	"rootless/internal/resolver"
 	"rootless/internal/rootzone"
+	"rootless/internal/udpengine"
 	"rootless/internal/zone"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5301", "UDP listen address for stub queries")
+	udpWorkers := flag.Int("udp-workers", runtime.GOMAXPROCS(0), "parallel UDP workers, each on its own SO_REUSEPORT listener on Linux (1 = classic single-socket loop)")
+	udpBatch := flag.Int("udp-batch", 8, "datagrams moved per recvmmsg/sendmmsg syscall on Linux (1 = single-datagram I/O)")
 	modeStr := flag.String("mode", "hints", "root mode: hints | preload | lookaside | localauth")
 	rootZonePath := flag.String("rootzone", "", "local root zone file (preload/lookaside)")
 	hintsPath := flag.String("hints", "", "root hints file (defaults to built-in hints)")
@@ -358,11 +369,18 @@ func main() {
 		logger.Info("traffic analysis enabled", "tlds", len(tlds), "topk", *trafficTopK)
 	}
 
-	conn, err := net.ListenPacket("udp", *listen)
+	eng, err := udpengine.New(udpengine.Config{
+		Addr:      *listen,
+		Workers:   *udpWorkers,
+		Batch:     *udpBatch,
+		Handler:   srv.DatagramHandler(),
+		MaxPacket: 64 * 1024,
+	})
 	if err != nil {
 		fatal("listen: %v", err)
 	}
-	logger.Info("listening", "mode", mode.String(), "addr", conn.LocalAddr().String())
+	logger.Info("listening", "mode", mode.String(), "addr", eng.LocalAddr().String(),
+		"udp_workers", eng.Workers(), "udp_batch", eng.Batch(), "reuseport", eng.ReusePort())
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -423,6 +441,7 @@ func main() {
 		reg := obs.NewRegistry()
 		r.Instrument(reg)
 		reg.AddCollector(tracer)
+		reg.AddCollector(eng)
 		if refresher != nil {
 			reg.AddCollector(refresher)
 		}
@@ -454,7 +473,14 @@ func main() {
 			admin.Timeseries = rec
 			go rec.Run(ctx)
 		}
-		admin.Status = statusFunc(r, refresher, tracer, watchdog, flight, mode, policy, start)
+		base := statusFunc(r, refresher, tracer, watchdog, flight, mode, policy, start)
+		admin.Status = func() map[string]any {
+			doc := base()
+			for k, v := range eng.StatusDoc() {
+				doc[k] = v
+			}
+			return doc
+		}
 		go func() {
 			if err := admin.ListenAndServe(ctx, *adminAddr, logger); err != nil {
 				logger.Error("admin server", "err", err)
@@ -462,7 +488,7 @@ func main() {
 		}()
 	}
 
-	if err := srv.ServeUDP(ctx, conn); err != nil {
+	if err := eng.Serve(ctx); err != nil {
 		fatal("%v", err)
 	}
 	st := r.Stats()

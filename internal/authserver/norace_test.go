@@ -1,0 +1,5 @@
+//go:build !race
+
+package authserver
+
+const raceEnabled = false

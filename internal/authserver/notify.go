@@ -71,6 +71,7 @@ type Secondary struct {
 	onUpdate   func(*zone.Zone)
 	transfers  int64
 	notifies   int64
+	ackErrs    int64
 	lastErr    error
 }
 
@@ -105,6 +106,16 @@ func (sec *Secondary) Stats() (int64, int64, error) {
 	return sec.transfers, sec.notifies, sec.lastErr
 }
 
+// AckErrs returns how many NOTIFY acknowledgements failed to send. The
+// transfer still proceeds on a failed ACK (the primary will simply
+// retry the NOTIFY), but a persistently nonzero counter means the
+// return path to the primary is broken.
+func (sec *Secondary) AckErrs() int64 {
+	sec.mu.Lock()
+	defer sec.mu.Unlock()
+	return sec.ackErrs
+}
+
 // Refresh performs one IXFR (or fallback AXFR) against the primary.
 func (sec *Secondary) Refresh() error {
 	sec.mu.Lock()
@@ -131,11 +142,19 @@ func (sec *Secondary) Refresh() error {
 }
 
 // ServeNotify listens for NOTIFY datagrams on conn and refreshes on each
-// one, until ctx ends.
+// one, until ctx ends or the connection closes. Cancelling ctx closes
+// conn to unblock the read; the closer goroutine itself is released
+// when ServeNotify returns for any reason, so a conn closed from
+// elsewhere does not strand it for the life of the process.
 func (sec *Secondary) ServeNotify(ctx context.Context, conn net.PacketConn) error {
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
-		<-ctx.Done()
-		conn.Close()
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
 	}()
 	buf := make([]byte, 4096)
 	for {
@@ -164,7 +183,12 @@ func (sec *Secondary) ServeNotify(ctx context.Context, conn net.PacketConn) erro
 			Authoritative: true, Questions: m.Questions,
 		}
 		if wire, err := resp.Pack(); err == nil {
-			_, _ = conn.WriteTo(wire, addr)
+			if _, werr := conn.WriteTo(wire, addr); werr != nil {
+				sec.mu.Lock()
+				sec.ackErrs++
+				sec.lastErr = fmt.Errorf("authserver: NOTIFY ack to %v: %w", addr, werr)
+				sec.mu.Unlock()
+			}
 		}
 		_ = sec.Refresh()
 	}

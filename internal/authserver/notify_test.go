@@ -109,6 +109,81 @@ func TestSecondaryManualRefresh(t *testing.T) {
 	}
 }
 
+// TestServeNotifyCancelUnblocks: cancelling the context must unblock
+// the ReadFrom and return promptly — the shutdown path for cmd users.
+func TestServeNotifyCancelUnblocks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	primary := New(zoneV(t, 1, "alpha"))
+	primary.EnableIXFR(8)
+	tl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	go func() { _ = primary.ServeTCP(ctx, tl) }()
+
+	bctx, bcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer bcancel()
+	sec, err := NewSecondary(bctx, dnswire.Root, tl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	notifyConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sec.ServeNotify(ctx, notifyConn) }()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeNotify after cancel: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeNotify did not return after cancel")
+	}
+}
+
+// TestServeNotifyExternalClose: a conn closed from outside (not via
+// ctx) also ends ServeNotify without stranding the closer goroutine.
+func TestServeNotifyExternalClose(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	primary := New(zoneV(t, 1, "alpha"))
+	primary.EnableIXFR(8)
+	tl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	go func() { _ = primary.ServeTCP(ctx, tl) }()
+
+	bctx, bcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer bcancel()
+	sec, err := NewSecondary(bctx, dnswire.Root, tl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	notifyConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- sec.ServeNotify(ctx, notifyConn) }()
+
+	notifyConn.Close()
+	select {
+	case err := <-done:
+		// A non-ctx close surfaces as an error (the caller closed the
+		// socket out from under the loop); either way it must return.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeNotify did not return after external close")
+	}
+}
+
 func TestSecondaryBootstrapFailure(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()

@@ -1,0 +1,7 @@
+//go:build race
+
+package authserver
+
+// The race detector makes sync.Pool drop items at random, so allocation
+// counts that depend on pool hits are not meaningful under -race.
+const raceEnabled = true

@@ -1,0 +1,185 @@
+package authserver
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"rootless/internal/dnswire"
+	"rootless/internal/udpengine"
+)
+
+// TestServeWireMatchesServeUDP: the extracted datagram handler must be
+// byte-identical to what the classic ServeUDP loop wrote — same packed
+// cache patching (ID, RD bit) and same fresh-pack fallback.
+func TestServeWireMatchesServeUDP(t *testing.T) {
+	s := testServer(t)
+	from := netip.MustParseAddr("192.0.2.1")
+	cases := []*dnswire.Message{
+		query("www.example.com.", dnswire.TypeA), // referral, cacheable
+		query("foo.bogustld.", dnswire.TypeA),    // NXDomain
+		query(dnswire.Root, dnswire.TypeNS),      // apex answer
+	}
+	for _, q := range cases {
+		q.RecursionDesired = true
+		wire, err := q.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First call warms the packed cache, second hits it; both must
+		// agree with a reference rebuild through Handle+Pack.
+		var got []byte
+		for pass := 0; pass < 2; pass++ {
+			got = s.ServeWire(wire, from, nil)
+			if got == nil {
+				t.Fatalf("%v: dropped", q.Questions)
+			}
+		}
+		var ref dnswire.Message
+		if err := ref.Unpack(got); err != nil {
+			t.Fatalf("%v: response does not parse: %v", q.Questions, err)
+		}
+		if ref.ID != q.ID || !ref.Response || !ref.RecursionDesired {
+			t.Errorf("%v: header: id=%d qr=%v rd=%v", q.Questions, ref.ID, ref.Response, ref.RecursionDesired)
+		}
+		// The hit-path wire must equal the cold-path wire for the same query.
+		s2 := testServer(t)
+		want := s2.ServeWire(wire, from, nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v: hit-path wire differs from cold-path wire", q.Questions)
+		}
+	}
+}
+
+// TestServeWireAppends: ServeWire appends after existing bytes and
+// patches the header at the right offset, so engine buffer adoption
+// composes with any prefix the caller keeps.
+func TestServeWireAppends(t *testing.T) {
+	s := testServer(t)
+	q := query("www.example.com.", dnswire.TypeA)
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := s.ServeWire(wire, netip.Addr{}, nil)
+	prefixed := s.ServeWire(wire, netip.Addr{}, []byte("head"))
+	if string(prefixed[:4]) != "head" || !bytes.Equal(prefixed[4:], plain) {
+		t.Fatal("ServeWire did not append cleanly after a prefix")
+	}
+}
+
+// TestServeWireAllocs pins the packed-answer hit path: reading the
+// datagram is the engine's job (zero-alloc there), and handling it costs
+// only the small constant below — the response struct copy pair in
+// answer() — with no per-query buffer, name, or rdata allocations. A
+// regression here means UnpackShared interning or the packed cache
+// quietly stopped working.
+func TestServeWireAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts not meaningful under -race")
+	}
+	s := testServer(t)
+	q := query("www.example.com.", dnswire.TypeA)
+	q.RecursionDesired = true
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 0, 1024)
+	if s.ServeWire(wire, netip.Addr{}, out) == nil { // warm the packed cache
+		t.Fatal("warmup dropped")
+	}
+	got := testing.AllocsPerRun(500, func() {
+		if s.ServeWire(wire, netip.Addr{}, out[:0]) == nil {
+			t.Fatal("dropped")
+		}
+	})
+	// The per-query constant: UnpackShared's query-side boxes (section
+	// slices and the OPT rdata) plus the two response structs that escape
+	// in answer() — and nothing proportional to the response, which is a
+	// byte copy of the cached wire into the caller's buffer. The classic
+	// ServeUDP loop paid all of these plus a net.Addr per ReadFrom, so
+	// this is the engine-path ceiling: anything above it means interning,
+	// the packed cache, or buffer reuse quietly stopped working.
+	if got > 7 {
+		t.Errorf("ServeWire packed hit: %v allocs/op, want <= 7", got)
+	}
+}
+
+// TestEngineHandlerRetentionRace hammers the real authd handler through
+// a multi-worker batch engine with EDNS queries under concurrent load.
+// Under -race this checks the buffer-ownership contract end to end:
+// UnpackShared aliases the engine's per-slot rx buffer, so any handler
+// retention of query bytes past ServeDatagram shows up as a race with
+// the next recvmmsg into the same slot.
+func TestEngineHandlerRetentionRace(t *testing.T) {
+	s := testServer(t)
+	eng, err := udpengine.New(udpengine.Config{
+		Addr: "127.0.0.1:0", Workers: 4, Batch: 8,
+		Handler: s.DatagramHandler(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- eng.Serve(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	names := []dnswire.Name{"www.example.com.", "x.org.", "foo.bogustld.", "."}
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client, err := net.Dial("udp", eng.LocalAddr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer client.Close()
+			buf := make([]byte, 64*1024)
+			for i := 0; i < 60; i++ {
+				q := query(names[(c+i)%len(names)], dnswire.TypeA)
+				q.ID = uint16(c<<8 | i)
+				wire, err := q.Pack()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := client.Write(wire); err != nil {
+					t.Error(err)
+					return
+				}
+				client.SetReadDeadline(time.Now().Add(5 * time.Second))
+				n, err := client.Read(buf)
+				if err != nil {
+					t.Errorf("client %d query %d: %v", c, i, err)
+					return
+				}
+				var resp dnswire.Message
+				if err := resp.Unpack(buf[:n]); err != nil {
+					t.Errorf("client %d: bad response: %v", c, err)
+					return
+				}
+				if resp.ID != q.ID {
+					t.Errorf("client %d: response ID %d for query %d — cross-slot mixup", c, resp.ID, q.ID)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if st := eng.Stats(); st.Total.Packets < 6*60 {
+		t.Errorf("engine saw %d packets, want >= %d", st.Total.Packets, 6*60)
+	}
+}

@@ -11,58 +11,70 @@ import (
 	"time"
 
 	"rootless/internal/dnswire"
+	"rootless/internal/udpengine"
 	"rootless/internal/zone"
 )
 
-// ServeUDP answers queries on conn until the connection is closed or ctx
-// is cancelled. Malformed packets are dropped silently, as real servers do.
-func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
-	go func() {
-		<-ctx.Done()
-		conn.Close()
-	}()
-	buf := make([]byte, 64*1024)
-	var respBuf []byte // reused across queries; WriteTo completes before reuse
-	for {
-		n, addr, err := conn.ReadFrom(buf)
-		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		// UnpackShared aliases buf, which is safe here: the server only
-		// retains Name strings and Question values from the query, never
-		// rdata byte slices, and the response is written before the next
-		// ReadFrom overwrites buf.
-		var q dnswire.Message
-		if err := q.UnpackShared(buf[:n]); err != nil {
-			continue
-		}
-		tr, tc := s.joinRemoteTrace(&q)
-		resp, wire := s.handle(tr, &q, addrFrom(addr))
-		if tr != nil {
-			wire = s.attachTrace(tr, tc, resp, wire)
-		}
-		if resp == nil {
-			continue // dropped by rate limiting or admission control
-		}
-		if wire != nil {
-			// Precompiled answer: copy the cached wire (ID 0, RD clear) and
-			// patch the two query-specific header bits in place.
-			respBuf = append(respBuf[:0], wire...)
-			binary.BigEndian.PutUint16(respBuf[0:2], q.ID)
-			if q.RecursionDesired {
-				respBuf[2] |= 0x01
-			}
-		} else {
-			respBuf, err = resp.AppendPack(respBuf[:0])
-			if err != nil {
-				continue
-			}
-		}
-		_, _ = conn.WriteTo(respBuf, addr)
+// ServeWire answers one raw query datagram: parse, run the overload
+// pipeline and lookup, and append the response wire format to out.
+// Returns nil when the query is malformed or dropped by rate limiting
+// or admission control. req is only read during the call (UnpackShared
+// aliases it, which is safe: the server retains only Name strings and
+// Question values from the query, never rdata byte slices), matching
+// the udpengine buffer-ownership contract.
+func (s *Server) ServeWire(req []byte, from netip.Addr, out []byte) []byte {
+	var q dnswire.Message
+	if err := q.UnpackShared(req); err != nil {
+		return nil
 	}
+	tr, tc := s.joinRemoteTrace(&q)
+	resp, wire := s.handle(tr, &q, from)
+	if tr != nil {
+		wire = s.attachTrace(tr, tc, resp, wire)
+	}
+	if resp == nil {
+		return nil // dropped by rate limiting or admission control
+	}
+	start := len(out)
+	if wire != nil {
+		// Precompiled answer: copy the cached wire (ID 0, RD clear) and
+		// patch the two query-specific header bits in place.
+		out = append(out, wire...)
+		binary.BigEndian.PutUint16(out[start:start+2], q.ID)
+		if q.RecursionDesired {
+			out[start+2] |= 0x01
+		}
+		return out
+	}
+	out, err := resp.AppendPack(out)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// DatagramHandler adapts the server to the udpengine handler contract.
+func (s *Server) DatagramHandler() udpengine.Handler {
+	return udpengine.HandlerFunc(func(req []byte, src udpengine.Peer, resp []byte) []byte {
+		return s.ServeWire(req, src.Addr.Addr(), resp)
+	})
+}
+
+// ServeUDP answers queries on conn until the connection is closed or ctx
+// is cancelled. Malformed packets are dropped silently, as real servers
+// do. This is the single-socket compatibility path: one engine worker on
+// the caller's conn performs exactly the classic read→handle→write loop.
+// Multi-core serving builds the engine directly (see cmd/authd).
+func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	eng, err := udpengine.New(udpengine.Config{
+		Conns:     []net.PacketConn{conn},
+		Handler:   s.DatagramHandler(),
+		MaxPacket: 64 * 1024,
+	})
+	if err != nil {
+		return err
+	}
+	return eng.Serve(ctx)
 }
 
 // ServeTCP accepts DNS-over-TCP connections (RFC 1035 §4.2.2 two-byte

@@ -118,5 +118,6 @@ func All() []Result {
 		TTLSweep(),
 		AdditionsChannel(),
 		Infrastructure(),
+		Serve(12000),
 	}
 }

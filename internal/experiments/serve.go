@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"rootless/internal/authserver"
+	"rootless/internal/dnswire"
+	"rootless/internal/loadgen"
+	"rootless/internal/udpengine"
+	"rootless/internal/zone"
+)
+
+// serveZoneSrc is a minimal root cut for the serving experiment: the
+// absolute numbers t_serve reports depend on the host, not the zone, so
+// a three-TLD zone keeps the experiment self-contained.
+const serveZoneSrc = `
+$ORIGIN .
+. 86400 IN SOA a.root-servers.net. nstld.verisign-grs.com. 2019041100 1800 900 604800 86400
+. 518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+net. 172800 IN NS a.gtld-servers.net.
+org. 172800 IN NS a0.org.afilias-nst.info.
+`
+
+// serveRun starts an in-process authd behind a udpengine shape on
+// loopback, drives it with the real-socket load generator, and returns
+// the result plus the engine's syscall stats.
+func serveRun(queries, workers, batch, anscache int, qps float64) (loadgen.Result, udpengine.EngineStats, error) {
+	z, err := zone.Parse(strings.NewReader(serveZoneSrc), dnswire.Root)
+	if err != nil {
+		return loadgen.Result{}, udpengine.EngineStats{}, err
+	}
+	srv := authserver.New(z)
+	srv.SetAnswerCache(anscache)
+	eng, err := udpengine.New(udpengine.Config{
+		Addr: "127.0.0.1:0", Workers: workers, Batch: batch,
+		Handler: srv.DatagramHandler(),
+	})
+	if err != nil {
+		return loadgen.Result{}, udpengine.EngineStats{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- eng.Serve(ctx) }()
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:  eng.LocalAddr().String(),
+		Queries: queries,
+		QPS:     qps,
+		Workers: workers,
+		TLDs:    []dnswire.Name{"com.", "net.", "org."},
+		Seed:    1,
+		EDNS:    true,
+		Drain:   200 * time.Millisecond,
+	})
+	cancel()
+	if serr := <-done; err == nil {
+		err = serr
+	}
+	return res, eng.Stats(), err
+}
+
+// Serve measures the serving-capacity side of §4 "Less Infrastructure":
+// a root served from commodity hardware must absorb B-Root-scale query
+// load on one box. The rows drive the real authd over real UDP sockets
+// (the same udpengine path cmd/authd runs) with the open-loop generator
+// at the B-Root query mix, across engine shapes: one worker vs four
+// SO_REUSEPORT workers (qps-vs-workers), batched recvmmsg I/O, and the
+// packed-answer cache on vs off (classic encode path).
+//
+// queries scales each saturation run; cmd/experiments uses 12000, the
+// test smoke less. Absolute qps is host-bound; the shape rows (scaling,
+// batch amortization, packed vs classic) are the findings. On a host
+// with fewer than four cores the scaling row reports the measured ratio
+// but cannot demand >= 2.5x — there is no second core to win — matching
+// the wall_clock_unreliable flag the committed bench snapshot carries.
+func Serve(queries int) Result {
+	sat1, _, err1 := serveRun(queries, 1, 1, authserver.DefaultAnswerCacheSize, 0)
+	sat4, st4, err2 := serveRun(queries, 4, 8, authserver.DefaultAnswerCacheSize, 0)
+	classic, _, err3 := serveRun(queries, 4, 8, 0, 0)
+	// Paced run: a fixed 5k qps schedule the host must absorb nearly
+	// losslessly, with a sane tail.
+	paced, _, err4 := serveRun(queries/2, 2, 8, authserver.DefaultAnswerCacheSize, 5000)
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			return Result{ID: "t_serve", Title: "Serving capacity on commodity hardware (§4)",
+				Notes: fmt.Sprintf("experiment failed: %v", err)}
+		}
+	}
+
+	served := func(r loadgen.Result) float64 { return r.AchievedQPS * r.RespRate }
+	scaling := served(sat4) / served(sat1)
+	packedRatio := served(sat4) / served(classic)
+	msgsPerRead := 0.0
+	if st4.Total.Reads > 0 {
+		msgsPerRead = float64(st4.Total.Packets) / float64(st4.Total.Reads)
+	}
+	cores := runtime.NumCPU()
+
+	return Result{
+		ID:    "t_serve",
+		Title: "Serving capacity on commodity hardware (§4 Less Infrastructure)",
+		Rows: []Row{
+			row("saturation served qps, 1 worker", "commodity box serves B-Root mix",
+				"%.0f qps (resp rate %.2f)", served(sat1), sat1.RespRate)(
+				served(sat1) > 1000),
+			row("4-worker SO_REUSEPORT scaling", ">= 2.5x on >= 4 cores",
+				"%.2fx (%d core(s))", scaling, cores)(
+				scaling >= 2.5 || cores < 4 || raceEnabled),
+			row("recvmmsg batch amortization", "> 1 packet per syscall under load",
+				"%.2f msgs/read", msgsPerRead)(
+				msgsPerRead > 1.2 || !udpengine.BatchSupported()),
+			// The ratio of two saturation wall-clock measurements is noise
+			// under the race detector's ~10x slowdown and on a time-sliced
+			// single core — same caveat as the cache_shard_speedup figure;
+			// report it, but only gate where the host can measure it.
+			row("packed-answer vs classic encode", "packed serves at least classic rate",
+				"%.2fx", packedRatio)(
+				packedRatio >= 0.7 || cores < 2 || raceEnabled),
+			row("paced 5k qps response rate", ">= 99% answered",
+				"%.4f (p999 %.1fms)", paced.RespRate, paced.P999*1e3)(
+				paced.RespRate >= 0.99 && (paced.P999 < 0.5 || raceEnabled)),
+		},
+		Notes: fmt.Sprintf("real UDP sockets on loopback, open-loop generator, B-Root default mix; "+
+			"GOMAXPROCS=%d, batch I/O supported=%v — absolute qps is host-bound, the shape rows are the findings",
+			runtime.GOMAXPROCS(0), udpengine.BatchSupported()),
+	}
+}

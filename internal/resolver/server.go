@@ -2,13 +2,12 @@ package resolver
 
 import (
 	"context"
-	"errors"
 	"net"
-	"net/netip"
 	"time"
 
 	"rootless/internal/dnswire"
 	"rootless/internal/overload"
+	"rootless/internal/udpengine"
 )
 
 // Server exposes a Resolver as a recursive DNS service over UDP — what a
@@ -32,52 +31,55 @@ func (s *Server) SetClientLimit(qps, burst float64) {
 	s.limiter = overload.NewClientLimiter(qps, burst, 0)
 }
 
-// ServeUDP answers stub queries on conn until ctx ends or the connection
-// closes. Each query runs its own goroutine: recursion can take many
-// round trips and must not head-of-line block the socket.
-func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
-	go func() {
-		<-ctx.Done()
-		conn.Close()
-	}()
-	buf := make([]byte, 64*1024)
-	for {
-		n, addr, err := conn.ReadFrom(buf)
-		if err != nil {
-			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		if s.limiter != nil && !s.limiter.Allow(clientAddr(addr), time.Now()) {
-			continue // over-rate stub: drop before spending any work
+// DatagramHandler adapts the server to the udpengine handler contract.
+// Client limiting and traffic observation run synchronously on the
+// worker (both are cheap and must see every arrival); the resolution
+// itself runs in its own goroutine, because recursion can take many
+// round trips and must not head-of-line block the socket. The request
+// bytes are copied before the goroutine starts — the engine reuses req
+// the moment this function returns — and the late answer goes back
+// through src.Reply.
+func (s *Server) DatagramHandler() udpengine.Handler {
+	return udpengine.HandlerFunc(func(req []byte, src udpengine.Peer, resp []byte) []byte {
+		if s.limiter != nil && !s.limiter.Allow(src.Addr.Addr(), time.Now()) {
+			return nil // over-rate stub: drop before spending any work
 		}
 		if an := s.resolver.traffic; an != nil {
-			an.ObserveClient(clientAddr(addr))
+			an.ObserveClient(src.Addr.Addr())
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		go func(pkt []byte, addr net.Addr) {
+		pkt := make([]byte, len(req))
+		copy(pkt, req)
+		src.Detach() // answered asynchronously below, not a drop
+		go func() {
 			var q dnswire.Message
 			if err := q.Unpack(pkt); err != nil {
 				return
 			}
-			resp := s.handle(&q)
-			wire, err := resp.Pack()
+			r := s.handle(&q)
+			wire, err := r.Pack()
 			if err != nil {
 				return
 			}
-			_, _ = conn.WriteTo(wire, addr)
-		}(pkt, addr)
-	}
+			_ = src.Reply(wire)
+		}()
+		return nil
+	})
 }
 
-// clientAddr extracts the client IP from a packet source address.
-func clientAddr(a net.Addr) netip.Addr {
-	if ap, err := netip.ParseAddrPort(a.String()); err == nil {
-		return ap.Addr()
+// ServeUDP answers stub queries on conn until ctx ends or the connection
+// closes. Single-socket compatibility path: one engine worker on the
+// caller's conn; multi-core serving builds the engine directly (see
+// cmd/resolverd).
+func (s *Server) ServeUDP(ctx context.Context, conn net.PacketConn) error {
+	eng, err := udpengine.New(udpengine.Config{
+		Conns:     []net.PacketConn{conn},
+		Handler:   s.DatagramHandler(),
+		MaxPacket: 64 * 1024,
+	})
+	if err != nil {
+		return err
 	}
-	return netip.Addr{}
+	return eng.Serve(ctx)
 }
 
 func (s *Server) handle(q *dnswire.Message) *dnswire.Message {

@@ -1,0 +1,66 @@
+//go:build linux
+
+package udpengine
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// Socket options absent from the stdlib syscall tables (they predate
+// the x/sys split). Values are identical across Linux architectures.
+const (
+	soReusePort = 0xf  // SO_REUSEPORT, kernel >= 3.9
+	soRxqOvfl   = 0x28 // SO_RXQ_OVFL: cmsg carrying the rx-queue drop counter
+)
+
+// openListeners opens n SO_REUSEPORT sockets bound to the same
+// address, one per worker, so the kernel hashes flows across them —
+// the standard multi-core UDP serving arrangement (nginx, Knot, NSD
+// all do this). SO_RXQ_OVFL is enabled on each so the batch reader can
+// report kernel-side drops. Falls back to a single shared socket when
+// the kernel refuses SO_REUSEPORT.
+func openListeners(addr string, n int) ([]net.PacketConn, bool, error) {
+	if n <= 1 {
+		return openPortable(addr)
+	}
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			if serr == nil {
+				// Best-effort: drop accounting is diagnostic only.
+				_ = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soRxqOvfl, 1)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	}}
+	conns := make([]net.PacketConn, 0, n)
+	for i := 0; i < n; i++ {
+		// After the first bind the remaining listeners must target the
+		// exact port the kernel picked (matters for ":0" test listeners).
+		bindAddr := addr
+		if len(conns) > 0 {
+			bindAddr = conns[0].LocalAddr().String()
+		}
+		conn, err := lc.ListenPacket(context.Background(), "udp", bindAddr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			if i == 0 {
+				// SO_REUSEPORT itself failed: serve everything from one
+				// portable socket rather than refusing to start.
+				return openPortable(addr)
+			}
+			return nil, false, fmt.Errorf("udpengine: reuseport listener %d: %w", i, err)
+		}
+		conns = append(conns, conn)
+	}
+	return conns, true, nil
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package udpengine
+
+import "net"
+
+// openListeners on platforms without a portable SO_REUSEPORT story
+// opens one socket; all workers read from it concurrently. Parallelism
+// still helps (handler work overlaps) but reads serialize on the one
+// receive queue.
+func openListeners(addr string, n int) ([]net.PacketConn, bool, error) {
+	return openPortable(addr)
+}

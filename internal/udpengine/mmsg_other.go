@@ -1,0 +1,13 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udpengine
+
+import "net"
+
+const batchIOSupported = false
+
+// newWorkerIO without kernel vector I/O always serves one datagram per
+// syscall; Config.Batch degrades gracefully to 1.
+func newWorkerIO(conn net.PacketConn, batch, maxPacket int) workerIO {
+	return newPortableIO(conn, maxPacket)
+}

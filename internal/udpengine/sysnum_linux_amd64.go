@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpengine
+
+// The stdlib syscall tables for linux/amd64 are frozen at a kernel
+// vintage that predates sendmmsg (3.0); both vector-I/O numbers are
+// spelled out here instead of pulling in golang.org/x/sys.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udpengine
+
+// linux/arm64 uses the generic syscall table.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)
